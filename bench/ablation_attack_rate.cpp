@@ -1,0 +1,33 @@
+// §VIII ablation — the cost of sustained tampering: the controller keeps
+// operating correctly (retry-on-detect) but pays goodput and latency as
+// the tamper probability grows, while the alert stream quantifies the
+// DoS pressure the paper's thresholds are there to damp.
+#include <cstdio>
+
+#include "experiments/attack_rate_experiment.hpp"
+#include "report.hpp"
+
+using namespace p4auth;
+using namespace p4auth::experiments;
+
+int main() {
+  bench::title("Ablation — control-loop cost vs tamper probability (§VIII)");
+  bench::note("A control-plane MitM tampers each write with probability p; the");
+  bench::note("controller retries detected failures (max 4 attempts). No tampered");
+  bench::note("value is ever accepted; the attack only costs time and alerts.");
+  bench::rule();
+
+  std::printf("%-10s %14s %18s %14s %10s %10s\n", "tamper p", "goodput rps",
+              "completion (us)", "retries/write", "alerts", "failed");
+  for (const auto& point : run_attack_rate_experiment()) {
+    std::printf("%-10.2f %14.1f %18.1f %14.2f %10llu %10llu\n", point.tamper_probability,
+                point.goodput_rps, point.mean_completion_us, point.retries_per_write,
+                static_cast<unsigned long long>(point.alerts),
+                static_cast<unsigned long long>(point.writes_failed));
+  }
+  bench::rule();
+  bench::note("Integrity is absolute (zero tampered values land); availability");
+  bench::note("degrades gracefully — the §VIII operator response (isolate the");
+  bench::note("switch) is driven by the alert column.");
+  return 0;
+}

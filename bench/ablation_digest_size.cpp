@@ -1,0 +1,45 @@
+// §XI ablation — digest width vs hash-distribution units, pipeline stages
+// and per-packet digest time. The paper quotes ~560% more hash units and
+// ~100% more stages for a 256-bit digest vs 32-bit, with compute cycles
+// roughly doubling per width doubling.
+#include <cstdio>
+
+#include "dataplane/timing.hpp"
+#include "experiments/resources_experiment.hpp"
+#include "report.hpp"
+
+using namespace p4auth;
+using namespace p4auth::experiments;
+
+int main() {
+  bench::title("Ablation — digest width (32..256 bit)");
+  bench::note("Paper §XI: 256-bit digest => +560% hash-distribution units and");
+  bench::note("+100% pipeline stages vs 32-bit; wider digests also force packet");
+  bench::note("recirculations (100s of ns each) on the hardware target.");
+  bench::rule();
+
+  std::printf("%-12s %12s %10s %16s %14s\n", "digest bits", "hash units", "stages",
+              "unit growth %", "stage growth %");
+  for (const auto& point : run_digest_ablation()) {
+    std::printf("%-12d %12d %10d %16.0f %14.0f\n", point.digest_bits, point.hash_units,
+                point.stages, point.hash_unit_growth_pct, point.stage_growth_pct);
+  }
+
+  bench::rule();
+  bench::note("modelled per-packet digest time (Tofino timing, 26 covered bytes,");
+  bench::note("one recirculation per extra 4 stages):");
+  const auto timing = dataplane::TimingModel::tofino();
+  const auto points = run_digest_ablation();
+  const int base_stages = points.front().stages;
+  for (const auto& point : points) {
+    dataplane::PacketCosts costs;
+    const int lanes = point.digest_bits / 32;
+    for (int lane = 0; lane < lanes; ++lane) costs.add_hash(26);
+    costs.recirculations = (point.stages - base_stages + 3) / 4;
+    std::printf("  %3d-bit digest: %5llu ns (%d recirculations)\n", point.digest_bits,
+                static_cast<unsigned long long>(timing.process(costs).ns() -
+                                                timing.base_pipeline.ns()),
+                costs.recirculations);
+  }
+  return 0;
+}

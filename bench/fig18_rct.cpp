@@ -1,0 +1,30 @@
+// Fig 18 — register read/write request completion time (RCT) for the
+// three access paths: P4Runtime, DP-Reg-RW, P4Auth.
+#include <cstdio>
+
+#include "experiments/regops_experiment.hpp"
+#include "report.hpp"
+
+using namespace p4auth;
+using namespace p4auth::experiments;
+
+int main() {
+  bench::title("Fig 18 — Register read/write request completion time (us)");
+  bench::note("Paper shape: P4Runtime reads complete faster than its writes");
+  bench::note("(writes compose data as well as an index); P4Auth adds a small");
+  bench::note("digest cost on top of DP-Reg-RW.");
+  bench::rule();
+
+  std::printf("%-12s %14s %14s %14s %14s\n", "variant", "read mean", "read p99",
+              "write mean", "write p99");
+  for (const auto variant :
+       {RegOpsVariant::P4Runtime, RegOpsVariant::DpRegRw, RegOpsVariant::P4Auth}) {
+    const auto result = run_regops_experiment(variant);
+    std::printf("%-12s %14.1f %14.1f %14.1f %14.1f\n", variant_name(variant),
+                result.read_rct_us_mean, result.read_rct_us_p99, result.write_rct_us_mean,
+                result.write_rct_us_p99);
+  }
+  bench::rule();
+  bench::note("400 sequential requests per kind per variant. Reference: Fig 18.");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig 19 — register read/write throughput (requests completed per second,
+// sequential issue) for P4Runtime, DP-Reg-RW, P4Auth.
+#include <cstdio>
+
+#include "experiments/regops_experiment.hpp"
+#include "report.hpp"
+
+using namespace p4auth;
+using namespace p4auth::experiments;
+
+int main() {
+  bench::title("Fig 19 — Register read/write throughput (req/s)");
+  bench::note("Paper: P4Runtime read throughput ~1.7x its write throughput; not");
+  bench::note("much write-throughput difference across the three; P4Auth costs");
+  bench::note("-4.2% read / -2.1% write vs DP-Reg-RW.");
+  bench::rule();
+
+  RegOpsResult results[3];
+  const RegOpsVariant variants[] = {RegOpsVariant::P4Runtime, RegOpsVariant::DpRegRw,
+                                    RegOpsVariant::P4Auth};
+  std::printf("%-12s %14s %14s\n", "variant", "read req/s", "write req/s");
+  for (int i = 0; i < 3; ++i) {
+    results[i] = run_regops_experiment(variants[i]);
+    std::printf("%-12s %14.1f %14.1f\n", variant_name(variants[i]),
+                results[i].read_throughput_rps, results[i].write_throughput_rps);
+  }
+  bench::rule();
+  const auto& grpc = results[0];
+  const auto& dp = results[1];
+  const auto& p4auth = results[2];
+  std::printf("P4Runtime read/write ratio: %.2fx   (paper: ~1.7x)\n",
+              grpc.read_throughput_rps / grpc.write_throughput_rps);
+  std::printf("P4Auth vs DP-Reg-RW: read %+.1f%%, write %+.1f%%   (paper: -4.2%% / -2.1%%)\n",
+              100.0 * (p4auth.read_throughput_rps - dp.read_throughput_rps) /
+                  dp.read_throughput_rps,
+              100.0 * (p4auth.write_throughput_rps - dp.write_throughput_rps) /
+                  dp.write_throughput_rps);
+  return 0;
+}

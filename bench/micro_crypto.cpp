@@ -1,0 +1,122 @@
+// Crypto microbenchmarks (google-benchmark): the data-plane-amenable
+// primitives P4Auth composes — HalfSipHash variants, CRC32, the KDF under
+// both PRF choices and round counts (the DESIGN.md PRF/rounds ablation),
+// modified DH, and full message tag/verify.
+#include <benchmark/benchmark.h>
+
+#include "core/auth.hpp"
+#include "crypto/crc32.hpp"
+#include "crypto/halfsiphash.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/modified_dh.hpp"
+#include "crypto/stream_cipher.hpp"
+
+namespace {
+
+using namespace p4auth;
+
+void BM_HalfSipHash24(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::halfsiphash(0x1234, data, crypto::kHalfSipHash24));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HalfSipHash24)->Arg(16)->Arg(26)->Arg(64)->Arg(256);
+
+void BM_HalfSipHash13(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::halfsiphash(0x1234, data, crypto::kHalfSipHash13));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_HalfSipHash13)->Arg(26)->Arg(256);
+
+void BM_Crc32(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::crc32(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(26)->Arg(256);
+
+void BM_KdfCrc(benchmark::State& state) {
+  const crypto::Kdf kdf(crypto::PrfKind::Crc32, static_cast<int>(state.range(0)));
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kdf.derive(0xFEED, ++salt));
+  }
+}
+BENCHMARK(BM_KdfCrc)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_KdfSip(benchmark::State& state) {
+  const crypto::Kdf kdf(crypto::PrfKind::HalfSipHash24, static_cast<int>(state.range(0)));
+  std::uint64_t salt = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kdf.derive(0xFEED, ++salt));
+  }
+}
+BENCHMARK(BM_KdfSip)->Arg(1)->Arg(2);
+
+void BM_ModifiedDhExchange(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const auto r1 = crypto::draw_private_key(rng);
+    const auto pk1 = crypto::dh_public(crypto::kDefaultDhParams, r1);
+    benchmark::DoNotOptimize(crypto::dh_shared(crypto::kDefaultDhParams, r1, pk1));
+  }
+}
+BENCHMARK(BM_ModifiedDhExchange);
+
+void BM_StreamCipher(benchmark::State& state) {
+  Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    crypto::xor_keystream(0xFEED, ++nonce, data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_StreamCipher)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TagMessage(benchmark::State& state) {
+  core::Message msg;
+  msg.header.hdr_type = core::HdrType::RegisterOp;
+  msg.header.msg_type = 2;
+  msg.payload = core::RegisterOpPayload{RegisterId{1}, 2, 3};
+  for (auto _ : state) {
+    core::tag_message(crypto::MacKind::HalfSipHash24, 0xFEED, msg);
+    benchmark::DoNotOptimize(msg.header.digest);
+  }
+}
+BENCHMARK(BM_TagMessage);
+
+void BM_VerifyMessage(benchmark::State& state) {
+  core::Message msg;
+  msg.header.hdr_type = core::HdrType::RegisterOp;
+  msg.header.msg_type = 2;
+  msg.payload = core::RegisterOpPayload{RegisterId{1}, 2, 3};
+  core::tag_message(crypto::MacKind::HalfSipHash24, 0xFEED, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::verify_message(crypto::MacKind::HalfSipHash24, 0xFEED, msg));
+  }
+}
+BENCHMARK(BM_VerifyMessage);
+
+void BM_WireEncodeDecode(benchmark::State& state) {
+  core::Message msg;
+  msg.header.hdr_type = core::HdrType::RegisterOp;
+  msg.header.msg_type = 2;
+  msg.payload = core::RegisterOpPayload{RegisterId{1}, 2, 3};
+  for (auto _ : state) {
+    const Bytes frame = core::encode(msg);
+    benchmark::DoNotOptimize(core::decode(frame));
+  }
+}
+BENCHMARK(BM_WireEncodeDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

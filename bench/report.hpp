@@ -1,0 +1,21 @@
+// Tiny formatting helpers shared by the figure/table harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace p4auth::bench {
+
+inline void title(const std::string& heading) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", heading.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+inline void rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace p4auth::bench

@@ -1,0 +1,67 @@
+// Key rollover walkthrough (§VI-C): periodic local/port key updates with
+// the two-version consistent-update scheme, while authenticated traffic
+// keeps flowing — no message in flight is ever rejected because of a
+// rollover.
+//
+// Build & run:  cmake --build build && ./build/examples/key_rollover
+#include <cstdio>
+
+#include "apps/hula/hula.hpp"
+#include "experiments/fabric.hpp"
+
+using namespace p4auth;
+namespace hula = apps::hula;
+
+int main() {
+  experiments::Fabric::Options options;
+  options.protected_magics = {hula::kProbeMagic};
+  experiments::Fabric fabric(options);
+
+  const NodeId s1{1}, s2{2};
+  const auto make_hula = [](NodeId self, std::vector<PortId> probe_ports) {
+    return [self, probe_ports](dataplane::RegisterFile& registers)
+               -> std::unique_ptr<dataplane::DataPlaneProgram> {
+      hula::HulaProgram::Config config;
+      config.self = self;
+      config.is_tor = true;
+      config.probe_ports = probe_ports;
+      return std::make_unique<hula::HulaProgram>(config, registers);
+    };
+  };
+  auto& sw1 = fabric.add_switch(s1, make_hula(s1, {}));
+  auto& sw2 = fabric.add_switch(s2, make_hula(s2, {PortId{1}}));
+  fabric.connect(s1, PortId{1}, s2, PortId{1});
+  if (!fabric.init_all_keys().ok()) return 1;
+
+  std::printf("%-8s %-12s %-12s %-10s %-10s\n", "round", "local ver", "port ver",
+              "verified", "rejected");
+
+  for (int round = 1; round <= 5; ++round) {
+    // Traffic: a burst of probes from S2 toward S1.
+    for (int i = 0; i < 10; ++i) {
+      fabric.net.inject(s2, PortId{9}, hula::encode_probe_gen(),
+                        SimTime::from_us(static_cast<std::uint64_t>(40 * i)));
+    }
+    // Mid-burst, roll both the local key (C-DP ADHKD) and the port key
+    // (DP-DP direct ADHKD). Frames tagged under the previous version keep
+    // verifying thanks to the two-version store.
+    fabric.sim.after(SimTime::from_us(150), [&] {
+      fabric.controller.update_local_key(s1, [](Result<Key64>) {});
+      fabric.controller.update_port_key(s2, PortId{1}, s1, [](Status) {});
+    });
+    fabric.sim.run();
+
+    std::printf("%-8d %-12u %-12u %-10llu %-10llu\n", round,
+                sw1.agent->keys().current_version(kCpuPort).value,
+                sw2.agent->keys().current_version(PortId{1}).value,
+                static_cast<unsigned long long>(sw1.agent->stats().feedback_verified),
+                static_cast<unsigned long long>(sw1.agent->stats().feedback_rejected));
+  }
+
+  std::printf("\nkey installs: S1=%llu S2=%llu; rejected stays 0 across rollovers.\n",
+              static_cast<unsigned long long>(sw1.agent->stats().key_installs),
+              static_cast<unsigned long long>(sw2.agent->stats().key_installs));
+  std::printf("periodic rollover bounds the brute-force window the paper's\n");
+  std::printf("security analysis (§VIII) calls out for 64-bit keys.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// RouteScout protection walkthrough: the periodic pull-analyze-push loop
+// over authenticated C-DP messages, with a compromised switch OS
+// inflating the latency reports (the paper's Fig 2/9 attack).
+//
+// Build & run:  cmake --build build && ./build/examples/routescout_protection
+#include <cstdio>
+
+#include "apps/routescout/routescout.hpp"
+#include "attacks/control_plane_mitm.hpp"
+#include "experiments/fabric.hpp"
+
+using namespace p4auth;
+namespace rs = apps::routescout;
+
+int main() {
+  experiments::Fabric fabric(experiments::Fabric::Options{});
+  const NodeId edge{1};
+
+  rs::RouteScoutProgram* program = nullptr;
+  auto& sw = fabric.add_switch(edge, [&](dataplane::RegisterFile& registers) {
+    rs::RouteScoutProgram::Config config;
+    config.path_ports = {PortId{1}, PortId{2}};
+    auto p = std::make_unique<rs::RouteScoutProgram>(config, registers);
+    program = p.get();
+    return p;
+  });
+  (void)program->expose_to(*sw.agent);
+  if (auto status = fabric.init_all_keys(); !status.ok()) return 1;
+
+  // Feed per-path latency samples: path 0 is fast (20 ms), path 1 slow
+  // (35 ms) — what RouteScout's passive measurement would record.
+  const auto feed_samples = [&] {
+    for (int i = 0; i < 20; ++i) {
+      fabric.net.inject(edge, PortId{9}, rs::encode_sample({0, 20'000}),
+                        SimTime::from_us(static_cast<std::uint64_t>(50 * i)));
+      fabric.net.inject(edge, PortId{9}, rs::encode_sample({1, 35'000}),
+                        SimTime::from_us(static_cast<std::uint64_t>(50 * i + 25)));
+    }
+    fabric.sim.run();
+  };
+
+  rs::RouteScoutManager manager(fabric.controller, edge, 2);
+  const auto epoch = [&](const char* label) {
+    std::optional<Status> done;
+    manager.run_epoch([&](Status s) { done = std::move(s); });
+    fabric.sim.run();
+    const auto& stats = manager.stats();
+    std::printf("%-18s %-30s split=%llu/%llu  completed=%llu aborted=%llu\n", label,
+                done.has_value() && done->ok() ? "epoch ok" : done->error().message.c_str(),
+                static_cast<unsigned long long>(stats.last_split.empty() ? 0
+                                                                         : stats.last_split[0]),
+                static_cast<unsigned long long>(stats.last_split.empty() ? 0
+                                                                         : stats.last_split[1]),
+                static_cast<unsigned long long>(stats.epochs_completed),
+                static_cast<unsigned long long>(stats.epochs_aborted));
+  };
+
+  feed_samples();
+  epoch("honest epoch:");
+
+  // The implant inflates path-0 latency sums 6x in read responses,
+  // trying to push traffic onto the slow path.
+  sw.sw->set_os_interposer(attacks::make_report_inflater(
+      rs::kLatSumReg, [](std::uint32_t index, std::uint64_t value) {
+        return index == 0 ? value * 6 : value;
+      }));
+  feed_samples();
+  epoch("tampered epoch:");
+
+  std::printf("controller digest failures on responses: %llu (split ratio retained)\n",
+              static_cast<unsigned long long>(
+                  fabric.controller.stats().response_digest_failures));
+  std::printf("data plane still splits by the last honest ratio: %llu/%llu\n",
+              static_cast<unsigned long long>(
+                  sw.sw->registers().by_name("rs_split")->read(0).value()),
+              static_cast<unsigned long long>(
+                  sw.sw->registers().by_name("rs_split")->read(1).value()));
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Zero-touch fabric bring-up: the full §VI key-management lifecycle with
+// no manual key or topology configuration —
+//   1. switches boot knowing only their K_seed; local keys come up via
+//      EAK+ADHKD;
+//   2. one LLDP round discovers every adjacency; the controller reacts to
+//      each port-activation report by initializing the port key (§VI-C);
+//   3. a batched rotation scheduler keeps every key fresh (§VIII/§XI);
+//   4. authenticated traffic flows throughout.
+//
+// Build & run:  cmake --build build && ./build/examples/zero_touch_fabric
+#include <cstdio>
+
+#include "apps/hula/hula.hpp"
+#include "controller/key_rotation.hpp"
+#include "experiments/fabric.hpp"
+
+using namespace p4auth;
+namespace hula = apps::hula;
+
+int main() {
+  experiments::Fabric::Options options;
+  options.protected_magics = {hula::kProbeMagic};
+  options.controller_config.auto_port_keys = true;  // react to LLDP reports
+  experiments::Fabric fabric(options);
+
+  // A 4-switch ring. Note: no set_neighbor / init_port_key calls anywhere.
+  const auto make_hula = [](NodeId self, std::vector<PortId> probe_ports) {
+    return [self, probe_ports](dataplane::RegisterFile& registers)
+               -> std::unique_ptr<dataplane::DataPlaneProgram> {
+      hula::HulaProgram::Config config;
+      config.self = self;
+      config.is_tor = true;
+      config.probe_ports = probe_ports;
+      return std::make_unique<hula::HulaProgram>(config, registers);
+    };
+  };
+  for (std::uint16_t i = 1; i <= 4; ++i) {
+    fabric.add_switch(NodeId{i}, make_hula(NodeId{i}, {PortId{1}, PortId{2}}));
+  }
+  for (std::uint16_t i = 1; i <= 4; ++i) {
+    const auto next = static_cast<std::uint16_t>(i % 4 + 1);
+    fabric.net.connect(NodeId{i}, PortId{2}, NodeId{next}, PortId{1});
+  }
+
+  // Step 1: local keys (switch-boot trigger).
+  for (std::uint16_t i = 1; i <= 4; ++i) {
+    fabric.controller.init_local_key(NodeId{i}, [](Result<Key64>) {});
+    fabric.sim.run();
+  }
+  std::printf("[1] local keys up on 4 switches\n");
+
+  // Step 2: LLDP discovery -> automatic port-key initialization.
+  fabric.discover_topology();
+  std::printf("[2] discovered %zu adjacencies, auto-initialized %llu port keys\n",
+              fabric.controller.adjacencies().size(),
+              static_cast<unsigned long long>(fabric.controller.stats().auto_port_inits));
+  for (const auto& adjacency : fabric.controller.adjacencies()) {
+    std::printf("    S%u.p%u <-> S%u.p%u  keyed=%s\n", adjacency.a.value,
+                adjacency.port_a.value, adjacency.b.value, adjacency.port_b.value,
+                adjacency.keyed ? "yes" : "no");
+  }
+
+  // Step 3: periodic batched rotation.
+  controller::KeyRotationScheduler::Config rotation;
+  rotation.period = SimTime::from_ms(50);
+  rotation.max_concurrent = 2;
+  controller::KeyRotationScheduler scheduler(fabric.sim, fabric.controller, rotation);
+  for (std::uint16_t i = 1; i <= 4; ++i) scheduler.track_switch(NodeId{i});
+  for (const auto& adjacency : fabric.controller.adjacencies()) {
+    scheduler.track_link(adjacency.a, adjacency.port_a, adjacency.b);
+  }
+  scheduler.start();
+
+  // Step 4: authenticated probes flow while keys rotate underneath.
+  for (int burst = 0; burst < 4; ++burst) {
+    for (std::uint16_t i = 1; i <= 4; ++i) {
+      fabric.net.inject(NodeId{i}, PortId{9}, hula::encode_probe_gen(),
+                        SimTime::from_ms(static_cast<std::uint64_t>(10 + burst * 60)));
+    }
+  }
+  fabric.sim.run_until(SimTime::from_ms(260));
+  scheduler.stop();
+  fabric.sim.run();
+
+  std::uint64_t verified = 0, rejected = 0;
+  for (std::uint16_t i = 1; i <= 4; ++i) {
+    verified += fabric.at(NodeId{i}).agent->stats().feedback_verified;
+    rejected += fabric.at(NodeId{i}).agent->stats().feedback_rejected;
+  }
+  std::printf("[3] %llu rotation rounds (max %zu exchanges in flight)\n",
+              static_cast<unsigned long long>(scheduler.stats().rounds),
+              scheduler.stats().max_in_flight);
+  std::printf("[4] probes verified=%llu rejected=%llu across all switches\n",
+              static_cast<unsigned long long>(verified),
+              static_cast<unsigned long long>(rejected));
+  std::printf("    zero manual key/topology configuration was needed.\n");
+  return 0;
+}

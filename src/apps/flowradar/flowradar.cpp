@@ -1,0 +1,178 @@
+#include "apps/flowradar/flowradar.hpp"
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "crypto/crc32.hpp"
+
+namespace p4auth::apps::flowradar {
+
+Bytes encode_packet(const FlowPacket& packet) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(kPacketMagic).u32(packet.flow);
+  return out;
+}
+
+Result<FlowPacket> decode_packet(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  const auto magic = r.u8();
+  if (!magic.ok() || magic.value() != kPacketMagic) return make_error("not a flowradar packet");
+  if (r.remaining() < 4) return make_error("flowradar packet truncated");
+  return FlowPacket{r.u32().value()};
+}
+
+std::vector<std::size_t> FlowRadarProgram::cell_indices(std::uint32_t flow, std::size_t cells) {
+  // Three independent hash functions (a real target provisions distinct
+  // CRC polynomials per hash unit; a single CRC with XOR-related seeds is
+  // GF(2)-linear, which couples the indices and breaks IBLT peeling).
+  std::vector<std::size_t> indices;
+  indices.reserve(Config::kHashes);
+  for (int h = 0; h < Config::kHashes; ++h) {
+    SplitMix64 mix((static_cast<std::uint64_t>(h + 1) << 32) | flow);
+    const std::size_t idx = mix.next() % cells;
+    // Distinct cells per flow keep peeling well-defined.
+    if (std::find(indices.begin(), indices.end(), idx) == indices.end()) {
+      indices.push_back(idx);
+    }
+  }
+  return indices;
+}
+
+FlowRadarProgram::FlowRadarProgram(Config config, dataplane::RegisterFile& registers)
+    : config_(config) {
+  flow_xor_ = registers.create("fr_flow_xor", kFlowXorReg, config_.cells, 32).value();
+  flow_cnt_ = registers.create("fr_flow_cnt", kFlowCntReg, config_.cells, 32).value();
+  pkt_cnt_ = registers.create("fr_pkt_cnt", kPktCntReg, config_.cells, 32).value();
+  flow_filter_ =
+      registers.create("fr_flow_filter", RegisterId{0xFFFB0001}, 1024, 1).value();
+}
+
+dataplane::PipelineOutput FlowRadarProgram::process(dataplane::Packet& packet,
+                                                    dataplane::PipelineContext& ctx) {
+  const auto decoded = decode_packet(packet.payload);
+  if (!decoded.ok()) return dataplane::PipelineOutput::drop();
+  const std::uint32_t flow = decoded.value().flow;
+
+  const auto indices = cell_indices(flow, config_.cells);
+  // FlowRadar's flow filter: a bloom filter decides whether this is the
+  // flow's first packet, so the flow is folded into flow_xor exactly once.
+  bool is_new = false;
+  for (int h = 0; h < 2; ++h) {
+    crypto::Crc32 crc;
+    crc.update_u32(0xF117E400u + static_cast<std::uint32_t>(h));
+    crc.update_u32(flow);
+    const std::size_t bit = crc.final() % flow_filter_->size();
+    if (flow_filter_->read(bit).value_or(0) == 0) is_new = true;
+    (void)flow_filter_->write(bit, 1);
+    ctx.costs().add_hash(4);
+    ctx.costs().register_accesses += 2;
+  }
+  for (const std::size_t idx : indices) {
+    if (is_new) {
+      (void)flow_xor_->write(idx, flow_xor_->read(idx).value_or(0) ^ flow);
+      (void)flow_cnt_->write(idx, flow_cnt_->read(idx).value_or(0) + 1);
+    }
+    (void)pkt_cnt_->write(idx, pkt_cnt_->read(idx).value_or(0) + 1);
+    ctx.costs().add_hash(4);
+    ctx.costs().register_accesses += 4;
+  }
+  return dataplane::PipelineOutput::unicast(config_.out_port, packet.payload);
+}
+
+dataplane::ProgramDeclaration FlowRadarProgram::resources() const {
+  dataplane::ProgramDeclaration decl;
+  decl.name = "flowradar";
+  decl.add_register(*flow_xor_);
+  decl.add_register(*flow_cnt_);
+  decl.add_register(*pkt_cnt_);
+  decl.add_register(*flow_filter_);
+  for (int h = 0; h < Config::kHashes; ++h) {
+    decl.hash_uses.push_back(dataplane::HashUse::crc32("fr_cell_hash"));
+  }
+  decl.header_phv_bits = 8 + 32;
+  decl.metadata_phv_bits = 64;
+  return decl;
+}
+
+DecodeResult decode_flowset(std::vector<std::uint64_t> flow_xor,
+                            std::vector<std::uint64_t> flow_cnt,
+                            std::vector<std::uint64_t> pkt_cnt) {
+  DecodeResult result;
+  const std::size_t cells = flow_xor.size();
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < cells; ++i) {
+      if (flow_cnt[i] != 1) continue;
+      const auto flow = static_cast<std::uint32_t>(flow_xor[i]);
+      const auto count = pkt_cnt[i];
+      const auto indices = FlowRadarProgram::cell_indices(flow, cells);
+      // A decoded flow must actually hash to the cell it was peeled from;
+      // otherwise the snapshot is corrupt.
+      if (std::find(indices.begin(), indices.end(), i) == indices.end()) {
+        result.clean = false;
+        flow_cnt[i] = 0;  // poison: skip this cell
+        continue;
+      }
+      result.flows[flow] += count;
+      for (const std::size_t idx : indices) {
+        flow_xor[idx] ^= flow;
+        flow_cnt[idx] = flow_cnt[idx] > 0 ? flow_cnt[idx] - 1 : 0;
+        pkt_cnt[idx] = pkt_cnt[idx] >= count ? pkt_cnt[idx] - count : 0;
+      }
+      progressed = true;
+    }
+  }
+  for (std::size_t i = 0; i < cells; ++i) {
+    if (flow_cnt[i] != 0 || flow_xor[i] != 0 || pkt_cnt[i] != 0) {
+      result.clean = false;
+      break;
+    }
+  }
+  return result;
+}
+
+void FlowRadarManager::export_and_decode(std::function<void(Result<DecodeResult>)> done) {
+  struct State {
+    std::vector<std::uint64_t> flow_xor, flow_cnt, pkt_cnt;
+    std::size_t reads = 0;
+    bool failed = false;
+    std::function<void(Result<DecodeResult>)> done;
+  };
+  auto state = std::make_shared<State>();
+  state->flow_xor.assign(cells_, 0);
+  state->flow_cnt.assign(cells_, 0);
+  state->pkt_cnt.assign(cells_, 0);
+  state->done = std::move(done);
+  const std::size_t total = 3 * cells_;
+
+  const auto on_read = [state, total](std::vector<std::uint64_t>& dest, std::size_t idx,
+                                      Result<std::uint64_t> value) {
+    if (state->failed) return;
+    if (!value.ok()) {
+      state->failed = true;
+      state->done(make_error("export aborted: " + value.error().message));
+      return;
+    }
+    dest[idx] = value.value();
+    if (++state->reads == total) {
+      state->done(decode_flowset(state->flow_xor, state->flow_cnt, state->pkt_cnt));
+    }
+  };
+
+  for (std::size_t i = 0; i < cells_; ++i) {
+    const auto idx = static_cast<std::uint32_t>(i);
+    controller_.read_register(sw_, kFlowXorReg, idx, [state, on_read, i](auto v) {
+      on_read(state->flow_xor, i, std::move(v));
+    });
+    controller_.read_register(sw_, kFlowCntReg, idx, [state, on_read, i](auto v) {
+      on_read(state->flow_cnt, i, std::move(v));
+    });
+    controller_.read_register(sw_, kPktCntReg, idx, [state, on_read, i](auto v) {
+      on_read(state->pkt_cnt, i, std::move(v));
+    });
+  }
+}
+
+}  // namespace p4auth::apps::flowradar

@@ -1,0 +1,218 @@
+#include "apps/hula/hula.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace p4auth::apps::hula {
+namespace {
+
+// Flow hash for flowlet placement (stand-in for the switch hash unit).
+std::uint64_t flow_hash(std::uint64_t flow_id) {
+  SplitMix64 mix(flow_id);
+  return mix.next();
+}
+
+constexpr std::uint64_t kNoHop = 0;  // best_hop/flowlet sentinel: port+1 stored
+
+}  // namespace
+
+HulaProgram::HulaProgram(Config config, dataplane::RegisterFile& registers)
+    : config_(config) {
+  const auto tors = static_cast<std::size_t>(config_.max_tors);
+  best_hop_ = registers.create("hula_best_hop", RegisterId{0xFFFE0001}, tors, 16).value();
+  best_util_ = registers.create("hula_best_util", RegisterId{0xFFFE0002}, tors, 8).value();
+  last_update_ = registers.create("hula_last_update", RegisterId{0xFFFE0003}, tors, 64).value();
+  flowlet_port_ =
+      registers.create("hula_flowlet_port", RegisterId{0xFFFE0004}, config_.flowlet_slots, 16)
+          .value();
+  flowlet_time_ =
+      registers.create("hula_flowlet_time", RegisterId{0xFFFE0005}, config_.flowlet_slots, 64)
+          .value();
+  util_bytes_ = registers.create("hula_util_bytes", RegisterId{0xFFFE0006}, 64, 64).value();
+  util_time_ = registers.create("hula_util_time", RegisterId{0xFFFE0007}, 64, 64).value();
+}
+
+void HulaProgram::bump_util(PortId port, std::size_t bytes, SimTime now) {
+  if (port.value >= util_bytes_->size()) return;
+  const double prev = static_cast<double>(util_bytes_->read(port.value).value_or(0));
+  const auto last = SimTime::from_ns(util_time_->read(port.value).value_or(0));
+  const double tau = static_cast<double>(config_.util_window.ns());
+  const double decayed =
+      now > last ? prev * std::exp(-static_cast<double>((now - last).ns()) / tau) : prev;
+  (void)util_bytes_->write(port.value,
+                           static_cast<std::uint64_t>(decayed + static_cast<double>(bytes)));
+  (void)util_time_->write(port.value, now.ns());
+}
+
+std::uint8_t HulaProgram::util_pct(PortId port, SimTime now) const {
+  if (port.value >= util_bytes_->size()) return 0;
+  const double stored = static_cast<double>(util_bytes_->read(port.value).value_or(0));
+  const auto last = SimTime::from_ns(util_time_->read(port.value).value_or(0));
+  const double tau = static_cast<double>(config_.util_window.ns());
+  const double decayed =
+      now > last ? stored * std::exp(-static_cast<double>((now - last).ns()) / tau) : stored;
+  const double fraction = decayed / config_.capacity_bytes_per_window;
+  return static_cast<std::uint8_t>(std::min(255.0, fraction * 255.0));
+}
+
+dataplane::PipelineOutput HulaProgram::process(dataplane::Packet& packet,
+                                               dataplane::PipelineContext& ctx) {
+  if (packet.payload.empty()) return dataplane::PipelineOutput::drop();
+  switch (packet.payload[0]) {
+    case kProbeGenMagic:
+      if (!config_.is_tor) return dataplane::PipelineOutput::drop();
+      return generate_probe(ctx);
+    case kProbeMagic: {
+      auto probe = decode_probe(packet.payload);
+      if (!probe.ok()) return dataplane::PipelineOutput::drop();
+      return handle_probe(probe.value(), packet, ctx);
+    }
+    case kDataMagic: {
+      auto data = decode_data(packet.payload);
+      if (!data.ok()) return dataplane::PipelineOutput::drop();
+      return handle_data(data.value(), packet, ctx);
+    }
+    default:
+      return dataplane::PipelineOutput::drop();
+  }
+}
+
+dataplane::PipelineOutput HulaProgram::generate_probe(dataplane::PipelineContext& /*ctx*/) {
+  Probe probe;
+  probe.origin_tor = config_.self;
+  probe.max_util = 0;
+  probe.trace.push_back(HopRecord{config_.self, kCpuPort, 0});
+  ++stats_.probes_generated;
+  dataplane::PipelineOutput out;
+  const Bytes encoded = encode_probe(probe);
+  for (const PortId port : config_.probe_ports) {
+    out.emits.push_back(dataplane::Emit{port, encoded});
+  }
+  return out;
+}
+
+dataplane::PipelineOutput HulaProgram::handle_probe(const Probe& incoming,
+                                                    dataplane::Packet& packet,
+                                                    dataplane::PipelineContext& ctx) {
+  ++stats_.probes_processed;
+  const SimTime now = ctx.now();
+  stats_.last_probe_time = now;
+  ctx.costs().register_accesses += 2;
+
+  Probe probe = incoming;
+  // Loop prevention: never process a probe we already stamped.
+  for (const auto& hop : probe.trace) {
+    if (hop.node == config_.self) return dataplane::PipelineOutput::drop();
+  }
+
+  const std::uint8_t link_util = util_pct(packet.ingress, now);
+  probe.max_util = std::max(probe.max_util, link_util);
+
+  const std::uint16_t tor = probe.origin_tor.value;
+  if (tor >= best_hop_->size()) return dataplane::PipelineOutput::drop();
+
+  // HULA update rule: adopt the probe's path if it beats the current best,
+  // refreshes the current best hop, or the current entry went stale.
+  const std::uint64_t current_hop = best_hop_->read(tor).value_or(kNoHop);
+  const std::uint64_t current_util = best_util_->read(tor).value_or(255);
+  const auto last = SimTime::from_ns(last_update_->read(tor).value_or(0));
+  const bool stale = last.ns() == 0 || now - last > config_.entry_timeout;
+  const std::uint64_t encoded_hop = static_cast<std::uint64_t>(packet.ingress.value) + 1;
+  ctx.costs().register_accesses += 3;
+  if (stale || current_hop == kNoHop || probe.max_util <= current_util ||
+      current_hop == encoded_hop) {
+    (void)best_hop_->write(tor, encoded_hop);
+    (void)best_util_->write(tor, probe.max_util);
+    (void)last_update_->write(tor, now.ns());
+    ctx.costs().register_accesses += 3;
+  }
+
+  probe.trace.push_back(HopRecord{config_.self, packet.ingress, link_util});
+
+  dataplane::PipelineOutput out;
+  const Bytes encoded = encode_probe(probe);
+  for (const PortId port : config_.probe_ports) {
+    if (port == packet.ingress) continue;
+    out.emits.push_back(dataplane::Emit{port, encoded});
+  }
+  return out;
+}
+
+dataplane::PipelineOutput HulaProgram::handle_data(const DataPacket& data,
+                                                   dataplane::Packet& packet,
+                                                   dataplane::PipelineContext& ctx) {
+  const SimTime now = ctx.now();
+
+  if (config_.is_tor && data.dst_tor == config_.self) {
+    ++stats_.data_delivered;
+    return dataplane::PipelineOutput{};  // consumed
+  }
+  const std::uint16_t tor = data.dst_tor.value;
+  if (tor >= best_hop_->size()) {
+    ++stats_.data_dropped;
+    return dataplane::PipelineOutput::drop();
+  }
+
+  // Flowlet stickiness: reuse the slot's port while the gap is small.
+  const std::size_t slot = flow_hash(data.flow_id) % config_.flowlet_slots;
+  const std::uint64_t slot_port = flowlet_port_->read(slot).value_or(kNoHop);
+  const auto slot_time = SimTime::from_ns(flowlet_time_->read(slot).value_or(0));
+  ctx.costs().register_accesses += 2;
+  ++ctx.costs().table_lookups;
+
+  std::uint64_t chosen = kNoHop;
+  if (slot_port != kNoHop && now - slot_time < config_.flowlet_timeout) {
+    chosen = slot_port;
+  } else {
+    const std::uint64_t hop = best_hop_->read(tor).value_or(kNoHop);
+    const auto last = SimTime::from_ns(last_update_->read(tor).value_or(0));
+    ctx.costs().register_accesses += 2;
+    if (hop != kNoHop && last.ns() != 0 && now - last <= config_.entry_timeout) chosen = hop;
+  }
+  if (chosen == kNoHop) {
+    ++stats_.data_dropped;
+    return dataplane::PipelineOutput::drop();
+  }
+  (void)flowlet_port_->write(slot, chosen);
+  (void)flowlet_time_->write(slot, now.ns());
+  ctx.costs().register_accesses += 2;
+
+  const PortId egress{static_cast<std::uint16_t>(chosen - 1)};
+  // Utilization is measured on the *egress* port: probes travel against
+  // the data direction and read the load of the link they just crossed in
+  // the data direction.
+  bump_util(egress, data.size_bytes, now);
+  ctx.costs().register_accesses += 2;
+  ++stats_.data_forwarded;
+  stats_.egress_bytes[egress] += data.size_bytes;
+  return dataplane::PipelineOutput::unicast(egress, packet.payload);
+}
+
+std::optional<PortId> HulaProgram::best_hop(NodeId tor, SimTime now) const {
+  if (tor.value >= best_hop_->size()) return std::nullopt;
+  const std::uint64_t hop = best_hop_->read(tor.value).value_or(kNoHop);
+  const auto last = SimTime::from_ns(last_update_->read(tor.value).value_or(0));
+  if (hop == kNoHop || last.ns() == 0 || now - last > config_.entry_timeout) return std::nullopt;
+  return PortId{static_cast<std::uint16_t>(hop - 1)};
+}
+
+dataplane::ProgramDeclaration HulaProgram::resources() const {
+  dataplane::ProgramDeclaration decl;
+  decl.name = "hula";
+  decl.add_register(*best_hop_);
+  decl.add_register(*best_util_);
+  decl.add_register(*last_update_);
+  decl.add_register(*flowlet_port_);
+  decl.add_register(*flowlet_time_);
+  decl.add_register(*util_bytes_);
+  decl.add_register(*util_time_);
+  decl.add_table(dataplane::TableShape{"hula_tor_fwd", dataplane::MatchKind::Exact, 16, 64, 64});
+  decl.hash_uses.push_back(dataplane::HashUse::crc32("flowlet_hash"));
+  decl.header_phv_bits = 8 + 32 + 8 * static_cast<int>(kHopRecordSize);  // probe hdr + 1 record
+  decl.metadata_phv_bits = 128;
+  return decl;
+}
+
+}  // namespace p4auth::apps::hula

@@ -1,0 +1,62 @@
+#include "apps/hula/probe.hpp"
+
+namespace p4auth::apps::hula {
+
+Bytes encode_probe(const Probe& probe) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(kProbeMagic)
+      .u16(probe.origin_tor.value)
+      .u8(probe.max_util)
+      .u8(static_cast<std::uint8_t>(probe.trace.size()));
+  for (const auto& hop : probe.trace) {
+    w.u16(hop.node.value).u16(hop.ingress.value).u8(hop.util).u8(0).u16(0);
+  }
+  return out;
+}
+
+Result<Probe> decode_probe(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  const auto magic = r.u8();
+  if (!magic.ok() || magic.value() != kProbeMagic) return make_error("not a HULA probe");
+  Probe probe;
+  if (r.remaining() < 4) return make_error("probe truncated");
+  probe.origin_tor = NodeId{r.u16().value()};
+  probe.max_util = r.u8().value();
+  const std::uint8_t hops = r.u8().value();
+  for (std::uint8_t i = 0; i < hops; ++i) {
+    if (r.remaining() < kHopRecordSize) return make_error("probe trace truncated");
+    HopRecord hop;
+    hop.node = NodeId{r.u16().value()};
+    hop.ingress = PortId{r.u16().value()};
+    hop.util = r.u8().value();
+    (void)r.u8();
+    (void)r.u16();
+    probe.trace.push_back(hop);
+  }
+  if (!r.exhausted()) return make_error("probe has trailing bytes");
+  return probe;
+}
+
+Bytes encode_data(const DataPacket& packet) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(kDataMagic).u16(packet.dst_tor.value).u64(packet.flow_id).u32(packet.size_bytes);
+  return out;
+}
+
+Result<DataPacket> decode_data(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  const auto magic = r.u8();
+  if (!magic.ok() || magic.value() != kDataMagic) return make_error("not a HULA data packet");
+  if (r.remaining() < 14) return make_error("data packet truncated");
+  DataPacket packet;
+  packet.dst_tor = NodeId{r.u16().value()};
+  packet.flow_id = r.u64().value();
+  packet.size_bytes = r.u32().value();
+  return packet;
+}
+
+Bytes encode_probe_gen() { return Bytes{kProbeGenMagic}; }
+
+}  // namespace p4auth::apps::hula

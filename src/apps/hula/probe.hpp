@@ -1,0 +1,57 @@
+// HULA wire formats (probe / data / probe-generation trigger).
+//
+// The probe carries the max path utilization from its origin ToR (the
+// paper's `probeUtil`, the field the Fig. 3 adversary rewrites) plus an
+// INT-style per-hop trace appended by every switch. The trace is what
+// makes the digested byte count grow with hop count — the mechanism
+// behind Fig 21's increasing P4Auth overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace p4auth::apps::hula {
+
+inline constexpr std::uint8_t kProbeMagic = 0x48;    // 'H'
+inline constexpr std::uint8_t kDataMagic = 0x44;     // 'D'
+inline constexpr std::uint8_t kProbeGenMagic = 0x47; // 'G'
+
+struct HopRecord {
+  NodeId node{};
+  PortId ingress{};
+  std::uint8_t util = 0;  ///< local link utilization this hop observed
+  friend bool operator==(const HopRecord&, const HopRecord&) = default;
+};
+
+inline constexpr std::size_t kHopRecordSize = 8;  // 2+2+1+3 pad
+
+struct Probe {
+  NodeId origin_tor{};       ///< the ToR this probe advertises a path to
+  std::uint8_t max_util = 0; ///< max utilization along the path, 0..255
+  std::vector<HopRecord> trace;
+
+  friend bool operator==(const Probe&, const Probe&) = default;
+};
+
+Bytes encode_probe(const Probe& probe);
+Result<Probe> decode_probe(std::span<const std::uint8_t> frame);
+
+struct DataPacket {
+  NodeId dst_tor{};
+  std::uint64_t flow_id = 0;
+  std::uint32_t size_bytes = 0;  ///< declared payload size (for util accounting)
+
+  friend bool operator==(const DataPacket&, const DataPacket&) = default;
+};
+
+Bytes encode_data(const DataPacket& packet);
+Result<DataPacket> decode_data(std::span<const std::uint8_t> frame);
+
+/// Harness-injected trigger telling a ToR to emit a fresh probe round.
+Bytes encode_probe_gen();
+
+}  // namespace p4auth::apps::hula

@@ -1,0 +1,62 @@
+#include "apps/l3fwd/l3fwd.hpp"
+
+namespace p4auth::apps::l3fwd {
+
+Bytes encode_ipv4(const Ipv4Packet& packet) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(kIpv4Magic).u32(packet.dst).u32(packet.size_bytes);
+  return out;
+}
+
+Result<Ipv4Packet> decode_ipv4(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  const auto magic = r.u8();
+  if (!magic.ok() || magic.value() != kIpv4Magic) return make_error("not an ipv4 packet");
+  if (r.remaining() < 8) return make_error("ipv4 packet truncated");
+  Ipv4Packet packet;
+  packet.dst = r.u32().value();
+  packet.size_bytes = r.u32().value();
+  return packet;
+}
+
+L3FwdProgram::L3FwdProgram(dataplane::RegisterFile& registers)
+    : routes_("ipv4_lpm", 12288), port_map_("port_fwd", 32, 2048) {
+  stats_ = registers.create("l3_stats", kStatsReg, 32768, 32).value();
+}
+
+Status L3FwdProgram::add_route(std::uint32_t prefix, int prefix_len, PortId egress) {
+  return routes_.insert(prefix, prefix_len, dataplane::Action{1, egress.value});
+}
+
+dataplane::PipelineOutput L3FwdProgram::process(dataplane::Packet& packet,
+                                                dataplane::PipelineContext& ctx) {
+  const auto decoded = decode_ipv4(packet.payload);
+  if (!decoded.ok()) return dataplane::PipelineOutput::drop();
+
+  ctx.costs().table_lookups += 2;  // lpm + port map
+  const auto route = routes_.lookup(decoded.value().dst);
+  if (!route.has_value()) return dataplane::PipelineOutput::drop();
+
+  const auto egress = PortId{static_cast<std::uint16_t>(route->data)};
+  const std::size_t stat_slot = decoded.value().dst % stats_->size();
+  (void)stats_->write(stat_slot, stats_->read(stat_slot).value_or(0) + 1);
+  ctx.costs().register_accesses += 2;
+
+  ++forwarded_;
+  return dataplane::PipelineOutput::unicast(egress, packet.payload);
+}
+
+dataplane::ProgramDeclaration L3FwdProgram::resources() const {
+  // Mirrors the paper's base: 2 MATs + 1 register (Table II baseline row).
+  dataplane::ProgramDeclaration decl;
+  decl.name = "baseline_l3";
+  decl.add_table(routes_.shape());
+  decl.add_table(port_map_.shape());
+  decl.add_register(*stats_);
+  decl.header_phv_bits = 112 + 160;  // eth + ipv4
+  decl.metadata_phv_bits = 178;
+  return decl;
+}
+
+}  // namespace p4auth::apps::l3fwd

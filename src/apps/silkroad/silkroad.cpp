@@ -1,0 +1,112 @@
+#include "apps/silkroad/silkroad.hpp"
+
+#include "common/rng.hpp"
+
+namespace p4auth::apps::silkroad {
+
+Bytes encode_conn(const ConnPacket& packet) {
+  Bytes out;
+  ByteWriter w(out);
+  w.u8(kConnMagic).u16(packet.vip).u64(packet.conn_id);
+  return out;
+}
+
+Result<ConnPacket> decode_conn(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  const auto magic = r.u8();
+  if (!magic.ok() || magic.value() != kConnMagic) return make_error("not a connection packet");
+  if (r.remaining() < 10) return make_error("connection packet truncated");
+  ConnPacket packet;
+  packet.vip = r.u16().value();
+  packet.conn_id = r.u64().value();
+  return packet;
+}
+
+SilkRoadProgram::SilkRoadProgram(Config config, dataplane::RegisterFile& registers)
+    : config_(config) {
+  transit_ = registers.create("slk_transit", kTransitReg, config_.max_vips, 8).value();
+  dips_old_ = registers.create("slk_dips_old", kDipsOldReg,
+                               config_.max_vips * config_.dips_per_pool, 32)
+                  .value();
+  dips_new_ = registers.create("slk_dips_new", kDipsNewReg,
+                               config_.max_vips * config_.dips_per_pool, 32)
+                  .value();
+  conn_dip_ =
+      registers.create("slk_conn_dip", RegisterId{0xFFFC0001}, config_.conn_slots, 32).value();
+}
+
+dataplane::PipelineOutput SilkRoadProgram::process(dataplane::Packet& packet,
+                                                   dataplane::PipelineContext& ctx) {
+  const auto decoded = decode_conn(packet.payload);
+  if (!decoded.ok()) return dataplane::PipelineOutput::drop();
+  const auto& conn = decoded.value();
+  if (conn.vip >= config_.max_vips) return dataplane::PipelineOutput::drop();
+
+  SplitMix64 mix(conn.conn_id);
+  const std::size_t conn_slot = mix.next() % config_.conn_slots;
+  const std::size_t dip_index = mix.next() % config_.dips_per_pool;
+  const std::size_t pool_base = static_cast<std::size_t>(conn.vip) * config_.dips_per_pool;
+
+  ctx.costs().register_accesses += 2;
+  ++ctx.costs().table_lookups;
+  const std::uint64_t pinned = conn_dip_->read(conn_slot).value_or(0);
+  std::uint32_t dip = 0;
+  if (pinned != 0) {
+    // Existing connection stays on its DIP (connection-table hit).
+    dip = static_cast<std::uint32_t>(pinned - 1);
+    ++stats_.pinned;
+  } else {
+    const bool in_transit = transit_->read(conn.vip).value_or(0) != 0;
+    auto* pool = in_transit ? dips_old_ : dips_new_;
+    dip = static_cast<std::uint32_t>(pool->read(pool_base + dip_index).value_or(0));
+    (void)conn_dip_->write(conn_slot, static_cast<std::uint64_t>(dip) + 1);
+    ctx.costs().register_accesses += 3;
+    if (in_transit) {
+      ++stats_.to_old_pool;
+    } else {
+      ++stats_.to_new_pool;
+    }
+  }
+  // The chosen DIP rides in the (model) packet toward out_port.
+  Bytes forwarded = packet.payload;
+  ByteWriter w(forwarded);
+  w.u32(dip);
+  return dataplane::PipelineOutput::unicast(config_.out_port, std::move(forwarded));
+}
+
+dataplane::ProgramDeclaration SilkRoadProgram::resources() const {
+  dataplane::ProgramDeclaration decl;
+  decl.name = "silkroad";
+  decl.add_register(*transit_);
+  decl.add_register(*dips_old_);
+  decl.add_register(*dips_new_);
+  decl.add_register(*conn_dip_);
+  decl.add_table(dataplane::TableShape{"slk_conn_table", dataplane::MatchKind::Exact, 64, 64,
+                                       config_.conn_slots});
+  decl.hash_uses.push_back(dataplane::HashUse::crc32("slk_conn_hash"));
+  decl.header_phv_bits = 8 + 80;
+  decl.metadata_phv_bits = 64;
+  return decl;
+}
+
+void SilkRoadManager::write_bit(std::uint16_t vip, std::uint64_t value,
+                                std::function<void(Status)> done) {
+  controller_.write_register(sw_, kTransitReg, vip, value,
+                             [done = std::move(done)](Result<std::uint64_t> result) {
+                               if (!result.ok()) {
+                                 done(make_error(result.error().message));
+                                 return;
+                               }
+                               done(Status{});
+                             });
+}
+
+void SilkRoadManager::begin_migration(std::uint16_t vip, std::function<void(Status)> done) {
+  write_bit(vip, 1, std::move(done));
+}
+
+void SilkRoadManager::finish_migration(std::uint16_t vip, std::function<void(Status)> done) {
+  write_bit(vip, 0, std::move(done));
+}
+
+}  // namespace p4auth::apps::silkroad

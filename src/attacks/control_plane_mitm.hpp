@@ -1,0 +1,53 @@
+// Control-plane MitM toolkit (threat model §II-A): interposers installed
+// at the switch-OS seam between the gRPC agent and the SDK/driver —
+// the LD_PRELOAD-style backdoor. The attacker sees and rewrites C-DP
+// messages in either direction but holds no P4Auth keys, so rewritten
+// messages carry stale digests.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/wire.hpp"
+#include "netsim/switch.hpp"
+
+namespace p4auth::attacks {
+
+/// Receives the register index and current value; returns the forged value.
+using ValueTransform = std::function<std::uint64_t(std::uint32_t index, std::uint64_t value)>;
+
+/// Rewrites the value of register *write requests* heading to the data
+/// plane (Attack on update messages, Table I). `target` empty = any
+/// register.
+netsim::OsInterposer make_write_value_tamper(std::optional<RegisterId> target,
+                                             ValueTransform transform);
+
+/// Rewrites the value of register *read responses* heading to the
+/// controller (Attack1 §II-A — misreported statistics, Fig. 2/9).
+netsim::OsInterposer make_report_inflater(std::optional<RegisterId> target,
+                                          ValueTransform transform);
+
+/// Drops matching C-DP messages (e.g. suppressing a transit-table clear).
+netsim::OsInterposer make_message_dropper(core::HdrType hdr_type,
+                                          std::optional<RegisterId> target = std::nullopt);
+
+/// Records raw PacketOut frames for later replay (§VIII replay attack).
+class ReplayRecorder {
+ public:
+  /// Interposer that passes everything through while recording register
+  /// write requests.
+  netsim::OsInterposer interposer();
+  const std::vector<Bytes>& recorded() const noexcept { return recorded_; }
+
+ private:
+  std::vector<Bytes> recorded_;
+};
+
+/// Crafts `count` forged write requests with guessed digests (§VIII
+/// brute-force / DoS flood). Every one is detectable; the point is the
+/// alert-pressure they create.
+std::vector<Bytes> make_bogus_write_flood(NodeId src, NodeId dst, RegisterId reg,
+                                          std::size_t count, std::uint64_t seed);
+
+}  // namespace p4auth::attacks

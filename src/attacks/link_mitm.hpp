@@ -1,0 +1,29 @@
+// On-link MitM toolkit (the Fig. 3 adversary): tamper hooks installed on
+// a network link that rewrite or forge DP-DP feedback messages in flight.
+// The attacker sees every frame on the link but holds no port keys.
+#pragma once
+
+#include "apps/hula/probe.hpp"
+#include "netsim/link.hpp"
+
+namespace p4auth::attacks {
+
+/// Rewrites the `probeUtil` field of HULA probes crossing the link to
+/// `forced_util` (e.g. 10% though the path runs at 50% — Fig. 3).
+/// Handles both raw probes (the unprotected baseline, where this attack
+/// succeeds) and probes wrapped in P4Auth DpData frames (where the stale
+/// digest gets the probe dropped at the next hop).
+netsim::TamperHook make_probe_util_rewriter(std::uint8_t forced_util);
+
+/// Strips P4Auth framing and re-injects the probe raw, with the util
+/// forged — the "remove the tag" variant of the attack.
+netsim::TamperHook make_probe_strip_and_forge(std::uint8_t forced_util);
+
+/// Silently drops every probe on the link (feedback suppression).
+netsim::TamperHook make_probe_dropper();
+
+struct LinkMitmStats {
+  std::uint64_t probes_rewritten = 0;
+};
+
+}  // namespace p4auth::attacks

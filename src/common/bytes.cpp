@@ -1,0 +1,84 @@
+#include "common/bytes.hpp"
+
+namespace p4auth {
+
+ByteWriter& ByteWriter::u8(std::uint8_t v) {
+  out_.push_back(v);
+  return *this;
+}
+
+ByteWriter& ByteWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+  return *this;
+}
+
+ByteWriter& ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+  return *this;
+}
+
+ByteWriter& ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+  return *this;
+}
+
+ByteWriter& ByteWriter::raw(std::span<const std::uint8_t> data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+  return *this;
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  if (remaining() < 1) return make_error("ByteReader: u8 past end");
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  if (remaining() < 2) return make_error("ByteReader: u16 past end");
+  std::uint16_t v = static_cast<std::uint16_t>(static_cast<std::uint16_t>(data_[pos_]) << 8 |
+                                               static_cast<std::uint16_t>(data_[pos_ + 1]));
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  if (remaining() < 4) return make_error("ByteReader: u32 past end");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+  if (remaining() < 8) return make_error("ByteReader: u64 past end");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+Result<Bytes> ByteReader::raw(std::size_t n) {
+  if (remaining() < n) return make_error("ByteReader: raw past end");
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 3);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i != 0) out.push_back(':');
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace p4auth

@@ -1,0 +1,43 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace p4auth {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log_line(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < log_level()) return;
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+LogStream::~LogStream() {
+  if (level_ >= log_level()) log_line(level_, component_, stream_.str());
+}
+
+}  // namespace p4auth

@@ -1,0 +1,42 @@
+// Minimal leveled logger. Benchmarks set the level to Warn so harness
+// output stays machine-readable; tests may raise it to Debug.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace p4auth {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log-level threshold; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr as "[LEVEL] component: message".
+void log_line(LogLevel level, std::string_view component, std::string_view message);
+
+/// Stream-style helper: LogStream(LogLevel::Info, "kmp") << "key " << k;
+/// flushes on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= log_level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace p4auth

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random generators.
+//
+// The paper's data plane uses P4's random() to draw DH private keys and
+// salts (§VII). We model that with xoshiro256** seeded per-node, which is
+// deterministic per seed so every test and benchmark is reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace p4auth {
+
+/// SplitMix64 — used to expand a single seed into xoshiro state, and as a
+/// cheap standalone mixer.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG (not cryptographic;
+/// the paper itself notes Tofino's PRNG is not cryptographically strong,
+/// which is exactly why P4Auth post-processes secrets through the KDF).
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  std::uint64_t next_u64() noexcept;
+  std::uint32_t next_u32() noexcept { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform value in [0, bound). Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace p4auth

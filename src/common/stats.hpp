@@ -1,0 +1,48 @@
+// Streaming statistics used by the benchmark harnesses: running mean /
+// stddev (Welford) and percentile extraction over retained samples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace p4auth {
+
+/// Welford's online mean/variance. Accepts doubles; count() of 0 yields
+/// mean()==0 and stddev()==0.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains all samples; supports exact percentiles. Suitable for the
+/// bench harnesses where sample counts are modest (<=1e6).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const noexcept { return samples_.size(); }
+  double mean() const noexcept;
+  /// p in [0, 100]. Empty set yields 0. Uses nearest-rank on a sorted copy.
+  double percentile(double p) const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace p4auth

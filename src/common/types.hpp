@@ -1,0 +1,104 @@
+// Fundamental identifier and time types shared by every P4Auth module.
+//
+// All identifiers are small strong types (per CppCoreGuidelines I.4:
+// "make interfaces precisely and strongly typed") so a PortId cannot be
+// passed where a SwitchId is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace p4auth {
+
+/// Simulated time in nanoseconds since simulation start.
+/// A plain struct with value semantics; arithmetic is explicit via ns().
+struct SimTime {
+  std::uint64_t ns_count = 0;
+
+  static constexpr SimTime zero() noexcept { return SimTime{0}; }
+  static constexpr SimTime from_ns(std::uint64_t v) noexcept { return SimTime{v}; }
+  static constexpr SimTime from_us(std::uint64_t v) noexcept { return SimTime{v * 1000}; }
+  static constexpr SimTime from_ms(std::uint64_t v) noexcept { return SimTime{v * 1'000'000}; }
+  static constexpr SimTime from_s(std::uint64_t v) noexcept { return SimTime{v * 1'000'000'000}; }
+
+  constexpr std::uint64_t ns() const noexcept { return ns_count; }
+  constexpr double us() const noexcept { return static_cast<double>(ns_count) / 1e3; }
+  constexpr double ms() const noexcept { return static_cast<double>(ns_count) / 1e6; }
+  constexpr double seconds() const noexcept { return static_cast<double>(ns_count) / 1e9; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime{a.ns_count + b.ns_count};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime{a.ns_count - b.ns_count};
+  }
+  constexpr SimTime& operator+=(SimTime o) noexcept {
+    ns_count += o.ns_count;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+};
+
+/// Identifies a node (switch or controller) in the network. The controller
+/// is conventionally node 0; switches are 1..N.
+struct NodeId {
+  std::uint16_t value = 0;
+  friend constexpr auto operator<=>(NodeId, NodeId) noexcept = default;
+};
+
+/// Controller's well-known id.
+inline constexpr NodeId kControllerId{0};
+
+/// A switch-local port number. Port 0 is reserved for the CPU/controller
+/// port (PacketIn/PacketOut); data ports start at 1.
+struct PortId {
+  std::uint16_t value = 0;
+  friend constexpr auto operator<=>(PortId, PortId) noexcept = default;
+};
+
+inline constexpr PortId kCpuPort{0};
+
+/// Identifier of a data-plane register array, as carried in C-DP messages
+/// (matches the p4Info-derived id the paper uses in reg_id_to_name_mapping).
+struct RegisterId {
+  std::uint32_t value = 0;
+  friend constexpr auto operator<=>(RegisterId, RegisterId) noexcept = default;
+};
+
+/// Version tag of a secret key; the two-version consistent-update scheme
+/// (§VI-C) only ever keeps versions v and v+1 live simultaneously.
+struct KeyVersion {
+  std::uint8_t value = 0;
+  friend constexpr auto operator<=>(KeyVersion, KeyVersion) noexcept = default;
+};
+
+/// 64-bit secret key material (K_seed / K_auth / K_local / K_port).
+using Key64 = std::uint64_t;
+
+/// 32-bit authentication tag (the paper's `digest` field).
+using Digest32 = std::uint32_t;
+
+}  // namespace p4auth
+
+template <>
+struct std::hash<p4auth::NodeId> {
+  std::size_t operator()(p4auth::NodeId id) const noexcept {
+    return std::hash<std::uint16_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<p4auth::PortId> {
+  std::size_t operator()(p4auth::PortId id) const noexcept {
+    return std::hash<std::uint16_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<p4auth::RegisterId> {
+  std::size_t operator()(p4auth::RegisterId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,482 @@
+#include "controller/controller.hpp"
+
+#include "common/logging.hpp"
+#include "core/lldp.hpp"
+
+namespace p4auth::controller {
+
+using core::AdhkdPayload;
+using core::AlertMsg;
+using core::EakPayload;
+using core::HdrType;
+using core::KeyExchMsg;
+using core::Message;
+using core::PortKeyPayload;
+using core::RegisterMsg;
+using core::RegisterOpPayload;
+
+Controller::Controller(netsim::Simulator& sim, Config config)
+    : sim_(sim), config_(config), rng_(config.seed) {}
+
+void Controller::attach_switch(NodeId id, netsim::ControlChannel& channel, Key64 k_seed,
+                               int num_ports) {
+  auto state = std::make_unique<SwitchState>(id, &channel, k_seed, num_ports,
+                                             config_.max_outstanding);
+  channel.set_controller_sink(
+      [this](NodeId sw, Bytes frame) { on_packet_in(sw, std::move(frame)); });
+  switches_.emplace(id, std::move(state));
+}
+
+Controller::SwitchState* Controller::state_of(NodeId sw) {
+  const auto it = switches_.find(sw);
+  return it == switches_.end() ? nullptr : it->second.get();
+}
+
+std::optional<Key64> Controller::local_key(NodeId sw) const {
+  const auto it = switches_.find(sw);
+  if (it == switches_.end()) return std::nullopt;
+  return it->second->keys.local().current();
+}
+
+std::vector<std::uint16_t> Controller::stale_requests(NodeId sw, SimTime age) const {
+  const auto it = switches_.find(sw);
+  if (it == switches_.end()) return {};
+  return it->second->ledger.unacked_older_than(sim_.now(), age);
+}
+
+void Controller::send(SwitchState& st, Message msg, Key64 key, bool is_kmp,
+                      std::function<void()> delivered) {
+  if (config_.p4auth_enabled) core::tag_message(config_.mac, key, msg);
+  Bytes frame = core::encode(msg);
+  if (is_kmp) {
+    ++stats_.kmp_messages_sent;
+    stats_.kmp_bytes_sent += frame.size();
+  }
+  st.channel->to_switch(std::move(frame), std::move(delivered));
+}
+
+std::optional<Key64> Controller::verify_key_for(SwitchState& st, const Message& msg) const {
+  switch (msg.header.hdr_type) {
+    case HdrType::RegisterOp:
+    case HdrType::Alert: {
+      if (const auto key = st.keys.local().get(msg.header.key_version)) return key;
+      return st.keys.local().initialized() ? std::nullopt : std::optional<Key64>(st.k_seed);
+    }
+    case HdrType::KeyExchange:
+      switch (static_cast<KeyExchMsg>(msg.header.msg_type)) {
+        case KeyExchMsg::EakExch:
+          return st.k_seed;
+        case KeyExchMsg::InitKeyExch:
+          return msg.header.is_port_scope() ? st.keys.local().get(msg.header.key_version)
+                                            : st.k_auth;
+        case KeyExchMsg::UpdKeyExch:
+          return st.keys.local().get(msg.header.key_version);
+        default:
+          return std::nullopt;
+      }
+    case HdrType::DpData:
+      return std::nullopt;  // DP-DP frames never reach the controller
+  }
+  return std::nullopt;
+}
+
+// --- register access -------------------------------------------------------
+
+void Controller::read_register(NodeId sw, RegisterId reg, std::uint32_t index,
+                               std::function<void(Result<std::uint64_t>)> done) {
+  SwitchState* st = state_of(sw);
+  if (st == nullptr) {
+    done(make_error("unknown switch"));
+    return;
+  }
+  const std::uint16_t seq = st->tx_seq.next();
+  if (auto s = st->ledger.on_request(seq, sim_.now()); !s.ok()) {
+    done(s.error());
+    return;
+  }
+  st->pending_ops.emplace(seq, PendingOp{true, std::move(done)});
+  ++stats_.requests_sent;
+
+  Message msg;
+  msg.header.hdr_type = HdrType::RegisterOp;
+  msg.header.msg_type = static_cast<std::uint8_t>(RegisterMsg::ReadReq);
+  msg.header.seq_num = seq;
+  msg.header.key_version = st->keys.local().current_version();
+  msg.header.src = kControllerId;
+  msg.header.dst = sw;
+  msg.payload = RegisterOpPayload{reg, index, 0};
+
+  const Key64 key = st->keys.local().current().value_or(st->k_seed);
+  const SimTime compose =
+      config_.compose_read + (config_.p4auth_enabled ? config_.digest_cost : SimTime::zero());
+  sim_.after(compose, [this, st, msg = std::move(msg), key]() mutable {
+    send(*st, std::move(msg), key, /*is_kmp=*/false);
+  });
+}
+
+void Controller::write_register(NodeId sw, RegisterId reg, std::uint32_t index,
+                                std::uint64_t value,
+                                std::function<void(Result<std::uint64_t>)> done) {
+  SwitchState* st = state_of(sw);
+  if (st == nullptr) {
+    done(make_error("unknown switch"));
+    return;
+  }
+  const std::uint16_t seq = st->tx_seq.next();
+  if (auto s = st->ledger.on_request(seq, sim_.now()); !s.ok()) {
+    done(s.error());
+    return;
+  }
+  st->pending_ops.emplace(seq, PendingOp{false, std::move(done)});
+  ++stats_.requests_sent;
+
+  Message msg;
+  msg.header.hdr_type = HdrType::RegisterOp;
+  msg.header.msg_type = static_cast<std::uint8_t>(RegisterMsg::WriteReq);
+  msg.header.seq_num = seq;
+  msg.header.key_version = st->keys.local().current_version();
+  msg.header.src = kControllerId;
+  msg.header.dst = sw;
+  msg.payload = RegisterOpPayload{reg, index, value};
+
+  const Key64 key = st->keys.local().current().value_or(st->k_seed);
+  const SimTime compose =
+      config_.compose_write + (config_.p4auth_enabled ? config_.digest_cost : SimTime::zero());
+  sim_.after(compose, [this, st, msg = std::move(msg), key]() mutable {
+    send(*st, std::move(msg), key, /*is_kmp=*/false);
+  });
+}
+
+void Controller::on_register_response(SwitchState& st, const Message& msg) {
+  const auto op = static_cast<RegisterMsg>(msg.header.msg_type);
+  if (op != RegisterMsg::Ack && op != RegisterMsg::NAck) return;
+
+  if (!st.ledger.on_response(msg.header.seq_num)) {
+    ++stats_.unmatched_responses;
+  }
+  const auto it = st.pending_ops.find(msg.header.seq_num);
+  if (it == st.pending_ops.end()) return;
+  auto pending = std::move(it->second);
+  st.pending_ops.erase(it);
+
+  const auto& payload = std::get<RegisterOpPayload>(msg.payload);
+  SimTime delay = config_.parse_response;
+  bool digest_ok = true;
+  if (config_.p4auth_enabled) {
+    delay += config_.digest_cost;
+    const auto key = verify_key_for(st, msg);
+    digest_ok = key.has_value() && core::verify_message(config_.mac, *key, msg);
+  }
+
+  sim_.after(delay, [this, pending = std::move(pending), digest_ok, op, payload]() {
+    if (!digest_ok) {
+      ++stats_.response_digest_failures;
+      pending.done(make_error("response digest mismatch — possible MitM"));
+      return;
+    }
+    if (op == RegisterMsg::NAck) {
+      ++stats_.nacks_received;
+      pending.done(make_error("nAck from data plane"));
+      return;
+    }
+    ++stats_.acks_received;
+    pending.done(payload.value);
+  });
+}
+
+// --- key management ----------------------------------------------------------
+
+void Controller::init_local_key(NodeId sw, std::function<void(Result<Key64>)> done) {
+  SwitchState* st = state_of(sw);
+  if (st == nullptr || !config_.p4auth_enabled) {
+    done(make_error("unknown switch or p4auth disabled"));
+    return;
+  }
+  if (st->pending_local.has_value()) {
+    done(make_error("local key exchange already in progress"));
+    return;
+  }
+  PendingLocal pending;
+  pending.phase = LocalPhase::Eak;
+  pending.is_update = false;
+  pending.eak.emplace(config_.schedule, st->k_seed);
+  pending.done = std::move(done);
+
+  const EakPayload salt1 = pending.eak->start(rng_);
+  const std::uint16_t seq = st->tx_seq.next();
+  pending.expect_seq = seq;
+  st->pending_local = std::move(pending);
+
+  Message msg;
+  msg.header.hdr_type = HdrType::KeyExchange;
+  msg.header.msg_type = static_cast<std::uint8_t>(KeyExchMsg::EakExch);
+  msg.header.seq_num = seq;
+  msg.header.src = kControllerId;
+  msg.header.dst = sw;
+  msg.payload = salt1;
+  send(*st, std::move(msg), st->k_seed, /*is_kmp=*/true);
+}
+
+void Controller::start_adhkd_local(SwitchState& st, bool is_update) {
+  auto& pending = *st.pending_local;
+  pending.phase = LocalPhase::Adhkd;
+  pending.adhkd.emplace(config_.schedule);
+  const AdhkdPayload leg = pending.adhkd->start(rng_);
+  const std::uint16_t seq = st.tx_seq.next();
+  pending.expect_seq = seq;
+
+  Message msg;
+  msg.header.hdr_type = HdrType::KeyExchange;
+  msg.header.msg_type = static_cast<std::uint8_t>(is_update ? KeyExchMsg::UpdKeyExch
+                                                            : KeyExchMsg::InitKeyExch);
+  msg.header.seq_num = seq;
+  msg.header.src = kControllerId;
+  msg.header.dst = st.id;
+  msg.payload = leg;
+
+  Key64 key = 0;
+  if (is_update) {
+    msg.header.key_version = st.keys.local().current_version();
+    key = st.keys.local().current().value_or(st.k_seed);
+  } else {
+    key = st.k_auth.value_or(st.k_seed);
+  }
+  send(st, std::move(msg), key, /*is_kmp=*/true);
+}
+
+void Controller::update_local_key(NodeId sw, std::function<void(Result<Key64>)> done) {
+  SwitchState* st = state_of(sw);
+  if (st == nullptr || !config_.p4auth_enabled) {
+    done(make_error("unknown switch or p4auth disabled"));
+    return;
+  }
+  if (!st->keys.local().initialized()) {
+    done(make_error("local key not initialized"));
+    return;
+  }
+  if (st->pending_local.has_value()) {
+    done(make_error("local key exchange already in progress"));
+    return;
+  }
+  PendingLocal pending;
+  pending.is_update = true;
+  pending.done = std::move(done);
+  st->pending_local = std::move(pending);
+  start_adhkd_local(*st, /*is_update=*/true);
+}
+
+void Controller::init_port_key(NodeId a, PortId port_a, NodeId b, PortId port_b,
+                               std::function<void(Status)> done) {
+  SwitchState* st_a = state_of(a);
+  SwitchState* st_b = state_of(b);
+  if (st_a == nullptr || st_b == nullptr || !config_.p4auth_enabled) {
+    done(make_error("unknown switch or p4auth disabled"));
+    return;
+  }
+  // Fig 14(c): the redirected ADHKD legs are authenticated with each
+  // switch's local key — both must be initialized first.
+  if (!st_a->keys.local().initialized() || !st_b->keys.local().initialized()) {
+    done(make_error("port key init requires local keys on both switches"));
+    return;
+  }
+  pending_port_inits_.push_back(PendingPortInit{a, port_a, b, port_b, std::move(done)});
+
+  Message msg;
+  msg.header.hdr_type = HdrType::KeyExchange;
+  msg.header.msg_type = static_cast<std::uint8_t>(KeyExchMsg::PortKeyInit);
+  msg.header.seq_num = st_a->tx_seq.next();
+  msg.header.key_version = st_a->keys.local().current_version();
+  msg.header.src = kControllerId;
+  msg.header.dst = a;
+  msg.payload = PortKeyPayload{port_a, b};
+  send(*st_a, std::move(msg), st_a->keys.local().current().value_or(st_a->k_seed),
+       /*is_kmp=*/true);
+}
+
+void Controller::update_port_key(NodeId a, PortId port_a, NodeId b,
+                                 std::function<void(Status)> done) {
+  SwitchState* st_a = state_of(a);
+  if (st_a == nullptr || !config_.p4auth_enabled) {
+    done(make_error("unknown switch or p4auth disabled"));
+    return;
+  }
+  Message msg;
+  msg.header.hdr_type = HdrType::KeyExchange;
+  msg.header.msg_type = static_cast<std::uint8_t>(KeyExchMsg::PortKeyUpdate);
+  msg.header.seq_num = st_a->tx_seq.next();
+  msg.header.key_version = st_a->keys.local().current_version();
+  msg.header.src = kControllerId;
+  msg.header.dst = a;
+  msg.payload = PortKeyPayload{port_a, b};
+  send(*st_a, std::move(msg), st_a->keys.local().current().value_or(st_a->k_seed),
+       /*is_kmp=*/true, [done = std::move(done)]() { done(Status{}); });
+}
+
+void Controller::on_key_exchange(SwitchState& st, const Message& msg) {
+  ++stats_.kmp_messages_received;
+  stats_.kmp_bytes_received += core::encoded_size(msg.payload);
+
+  const auto key = verify_key_for(st, msg);
+  if (!key.has_value() || !core::verify_message(config_.mac, *key, msg)) {
+    ++stats_.response_digest_failures;
+    LogStream(LogLevel::Warn, "controller")
+        << "key-exchange digest failure from switch " << st.id.value;
+    // A failed local exchange surfaces to the caller so it can retry.
+    if (st.pending_local.has_value() && !msg.header.is_port_scope()) {
+      auto pending = std::move(*st.pending_local);
+      st.pending_local.reset();
+      pending.done(make_error("key exchange digest mismatch — possible MitM"));
+    }
+    return;
+  }
+
+  const auto kind = static_cast<KeyExchMsg>(msg.header.msg_type);
+  switch (kind) {
+    case KeyExchMsg::EakExch: {
+      if (!msg.header.is_response() || !st.pending_local.has_value()) return;
+      auto& pending = *st.pending_local;
+      if (pending.phase != LocalPhase::Eak || msg.header.seq_num != pending.expect_seq) return;
+      st.k_auth = pending.eak->finish(std::get<EakPayload>(msg.payload));
+      start_adhkd_local(st, /*is_update=*/false);
+      return;
+    }
+
+    case KeyExchMsg::InitKeyExch: {
+      if (!msg.header.is_port_scope()) {
+        // Final leg of local key init.
+        if (!msg.header.is_response() || !st.pending_local.has_value()) return;
+        auto pending = std::move(*st.pending_local);
+        st.pending_local.reset();
+        if (pending.phase != LocalPhase::Adhkd || msg.header.seq_num != pending.expect_seq) {
+          pending.done(make_error("unexpected ADHKD leg"));
+          return;
+        }
+        const Key64 master = pending.adhkd->finish(std::get<AdhkdPayload>(msg.payload));
+        st.keys.local().install(master);
+        pending.done(master);
+        return;
+      }
+      // Controller-redirected port-key init leg: verify from the sender,
+      // re-tag for the destination switch, forward (§VI-C, Fig. 14(c)).
+      SwitchState* dst = state_of(msg.header.dst);
+      if (dst == nullptr) return;
+      Message forward = msg;
+      // Re-stamp into the destination's C-DP sequence space (its replay
+      // tracker knows nothing of the originator's counters) and re-tag
+      // under its local key.
+      forward.header.seq_num = dst->tx_seq.next();
+      forward.header.key_version = dst->keys.local().current_version();
+
+      std::function<void()> delivered;
+      if (msg.header.is_response()) {
+        // Response leg heading back to the initiator completes the init.
+        for (auto it = pending_port_inits_.begin(); it != pending_port_inits_.end(); ++it) {
+          if (it->a == msg.header.dst && it->b == msg.header.src) {
+            delivered = [done = std::move(it->done)]() { done(Status{}); };
+            pending_port_inits_.erase(it);
+            break;
+          }
+        }
+      }
+      send(*dst, std::move(forward), dst->keys.local().current().value_or(dst->k_seed),
+           /*is_kmp=*/true, std::move(delivered));
+      return;
+    }
+
+    case KeyExchMsg::UpdKeyExch: {
+      if (msg.header.is_port_scope() || !msg.header.is_response() ||
+          !st.pending_local.has_value()) {
+        return;
+      }
+      auto pending = std::move(*st.pending_local);
+      st.pending_local.reset();
+      if (msg.header.seq_num != pending.expect_seq) {
+        pending.done(make_error("unexpected ADHKD leg"));
+        return;
+      }
+      const Key64 master = pending.adhkd->finish(std::get<AdhkdPayload>(msg.payload));
+      st.keys.local().install(master);
+      pending.done(master);
+      return;
+    }
+
+    default:
+      return;
+  }
+}
+
+void Controller::on_alert(SwitchState& st, const Message& msg) {
+  const auto key = verify_key_for(st, msg);
+  AlertRecord record;
+  record.sw = st.id;
+  record.code = static_cast<AlertMsg>(msg.header.msg_type);
+  record.payload = std::get<core::AlertPayload>(msg.payload);
+  record.at = sim_.now();
+  record.authentic = key.has_value() && core::verify_message(config_.mac, *key, msg);
+  alerts_.push_back(record);
+  if (alert_handler_) alert_handler_(record);
+}
+
+void Controller::on_lldp_report(NodeId reporter, const Bytes& frame) {
+  const auto report = core::decode_lldp_report(frame);
+  if (!report.ok() || report.value().receiver != reporter) return;
+  ++stats_.lldp_reports;
+
+  // Canonicalize the adjacency (lower node id first) and deduplicate —
+  // both endpoints report the same link.
+  Adjacency adjacency;
+  const auto& r = report.value();
+  if (r.sender.value < r.receiver.value) {
+    adjacency = Adjacency{r.sender, r.sender_port, r.receiver, r.receiver_port};
+  } else {
+    adjacency = Adjacency{r.receiver, r.receiver_port, r.sender, r.sender_port};
+  }
+  for (const auto& known : adjacencies_) {
+    if (known.a == adjacency.a && known.port_a == adjacency.port_a &&
+        known.b == adjacency.b && known.port_b == adjacency.port_b) {
+      return;
+    }
+  }
+  adjacencies_.push_back(adjacency);
+
+  if (!config_.auto_port_keys || !config_.p4auth_enabled) return;
+  // §VI-C: a port-activation event triggers port-key initialization.
+  auto* stored = &adjacencies_.back();
+  ++stats_.auto_port_inits;
+  init_port_key(adjacency.a, adjacency.port_a, adjacency.b, adjacency.port_b,
+                [this, a = adjacency.a, port_a = adjacency.port_a](Status status) {
+                  if (!status.ok()) return;
+                  for (auto& known : adjacencies_) {
+                    if (known.a == a && known.port_a == port_a) known.keyed = true;
+                  }
+                });
+  (void)stored;
+}
+
+void Controller::on_packet_in(NodeId sw, Bytes frame) {
+  SwitchState* st = state_of(sw);
+  if (st == nullptr) return;
+  if (!frame.empty() && frame[0] == core::kLldpReportMagic) {
+    on_lldp_report(sw, frame);
+    return;
+  }
+  auto decoded = core::decode(frame);
+  if (!decoded.ok()) return;
+  const Message& msg = decoded.value();
+
+  switch (msg.header.hdr_type) {
+    case HdrType::RegisterOp:
+      on_register_response(*st, msg);
+      return;
+    case HdrType::KeyExchange:
+      on_key_exchange(*st, msg);
+      return;
+    case HdrType::Alert:
+      on_alert(*st, msg);
+      return;
+    case HdrType::DpData:
+      return;
+  }
+}
+
+}  // namespace p4auth::controller

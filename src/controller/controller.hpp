@@ -1,0 +1,194 @@
+// The P4Auth controller: the trusted C side of the C-DP protocols.
+//
+// Owns per-switch state (mirror key store, sequence counters, outstanding
+// ledger), drives the key management protocol (§VI: local/port key init
+// and update, including the controller-redirected port-key init legs),
+// issues authenticated register read/write requests, and collects alerts.
+//
+// Timing: client-side compose/parse/digest costs are modelled with the
+// constants in Config — they represent the Python controller of the
+// paper's prototype (§VII) and are the calibration knobs for Fig 18/19.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/auth.hpp"
+#include "core/dos_guard.hpp"
+#include "core/key_store.hpp"
+#include "core/protocol.hpp"
+#include "core/replay_guard.hpp"
+#include "core/wire.hpp"
+#include "netsim/control_channel.hpp"
+
+namespace p4auth::controller {
+
+class Controller {
+ public:
+  struct Config {
+    crypto::MacKind mac = crypto::MacKind::HalfSipHash24;
+    core::KeySchedule schedule{};
+    std::size_t max_outstanding = 256;
+    /// Client-side request composition cost (index only vs index + data —
+    /// the asymmetry behind the paper's read/write throughput gap).
+    SimTime compose_read = SimTime::from_us(1000);
+    SimTime compose_write = SimTime::from_us(1800);
+    SimTime parse_response = SimTime::from_us(60);
+    /// Cost of one digest computation/verification at the controller.
+    SimTime digest_cost = SimTime::from_us(27);
+    /// false => DP-Reg-RW baseline: same PacketOut path, no digests.
+    bool p4auth_enabled = true;
+    /// When true, an LLDP neighbour report for a not-yet-keyed adjacency
+    /// automatically triggers port-key initialization (§VI-C's
+    /// port-activation trigger).
+    bool auto_port_keys = false;
+    std::uint64_t seed = 0xC0117011E5ull;
+  };
+
+  Controller(netsim::Simulator& sim, Config config);
+
+  /// Registers a switch and wires its control channel to this controller.
+  void attach_switch(NodeId id, netsim::ControlChannel& channel, Key64 k_seed, int num_ports);
+
+  // --- Key management protocol (§VI, Fig. 14) ----------------------------
+
+  /// (a) Local key initialization: EAK then ADHKD; 4 messages.
+  void init_local_key(NodeId sw, std::function<void(Result<Key64>)> done);
+  /// (b) Local key update: ADHKD under the current local key; 2 messages.
+  void update_local_key(NodeId sw, std::function<void(Result<Key64>)> done);
+  /// (c) Port key initialization: portKeyInit + 4 controller-redirected
+  /// ADHKD legs; 5 messages. `done` fires when the final leg reaches `a`.
+  void init_port_key(NodeId a, PortId port_a, NodeId b, PortId port_b,
+                     std::function<void(Status)> done);
+  /// (d) Port key update: portKeyUpdate + 2 direct DP-DP legs; only the
+  /// first message involves the controller. `done` fires on delivery of
+  /// portKeyUpdate; the DP-DP exchange completes below the controller.
+  void update_port_key(NodeId a, PortId port_a, NodeId b, std::function<void(Status)> done);
+
+  // --- Authenticated register access (§V) --------------------------------
+
+  void read_register(NodeId sw, RegisterId reg, std::uint32_t index,
+                     std::function<void(Result<std::uint64_t>)> done);
+  void write_register(NodeId sw, RegisterId reg, std::uint32_t index, std::uint64_t value,
+                      std::function<void(Result<std::uint64_t>)> done);
+
+  // --- Observability ------------------------------------------------------
+
+  struct AlertRecord {
+    NodeId sw{};
+    core::AlertMsg code{};
+    core::AlertPayload payload{};
+    SimTime at{};
+    bool authentic = false;  ///< alert digest verified
+  };
+  const std::vector<AlertRecord>& alerts() const noexcept { return alerts_; }
+  void set_alert_handler(std::function<void(const AlertRecord&)> handler) {
+    alert_handler_ = std::move(handler);
+  }
+
+  struct Stats {
+    std::uint64_t requests_sent = 0;
+    std::uint64_t acks_received = 0;
+    std::uint64_t nacks_received = 0;
+    std::uint64_t response_digest_failures = 0;
+    std::uint64_t unmatched_responses = 0;
+    std::uint64_t kmp_messages_sent = 0;
+    std::uint64_t kmp_bytes_sent = 0;
+    std::uint64_t kmp_messages_received = 0;
+    std::uint64_t kmp_bytes_received = 0;
+    std::uint64_t lldp_reports = 0;
+    std::uint64_t auto_port_inits = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Current mirrored local key for a switch (tests/benches).
+  std::optional<Key64> local_key(NodeId sw) const;
+  bool has_switch(NodeId sw) const { return switches_.contains(sw); }
+
+  /// §VIII: requests to `sw` issued more than `age` ago and never
+  /// answered — the request/response-imbalance DoS signal an operator
+  /// should act on (together with unmatched_responses in Stats).
+  std::vector<std::uint16_t> stale_requests(NodeId sw, SimTime age) const;
+
+  /// Adjacencies learned from LLDP reports (canonical: lower node first).
+  struct Adjacency {
+    NodeId a{};
+    PortId port_a{};
+    NodeId b{};
+    PortId port_b{};
+    bool keyed = false;
+    friend bool operator==(const Adjacency&, const Adjacency&) = default;
+  };
+  const std::vector<Adjacency>& adjacencies() const noexcept { return adjacencies_; }
+
+ private:
+  struct PendingOp {
+    bool is_read = false;
+    std::function<void(Result<std::uint64_t>)> done;
+  };
+
+  enum class LocalPhase { Eak, Adhkd };
+  struct PendingLocal {
+    LocalPhase phase = LocalPhase::Eak;
+    bool is_update = false;
+    std::optional<core::EakInitiator> eak;
+    std::optional<core::AdhkdInitiator> adhkd;
+    std::uint16_t expect_seq = 0;
+    std::function<void(Result<Key64>)> done;
+  };
+
+  struct PendingPortInit {
+    NodeId a{};
+    PortId port_a{};
+    NodeId b{};
+    PortId port_b{};
+    std::function<void(Status)> done;
+  };
+
+  struct SwitchState {
+    NodeId id{};
+    netsim::ControlChannel* channel = nullptr;
+    Key64 k_seed = 0;
+    core::MirrorKeyStore keys;
+    std::optional<Key64> k_auth;
+    core::SeqCounter tx_seq;
+    core::OutstandingLedger ledger;
+    std::unordered_map<std::uint16_t, PendingOp> pending_ops;
+    std::optional<PendingLocal> pending_local;
+
+    SwitchState(NodeId node, netsim::ControlChannel* ch, Key64 seed, int num_ports,
+                std::size_t max_outstanding)
+        : id(node), channel(ch), k_seed(seed), keys(num_ports), ledger(max_outstanding) {}
+  };
+
+  SwitchState* state_of(NodeId sw);
+  void on_packet_in(NodeId sw, Bytes frame);
+  void on_lldp_report(NodeId reporter, const Bytes& frame);
+  void on_register_response(SwitchState& st, const core::Message& msg);
+  void on_key_exchange(SwitchState& st, const core::Message& msg);
+  void on_alert(SwitchState& st, const core::Message& msg);
+
+  /// Tags (if enabled) and transmits; counts KMP traffic when asked.
+  void send(SwitchState& st, core::Message msg, Key64 key, bool is_kmp,
+            std::function<void()> delivered = {});
+
+  /// Key to verify an inbound message from `st`, given its header.
+  std::optional<Key64> verify_key_for(SwitchState& st, const core::Message& msg) const;
+
+  void start_adhkd_local(SwitchState& st, bool is_update);
+
+  netsim::Simulator& sim_;
+  Config config_;
+  std::unordered_map<NodeId, std::unique_ptr<SwitchState>> switches_;
+  std::vector<PendingPortInit> pending_port_inits_;
+  std::vector<Adjacency> adjacencies_;
+  std::vector<AlertRecord> alerts_;
+  std::function<void(const AlertRecord&)> alert_handler_;
+  Stats stats_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace p4auth::controller

@@ -1,0 +1,70 @@
+#include "controller/key_rotation.hpp"
+
+namespace p4auth::controller {
+
+void KeyRotationScheduler::start() {
+  *running_ = true;
+  schedule_next();
+}
+
+void KeyRotationScheduler::schedule_next() {
+  sim_.after(config_.period, [this, running = running_] {
+    if (!*running) return;
+    rotate_now([this, running] {
+      if (*running) schedule_next();
+    });
+  });
+}
+
+void KeyRotationScheduler::rotate_now(std::function<void()> done) {
+  ++stats_.rounds;
+
+  auto round = std::make_shared<Round>();
+  round->done = std::move(done);
+  // Local keys first, then port keys (a port update is authenticated by
+  // the *current* port key, independent of local keys, so the order is a
+  // policy choice, not a correctness requirement).
+  for (const NodeId sw : switches_) round->queue.push_back(Work{true, sw, {}, {}});
+  for (const Link& link : links_) {
+    round->queue.push_back(Work{false, link.a, link.port_a, link.b});
+  }
+
+  if (round->queue.empty()) {
+    if (round->done) round->done();
+    return;
+  }
+  const std::size_t initial = std::min(config_.max_concurrent, round->queue.size());
+  for (std::size_t i = 0; i < initial; ++i) issue_next(round);
+}
+
+void KeyRotationScheduler::issue_next(const std::shared_ptr<Round>& round) {
+  if (round->queue.empty()) return;
+  const Work work = round->queue.front();
+  round->queue.pop_front();
+  ++round->in_flight;
+  stats_.max_in_flight = std::max(stats_.max_in_flight, round->in_flight);
+  // The callbacks capture the Round by shared_ptr; the Round itself holds
+  // no callables that capture it back, so there is no ownership cycle.
+  if (work.is_local) {
+    ++stats_.local_updates;
+    controller_.update_local_key(
+        work.sw, [this, round](Result<Key64> r) { finish_one(round, r.ok()); });
+  } else {
+    ++stats_.port_updates;
+    controller_.update_port_key(
+        work.sw, work.port, work.peer,
+        [this, round](Status s) { finish_one(round, s.ok()); });
+  }
+}
+
+void KeyRotationScheduler::finish_one(const std::shared_ptr<Round>& round, bool ok) {
+  if (!ok) ++stats_.failures;
+  --round->in_flight;
+  if (!round->queue.empty()) {
+    issue_next(round);
+  } else if (round->in_flight == 0 && round->done) {
+    round->done();
+  }
+}
+
+}  // namespace p4auth::controller

@@ -1,0 +1,88 @@
+// Periodic key rotation with batching (§VIII: keys must be updated well
+// inside the brute-force window; §XI: "controllers can carefully batch
+// the key updates to control the number of concurrent updates").
+//
+// Every `period` the scheduler walks all tracked local keys and port keys
+// and re-derives them through the KMP, never keeping more than
+// `max_concurrent` exchanges in flight.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "controller/controller.hpp"
+
+namespace p4auth::controller {
+
+class KeyRotationScheduler {
+ public:
+  struct Config {
+    SimTime period = SimTime::from_s(60);
+    std::size_t max_concurrent = 8;
+  };
+
+  KeyRotationScheduler(netsim::Simulator& sim, Controller& controller, Config config)
+      : sim_(sim), controller_(controller), config_(config) {}
+
+  /// Registers a switch whose local key rotates every period.
+  void track_switch(NodeId sw) { switches_.push_back(sw); }
+  /// Registers a link whose port key rotates every period (initiated at
+  /// `a`'s `port_a` toward `b`).
+  void track_link(NodeId a, PortId port_a, NodeId b) {
+    links_.push_back(Link{a, port_a, b});
+  }
+
+  /// Schedules the first rotation one period from now and keeps going
+  /// until stop().
+  void start();
+  void stop() { *running_ = false; }
+
+  /// Runs one rotation round immediately (also used by start()'s timer).
+  void rotate_now(std::function<void()> done = {});
+
+  struct Stats {
+    std::uint64_t rounds = 0;
+    std::uint64_t local_updates = 0;
+    std::uint64_t port_updates = 0;
+    std::uint64_t failures = 0;
+    std::size_t max_in_flight = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Link {
+    NodeId a{};
+    PortId port_a{};
+    NodeId b{};
+  };
+
+  struct Work {
+    bool is_local = false;
+    NodeId sw{};
+    PortId port{};
+    NodeId peer{};
+  };
+
+  /// One rotation round's state, shared by the in-flight callbacks.
+  struct Round {
+    std::deque<Work> queue;
+    std::size_t in_flight = 0;
+    std::function<void()> done;
+  };
+
+  void schedule_next();
+  void issue_next(const std::shared_ptr<Round>& round);
+  void finish_one(const std::shared_ptr<Round>& round, bool ok);
+
+  netsim::Simulator& sim_;
+  Controller& controller_;
+  Config config_;
+  std::vector<NodeId> switches_;
+  std::vector<Link> links_;
+  std::shared_ptr<bool> running_ = std::make_shared<bool>(false);
+  Stats stats_;
+};
+
+}  // namespace p4auth::controller

@@ -1,0 +1,66 @@
+// P4Runtime register-access model (the Fig 18/19 comparison baseline).
+//
+// P4Runtime reads/writes traverse the gRPC + SDK + driver stack and act
+// on switch state *below* the data-plane program — exactly why the paper
+// considers them attackable at the switch OS and why this client applies
+// the OS interposer seam itself. No P4Auth protection is possible on this
+// path; it exists to quantify what the PacketOut-based designs compare
+// against.
+//
+// Timing decomposition (per request, sequential):
+//   compose (client marshal; writes also marshal the data word)
+//   + 2 x channel (gRPC transport each way)
+//   + switch software stack (agent + SDK + driver)
+//   + response parse
+// Constants are calibrated so P4Runtime read throughput is ~1.7x its write
+// throughput (§IX-B: reads compose only the index; writes compose index
+// and data).
+#pragma once
+
+#include <functional>
+
+#include "common/result.hpp"
+#include "netsim/control_channel.hpp"
+#include "netsim/switch.hpp"
+
+namespace p4auth::controller {
+
+class P4RuntimeClient {
+ public:
+  struct Timing {
+    SimTime compose_read = SimTime::from_us(580);
+    SimTime compose_write = SimTime::from_us(1420);
+    netsim::ChannelModel channel = netsim::ChannelModel::p4runtime();
+    SimTime switch_stack = SimTime::from_us(120);
+    SimTime parse_response = SimTime::from_us(60);
+    std::size_t read_request_bytes = 26;
+    std::size_t write_request_bytes = 38;
+    std::size_t response_bytes = 30;
+    /// Mean-preserving multiplicative jitter on the whole round trip.
+    double jitter_fraction = 0.08;
+  };
+
+  P4RuntimeClient(netsim::Simulator& sim, netsim::Switch& sw) : sim_(sim), switch_(sw) {}
+  P4RuntimeClient(netsim::Simulator& sim, netsim::Switch& sw, Timing timing)
+      : sim_(sim), switch_(sw), timing_(timing) {}
+
+  /// Reads `reg_name[index]`; the callback fires at response-parse time.
+  void read(const std::string& reg_name, std::size_t index,
+            std::function<void(Result<std::uint64_t>)> done);
+
+  /// Writes `reg_name[index] = value`.
+  void write(const std::string& reg_name, std::size_t index, std::uint64_t value,
+             std::function<void(Status)> done);
+
+  const Timing& timing() const noexcept { return timing_; }
+
+ private:
+  SimTime round_trip(SimTime compose, std::size_t request_bytes) noexcept;
+
+  netsim::Simulator& sim_;
+  netsim::Switch& switch_;
+  Timing timing_;
+  Xoshiro256 jitter_rng_{0x9047C0DEu};
+};
+
+}  // namespace p4auth::controller

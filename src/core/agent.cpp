@@ -1,0 +1,638 @@
+#include "core/agent.hpp"
+
+#include "common/logging.hpp"
+#include "core/auth.hpp"
+#include "core/lldp.hpp"
+#include "crypto/stream_cipher.hpp"
+
+namespace p4auth::core {
+namespace {
+
+constexpr std::size_t kRegMapCapacity = 256;
+
+/// Nonce for feedback encryption: unique per (sender, key version, seq)
+/// within a key's lifetime — the KMP rolls keys before seq wrap (§VIII).
+std::uint64_t feedback_nonce(const Header& header) noexcept {
+  return (static_cast<std::uint64_t>(header.src.value) << 32) |
+         (static_cast<std::uint64_t>(header.key_version.value) << 16) | header.seq_num;
+}
+
+Bytes map_key_bytes(RegisterId id, RegisterMsg op) {
+  Bytes key;
+  ByteWriter w(key);
+  w.u32(id.value).u8(static_cast<std::uint8_t>(op));
+  return key;
+}
+
+constexpr int kActionRead = 1;
+constexpr int kActionWrite = 2;
+
+}  // namespace
+
+P4AuthAgent::P4AuthAgent(Config config, dataplane::RegisterFile& registers,
+                         std::unique_ptr<dataplane::DataPlaneProgram> inner)
+    : config_(config),
+      inner_(std::move(inner)),
+      keys_(registers, config.num_ports),
+      digest_(config.mac),
+      reg_map_("reg_id_to_name_mapping", /*key_bits=*/40, kRegMapCapacity),
+      alert_limiter_(config.alert_rate_limit, config.alert_window) {}
+
+void P4AuthAgent::set_neighbor(PortId port, NodeId peer) {
+  neighbor_of_port_[port] = peer;
+  port_of_peer_[peer] = port;
+}
+
+Status P4AuthAgent::expose_register(RegisterId id, std::string name) {
+  if (exposed_by_id_.contains(id)) return make_error("register id already exposed");
+  const auto name_index = static_cast<std::uint64_t>(exposed_names_.size());
+  if (auto s = reg_map_.insert(map_key_bytes(id, RegisterMsg::ReadReq),
+                               dataplane::Action{kActionRead, name_index});
+      !s.ok()) {
+    return s;
+  }
+  if (auto s = reg_map_.insert(map_key_bytes(id, RegisterMsg::WriteReq),
+                               dataplane::Action{kActionWrite, name_index});
+      !s.ok()) {
+    return s;
+  }
+  exposed_names_.push_back(name);
+  exposed_by_id_.emplace(id, std::move(name));
+  return {};
+}
+
+void P4AuthAgent::add_protected_magic(std::uint8_t magic) {
+  protected_magics_.push_back(magic);
+}
+
+bool P4AuthAgent::is_protected_magic(const Bytes& payload) const noexcept {
+  if (payload.empty()) return false;
+  for (const std::uint8_t magic : protected_magics_) {
+    if (payload[0] == magic) return true;
+  }
+  return false;
+}
+
+std::optional<PortId> P4AuthAgent::port_of_neighbor(NodeId peer) const {
+  const auto it = port_of_peer_.find(peer);
+  if (it == port_of_peer_.end()) return std::nullopt;
+  return it->second;
+}
+
+void P4AuthAgent::install_key(PortId slot, Key64 key, dataplane::PipelineContext& ctx) {
+  keys_.install(slot, key);
+  ctx.costs().register_accesses += 2;  // key register + install counter
+  ++stats_.key_installs;
+  stats_.last_key_install = ctx.now();
+}
+
+Message P4AuthAgent::make_response_header(const Message& request, HdrType type,
+                                          std::uint8_t msg_type, Payload payload) const {
+  Message response;
+  response.header.hdr_type = type;
+  response.header.msg_type = msg_type;
+  response.header.seq_num = request.header.seq_num;  // maps response to request
+  response.header.flags =
+      static_cast<std::uint8_t>(kFlagResponse | (request.header.flags & kFlagPortScope));
+  response.header.src = config_.self;
+  response.header.dst = request.header.src;
+  response.payload = std::move(payload);
+  return response;
+}
+
+void P4AuthAgent::push_alert(dataplane::PipelineOutput& out, dataplane::PipelineContext& ctx,
+                             AlertMsg code, std::uint32_t context, std::uint16_t observed,
+                             std::uint16_t expected, std::uint32_t detail) {
+  if (!config_.auth_enabled) return;
+  if (!alert_limiter_.allow(ctx.now())) {
+    ++stats_.alerts_suppressed;
+    return;
+  }
+  Message alert;
+  alert.header.hdr_type = HdrType::Alert;
+  alert.header.msg_type = static_cast<std::uint8_t>(code);
+  alert.header.seq_num = cdp_tx_.next();
+  alert.header.src = config_.self;
+  alert.header.dst = kControllerId;
+  alert.payload = AlertPayload{context, observed, expected, detail};
+
+  // Alerts are tagged with the local key so the controller can trust
+  // them; before local-key init the boot secret K_seed stands in.
+  if (const auto key = keys_.current(kCpuPort)) {
+    alert.header.key_version = keys_.current_version(kCpuPort);
+    tag_message(config_.mac, *key, alert, ctx.costs());
+  } else {
+    tag_message(config_.mac, config_.k_seed, alert, ctx.costs());
+  }
+  out.to_cpu.push_back(encode(alert));
+  ++stats_.alerts_sent;
+}
+
+dataplane::PipelineOutput P4AuthAgent::process(dataplane::Packet& packet,
+                                               dataplane::PipelineContext& ctx) {
+  if (packet.ingress == kCpuPort) {
+    auto decoded = decode(packet.payload);
+    if (!decoded.ok()) {
+      dataplane::PipelineOutput out = dataplane::PipelineOutput::drop();
+      push_alert(out, ctx, AlertMsg::DigestMismatch, 0, 0, 0, /*detail=*/1);
+      return out;
+    }
+    return handle_control(decoded.value(), ctx);
+  }
+
+  if (looks_like_p4auth(packet.payload)) {
+    auto decoded = decode(packet.payload);
+    if (decoded.ok()) {
+      const Message& msg = decoded.value();
+      if (msg.header.hdr_type == HdrType::DpData) {
+        return handle_dp_data(msg, packet, ctx);
+      }
+      if (msg.header.hdr_type == HdrType::KeyExchange) {
+        return handle_key_exchange_port(msg, packet.ingress, ctx);
+      }
+      // RegisterOp / Alert frames have no business on a data port.
+      dataplane::PipelineOutput out = dataplane::PipelineOutput::drop();
+      push_alert(out, ctx, AlertMsg::DigestMismatch, packet.ingress.value, msg.header.seq_num, 0,
+                 /*detail=*/2);
+      return out;
+    }
+    // Fell through: a frame that starts like p4auth but fails to parse is
+    // treated as plain traffic (first-byte collision with user payloads).
+  }
+
+  // LLDP neighbour discovery (§VI-C): a trigger makes us announce on all
+  // ports; an announcement heard on a port teaches us the adjacency and
+  // is reported to the controller, which auto-initializes the port key.
+  if (!packet.payload.empty() && packet.payload[0] == kLldpGenMagic) {
+    dataplane::PipelineOutput out;
+    for (std::uint16_t port = 1; port <= static_cast<std::uint16_t>(config_.num_ports);
+         ++port) {
+      out.emits.push_back(
+          dataplane::Emit{PortId{port}, encode_lldp(LldpAnnouncement{config_.self, PortId{port}})});
+    }
+    ++stats_.lldp_announcement_rounds;
+    return out;
+  }
+  if (!packet.payload.empty() && packet.payload[0] == kLldpMagic &&
+      packet.ingress != kCpuPort) {
+    const auto announcement = decode_lldp(packet.payload);
+    if (!announcement.ok()) return dataplane::PipelineOutput::drop();
+    set_neighbor(packet.ingress, announcement.value().sender);
+    ++stats_.lldp_neighbors_learned;
+    dataplane::PipelineOutput out;
+    out.to_cpu.push_back(encode_lldp_report(LldpReport{announcement.value().sender,
+                                                       announcement.value().sender_port,
+                                                       config_.self, packet.ingress}));
+    return out;
+  }
+
+  // Enforcement applies only on switch-facing ports: in-network feedback
+  // always crosses switch-to-switch links tagged, while host-facing and
+  // generator ports legitimately originate raw probes.
+  if (config_.auth_enabled && config_.enforce_feedback_auth &&
+      neighbor_of_port_.contains(packet.ingress) && is_protected_magic(packet.payload)) {
+    // A protected in-network message arrived without authentication —
+    // either a stripped tag or an injected forgery.
+    ++stats_.unauth_feedback_dropped;
+    dataplane::PipelineOutput out = dataplane::PipelineOutput::drop();
+    push_alert(out, ctx, AlertMsg::MissingAuth, packet.ingress.value, 0, 0);
+    return out;
+  }
+
+  return run_inner(packet, ctx);
+}
+
+dataplane::PipelineOutput P4AuthAgent::handle_control(const Message& msg,
+                                                      dataplane::PipelineContext& ctx) {
+  switch (msg.header.hdr_type) {
+    case HdrType::RegisterOp:
+      return handle_register_op(msg, ctx);
+    case HdrType::KeyExchange:
+      if (!config_.auth_enabled) return dataplane::PipelineOutput::drop();
+      return handle_key_exchange_cpu(msg, ctx);
+    default:
+      return dataplane::PipelineOutput::drop();
+  }
+}
+
+dataplane::PipelineOutput P4AuthAgent::handle_register_op(const Message& msg,
+                                                          dataplane::PipelineContext& ctx) {
+  dataplane::PipelineOutput out;
+  const auto op = static_cast<RegisterMsg>(msg.header.msg_type);
+  if (op != RegisterMsg::ReadReq && op != RegisterMsg::WriteReq) {
+    return dataplane::PipelineOutput::drop();  // responses are not for us
+  }
+  const auto& req = std::get<RegisterOpPayload>(msg.payload);
+
+  const auto nack = [&](AlertMsg code, std::uint32_t detail) {
+    Message response = make_response_header(
+        msg, HdrType::RegisterOp, static_cast<std::uint8_t>(RegisterMsg::NAck),
+        RegisterOpPayload{req.reg_id, req.index, 0});
+    if (config_.auth_enabled) {
+      if (const auto key = keys_.current(kCpuPort)) {
+        response.header.key_version = keys_.current_version(kCpuPort);
+        tag_message(config_.mac, *key, response, ctx.costs());
+      } else {
+        tag_message(config_.mac, config_.k_seed, response, ctx.costs());
+      }
+    }
+    out.to_cpu.push_back(encode(response));
+    ++stats_.nacks_sent;
+    push_alert(out, ctx, code, req.reg_id.value, msg.header.seq_num, cdp_rx_.last(), detail);
+    out.dropped = true;
+  };
+
+  if (config_.auth_enabled) {
+    // Before local-key init the boot secret authenticates requests, the
+    // same fallback the controller applies.
+    std::optional<Key64> key = keys_.get(kCpuPort, msg.header.key_version);
+    if (!key.has_value() && !keys_.has_key(kCpuPort)) key = config_.k_seed;
+    const Bytes input = digest_input(msg);
+    const bool ok =
+        key.has_value() && digest_.verify(*key, input, msg.header.digest, ctx.costs());
+    if (!ok) {
+      ++stats_.digest_failures;
+      nack(AlertMsg::DigestMismatch, 0);
+      return out;
+    }
+    if (!cdp_rx_.accept(msg.header.seq_num)) {
+      ++stats_.replay_rejections;
+      push_alert(out, ctx, AlertMsg::ReplayDetected, req.reg_id.value, msg.header.seq_num,
+                 cdp_rx_.last());
+      out.dropped = true;
+      return out;
+    }
+  }
+
+  // reg_id_to_name_mapping lookup (Fig. 15).
+  ++ctx.costs().table_lookups;
+  const auto action = reg_map_.lookup(map_key_bytes(req.reg_id, op));
+  if (!action.has_value()) {
+    nack(AlertMsg::UnknownRegister, 0);
+    return out;
+  }
+  auto* reg = ctx.registers().by_name(exposed_names_[action->data]);
+  if (reg == nullptr) {
+    nack(AlertMsg::UnknownRegister, 1);
+    return out;
+  }
+
+  std::uint64_t result_value = 0;
+  ++ctx.costs().register_accesses;
+  if (action->action_id == kActionRead) {
+    const auto value = reg->read(req.index);
+    if (!value.ok()) {
+      nack(AlertMsg::UnknownRegister, 2);
+      return out;
+    }
+    result_value = value.value();
+    ++stats_.reads_served;
+  } else {
+    if (!reg->write(req.index, req.value).ok()) {
+      nack(AlertMsg::UnknownRegister, 2);
+      return out;
+    }
+    result_value = req.value;
+    ++stats_.writes_served;
+  }
+
+  Message ack = make_response_header(msg, HdrType::RegisterOp,
+                                     static_cast<std::uint8_t>(RegisterMsg::Ack),
+                                     RegisterOpPayload{req.reg_id, req.index, result_value});
+  if (config_.auth_enabled) {
+    const auto key = keys_.current(kCpuPort);
+    ack.header.key_version = keys_.current_version(kCpuPort);
+    tag_message(config_.mac, key.value_or(config_.k_seed), ack, ctx.costs());
+  }
+  out.to_cpu.push_back(encode(ack));
+  return out;
+}
+
+dataplane::PipelineOutput P4AuthAgent::handle_key_exchange_cpu(const Message& msg,
+                                                               dataplane::PipelineContext& ctx) {
+  dataplane::PipelineOutput out;
+  const auto kind = static_cast<KeyExchMsg>(msg.header.msg_type);
+
+  // Resolve which key must authenticate this message (§VI-C).
+  std::optional<Key64> verify_key;
+  switch (kind) {
+    case KeyExchMsg::EakExch:
+      verify_key = config_.k_seed;
+      break;
+    case KeyExchMsg::InitKeyExch:
+      verify_key = msg.header.is_port_scope() ? keys_.get(kCpuPort, msg.header.key_version)
+                                              : k_auth_;
+      break;
+    case KeyExchMsg::UpdKeyExch:
+    case KeyExchMsg::PortKeyInit:
+    case KeyExchMsg::PortKeyUpdate:
+      verify_key = keys_.get(kCpuPort, msg.header.key_version);
+      break;
+  }
+
+  const Bytes input = digest_input(msg);
+  if (!verify_key.has_value() ||
+      !digest_.verify(*verify_key, input, msg.header.digest, ctx.costs())) {
+    ++stats_.digest_failures;
+    push_alert(out, ctx, AlertMsg::DigestMismatch, static_cast<std::uint32_t>(kind),
+               msg.header.seq_num, 0);
+    out.dropped = true;
+    return out;
+  }
+  if (!msg.header.is_response() && !cdp_rx_.accept(msg.header.seq_num)) {
+    ++stats_.replay_rejections;
+    push_alert(out, ctx, AlertMsg::ReplayDetected, static_cast<std::uint32_t>(kind),
+               msg.header.seq_num, cdp_rx_.last());
+    out.dropped = true;
+    return out;
+  }
+
+  switch (kind) {
+    case KeyExchMsg::EakExch: {
+      if (msg.header.is_response()) break;  // DP never initiates EAK
+      const auto& request = std::get<EakPayload>(msg.payload);
+      const EakResponse eak = eak_respond(config_.schedule, config_.k_seed, request, ctx.rng());
+      ctx.costs().add_hash(17);  // KDF PRF work (extract + 2x expand folded)
+      k_auth_ = eak.k_auth;
+      Message response = make_response_header(
+          msg, HdrType::KeyExchange, static_cast<std::uint8_t>(KeyExchMsg::EakExch), eak.reply);
+      tag_message(config_.mac, config_.k_seed, response, ctx.costs());
+      out.to_cpu.push_back(encode(response));
+      break;
+    }
+
+    case KeyExchMsg::InitKeyExch: {
+      const auto& payload = std::get<AdhkdPayload>(msg.payload);
+      if (!msg.header.is_port_scope()) {
+        // Local-key init leg, authenticated by K_auth; we respond and
+        // install the new local key.
+        if (msg.header.is_response()) break;
+        const AdhkdResponse adhkd = adhkd_respond(config_.schedule, payload, ctx.rng());
+        ctx.costs().add_hash(17);
+        install_key(kCpuPort, adhkd.master, ctx);
+        Message response =
+            make_response_header(msg, HdrType::KeyExchange,
+                                 static_cast<std::uint8_t>(KeyExchMsg::InitKeyExch), adhkd.reply);
+        tag_message(config_.mac, *verify_key, response, ctx.costs());
+        out.to_cpu.push_back(encode(response));
+        break;
+      }
+      // Port-scope leg redirected via the controller: src is the peer DP.
+      const auto port = port_of_neighbor(msg.header.src);
+      if (!port.has_value()) {
+        push_alert(out, ctx, AlertMsg::DigestMismatch, msg.header.src.value, msg.header.seq_num,
+                   0, /*detail=*/3);
+        out.dropped = true;
+        break;
+      }
+      if (!msg.header.is_response()) {
+        const AdhkdResponse adhkd = adhkd_respond(config_.schedule, payload, ctx.rng());
+        ctx.costs().add_hash(17);
+        install_key(*port, adhkd.master, ctx);
+        Message response =
+            make_response_header(msg, HdrType::KeyExchange,
+                                 static_cast<std::uint8_t>(KeyExchMsg::InitKeyExch), adhkd.reply);
+        response.header.key_version = keys_.current_version(kCpuPort);
+        tag_message(config_.mac, keys_.current(kCpuPort).value_or(config_.k_seed), response,
+                    ctx.costs());
+        out.to_cpu.push_back(encode(response));
+      } else {
+        const auto pending = pending_port_exchange_.find(*port);
+        if (pending == pending_port_exchange_.end()) break;
+        const Key64 master = pending->second.finish(payload);
+        ctx.costs().add_hash(17);
+        pending_port_exchange_.erase(pending);
+        install_key(*port, master, ctx);
+      }
+      break;
+    }
+
+    case KeyExchMsg::UpdKeyExch: {
+      // Local-key update: C initiates, we respond with the old key.
+      if (msg.header.is_response() || msg.header.is_port_scope()) break;
+      const auto& payload = std::get<AdhkdPayload>(msg.payload);
+      const AdhkdResponse adhkd = adhkd_respond(config_.schedule, payload, ctx.rng());
+      ctx.costs().add_hash(17);
+      Message response =
+          make_response_header(msg, HdrType::KeyExchange,
+                               static_cast<std::uint8_t>(KeyExchMsg::UpdKeyExch), adhkd.reply);
+      response.header.key_version = msg.header.key_version;
+      tag_message(config_.mac, *verify_key, response, ctx.costs());
+      install_key(kCpuPort, adhkd.master, ctx);
+      out.to_cpu.push_back(encode(response));
+      break;
+    }
+
+    case KeyExchMsg::PortKeyInit: {
+      // Begin ADHKD toward the peer, redirected via the controller.
+      const auto& request = std::get<PortKeyPayload>(msg.payload);
+      set_neighbor(request.port, request.peer);
+      auto [it, inserted] =
+          pending_port_exchange_.insert_or_assign(request.port, AdhkdInitiator(config_.schedule));
+      (void)inserted;
+      const AdhkdPayload leg = it->second.start(ctx.rng());
+      Message exchange;
+      exchange.header.hdr_type = HdrType::KeyExchange;
+      exchange.header.msg_type = static_cast<std::uint8_t>(KeyExchMsg::InitKeyExch);
+      exchange.header.seq_num = cdp_tx_.next();
+      exchange.header.flags = kFlagPortScope;
+      exchange.header.key_version = keys_.current_version(kCpuPort);
+      exchange.header.src = config_.self;
+      exchange.header.dst = request.peer;
+      exchange.payload = leg;
+      tag_message(config_.mac, keys_.current(kCpuPort).value_or(config_.k_seed), exchange,
+                  ctx.costs());
+      out.to_cpu.push_back(encode(exchange));
+      break;
+    }
+
+    case KeyExchMsg::PortKeyUpdate: {
+      // Begin ADHKD directly over the link, authenticated by the current
+      // port key (§VI-C: "directly managed by the data planes").
+      const auto& request = std::get<PortKeyPayload>(msg.payload);
+      const auto port_key = keys_.current(request.port);
+      if (!port_key.has_value()) {
+        push_alert(out, ctx, AlertMsg::DigestMismatch, request.port.value, msg.header.seq_num, 0,
+                   /*detail=*/4);
+        out.dropped = true;
+        break;
+      }
+      auto [it, inserted] =
+          pending_port_exchange_.insert_or_assign(request.port, AdhkdInitiator(config_.schedule));
+      (void)inserted;
+      const AdhkdPayload leg = it->second.start(ctx.rng());
+      Message exchange;
+      exchange.header.hdr_type = HdrType::KeyExchange;
+      exchange.header.msg_type = static_cast<std::uint8_t>(KeyExchMsg::UpdKeyExch);
+      exchange.header.seq_num = port_tx_[request.port].next();
+      exchange.header.flags = kFlagPortScope;
+      exchange.header.key_version = keys_.current_version(request.port);
+      exchange.header.src = config_.self;
+      exchange.header.dst = request.peer;
+      exchange.payload = leg;
+      tag_message(config_.mac, *port_key, exchange, ctx.costs());
+      out.emits.push_back(dataplane::Emit{request.port, encode(exchange)});
+      break;
+    }
+  }
+  return out;
+}
+
+dataplane::PipelineOutput P4AuthAgent::handle_dp_data(const Message& msg,
+                                                      dataplane::Packet& packet,
+                                                      dataplane::PipelineContext& ctx) {
+  const PortId port = packet.ingress;
+  dataplane::PipelineOutput out;
+
+  const auto key = keys_.get(port, msg.header.key_version);
+  const Bytes input = digest_input(msg);
+  if (!key.has_value() || !digest_.verify(*key, input, msg.header.digest, ctx.costs())) {
+    ++stats_.digest_failures;
+    ++stats_.feedback_rejected;
+    out = dataplane::PipelineOutput::drop();
+    push_alert(out, ctx, AlertMsg::DigestMismatch, port.value, msg.header.seq_num, 0);
+    return out;
+  }
+  if (!port_rx_[port].accept(msg.header.seq_num)) {
+    ++stats_.replay_rejections;
+    out = dataplane::PipelineOutput::drop();
+    push_alert(out, ctx, AlertMsg::ReplayDetected, port.value, msg.header.seq_num,
+               port_rx_[port].last());
+    return out;
+  }
+  ++stats_.feedback_verified;
+
+  dataplane::Packet inner_packet;
+  inner_packet.payload = std::get<DpDataPayload>(msg.payload).inner;
+  if (msg.header.is_encrypted()) {
+    // MAC already verified over the ciphertext; now decrypt with the key
+    // derived from the same port master secret.
+    const Key64 enc_key =
+        config_.schedule.kdf.derive_labeled(*key, 0, crypto::kEncryptionLabel);
+    crypto::xor_keystream(enc_key, feedback_nonce(msg.header), inner_packet.payload);
+    ctx.costs().add_hash(inner_packet.payload.size());
+  }
+  inner_packet.ingress = port;
+  inner_packet.arrival = packet.arrival;
+  return run_inner(inner_packet, ctx);
+}
+
+dataplane::PipelineOutput P4AuthAgent::handle_key_exchange_port(const Message& msg,
+                                                                PortId ingress,
+                                                                dataplane::PipelineContext& ctx) {
+  dataplane::PipelineOutput out;
+  const auto kind = static_cast<KeyExchMsg>(msg.header.msg_type);
+  if (kind != KeyExchMsg::UpdKeyExch || !msg.header.is_port_scope()) {
+    out.dropped = true;
+    return out;
+  }
+
+  const auto key = keys_.get(ingress, msg.header.key_version);
+  const Bytes input = digest_input(msg);
+  if (!key.has_value() || !digest_.verify(*key, input, msg.header.digest, ctx.costs())) {
+    ++stats_.digest_failures;
+    out.dropped = true;
+    push_alert(out, ctx, AlertMsg::DigestMismatch, ingress.value, msg.header.seq_num, 0);
+    return out;
+  }
+
+  const auto& payload = std::get<AdhkdPayload>(msg.payload);
+  if (!msg.header.is_response()) {
+    if (!port_rx_[ingress].accept(msg.header.seq_num)) {
+      ++stats_.replay_rejections;
+      out.dropped = true;
+      push_alert(out, ctx, AlertMsg::ReplayDetected, ingress.value, msg.header.seq_num,
+                 port_rx_[ingress].last());
+      return out;
+    }
+    const AdhkdResponse adhkd = adhkd_respond(config_.schedule, payload, ctx.rng());
+    ctx.costs().add_hash(17);
+    Message response =
+        make_response_header(msg, HdrType::KeyExchange,
+                             static_cast<std::uint8_t>(KeyExchMsg::UpdKeyExch), adhkd.reply);
+    response.header.key_version = msg.header.key_version;
+    tag_message(config_.mac, *key, response, ctx.costs());
+    install_key(ingress, adhkd.master, ctx);
+    out.emits.push_back(dataplane::Emit{ingress, encode(response)});
+  } else {
+    const auto pending = pending_port_exchange_.find(ingress);
+    if (pending == pending_port_exchange_.end()) {
+      out.dropped = true;
+      return out;
+    }
+    const Key64 master = pending->second.finish(payload);
+    ctx.costs().add_hash(17);
+    pending_port_exchange_.erase(pending);
+    install_key(ingress, master, ctx);
+  }
+  return out;
+}
+
+dataplane::PipelineOutput P4AuthAgent::run_inner(dataplane::Packet& packet,
+                                                 dataplane::PipelineContext& ctx) {
+  if (inner_ == nullptr) return dataplane::PipelineOutput::drop();
+  dataplane::PipelineOutput out = inner_->process(packet, ctx);
+  if (!config_.auth_enabled) return out;
+
+  for (auto& emit : out.emits) {
+    if (!is_protected_magic(emit.payload)) continue;
+    const auto key = keys_.current(emit.port);
+    if (!key.has_value()) continue;  // no port key yet: leaves untagged
+
+    Message frame;
+    frame.header.hdr_type = HdrType::DpData;
+    frame.header.msg_type = 1;
+    frame.header.seq_num = port_tx_[emit.port].next();
+    frame.header.key_version = keys_.current_version(emit.port);
+    frame.header.src = config_.self;
+    const auto neighbor = neighbor_of_port_.find(emit.port);
+    frame.header.dst = neighbor != neighbor_of_port_.end() ? neighbor->second : NodeId{};
+    if (config_.encrypt_feedback) {
+      // Encrypt-then-MAC: the digest below covers the ciphertext.
+      frame.header.flags |= kFlagEncrypted;
+      const Key64 enc_key =
+          config_.schedule.kdf.derive_labeled(*key, 0, crypto::kEncryptionLabel);
+      crypto::xor_keystream(enc_key, feedback_nonce(frame.header), emit.payload);
+      ctx.costs().add_hash(emit.payload.size());  // keystream generation
+    }
+    frame.payload = DpDataPayload{std::move(emit.payload)};
+    tag_message(config_.mac, *key, frame, ctx.costs());
+    emit.payload = encode(frame);
+    ++stats_.feedback_tagged;
+  }
+  return out;
+}
+
+dataplane::ProgramDeclaration P4AuthAgent::resources() const {
+  dataplane::ProgramDeclaration decl =
+      inner_ != nullptr ? inner_->resources() : dataplane::ProgramDeclaration{};
+  decl.name += "+p4auth";
+
+  decl.add_table(reg_map_.shape());
+  const auto slots = static_cast<std::size_t>(config_.num_ports) + 1;
+  decl.registers.push_back(dataplane::RegisterShape{"p4auth_keys_a", slots * 64});
+  decl.registers.push_back(dataplane::RegisterShape{"p4auth_keys_b", slots * 64});
+  decl.registers.push_back(dataplane::RegisterShape{"p4auth_key_installs", slots * 32});
+  decl.registers.push_back(dataplane::RegisterShape{"p4auth_seq", 16384u * 32u});
+  decl.registers.push_back(dataplane::RegisterShape{"p4auth_alert_cnt", 2u * 4096u * 32u});
+  decl.registers.push_back(dataplane::RegisterShape{"p4auth_pending", 2u * 4096u * 32u});
+
+  const std::size_t covered = kHeaderSize - 4 + 16;  // header sans digest + payload
+  if (config_.mac == crypto::MacKind::Crc32Envelope) {
+    decl.hash_uses.push_back(dataplane::HashUse::crc32("digest_verify", covered));
+    decl.hash_uses.push_back(dataplane::HashUse::crc32("digest_compute", covered));
+  } else {
+    decl.hash_uses.push_back(dataplane::HashUse::halfsiphash("digest_verify", covered - 4));
+    decl.hash_uses.push_back(dataplane::HashUse::halfsiphash("digest_compute", covered - 4));
+  }
+  decl.hash_uses.push_back(dataplane::HashUse::crc32("kdf_extract"));
+  decl.hash_uses.push_back(dataplane::HashUse::crc32("kdf_expand_1"));
+  decl.hash_uses.push_back(dataplane::HashUse::crc32("kdf_expand_2"));
+  decl.hash_uses.push_back(dataplane::HashUse::random_gen("dh_private_key"));
+
+  decl.header_phv_bits += static_cast<int>(kHeaderSize) * 8;  // p4auth_h
+  decl.metadata_phv_bits += 384;  // DH/KDF/digest scratch + seq bookkeeping
+  return decl;
+}
+
+}  // namespace p4auth::core

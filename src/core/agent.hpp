@@ -1,0 +1,169 @@
+// P4AuthAgent — the P4Auth data-plane module (the paper's 400 lines of P4
+// plus externs, §VII), realized as a DataPlaneProgram that wraps an inner
+// application program.
+//
+// Responsibilities, all executed in the data plane:
+//  * authenticate C-DP register read/write requests against K_local and
+//    serve them through the reg_id_to_name_mapping table, answering with
+//    tagged ack/nAck responses (§V, Fig. 8/15);
+//  * run the data-plane side of the key management protocol: EAK
+//    responder, ADHKD responder/initiator for local and port keys, with
+//    two-version consistent key installs (§VI);
+//  * authenticate DP-DP feedback messages: verify inbound DpData frames
+//    with the ingress port key, hand the inner payload to the wrapped
+//    program, and re-tag outbound feedback with each egress port key (§V);
+//  * detect and alert: digest mismatches, replays, untagged protected
+//    messages — alerts rate-limited per §VIII.
+//
+// The inner program is oblivious to P4Auth. Outbound packets whose first
+// byte is a registered "protected magic" (e.g. a HULA probe) are wrapped
+// and tagged; everything else passes untouched.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dos_guard.hpp"
+#include "core/key_store.hpp"
+#include "core/protocol.hpp"
+#include "core/replay_guard.hpp"
+#include "core/wire.hpp"
+#include "crypto/mac.hpp"
+#include "dataplane/digest_extern.hpp"
+#include "dataplane/program.hpp"
+#include "dataplane/table.hpp"
+
+namespace p4auth::core {
+
+class P4AuthAgent : public dataplane::DataPlaneProgram {
+ public:
+  struct Config {
+    NodeId self{};
+    Key64 k_seed = 0;
+    crypto::MacKind mac = crypto::MacKind::HalfSipHash24;
+    KeySchedule schedule{};
+    int num_ports = 16;
+    /// Max alerts per window before suppression (§VIII DoS mitigation).
+    std::uint32_t alert_rate_limit = 64;
+    SimTime alert_window = SimTime::from_ms(100);
+    /// When true, a protected-magic packet arriving untagged on a data
+    /// port is dropped (and alerted) instead of processed.
+    bool enforce_feedback_auth = true;
+    /// When false the agent becomes the DP-Reg-RW baseline: register ops
+    /// are served through the same tables but without digests/alerts.
+    bool auth_enabled = true;
+    /// §XI extension: encrypt DP-DP feedback payloads with a key derived
+    /// from the port master secret (Encrypt-then-MAC; HalfSipHash counter
+    /// mode). An on-link eavesdropper then learns nothing about probe
+    /// contents. Both ends must agree on this setting.
+    bool encrypt_feedback = false;
+  };
+
+  /// Creates the agent and its backing key registers inside `registers`
+  /// (the hosting switch's register file).
+  P4AuthAgent(Config config, dataplane::RegisterFile& registers,
+              std::unique_ptr<dataplane::DataPlaneProgram> inner);
+
+  // --- topology / exposure configuration (done by the operator pipeline
+  //     at deploy time, like p4Info + LLDP would) -------------------------
+
+  /// Declares that `port` faces neighbour switch `peer`.
+  void set_neighbor(PortId port, NodeId peer);
+
+  /// Makes a register addressable by C-DP requests: installs the two
+  /// (regId, read/write) entries in reg_id_to_name_mapping (§VII).
+  Status expose_register(RegisterId id, std::string name);
+
+  /// Registers a leading byte identifying protected in-network feedback
+  /// messages (e.g. the HULA probe magic).
+  void add_protected_magic(std::uint8_t magic);
+
+  // --- DataPlaneProgram ---------------------------------------------------
+
+  dataplane::PipelineOutput process(dataplane::Packet& packet,
+                                    dataplane::PipelineContext& ctx) override;
+  dataplane::ProgramDeclaration resources() const override;
+
+  // --- introspection (tests / benches) -------------------------------------
+
+  struct Stats {
+    std::uint64_t digest_failures = 0;
+    std::uint64_t replay_rejections = 0;
+    std::uint64_t alerts_sent = 0;
+    std::uint64_t alerts_suppressed = 0;
+    std::uint64_t reads_served = 0;
+    std::uint64_t writes_served = 0;
+    std::uint64_t nacks_sent = 0;
+    std::uint64_t feedback_verified = 0;
+    std::uint64_t feedback_rejected = 0;
+    std::uint64_t unauth_feedback_dropped = 0;
+    std::uint64_t feedback_tagged = 0;
+    std::uint64_t key_installs = 0;
+    SimTime last_key_install{};
+    std::uint64_t lldp_announcement_rounds = 0;
+    std::uint64_t lldp_neighbors_learned = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  const DataPlaneKeyStore& keys() const noexcept { return keys_; }
+  bool has_local_key() const noexcept { return keys_.has_key(kCpuPort); }
+  dataplane::DataPlaneProgram* inner() noexcept { return inner_.get(); }
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  // C-DP dispatch (CPU-port arrivals).
+  dataplane::PipelineOutput handle_control(const Message& msg, dataplane::PipelineContext& ctx);
+  dataplane::PipelineOutput handle_register_op(const Message& msg,
+                                               dataplane::PipelineContext& ctx);
+  dataplane::PipelineOutput handle_key_exchange_cpu(const Message& msg,
+                                                    dataplane::PipelineContext& ctx);
+  // DP-DP dispatch (data-port arrivals).
+  dataplane::PipelineOutput handle_dp_data(const Message& msg, dataplane::Packet& packet,
+                                           dataplane::PipelineContext& ctx);
+  dataplane::PipelineOutput handle_key_exchange_port(const Message& msg, PortId ingress,
+                                                     dataplane::PipelineContext& ctx);
+
+  /// Runs the inner program and wraps protected-magic emissions.
+  dataplane::PipelineOutput run_inner(dataplane::Packet& packet,
+                                      dataplane::PipelineContext& ctx);
+
+  bool is_protected_magic(const Bytes& payload) const noexcept;
+  std::optional<PortId> port_of_neighbor(NodeId peer) const;
+
+  /// Builds, tags (local key or K_seed fallback) and rate-limits an alert.
+  void push_alert(dataplane::PipelineOutput& out, dataplane::PipelineContext& ctx, AlertMsg code,
+                  std::uint32_t context, std::uint16_t observed, std::uint16_t expected,
+                  std::uint32_t detail = 0);
+
+  void install_key(PortId slot, Key64 key, dataplane::PipelineContext& ctx);
+
+  Message make_response_header(const Message& request, HdrType type, std::uint8_t msg_type,
+                               Payload payload) const;
+
+  Config config_;
+  std::unique_ptr<dataplane::DataPlaneProgram> inner_;
+  DataPlaneKeyStore keys_;
+  dataplane::DigestExtern digest_;
+  dataplane::ExactTable reg_map_;
+  std::vector<std::string> exposed_names_;
+  std::unordered_map<RegisterId, std::string> exposed_by_id_;
+
+  std::unordered_map<PortId, NodeId> neighbor_of_port_;
+  std::unordered_map<NodeId, PortId> port_of_peer_;
+  std::vector<std::uint8_t> protected_magics_;
+
+  std::optional<Key64> k_auth_;
+  SeqTracker cdp_rx_;
+  SeqCounter cdp_tx_;
+  std::unordered_map<PortId, SeqTracker> port_rx_;
+  std::unordered_map<PortId, SeqCounter> port_tx_;
+  std::unordered_map<PortId, AdhkdInitiator> pending_port_exchange_;
+
+  RateLimiter alert_limiter_;
+  Stats stats_;
+};
+
+}  // namespace p4auth::core

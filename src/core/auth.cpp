@@ -1,0 +1,29 @@
+#include "core/auth.hpp"
+
+namespace p4auth::core {
+
+void tag_message(crypto::MacKind mac, Key64 key, Message& message) {
+  const Bytes input = digest_input(message);
+  message.header.digest = crypto::compute_digest(mac, key, input);
+}
+
+bool verify_message(crypto::MacKind mac, Key64 key, const Message& message) {
+  const Bytes input = digest_input(message);
+  return crypto::verify_digest(mac, key, input, message.header.digest);
+}
+
+void tag_message(crypto::MacKind mac, Key64 key, Message& message,
+                 dataplane::PacketCosts& costs) {
+  const Bytes input = digest_input(message);
+  costs.add_hash(input.size());
+  message.header.digest = crypto::compute_digest(mac, key, input);
+}
+
+bool verify_message(crypto::MacKind mac, Key64 key, const Message& message,
+                    dataplane::PacketCosts& costs) {
+  const Bytes input = digest_input(message);
+  costs.add_hash(input.size());
+  return crypto::verify_digest(mac, key, input, message.header.digest);
+}
+
+}  // namespace p4auth::core

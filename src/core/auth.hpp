@@ -1,0 +1,25 @@
+// Message tagging and verification (the paper's authentication protocol,
+// §V): attach/check the HMAC digest over header + payload under a shared
+// secret key.
+#pragma once
+
+#include "core/wire.hpp"
+#include "crypto/mac.hpp"
+#include "dataplane/packet.hpp"
+
+namespace p4auth::core {
+
+/// Computes and stores the digest into `message.header.digest`.
+void tag_message(crypto::MacKind mac, Key64 key, Message& message);
+
+/// Recomputes the digest and compares with the carried one.
+bool verify_message(crypto::MacKind mac, Key64 key, const Message& message);
+
+/// Variants that bill the hash to a packet's cost counters — use these on
+/// the data-plane side so the timing model sees the work.
+void tag_message(crypto::MacKind mac, Key64 key, Message& message,
+                 dataplane::PacketCosts& costs);
+bool verify_message(crypto::MacKind mac, Key64 key, const Message& message,
+                    dataplane::PacketCosts& costs);
+
+}  // namespace p4auth::core

@@ -1,0 +1,90 @@
+// Denial-of-service mitigations (§VIII):
+//  * RateLimiter — the data plane caps alert messages per window so a
+//    flood of tampered requests cannot jam the DP->C link with alerts.
+//  * OutstandingLedger — the controller bounds in-flight requests and
+//    tracks not-yet-acknowledged sequence numbers, so a flood of forged
+//    responses is detected (responses without a matching request) and the
+//    request/response imbalance threshold can trip.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace p4auth::core {
+
+class RateLimiter {
+ public:
+  RateLimiter(std::uint32_t max_events, SimTime window)
+      : max_events_(max_events), window_(window) {}
+
+  /// True if an event at `now` is under the threshold (and records it).
+  bool allow(SimTime now) {
+    while (!events_.empty() && events_.front() + window_ <= now) events_.pop_front();
+    if (events_.size() >= max_events_) {
+      ++suppressed_;
+      return false;
+    }
+    events_.push_back(now);
+    return true;
+  }
+
+  std::uint64_t suppressed() const noexcept { return suppressed_; }
+  std::size_t in_window() const noexcept { return events_.size(); }
+
+ private:
+  std::uint32_t max_events_;
+  SimTime window_;
+  std::deque<SimTime> events_;
+  std::uint64_t suppressed_ = 0;
+};
+
+class OutstandingLedger {
+ public:
+  explicit OutstandingLedger(std::size_t max_outstanding)
+      : max_outstanding_(max_outstanding) {}
+
+  /// Registers an issued request; fails when the in-flight bound is hit.
+  Status on_request(std::uint16_t seq, SimTime now) {
+    if (pending_.size() >= max_outstanding_) {
+      return make_error("outstanding request limit reached");
+    }
+    pending_.emplace(seq, now);
+    return {};
+  }
+
+  /// Matches a response to its request. An unmatched response is the
+  /// §VIII "many modified response messages" signature.
+  bool on_response(std::uint16_t seq) {
+    const auto it = pending_.find(seq);
+    if (it == pending_.end()) {
+      ++unmatched_responses_;
+      return false;
+    }
+    pending_.erase(it);
+    return true;
+  }
+
+  std::size_t outstanding() const noexcept { return pending_.size(); }
+  std::uint64_t unmatched_responses() const noexcept { return unmatched_responses_; }
+
+  /// Sequence numbers issued but never answered (stale after `age`).
+  std::vector<std::uint16_t> unacked_older_than(SimTime now, SimTime age) const {
+    std::vector<std::uint16_t> out;
+    for (const auto& [seq, t] : pending_) {
+      if (t + age <= now) out.push_back(seq);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t max_outstanding_;
+  std::unordered_map<std::uint16_t, SimTime> pending_;
+  std::uint64_t unmatched_responses_ = 0;
+};
+
+}  // namespace p4auth::core

@@ -1,0 +1,66 @@
+#include "core/key_store.hpp"
+
+#include <cassert>
+
+namespace p4auth::core {
+
+std::optional<Key64> VersionedKeyChain::current() const noexcept {
+  if (installs_ == 0) return std::nullopt;
+  return keys_[installs_ % 2];
+}
+
+std::optional<Key64> VersionedKeyChain::get(KeyVersion version) const noexcept {
+  if (installs_ == 0) return std::nullopt;
+  if (version == current_version()) return keys_[installs_ % 2];
+  const auto previous = KeyVersion{static_cast<std::uint8_t>((installs_ - 1) & 0xFF)};
+  if (installs_ >= 2 && version == previous) return keys_[(installs_ - 1) % 2];
+  return std::nullopt;
+}
+
+void VersionedKeyChain::install(Key64 key) noexcept {
+  ++installs_;
+  keys_[installs_ % 2] = key;
+}
+
+DataPlaneKeyStore::DataPlaneKeyStore(dataplane::RegisterFile& registers, int num_ports)
+    : num_ports_(num_ports), chains_(static_cast<std::size_t>(num_ports) + 1) {
+  const auto slots = static_cast<std::size_t>(num_ports) + 1;
+  // Well-known high register ids; these registers are deliberately NOT
+  // exposed through the reg_id_to_name mapping, so no C-DP request can
+  // read or write key material.
+  reg_a_ = registers.create("p4auth_keys_a", RegisterId{0xFFFF0001}, slots, 64).value();
+  reg_b_ = registers.create("p4auth_keys_b", RegisterId{0xFFFF0002}, slots, 64).value();
+  reg_installs_ =
+      registers.create("p4auth_key_installs", RegisterId{0xFFFF0003}, slots, 32).value();
+}
+
+bool DataPlaneKeyStore::has_key(PortId slot) const {
+  return slot.value < chains_.size() && chains_[slot.value].initialized();
+}
+
+KeyVersion DataPlaneKeyStore::current_version(PortId slot) const {
+  return chains_.at(slot.value).current_version();
+}
+
+std::optional<Key64> DataPlaneKeyStore::current(PortId slot) const {
+  if (slot.value >= chains_.size()) return std::nullopt;
+  return chains_[slot.value].current();
+}
+
+std::optional<Key64> DataPlaneKeyStore::get(PortId slot, KeyVersion version) const {
+  if (slot.value >= chains_.size()) return std::nullopt;
+  return chains_[slot.value].get(version);
+}
+
+void DataPlaneKeyStore::install(PortId slot, Key64 key) {
+  assert(slot.value < chains_.size());
+  auto& chain = chains_[slot.value];
+  chain.install(key);
+  // Mirror into the switch registers (paper §VII: "a register with N+1
+  // entries to store the local key and N port keys").
+  auto* active = (chain.installs() % 2 == 0) ? reg_a_ : reg_b_;
+  (void)active->write(slot.value, key);
+  (void)reg_installs_->write(slot.value, chain.installs());
+}
+
+}  // namespace p4auth::core

@@ -1,0 +1,46 @@
+// Minimal LLDP-style neighbour discovery (§VI-C: port-key initialization
+// is triggered when "a port activation event is observed by the
+// controller (e.g., via LLDP message)").
+//
+// Flow: a trigger makes a switch emit announcements on all ports; a
+// neighbouring agent that hears one learns (ingress port -> sender) and
+// forwards a report to the controller, which then kicks off the port-key
+// initialization for the newly discovered adjacency automatically.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace p4auth::core {
+
+inline constexpr std::uint8_t kLldpMagic = 0x4E;     // announcement on a link
+inline constexpr std::uint8_t kLldpGenMagic = 0x4F;  // trigger: announce on all ports
+inline constexpr std::uint8_t kLldpReportMagic = 0x4D;  // DP -> C neighbour report
+
+/// On-link announcement: "I am `sender`, this is my port `sender_port`".
+struct LldpAnnouncement {
+  NodeId sender{};
+  PortId sender_port{};
+  friend bool operator==(const LldpAnnouncement&, const LldpAnnouncement&) = default;
+};
+
+Bytes encode_lldp(const LldpAnnouncement& announcement);
+Result<LldpAnnouncement> decode_lldp(std::span<const std::uint8_t> frame);
+
+/// DP -> C report: "on my port `receiver_port` I hear `sender_port` of
+/// `sender`" — the adjacency the controller needs for portKeyInit.
+struct LldpReport {
+  NodeId sender{};
+  PortId sender_port{};
+  NodeId receiver{};
+  PortId receiver_port{};
+  friend bool operator==(const LldpReport&, const LldpReport&) = default;
+};
+
+Bytes encode_lldp_report(const LldpReport& report);
+Result<LldpReport> decode_lldp_report(std::span<const std::uint8_t> frame);
+
+Bytes encode_lldp_gen();
+
+}  // namespace p4auth::core

@@ -1,0 +1,48 @@
+#include "core/protocol.hpp"
+
+#include <cassert>
+
+namespace p4auth::core {
+
+EakPayload EakInitiator::start(Xoshiro256& rng) {
+  salt1_ = rng.next_u64();
+  return EakPayload{*salt1_};
+}
+
+Key64 EakInitiator::finish(const EakPayload& response) const {
+  assert(salt1_.has_value() && "EakInitiator::finish before start");
+  const std::uint64_t salt = schedule_.combine_salts(*salt1_, response.salt);
+  return schedule_.derive(k_seed_, salt);
+}
+
+EakResponse eak_respond(const KeySchedule& schedule, Key64 k_seed, const EakPayload& request,
+                        Xoshiro256& rng) {
+  const std::uint64_t salt2 = rng.next_u64();
+  const std::uint64_t salt = schedule.combine_salts(request.salt, salt2);
+  return EakResponse{EakPayload{salt2}, schedule.derive(k_seed, salt)};
+}
+
+AdhkdPayload AdhkdInitiator::start(Xoshiro256& rng) {
+  private_key_ = crypto::draw_private_key(rng);
+  salt1_ = rng.next_u64();
+  return AdhkdPayload{crypto::dh_public(schedule_.dh, *private_key_), salt1_};
+}
+
+Key64 AdhkdInitiator::finish(const AdhkdPayload& response) const {
+  assert(private_key_.has_value() && "AdhkdInitiator::finish before start");
+  const Key64 pre_master = crypto::dh_shared(schedule_.dh, *private_key_, response.public_key);
+  const std::uint64_t salt = schedule_.combine_salts(salt1_, response.salt);
+  return schedule_.derive(pre_master, salt);
+}
+
+AdhkdResponse adhkd_respond(const KeySchedule& schedule, const AdhkdPayload& request,
+                            Xoshiro256& rng) {
+  const std::uint64_t r2 = crypto::draw_private_key(rng);
+  const std::uint64_t salt2 = rng.next_u64();
+  const Key64 pre_master = crypto::dh_shared(schedule.dh, r2, request.public_key);
+  const std::uint64_t salt = schedule.combine_salts(request.salt, salt2);
+  return AdhkdResponse{AdhkdPayload{crypto::dh_public(schedule.dh, r2), salt2},
+                       schedule.derive(pre_master, salt)};
+}
+
+}  // namespace p4auth::core

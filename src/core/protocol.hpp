@@ -1,0 +1,101 @@
+// Pure protocol state machines for the key management protocol (§VI):
+// EAK (Exchange of Authentication Key) and ADHKD (Authenticated DH
+// exchange and Key Derivation). Transport-agnostic: the data-plane agent
+// and the controller's key manager both drive these over their own
+// channels, so a unit test can run an exchange end-to-end in memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/wire.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/modified_dh.hpp"
+
+namespace p4auth::core {
+
+/// The crypto configuration both ends must share (compiled into the
+/// "switch binary": DH domain parameters and the private KDF logic).
+struct KeySchedule {
+  crypto::DhParams dh = crypto::kDefaultDhParams;
+  crypto::Kdf kdf{crypto::PrfKind::Crc32, 1};
+
+  /// Folds the two exchanged salts (S = S1 || S2 in the paper) into the
+  /// KDF's 64-bit salt input. Order-sensitive: combine(a,b) != combine(b,a).
+  std::uint64_t combine_salts(std::uint64_t s1, std::uint64_t s2) const noexcept {
+    return s1 ^ ((s2 << 32) | (s2 >> 32));
+  }
+
+  Key64 derive(Key64 secret, std::uint64_t salt) const noexcept {
+    return kdf.derive(secret, salt);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// EAK (§VI-A): C and DP derive K_auth from the pre-shared K_seed and two
+// fresh salts. Messages carry only salts; K_seed never crosses the wire.
+
+class EakInitiator {
+ public:
+  EakInitiator(const KeySchedule& schedule, Key64 k_seed)
+      : schedule_(schedule), k_seed_(k_seed) {}
+
+  /// Step 1-2: draw S1 (the payload to transmit).
+  EakPayload start(Xoshiro256& rng);
+
+  /// Step 5: combine with the responder's S2 and derive K_auth.
+  /// Precondition: start() was called.
+  Key64 finish(const EakPayload& response) const;
+
+  bool started() const noexcept { return salt1_.has_value(); }
+
+ private:
+  KeySchedule schedule_;
+  Key64 k_seed_;
+  std::optional<std::uint64_t> salt1_;
+};
+
+struct EakResponse {
+  EakPayload reply;  ///< S2 to transmit back
+  Key64 k_auth;      ///< derived authentication key
+};
+
+/// Steps 3-4, responder side (the data plane): stateless single shot.
+EakResponse eak_respond(const KeySchedule& schedule, Key64 k_seed, const EakPayload& request,
+                        Xoshiro256& rng);
+
+// ---------------------------------------------------------------------------
+// ADHKD (§VI-B, Fig. 12): authenticated modified-DH exchange producing the
+// master secret (K_local or K_port) via the KDF.
+
+class AdhkdInitiator {
+ public:
+  explicit AdhkdInitiator(const KeySchedule& schedule) : schedule_(schedule) {}
+
+  /// Step 1-2: draw R1 and S1, emit (PK1, S1).
+  AdhkdPayload start(Xoshiro256& rng);
+
+  /// Step 5: derive the master secret from the responder's (PK2, S2).
+  /// Precondition: start() was called.
+  Key64 finish(const AdhkdPayload& response) const;
+
+  bool started() const noexcept { return private_key_.has_value(); }
+
+ private:
+  KeySchedule schedule_;
+  std::optional<std::uint64_t> private_key_;
+  std::uint64_t salt1_ = 0;
+};
+
+struct AdhkdResponse {
+  AdhkdPayload reply;  ///< (PK2, S2) to transmit back
+  Key64 master;        ///< derived master secret
+};
+
+/// Steps 3-4, responder side: stateless single shot.
+AdhkdResponse adhkd_respond(const KeySchedule& schedule, const AdhkdPayload& request,
+                            Xoshiro256& rng);
+
+}  // namespace p4auth::core

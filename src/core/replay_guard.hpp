@@ -1,0 +1,87 @@
+// Replay defence (§VIII): sequence-number tracking in mod-2^16 serial
+// arithmetic with an IPsec-style sliding acceptance window.
+//
+// A strictly-monotone tracker would false-reject legitimate reordering —
+// e.g. a register read (short compose time) overtaking a write (long
+// compose time) issued just before it on the same C-DP channel. The
+// sliding window accepts each sequence number exactly once within the
+// last `kWindow` values; true replays (duplicates) and stale messages are
+// rejected. The wrap-around corner the paper discusses is handled by the
+// serial arithmetic, and fully closed by rotating keys within the
+// wrap-around time (the KMP's job).
+#pragma once
+
+#include <cstdint>
+
+namespace p4auth::core {
+
+class SeqTracker {
+ public:
+  static constexpr int kWindow = 64;
+
+  /// Accepts `seq` iff it was not seen before and lies within the last
+  /// kWindow values of the highest accepted sequence number (first
+  /// message always accepted). Accepting records it.
+  bool accept(std::uint16_t seq) noexcept {
+    if (!started_) {
+      started_ = true;
+      top_ = seq;
+      window_ = 1;  // bit 0 = top_
+      return true;
+    }
+    const auto ahead = static_cast<std::int16_t>(seq - top_);
+    if (ahead > 0) {
+      // New highest value: slide the window forward.
+      if (ahead >= kWindow) {
+        window_ = 0;
+      } else {
+        window_ <<= ahead;
+      }
+      window_ |= 1;
+      top_ = seq;
+      return true;
+    }
+    const int behind = -ahead;
+    if (behind >= kWindow) return false;  // stale (or far-future wrap)
+    const std::uint64_t bit = 1ull << behind;
+    if (window_ & bit) return false;  // duplicate: the §VIII replay
+    window_ |= bit;
+    return true;
+  }
+
+  /// Non-recording check.
+  bool would_accept(std::uint16_t seq) const noexcept {
+    if (!started_) return true;
+    const auto ahead = static_cast<std::int16_t>(seq - top_);
+    if (ahead > 0) return true;
+    const int behind = -ahead;
+    if (behind >= kWindow) return false;
+    return (window_ & (1ull << behind)) == 0;
+  }
+
+  bool started() const noexcept { return started_; }
+  /// Highest accepted sequence number.
+  std::uint16_t last() const noexcept { return top_; }
+  void reset() noexcept {
+    started_ = false;
+    top_ = 0;
+    window_ = 0;
+  }
+
+ private:
+  bool started_ = false;
+  std::uint16_t top_ = 0;
+  std::uint64_t window_ = 0;  // bit i = (top_ - i) seen
+};
+
+/// Monotone sequence-number source for a sender.
+class SeqCounter {
+ public:
+  std::uint16_t next() noexcept { return ++value_; }
+  std::uint16_t current() const noexcept { return value_; }
+
+ private:
+  std::uint16_t value_ = 0;
+};
+
+}  // namespace p4auth::core

@@ -1,0 +1,182 @@
+#include "core/wire.hpp"
+
+#include <cassert>
+
+namespace p4auth::core {
+namespace {
+
+void write_header(ByteWriter& w, const Header& h) {
+  w.u8(static_cast<std::uint8_t>(h.hdr_type))
+      .u8(h.msg_type)
+      .u16(h.seq_num)
+      .u8(h.key_version.value)
+      .u8(h.flags)
+      .u16(h.src.value)
+      .u16(h.dst.value)
+      .u32(h.digest);
+}
+
+void write_payload(ByteWriter& w, const Payload& payload) {
+  std::visit(
+      [&w](const auto& p) {
+        using T = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<T, RegisterOpPayload>) {
+          w.u32(p.reg_id.value).u32(p.index).u64(p.value);
+        } else if constexpr (std::is_same_v<T, EakPayload>) {
+          w.u64(p.salt);
+        } else if constexpr (std::is_same_v<T, AdhkdPayload>) {
+          w.u64(p.public_key).u64(p.salt);
+        } else if constexpr (std::is_same_v<T, PortKeyPayload>) {
+          w.u16(p.port.value).u16(p.peer.value);
+        } else if constexpr (std::is_same_v<T, AlertPayload>) {
+          w.u32(p.context).u16(p.observed_seq).u16(p.expected_seq).u32(p.detail);
+        } else if constexpr (std::is_same_v<T, DpDataPayload>) {
+          w.raw(p.inner);
+        }
+      },
+      payload);
+}
+
+[[maybe_unused]] bool payload_matches_type(const Message& m) {
+  switch (m.header.hdr_type) {
+    case HdrType::RegisterOp: return std::holds_alternative<RegisterOpPayload>(m.payload);
+    case HdrType::Alert: return std::holds_alternative<AlertPayload>(m.payload);
+    case HdrType::DpData: return std::holds_alternative<DpDataPayload>(m.payload);
+    case HdrType::KeyExchange:
+      switch (static_cast<KeyExchMsg>(m.header.msg_type)) {
+        case KeyExchMsg::EakExch: return std::holds_alternative<EakPayload>(m.payload);
+        case KeyExchMsg::InitKeyExch:
+        case KeyExchMsg::UpdKeyExch: return std::holds_alternative<AdhkdPayload>(m.payload);
+        case KeyExchMsg::PortKeyInit:
+        case KeyExchMsg::PortKeyUpdate: return std::holds_alternative<PortKeyPayload>(m.payload);
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Bytes encode(const Message& message) {
+  assert(payload_matches_type(message));
+  Bytes out;
+  out.reserve(kHeaderSize + encoded_size(message.payload) - kHeaderSize);
+  ByteWriter w(out);
+  write_header(w, message.header);
+  write_payload(w, message.payload);
+  return out;
+}
+
+Result<Message> decode(std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  if (frame.size() < kHeaderSize) return make_error("p4auth frame truncated");
+
+  Header h;
+  const auto hdr_type = r.u8().value();
+  if (hdr_type < 1 || hdr_type > 4) return make_error("unknown hdrType");
+  h.hdr_type = static_cast<HdrType>(hdr_type);
+  h.msg_type = r.u8().value();
+  h.seq_num = r.u16().value();
+  h.key_version = KeyVersion{r.u8().value()};
+  h.flags = r.u8().value();
+  h.src = NodeId{r.u16().value()};
+  h.dst = NodeId{r.u16().value()};
+  h.digest = r.u32().value();
+
+  Message m;
+  m.header = h;
+  switch (h.hdr_type) {
+    case HdrType::RegisterOp: {
+      if (h.msg_type < 1 || h.msg_type > 4) return make_error("unknown register msgType");
+      if (r.remaining() < 16) return make_error("registerOp payload truncated");
+      RegisterOpPayload p;
+      p.reg_id = RegisterId{r.u32().value()};
+      p.index = r.u32().value();
+      p.value = r.u64().value();
+      m.payload = p;
+      break;
+    }
+    case HdrType::KeyExchange: {
+      switch (static_cast<KeyExchMsg>(h.msg_type)) {
+        case KeyExchMsg::EakExch: {
+          if (r.remaining() < 8) return make_error("eak payload truncated");
+          m.payload = EakPayload{r.u64().value()};
+          break;
+        }
+        case KeyExchMsg::InitKeyExch:
+        case KeyExchMsg::UpdKeyExch: {
+          if (r.remaining() < 16) return make_error("adhkd payload truncated");
+          AdhkdPayload p;
+          p.public_key = r.u64().value();
+          p.salt = r.u64().value();
+          m.payload = p;
+          break;
+        }
+        case KeyExchMsg::PortKeyInit:
+        case KeyExchMsg::PortKeyUpdate: {
+          if (r.remaining() < 4) return make_error("portKey payload truncated");
+          PortKeyPayload p;
+          p.port = PortId{r.u16().value()};
+          p.peer = NodeId{r.u16().value()};
+          m.payload = p;
+          break;
+        }
+        default:
+          return make_error("unknown keyExchange msgType");
+      }
+      break;
+    }
+    case HdrType::Alert: {
+      if (h.msg_type < 1 || h.msg_type > 5) return make_error("unknown alert msgType");
+      if (r.remaining() < 12) return make_error("alert payload truncated");
+      AlertPayload p;
+      p.context = r.u32().value();
+      p.observed_seq = r.u16().value();
+      p.expected_seq = r.u16().value();
+      p.detail = r.u32().value();
+      m.payload = p;
+      break;
+    }
+    case HdrType::DpData: {
+      DpDataPayload p;
+      p.inner = r.raw(r.remaining()).value();
+      m.payload = p;
+      break;
+    }
+  }
+  if (!r.exhausted()) return make_error("p4auth frame has trailing bytes");
+  return m;
+}
+
+bool looks_like_p4auth(std::span<const std::uint8_t> frame) noexcept {
+  return frame.size() >= kHeaderSize && frame[0] >= 1 && frame[0] <= 4;
+}
+
+Bytes digest_input(const Message& message) {
+  // Eqn. 4: the digest covers p4auth_h *excluding the digest field* plus
+  // the payload. The digest occupies the header's last 4 bytes, so drop
+  // them rather than hashing zeros in their place.
+  Bytes out;
+  ByteWriter w(out);
+  write_header(w, message.header);
+  out.erase(out.begin() + static_cast<std::ptrdiff_t>(kHeaderSize - 4),
+            out.begin() + static_cast<std::ptrdiff_t>(kHeaderSize));
+  write_payload(w, message.payload);
+  return out;
+}
+
+std::size_t encoded_size(const Payload& payload) noexcept {
+  return kHeaderSize + std::visit(
+                           [](const auto& p) -> std::size_t {
+                             using T = std::decay_t<decltype(p)>;
+                             if constexpr (std::is_same_v<T, RegisterOpPayload>) return 16;
+                             if constexpr (std::is_same_v<T, EakPayload>) return 8;
+                             if constexpr (std::is_same_v<T, AdhkdPayload>) return 16;
+                             if constexpr (std::is_same_v<T, PortKeyPayload>) return 4;
+                             if constexpr (std::is_same_v<T, AlertPayload>) return 12;
+                             if constexpr (std::is_same_v<T, DpDataPayload>) return p.inner.size();
+                           },
+                           payload);
+}
+
+}  // namespace p4auth::core

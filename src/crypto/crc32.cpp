@@ -1,0 +1,55 @@
+#include "crypto/crc32.hpp"
+
+#include <array>
+
+namespace p4auth::crypto {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+constexpr std::uint32_t step(std::uint32_t state, std::uint8_t byte) noexcept {
+  return kTable[(state ^ byte) & 0xFFu] ^ (state >> 8);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t state = 0xFFFFFFFFu;
+  for (const std::uint8_t b : data) state = step(state, b);
+  return state ^ 0xFFFFFFFFu;
+}
+
+Crc32& Crc32::update(std::span<const std::uint8_t> data) noexcept {
+  for (const std::uint8_t b : data) state_ = step(state_, b);
+  return *this;
+}
+
+Crc32& Crc32::update_u32(std::uint32_t v) noexcept {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    state_ = step(state_, static_cast<std::uint8_t>(v >> shift));
+  }
+  return *this;
+}
+
+Crc32& Crc32::update_u64(std::uint64_t v) noexcept {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    state_ = step(state_, static_cast<std::uint8_t>(v >> shift));
+  }
+  return *this;
+}
+
+std::uint32_t Crc32::final() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+
+}  // namespace p4auth::crypto

@@ -1,0 +1,29 @@
+// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320).
+//
+// On the Tofino target the paper uses CRC32 both as the digest hash and as
+// the KDF's PRF (§VII) because the switch exposes CRC natively through its
+// hash-distribution units. This is the software equivalent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace p4auth::crypto {
+
+/// One-shot CRC-32 of `data`.
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental interface for hashing discontiguous fields, mirroring how a
+/// Tofino hash unit consumes a field list.
+class Crc32 {
+ public:
+  Crc32& update(std::span<const std::uint8_t> data) noexcept;
+  Crc32& update_u32(std::uint32_t v) noexcept;
+  Crc32& update_u64(std::uint64_t v) noexcept;
+  std::uint32_t final() const noexcept;
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace p4auth::crypto

@@ -1,0 +1,75 @@
+#include "crypto/halfsiphash.hpp"
+
+namespace p4auth::crypto {
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+struct SipState {
+  std::uint32_t v0, v1, v2, v3;
+
+  void round() noexcept {
+    v0 += v1;
+    v1 = rotl(v1, 5);
+    v1 ^= v0;
+    v0 = rotl(v0, 16);
+    v2 += v3;
+    v3 = rotl(v3, 8);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 7);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v2;
+    v2 = rotl(v2, 16);
+  }
+
+  void rounds(int n) noexcept {
+    for (int i = 0; i < n; ++i) round();
+  }
+};
+
+constexpr std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t halfsiphash(std::uint64_t key, std::span<const std::uint8_t> data,
+                          SipRounds rounds) noexcept {
+  const auto k0 = static_cast<std::uint32_t>(key);
+  const auto k1 = static_cast<std::uint32_t>(key >> 32);
+
+  SipState s{/*v0=*/k0, /*v1=*/k1, /*v2=*/0x6c796765u ^ k0, /*v3=*/0x74656473u ^ k1};
+
+  const std::size_t full_blocks = data.size() / 4;
+  const std::uint8_t* p = data.data();
+  for (std::size_t i = 0; i < full_blocks; ++i, p += 4) {
+    const std::uint32_t m = load_le32(p);
+    s.v3 ^= m;
+    s.rounds(rounds.compression);
+    s.v0 ^= m;
+  }
+
+  // Last block: remaining bytes plus the message length in the top byte.
+  std::uint32_t b = static_cast<std::uint32_t>(data.size()) << 24;
+  switch (data.size() & 3) {
+    case 3: b |= static_cast<std::uint32_t>(p[2]) << 16; [[fallthrough]];
+    case 2: b |= static_cast<std::uint32_t>(p[1]) << 8; [[fallthrough]];
+    case 1: b |= static_cast<std::uint32_t>(p[0]); break;
+    default: break;
+  }
+  s.v3 ^= b;
+  s.rounds(rounds.compression);
+  s.v0 ^= b;
+
+  s.v2 ^= 0xFFu;
+  s.rounds(rounds.finalization);
+  return s.v1 ^ s.v3;
+}
+
+}  // namespace p4auth::crypto

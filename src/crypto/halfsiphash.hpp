@@ -1,0 +1,32 @@
+// HalfSipHash-c-d (Aumasson & Bernstein's SipHash reduced to 32-bit words).
+//
+// The paper picks HalfSipHash as its keyed digest on the BMv2 target (§VII)
+// because SipHash-family PRFs beat the SHA family on short inputs and are
+// implementable with AND/XOR/rotate — the only arithmetic a PISA pipeline
+// offers. This is a faithful software implementation of the reference
+// algorithm with a 64-bit key and 32-bit tag.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace p4auth::crypto {
+
+/// Compression/finalization round counts. The paper's prototype follows
+/// the recommended HalfSipHash-2-4; a 1-3 variant is provided for the
+/// cost/security ablation.
+struct SipRounds {
+  int compression = 2;
+  int finalization = 4;
+};
+
+inline constexpr SipRounds kHalfSipHash24{2, 4};
+inline constexpr SipRounds kHalfSipHash13{1, 3};
+
+/// 32-bit HalfSipHash of `data` under 64-bit `key`.
+/// The key is consumed as two 32-bit little-endian words (k0 = low word),
+/// matching the reference implementation.
+std::uint32_t halfsiphash(std::uint64_t key, std::span<const std::uint8_t> data,
+                          SipRounds rounds = kHalfSipHash24) noexcept;
+
+}  // namespace p4auth::crypto

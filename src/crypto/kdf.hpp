@@ -1,0 +1,60 @@
+// Custom key derivation function (paper §VI-D, Fig. 13).
+//
+// Shape follows TLS 1.3 / HKDF's Extract-and-Expand:
+//   extract:  prk    = PRF(K_in ^ fold(salt))          (32-bit PRK)
+//   expand:   out_lo = PRF(prk || salt || 0x01)
+//             out_hi = PRF(prk || salt || 0x02)
+//   key      = out_hi << 32 | out_lo                   (64-bit key)
+//
+// The PRF produces 32 bits, so the KDF runs it twice to produce the final
+// 64-bit secret — exactly as §VI-D describes. The PRF is pluggable: the
+// Tofino-analog prototype uses CRC32 with one round (§VII); HalfSipHash
+// under a fixed public key is available as the stronger option (§XI).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace p4auth::crypto {
+
+enum class PrfKind : std::uint8_t {
+  Crc32,          ///< Tofino-analog: native hash-unit CRC (paper's default).
+  HalfSipHash24,  ///< BMv2-analog / enhanced-security option.
+};
+
+/// Well-known KDF labels (key separation).
+inline constexpr std::uint8_t kAuthLabel = 0;
+inline constexpr std::uint8_t kEncryptionLabel = 0x45;  // 'E'
+
+/// Key derivation function with a configurable PRF and round count.
+/// `rounds` repeats the extract step, further mixing the secret; the
+/// prototype sets it to one (§VII).
+class Kdf {
+ public:
+  explicit Kdf(PrfKind prf = PrfKind::Crc32, int rounds = 1);
+
+  /// Derives a 64-bit key from a 64-bit input secret and a 64-bit public
+  /// salt. Deterministic: same (secret, salt) -> same key.
+  Key64 derive(Key64 secret, std::uint64_t salt) const noexcept {
+    return derive_labeled(secret, salt, 0);
+  }
+
+  /// Labeled derivation (§XI: "the KDF primitive can derive multiple
+  /// cryptographically unrelated keys ... and derive initial values and
+  /// nonces"): distinct labels yield independent keys from one master
+  /// secret — label 0 is the authentication key, kEncryptionLabel the
+  /// symmetric encryption key.
+  Key64 derive_labeled(Key64 secret, std::uint64_t salt, std::uint8_t label) const noexcept;
+
+  PrfKind prf() const noexcept { return prf_; }
+  int rounds() const noexcept { return rounds_; }
+
+ private:
+  std::uint32_t prf32(std::uint64_t a, std::uint64_t b, std::uint8_t tag) const noexcept;
+
+  PrfKind prf_;
+  int rounds_;
+};
+
+}  // namespace p4auth::crypto

@@ -1,0 +1,30 @@
+#include "crypto/mac.hpp"
+
+#include "crypto/crc32.hpp"
+#include "crypto/halfsiphash.hpp"
+
+namespace p4auth::crypto {
+
+Digest32 compute_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> data) noexcept {
+  switch (kind) {
+    case MacKind::HalfSipHash24:
+      return halfsiphash(key, data, kHalfSipHash24);
+    case MacKind::HalfSipHash13:
+      return halfsiphash(key, data, kHalfSipHash13);
+    case MacKind::Crc32Envelope: {
+      Crc32 crc;
+      crc.update_u64(key);
+      crc.update(data);
+      crc.update_u64(key);
+      return crc.final();
+    }
+  }
+  return 0;  // unreachable
+}
+
+bool verify_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> data,
+                   Digest32 tag) noexcept {
+  return compute_digest(kind, key, data) == tag;
+}
+
+}  // namespace p4auth::crypto

@@ -1,0 +1,36 @@
+// Keyed message digests ("HMAC" in the paper's terminology, §V Eqn. 4):
+//
+//   digest = HMAC_K(p4Auth_h || p4Auth_payload)
+//
+// Two interchangeable algorithms, matching §VII:
+//  * HalfSipHash-2-4 keyed directly with the 64-bit secret — the BMv2
+//    target's `compute_digest` extern (HalfSipHash is itself a keyed PRF,
+//    so no outer HMAC construction is needed).
+//  * CRC32 in an envelope construction crc32(key || data || key) — the
+//    Tofino target, where CRC is the only native hash.
+//
+// Verification is constant-shape (always computes the digest and compares)
+// so a MitM learns nothing from timing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace p4auth::crypto {
+
+enum class MacKind : std::uint8_t {
+  HalfSipHash24,  ///< BMv2-analog extern (paper's main design).
+  HalfSipHash13,  ///< cheaper variant for the rounds ablation.
+  Crc32Envelope,  ///< Tofino-analog (CRC32 as the hash algorithm).
+};
+
+/// Computes the 32-bit authentication tag of `data` under `key`.
+Digest32 compute_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> data) noexcept;
+
+/// Verifies `tag` against `data` under `key`.
+bool verify_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> data,
+                   Digest32 tag) noexcept;
+
+}  // namespace p4auth::crypto

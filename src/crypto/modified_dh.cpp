@@ -1,0 +1,12 @@
+#include "crypto/modified_dh.hpp"
+
+namespace p4auth::crypto {
+
+std::uint64_t draw_private_key(Xoshiro256& rng) noexcept {
+  for (;;) {
+    const std::uint64_t r = rng.next_u64();
+    if (r != 0) return r;
+  }
+}
+
+}  // namespace p4auth::crypto

@@ -1,0 +1,54 @@
+// Modified Diffie–Hellman (DH' / DH'') from the paper's Fig. 10.
+//
+// PISA pipelines cannot do modular exponentiation, so P4Auth adopts the
+// modified DH of DH-AES-P4 / Jeon & Gil, replacing exponentiation with
+// bitwise AND and XOR:
+//
+//   public key       PK = DH'(P, G, R)   = (G & R) ^ (P & R)
+//   pre-master key   K  = DH''(P, R, PK) = (PK & R) ^ P
+//
+// Symmetry: with private keys R1, R2 both sides derive
+//   (G & R1 & R2) ^ (P & R1 & R2) ^ P
+// because AND distributes over XOR and is commutative/associative —
+// property-tested in tests/crypto/modified_dh_test.cpp.
+//
+// The scheme's confidentiality rests on R being fresh and random; the
+// paper strengthens the output by always passing the pre-master secret
+// through the KDF (§XI), which this library enforces in core/adhkd.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace p4auth::crypto {
+
+/// Public domain parameters, analogous to classic DH's (p, g). Both ends
+/// must agree on them; they are compiled into the "switch binary".
+struct DhParams {
+  std::uint64_t prime;
+  std::uint64_t generator;
+};
+
+/// Default parameters used by the prototype (64-bit odd constants with
+/// balanced bit density so the AND masks do not systematically zero out).
+inline constexpr DhParams kDefaultDhParams{0xD6BBC2B4A4AE55DBull, 0x9E3779B97F4A7C15ull};
+
+/// DH': derive the public key from private secret `r`.
+constexpr std::uint64_t dh_public(DhParams params, std::uint64_t r) noexcept {
+  return (params.generator & r) ^ (params.prime & r);
+}
+
+/// DH'': derive the shared pre-master secret from own private `r` and the
+/// peer's public key `peer_pk`.
+constexpr std::uint64_t dh_shared(DhParams params, std::uint64_t r,
+                                  std::uint64_t peer_pk) noexcept {
+  return (peer_pk & r) ^ params.prime;
+}
+
+/// Draws a fresh DH private key. Mirrors the data plane's use of P4
+/// random(); never returns 0 (an all-zero mask would collapse the shared
+/// secret to P for every peer).
+std::uint64_t draw_private_key(Xoshiro256& rng) noexcept;
+
+}  // namespace p4auth::crypto

@@ -1,0 +1,26 @@
+#include "crypto/stream_cipher.hpp"
+
+#include "crypto/halfsiphash.hpp"
+
+namespace p4auth::crypto {
+
+void xor_keystream(Key64 key, std::uint64_t nonce, std::span<std::uint8_t> data) noexcept {
+  std::uint8_t block_input[12];
+  for (int i = 0; i < 8; ++i) {
+    block_input[i] = static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  }
+  std::size_t offset = 0;
+  std::uint32_t counter = 0;
+  while (offset < data.size()) {
+    for (int i = 0; i < 4; ++i) {
+      block_input[8 + i] = static_cast<std::uint8_t>(counter >> (24 - 8 * i));
+    }
+    const std::uint32_t block = halfsiphash(key, block_input);
+    for (int i = 0; i < 4 && offset < data.size(); ++i, ++offset) {
+      data[offset] ^= static_cast<std::uint8_t>(block >> (24 - 8 * i));
+    }
+    ++counter;
+  }
+}
+
+}  // namespace p4auth::crypto

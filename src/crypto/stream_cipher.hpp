@@ -1,0 +1,24 @@
+// Data-plane-amenable stream cipher (the §XI confidentiality extension):
+// HalfSipHash in counter mode. Each 4-byte keystream block is
+// HalfSipHash_k(nonce || counter) — only AND/XOR/rotate plus a hash unit,
+// i.e. exactly the operations a PISA pipeline offers. Encryption and
+// decryption are the same XOR operation.
+//
+// Security rests on (key, nonce) pairs never repeating: P4Auth derives the
+// encryption key from the master secret with a distinct KDF label and
+// builds the nonce from (sender, key version, sequence number), and the
+// KMP rolls keys before the 16-bit sequence space wraps (§VIII).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/types.hpp"
+
+namespace p4auth::crypto {
+
+/// XORs the (key, nonce) keystream into `data` in place. Apply twice with
+/// the same key/nonce to get the original back.
+void xor_keystream(Key64 key, std::uint64_t nonce, std::span<std::uint8_t> data) noexcept;
+
+}  // namespace p4auth::crypto

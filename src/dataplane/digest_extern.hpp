@@ -1,0 +1,38 @@
+// The `compute_digest` extern (paper §VII): the data plane's entry point
+// into keyed hashing. On BMv2 the paper implements HalfSipHash as an
+// extern function; on Tofino it uses the native CRC32 units. This wrapper
+// binds the crypto primitive to the pipeline cost model so every digest
+// operation is billed to the packet being processed.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "crypto/mac.hpp"
+#include "dataplane/packet.hpp"
+
+namespace p4auth::dataplane {
+
+class DigestExtern {
+ public:
+  explicit DigestExtern(crypto::MacKind kind) noexcept : kind_(kind) {}
+
+  crypto::MacKind kind() const noexcept { return kind_; }
+
+  Digest32 compute(Key64 key, std::span<const std::uint8_t> data,
+                   PacketCosts& costs) const noexcept {
+    costs.add_hash(data.size());
+    return crypto::compute_digest(kind_, key, data);
+  }
+
+  bool verify(Key64 key, std::span<const std::uint8_t> data, Digest32 tag,
+              PacketCosts& costs) const noexcept {
+    costs.add_hash(data.size());
+    return crypto::verify_digest(kind_, key, data, tag);
+  }
+
+ private:
+  crypto::MacKind kind_;
+};
+
+}  // namespace p4auth::dataplane

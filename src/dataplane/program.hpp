@@ -1,0 +1,47 @@
+// The data-plane program abstraction: what a compiled P4 program is to a
+// switch, a DataPlaneProgram is to our behavioural-model Switch.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "dataplane/packet.hpp"
+#include "dataplane/register_file.hpp"
+#include "dataplane/resources.hpp"
+
+namespace p4auth::dataplane {
+
+/// Per-invocation view of the switch a program runs on: stateful register
+/// access, the target's random() source, current time, and the cost
+/// counters the timing model bills from.
+class PipelineContext {
+ public:
+  PipelineContext(RegisterFile& registers, Xoshiro256& rng, SimTime now, NodeId self)
+      : registers_(registers), rng_(rng), now_(now), self_(self) {}
+
+  RegisterFile& registers() noexcept { return registers_; }
+  Xoshiro256& rng() noexcept { return rng_; }
+  SimTime now() const noexcept { return now_; }
+  NodeId self() const noexcept { return self_; }
+  PacketCosts& costs() noexcept { return costs_; }
+
+ private:
+  RegisterFile& registers_;
+  Xoshiro256& rng_;
+  SimTime now_;
+  NodeId self_;
+  PacketCosts costs_;
+};
+
+class DataPlaneProgram {
+ public:
+  virtual ~DataPlaneProgram() = default;
+
+  /// Processes one packet. Called for data-port arrivals and for PacketOut
+  /// messages from the controller (ingress == kCpuPort).
+  virtual PipelineOutput process(Packet& packet, PipelineContext& ctx) = 0;
+
+  /// Declared resource footprint (what the P4 compiler would report).
+  virtual ProgramDeclaration resources() const { return {}; }
+};
+
+}  // namespace p4auth::dataplane

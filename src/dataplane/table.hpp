@@ -1,0 +1,102 @@
+// Match-action tables in the three PISA match kinds: exact (SRAM + hash
+// unit), LPM and ternary (TCAM). Actions are an id plus a 64-bit action
+// data word — enough for "set egress port", "read register reg1", etc.
+//
+// Tables carry a declared `capacity` (what the compiler would size the
+// physical table to), which the resource model charges, independent of
+// how many entries are currently installed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace p4auth::dataplane {
+
+enum class MatchKind : std::uint8_t { Exact, Lpm, Ternary };
+
+struct Action {
+  int action_id = 0;
+  std::uint64_t data = 0;
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+/// Common declared shape, consumed by the resource model.
+struct TableShape {
+  std::string name;
+  MatchKind match_kind = MatchKind::Exact;
+  int key_bits = 0;
+  int action_bits = 64;
+  std::size_t capacity = 0;
+};
+
+/// Exact-match table keyed on raw bytes.
+class ExactTable {
+ public:
+  ExactTable(std::string name, int key_bits, std::size_t capacity);
+
+  const TableShape& shape() const noexcept { return shape_; }
+
+  /// Fails when the table is at declared capacity (mirrors a real target
+  /// rejecting inserts into a full table).
+  Status insert(Bytes key, Action action);
+  bool erase(const Bytes& key);
+  std::optional<Action> lookup(const Bytes& key) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  TableShape shape_;
+  std::map<Bytes, Action> entries_;
+};
+
+/// Longest-prefix-match table over 32-bit keys (IPv4-style routing).
+class LpmTable {
+ public:
+  LpmTable(std::string name, std::size_t capacity);
+
+  const TableShape& shape() const noexcept { return shape_; }
+
+  /// Precondition: 0 <= prefix_len <= 32; bits of `prefix` below the
+  /// prefix length are ignored.
+  Status insert(std::uint32_t prefix, int prefix_len, Action action);
+  std::optional<Action> lookup(std::uint32_t key) const;
+  std::size_t size() const noexcept;
+
+ private:
+  TableShape shape_;
+  // entries_[len] maps masked prefix -> action; lookup scans lengths
+  // longest-first.
+  std::map<int, std::unordered_map<std::uint32_t, Action>, std::greater<>> entries_;
+};
+
+/// Ternary table over 64-bit keys with value/mask entries and priorities
+/// (highest priority wins; ties broken by insertion order).
+class TernaryTable {
+ public:
+  TernaryTable(std::string name, int key_bits, std::size_t capacity);
+
+  const TableShape& shape() const noexcept { return shape_; }
+
+  Status insert(std::uint64_t value, std::uint64_t mask, int priority, Action action);
+  std::optional<Action> lookup(std::uint64_t key) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t value;
+    std::uint64_t mask;
+    int priority;
+    Action action;
+  };
+  TableShape shape_;
+  std::vector<Entry> entries_;  // kept sorted by descending priority
+};
+
+}  // namespace p4auth::dataplane

@@ -1,0 +1,39 @@
+#include "dataplane/timing.hpp"
+
+namespace p4auth::dataplane {
+
+TimingModel TimingModel::bmv2() noexcept {
+  TimingModel m;
+  m.target = TargetKind::Bmv2;
+  m.base_pipeline = SimTime::from_ns(110'000);
+  m.per_table = SimTime::from_ns(2'000);
+  m.per_register = SimTime::from_ns(1'000);
+  m.hash_fixed = SimTime::from_ns(100);
+  m.hash_per_byte_ns = 55.0;
+  m.recirculation = SimTime::from_ns(30'000);
+  return m;
+}
+
+TimingModel TimingModel::tofino() noexcept {
+  TimingModel m;
+  m.target = TargetKind::Tofino;
+  m.base_pipeline = SimTime::from_ns(550);
+  m.per_table = SimTime::from_ns(10);
+  m.per_register = SimTime::from_ns(5);
+  m.hash_fixed = SimTime::from_ns(8);
+  m.hash_per_byte_ns = 0.5;
+  m.recirculation = SimTime::from_ns(400);
+  return m;
+}
+
+SimTime TimingModel::process(const PacketCosts& costs) const noexcept {
+  std::uint64_t total = base_pipeline.ns();
+  total += per_table.ns() * static_cast<std::uint64_t>(costs.table_lookups);
+  total += per_register.ns() * static_cast<std::uint64_t>(costs.register_accesses);
+  total += hash_fixed.ns() * static_cast<std::uint64_t>(costs.hash_calls);
+  total += static_cast<std::uint64_t>(hash_per_byte_ns * static_cast<double>(costs.hashed_bytes));
+  total += recirculation.ns() * static_cast<std::uint64_t>(costs.recirculations);
+  return SimTime::from_ns(total);
+}
+
+}  // namespace p4auth::dataplane

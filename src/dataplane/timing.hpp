@@ -1,0 +1,39 @@
+// Per-target packet-processing timing models.
+//
+// Converts the PacketCosts a program accrues into a processing delay for
+// the two prototype targets:
+//  * Bmv2 — software switch; costs are in the hundreds of microseconds and
+//    hashing is an extern whose cost grows with the digested byte count
+//    (this is what makes Fig 21's P4Auth overhead grow with hop count,
+//    since HULA probes accumulate per-hop records).
+//  * Tofino — hardware pipeline; the base latency dominates and a digest
+//    adds a few tens of nanoseconds (the paper's "+6% on a single
+//    hardware switch").
+// Constants are calibrated against the relative overheads the paper
+// reports; see EXPERIMENTS.md for the calibration notes.
+#pragma once
+
+#include "common/types.hpp"
+#include "dataplane/packet.hpp"
+
+namespace p4auth::dataplane {
+
+enum class TargetKind { Bmv2, Tofino };
+
+struct TimingModel {
+  TargetKind target = TargetKind::Bmv2;
+  SimTime base_pipeline{};    ///< parse + deparse + fixed pipeline walk
+  SimTime per_table{};        ///< per match-action lookup
+  SimTime per_register{};     ///< per stateful register access
+  SimTime hash_fixed{};       ///< fixed cost per digest/hash invocation
+  double hash_per_byte_ns = 0;  ///< marginal cost per digested byte
+  SimTime recirculation{};    ///< cost of one pipeline recirculation
+
+  static TimingModel bmv2() noexcept;
+  static TimingModel tofino() noexcept;
+
+  /// Total processing delay for one packet with the given accrued costs.
+  SimTime process(const PacketCosts& costs) const noexcept;
+};
+
+}  // namespace p4auth::dataplane

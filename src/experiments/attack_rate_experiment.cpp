@@ -1,0 +1,82 @@
+#include "experiments/attack_rate_experiment.hpp"
+
+#include <memory>
+
+#include "apps/l3fwd/l3fwd.hpp"
+#include "attacks/control_plane_mitm.hpp"
+#include "common/stats.hpp"
+#include "experiments/fabric.hpp"
+
+namespace p4auth::experiments {
+namespace {
+
+constexpr NodeId kSw{1};
+
+AttackRatePoint run_point(double rate, const AttackRateOptions& options) {
+  Fabric::Options fabric_options;
+  fabric_options.seed = options.seed;
+  Fabric fabric(fabric_options);
+  apps::l3fwd::L3FwdProgram* l3 = nullptr;
+  auto& sw = fabric.add_switch(kSw, [&](dataplane::RegisterFile& registers) {
+    auto p = std::make_unique<apps::l3fwd::L3FwdProgram>(registers);
+    l3 = p.get();
+    return p;
+  });
+  (void)l3->expose_to(*sw.agent);
+  if (!fabric.init_all_keys().ok()) return AttackRatePoint{};
+
+  // Probabilistic tamper on every write request crossing the OS boundary.
+  auto tamper_rng = std::make_shared<Xoshiro256>(options.seed * 31 + 7);
+  sw.sw->set_os_interposer(attacks::make_write_value_tamper(
+      apps::l3fwd::kStatsReg, [tamper_rng, rate](std::uint32_t, std::uint64_t value) {
+        return tamper_rng->next_double() < rate ? value ^ 0xBADBADull : value;
+      }));
+
+  AttackRatePoint point;
+  point.tamper_probability = rate;
+  SampleSet completions;
+  std::uint64_t total_attempts = 0;
+  const SimTime begin = fabric.sim.now();
+
+  // Sequential writes with retry-on-detect.
+  for (int i = 0; i < options.writes; ++i) {
+    const auto index = static_cast<std::uint32_t>(i % 1024);
+    const std::uint64_t value = 0x1000u + static_cast<std::uint64_t>(i);
+    const SimTime issue = fabric.sim.now();
+    bool confirmed = false;
+    for (int attempt = 0; attempt < options.max_attempts && !confirmed; ++attempt) {
+      ++total_attempts;
+      std::optional<Result<std::uint64_t>> result;
+      fabric.controller.write_register(kSw, apps::l3fwd::kStatsReg, index, value,
+                                       [&](auto r) { result = std::move(r); });
+      fabric.sim.run();
+      confirmed = result.has_value() && result->ok();
+    }
+    if (confirmed) {
+      completions.add((fabric.sim.now() - issue).us());
+    } else {
+      ++point.writes_failed;
+    }
+  }
+
+  const double elapsed_s = (fabric.sim.now() - begin).seconds();
+  const auto completed = static_cast<double>(options.writes) -
+                         static_cast<double>(point.writes_failed);
+  point.goodput_rps = elapsed_s > 0 ? completed / elapsed_s : 0;
+  point.mean_completion_us = completions.mean();
+  point.retries_per_write =
+      static_cast<double>(total_attempts) / static_cast<double>(options.writes) - 1.0;
+  point.alerts = fabric.controller.alerts().size();
+  return point;
+}
+
+}  // namespace
+
+std::vector<AttackRatePoint> run_attack_rate_experiment(const AttackRateOptions& options) {
+  std::vector<AttackRatePoint> points;
+  points.reserve(options.rates.size());
+  for (const double rate : options.rates) points.push_back(run_point(rate, options));
+  return points;
+}
+
+}  // namespace p4auth::experiments

@@ -1,0 +1,33 @@
+// §VIII ablation: what sustained tampering costs the control loop. A
+// control-plane MitM tampers each write request with probability p; the
+// controller retries on every detected failure (up to a bound). We
+// measure effective goodput, completion time inflation, and the alert
+// pressure on the C-DP channel as p grows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace p4auth::experiments {
+
+struct AttackRatePoint {
+  double tamper_probability = 0;
+  double goodput_rps = 0;          ///< correct writes per second (incl. retries)
+  double mean_completion_us = 0;   ///< issue -> confirmed-correct, incl. retries
+  double retries_per_write = 0;
+  std::uint64_t alerts = 0;
+  std::uint64_t writes_failed = 0; ///< exhausted the retry budget
+};
+
+struct AttackRateOptions {
+  std::vector<double> rates{0.0, 0.1, 0.25, 0.5, 0.75};
+  int writes = 150;
+  int max_attempts = 4;
+  std::uint64_t seed = 1;
+};
+
+std::vector<AttackRatePoint> run_attack_rate_experiment(const AttackRateOptions& options = {});
+
+}  // namespace p4auth::experiments

@@ -1,0 +1,101 @@
+#include "experiments/fabric.hpp"
+
+#include "core/lldp.hpp"
+
+namespace p4auth::experiments {
+
+Key64 seed_key_for(NodeId id) { return 0x5EED000000000000ull + id.value; }
+
+namespace {
+
+controller::Controller::Config with_fabric_options(controller::Controller::Config config,
+                                                   bool enabled, crypto::MacKind mac) {
+  config.p4auth_enabled = enabled;
+  config.mac = mac;
+  return config;
+}
+
+}  // namespace
+
+Fabric::Fabric(Options options)
+    : controller(sim,
+                 with_fabric_options(options.controller_config, options.p4auth, options.mac)),
+      options_(std::move(options)) {}
+
+FabricSwitch& Fabric::add_switch(NodeId id, const ProgramFactory& make_inner) {
+  auto& entry = switches_.emplace_back();
+  entry.sw = net.add<netsim::Switch>(id, options_.timing, options_.seed * 7919 + id.value);
+
+  core::P4AuthAgent::Config agent_config;
+  agent_config.self = id;
+  agent_config.k_seed = seed_key_for(id);
+  agent_config.num_ports = options_.ports_per_switch;
+  agent_config.auth_enabled = options_.p4auth;
+  agent_config.encrypt_feedback = options_.encrypt_feedback;
+  agent_config.mac = options_.mac;
+  auto agent = std::make_unique<core::P4AuthAgent>(agent_config, entry.sw->registers(),
+                                                   make_inner(entry.sw->registers()));
+  entry.agent = agent.get();
+  for (const std::uint8_t magic : options_.protected_magics) {
+    entry.agent->add_protected_magic(magic);
+  }
+  entry.sw->set_program(std::move(agent));
+
+  entry.channel =
+      std::make_unique<netsim::ControlChannel>(sim, *entry.sw, options_.channel);
+  controller.attach_switch(id, *entry.channel, seed_key_for(id),
+                           options_.ports_per_switch);
+  return entry;
+}
+
+netsim::Link* Fabric::connect(NodeId a, PortId port_a, NodeId b, PortId port_b,
+                              netsim::LinkConfig config) {
+  at(a).agent->set_neighbor(port_a, b);
+  at(b).agent->set_neighbor(port_b, a);
+  links_.push_back(LinkRecord{a, port_a, b, port_b});
+  return net.connect(a, port_a, b, port_b, config);
+}
+
+FabricSwitch& Fabric::at(NodeId id) {
+  for (auto& entry : switches_) {
+    if (entry.sw->id() == id) return entry;
+  }
+  throw std::out_of_range("no such fabric switch");
+}
+
+void Fabric::discover_topology() {
+  const Bytes trigger = core::encode_lldp_gen();
+  for (auto& entry : switches_) {
+    // Injected on a high host-facing port; the agent answers by
+    // announcing on every fabric port.
+    net.inject(entry.sw->id(), PortId{static_cast<std::uint16_t>(options_.ports_per_switch + 1)},
+               trigger);
+  }
+  sim.run();
+}
+
+Status Fabric::init_all_keys() {
+  if (!options_.p4auth) return {};
+  for (auto& entry : switches_) {
+    std::optional<Result<Key64>> result;
+    controller.init_local_key(entry.sw->id(),
+                              [&](Result<Key64> r) { result = std::move(r); });
+    sim.run();
+    if (!result.has_value() || !result->ok()) {
+      return make_error("local key init failed for switch " +
+                        std::to_string(entry.sw->id().value));
+    }
+  }
+  for (const auto& link : links_) {
+    std::optional<Status> result;
+    controller.init_port_key(link.a, link.port_a, link.b, link.port_b,
+                             [&](Status s) { result = std::move(s); });
+    sim.run();
+    if (!result.has_value() || !result->ok()) {
+      return make_error("port key init failed");
+    }
+  }
+  return {};
+}
+
+}  // namespace p4auth::experiments

@@ -1,0 +1,93 @@
+// Experiment fabric: assembles simulator + switches (wrapped in P4Auth
+// agents) + control channels + controller, and brings up all keys. Shared
+// by the benchmark harnesses and the integration tests so every figure is
+// regenerated from the same machinery.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "core/agent.hpp"
+#include "netsim/control_channel.hpp"
+#include "netsim/network.hpp"
+
+namespace p4auth::experiments {
+
+struct FabricSwitch {
+  netsim::Switch* sw = nullptr;
+  core::P4AuthAgent* agent = nullptr;
+  std::unique_ptr<netsim::ControlChannel> channel;
+};
+
+class Fabric {
+ public:
+  struct Options {
+    bool p4auth = true;
+    dataplane::TimingModel timing = dataplane::TimingModel::tofino();
+    netsim::ChannelModel channel = netsim::ChannelModel::packet_out();
+    controller::Controller::Config controller_config{};
+    std::uint64_t seed = 1;
+    int ports_per_switch = 16;
+    /// Leading bytes of in-network feedback messages each agent must
+    /// protect (e.g. the HULA probe magic).
+    std::vector<std::uint8_t> protected_magics{};
+    /// §XI extension: encrypt DP-DP feedback payloads on every agent.
+    bool encrypt_feedback = false;
+    /// Digest algorithm profile: HalfSipHash24 (BMv2-analog, default) or
+    /// Crc32Envelope (Tofino-analog, §VII). Applied to agents and the
+    /// controller alike.
+    crypto::MacKind mac = crypto::MacKind::HalfSipHash24;
+  };
+
+  explicit Fabric(Options options);
+
+  /// Adds a switch whose inner program is built by `make_inner` against
+  /// the switch's register file. Returns a stable reference.
+  using ProgramFactory =
+      std::function<std::unique_ptr<dataplane::DataPlaneProgram>(dataplane::RegisterFile&)>;
+  FabricSwitch& add_switch(NodeId id, const ProgramFactory& make_inner);
+
+  /// Connects two switches and registers their neighbourship with both
+  /// agents; remembered for init_all_keys().
+  netsim::Link* connect(NodeId a, PortId port_a, NodeId b, PortId port_b,
+                        netsim::LinkConfig config = {});
+
+  /// Brings up every local key, then every port key (both directions of
+  /// each link share one key). No-op when P4Auth is disabled.
+  Status init_all_keys();
+
+  /// LLDP round: every switch announces on all its ports; reports flow to
+  /// the controller, which (with Config.auto_port_keys) initializes port
+  /// keys for every discovered adjacency on its own.
+  void discover_topology();
+
+  FabricSwitch& at(NodeId id);
+
+  bool p4auth_enabled() const noexcept { return options_.p4auth; }
+  const Options& options() const noexcept { return options_; }
+
+  netsim::Simulator sim;
+  netsim::Network net{sim};
+  controller::Controller controller;
+
+ private:
+  struct LinkRecord {
+    NodeId a{};
+    PortId port_a{};
+    NodeId b{};
+    PortId port_b{};
+  };
+
+  Options options_;
+  std::deque<FabricSwitch> switches_;
+  std::vector<LinkRecord> links_;
+};
+
+/// Pre-shared boot secret per switch (stands in for the per-switch secret
+/// compiled into the binary).
+Key64 seed_key_for(NodeId id);
+
+}  // namespace p4auth::experiments

@@ -1,0 +1,244 @@
+#include "experiments/kmp_experiment.hpp"
+
+#include <memory>
+
+#include "common/stats.hpp"
+#include "experiments/fabric.hpp"
+
+namespace p4auth::experiments {
+namespace {
+
+constexpr NodeId kA{1}, kB{2};
+constexpr PortId kPortA{1}, kPortB{1};
+
+Fabric::ProgramFactory null_program() {
+  return [](dataplane::RegisterFile&) -> std::unique_ptr<dataplane::DataPlaneProgram> {
+    return nullptr;
+  };
+}
+
+}  // namespace
+
+KmpRttResult run_kmp_rtt_experiment(const KmpRttOptions& options) {
+  Fabric::Options fabric_options;
+  fabric_options.seed = options.seed;
+  Fabric fabric(fabric_options);
+  auto& a = fabric.add_switch(kA, null_program());
+  fabric.add_switch(kB, null_program());
+  netsim::LinkConfig link;
+  link.latency = SimTime::from_us(20);
+  fabric.connect(kA, kPortA, kB, kPortB, link);
+
+  SampleSet local_init, local_update, port_init, port_update;
+
+  for (int i = 0; i < options.samples; ++i) {
+    // (a) Local key initialization: EAK + ADHKD, 4 messages.
+    {
+      const SimTime begin = fabric.sim.now();
+      bool done = false;
+      fabric.controller.init_local_key(kA, [&](Result<Key64> r) { done = r.ok(); });
+      fabric.sim.run();
+      if (done) local_init.add((fabric.sim.now() - begin).ms());
+    }
+    // Switch B needs keys once for the port exchanges.
+    if (i == 0) {
+      fabric.controller.init_local_key(kB, [](Result<Key64>) {});
+      fabric.sim.run();
+    }
+    // (b) Local key update: ADHKD only, 2 messages.
+    {
+      const SimTime begin = fabric.sim.now();
+      bool done = false;
+      fabric.controller.update_local_key(kA, [&](Result<Key64> r) { done = r.ok(); });
+      fabric.sim.run();
+      if (done) local_update.add((fabric.sim.now() - begin).ms());
+    }
+    // (c) Port key initialization: 5 messages redirected via controller.
+    {
+      const SimTime begin = fabric.sim.now();
+      bool done = false;
+      fabric.controller.init_port_key(kA, kPortA, kB, kPortB, [&](Status s) { done = s.ok(); });
+      fabric.sim.run();
+      if (done) port_init.add((fabric.sim.now() - begin).ms());
+    }
+    // (d) Port key update: portKeyUpdate + 2 direct DP-DP legs; complete
+    // when the initiating data plane installs the new key.
+    {
+      const SimTime begin = fabric.sim.now();
+      const auto installs_before = a.agent->stats().key_installs;
+      fabric.controller.update_port_key(kA, kPortA, kB, [](Status) {});
+      fabric.sim.run();
+      if (a.agent->stats().key_installs > installs_before) {
+        port_update.add((a.agent->stats().last_key_install - begin).ms());
+      }
+    }
+  }
+
+  KmpRttResult result;
+  result.local_init_ms = local_init.mean();
+  result.local_update_ms = local_update.mean();
+  result.port_init_ms = port_init.mean();
+  result.port_update_ms = port_update.mean();
+  result.samples = static_cast<int>(local_init.count());
+  return result;
+}
+
+namespace {
+
+/// Builds an m-switch, n-link fabric with round-robin link placement.
+struct ScalingTopology {
+  std::unique_ptr<Fabric> fabric;
+  struct LinkRef {
+    NodeId a;
+    PortId port_a;
+    NodeId b;
+    PortId port_b;
+  };
+  std::vector<LinkRef> links;
+};
+
+ScalingTopology build_scaling_topology(int switches, int links, std::uint64_t seed) {
+  ScalingTopology topology;
+  Fabric::Options options;
+  options.seed = seed;
+  options.ports_per_switch = 2 * links / std::max(1, switches) + 4;
+  topology.fabric = std::make_unique<Fabric>(options);
+  for (int i = 1; i <= switches; ++i) {
+    topology.fabric->add_switch(NodeId{static_cast<std::uint16_t>(i)},
+                                [](dataplane::RegisterFile&)
+                                    -> std::unique_ptr<dataplane::DataPlaneProgram> {
+                                  return nullptr;
+                                });
+  }
+  std::vector<std::uint16_t> next_port(static_cast<std::size_t>(switches) + 1, 1);
+  for (int j = 0; j < links; ++j) {
+    const auto a = static_cast<std::uint16_t>(j % switches + 1);
+    auto b = static_cast<std::uint16_t>((j + 1 + j / switches) % switches + 1);
+    if (b == a) b = static_cast<std::uint16_t>(a % switches + 1);
+    const PortId port_a{next_port[a]++};
+    const PortId port_b{next_port[b]++};
+    topology.fabric->connect(NodeId{a}, port_a, NodeId{b}, port_b);
+    topology.links.push_back(ScalingTopology::LinkRef{NodeId{a}, port_a, NodeId{b}, port_b});
+  }
+  return topology;
+}
+
+}  // namespace
+
+KmpMakespan run_kmp_makespan_experiment(int switches, int links, std::uint64_t seed) {
+  KmpMakespan result;
+  result.switches = switches;
+  result.links = links;
+
+  // Sequential: one exchange at a time (what Fabric::init_all_keys does).
+  {
+    auto topology = build_scaling_topology(switches, links, seed);
+    const SimTime begin = topology.fabric->sim.now();
+    if (!topology.fabric->init_all_keys().ok()) return result;
+    result.sequential_ms = (topology.fabric->sim.now() - begin).ms();
+  }
+
+  // Parallel: all local inits issued together, then all port inits
+  // together (exchanges are per-switch/per-port independent).
+  {
+    auto topology = build_scaling_topology(switches, links, seed);
+    auto& fabric = *topology.fabric;
+    const SimTime begin = fabric.sim.now();
+    int done = 0;
+    for (int i = 1; i <= switches; ++i) {
+      fabric.controller.init_local_key(NodeId{static_cast<std::uint16_t>(i)},
+                                       [&done](Result<Key64> r) { done += r.ok() ? 1 : 0; });
+    }
+    fabric.sim.run();
+    if (done != switches) return result;
+    int port_done = 0;
+    for (const auto& link : topology.links) {
+      fabric.controller.init_port_key(link.a, link.port_a, link.b, link.port_b,
+                                      [&port_done](Status s) { port_done += s.ok() ? 1 : 0; });
+    }
+    fabric.sim.run();
+    if (port_done != links) return result;
+    result.parallel_ms = (fabric.sim.now() - begin).ms();
+  }
+
+  result.speedup =
+      result.parallel_ms > 0 ? result.sequential_ms / result.parallel_ms : 0;
+  return result;
+}
+
+KmpScalingResult run_kmp_scaling_experiment(int switches, int links, std::uint64_t seed) {
+  Fabric::Options fabric_options;
+  fabric_options.seed = seed;
+  fabric_options.ports_per_switch = 2 * links / std::max(1, switches) + 4;
+  Fabric fabric(fabric_options);
+
+  for (int i = 1; i <= switches; ++i) {
+    fabric.add_switch(NodeId{static_cast<std::uint16_t>(i)}, null_program());
+  }
+
+  // Count DP-DP KeyExchange frames crossing any link (port-key updates run
+  // below the controller; Table III counts them too).
+  auto dp_messages = std::make_shared<std::uint64_t>(0);
+  auto dp_bytes = std::make_shared<std::uint64_t>(0);
+  const auto counter = [dp_messages, dp_bytes](Bytes& frame) {
+    if (!frame.empty() && frame[0] == 2) {  // HdrType::KeyExchange
+      ++*dp_messages;
+      *dp_bytes += frame.size();
+    }
+    return netsim::TamperVerdict::Pass;
+  };
+
+  std::vector<std::uint16_t> next_port(static_cast<std::size_t>(switches) + 1, 1);
+  struct LinkRef {
+    NodeId a;
+    PortId port_a;
+    NodeId b;
+  };
+  std::vector<LinkRef> link_refs;
+  for (int j = 0; j < links; ++j) {
+    const auto a = static_cast<std::uint16_t>(j % switches + 1);
+    auto b = static_cast<std::uint16_t>((j + 1 + j / switches) % switches + 1);
+    if (b == a) b = static_cast<std::uint16_t>(a % switches + 1);
+    const PortId port_a{next_port[a]++};
+    const PortId port_b{next_port[b]++};
+    netsim::Link* link = fabric.connect(NodeId{a}, port_a, NodeId{b}, port_b);
+    link->set_tamper(NodeId{a}, counter);
+    link->set_tamper(NodeId{b}, counter);
+    link_refs.push_back(LinkRef{NodeId{a}, port_a, NodeId{b}});
+  }
+
+  KmpScalingResult result;
+  result.switches = switches;
+  result.links = links;
+
+  // --- initialization phase: every local key, then every port key.
+  if (!fabric.init_all_keys().ok()) return result;
+  const auto& stats = fabric.controller.stats();
+  result.init_messages = stats.kmp_messages_sent + stats.kmp_messages_received + *dp_messages;
+  result.init_bytes = stats.kmp_bytes_sent + stats.kmp_bytes_received + *dp_bytes;
+
+  // --- update phase: every local key, then every port key.
+  const auto sent_before = stats.kmp_messages_sent + stats.kmp_messages_received;
+  const auto bytes_before = stats.kmp_bytes_sent + stats.kmp_bytes_received;
+  const auto dp_before = *dp_messages;
+  const auto dp_bytes_before = *dp_bytes;
+
+  for (int i = 1; i <= switches; ++i) {
+    fabric.controller.update_local_key(NodeId{static_cast<std::uint16_t>(i)},
+                                       [](Result<Key64>) {});
+    fabric.sim.run();
+  }
+  for (const auto& link : link_refs) {
+    fabric.controller.update_port_key(link.a, link.port_a, link.b, [](Status) {});
+    fabric.sim.run();
+  }
+
+  result.update_messages =
+      stats.kmp_messages_sent + stats.kmp_messages_received + *dp_messages -
+      sent_before - dp_before;
+  result.update_bytes = stats.kmp_bytes_sent + stats.kmp_bytes_received + *dp_bytes -
+                        bytes_before - dp_bytes_before;
+  return result;
+}
+
+}  // namespace p4auth::experiments

@@ -1,0 +1,107 @@
+#include "experiments/regops_experiment.hpp"
+
+#include "apps/l3fwd/l3fwd.hpp"
+#include "common/stats.hpp"
+#include "controller/p4runtime_client.hpp"
+#include "experiments/fabric.hpp"
+
+namespace p4auth::experiments {
+namespace {
+
+constexpr NodeId kSw{1};
+
+/// Issues `count` sequential operations through `issue`, which must call
+/// its continuation when the op completes; returns per-op RCTs.
+template <typename IssueFn>
+SampleSet run_sequential(netsim::Simulator& sim, int count, std::uint64_t* failures,
+                         IssueFn issue) {
+  SampleSet rcts;
+  int remaining = count;
+  std::function<void()> next = [&]() {
+    if (remaining-- == 0) return;
+    const SimTime begin = sim.now();
+    issue([&, begin](bool ok) {
+      if (!ok && failures != nullptr) ++*failures;
+      rcts.add((sim.now() - begin).us());
+      next();
+    });
+  };
+  next();
+  sim.run();
+  return rcts;
+}
+
+}  // namespace
+
+const char* variant_name(RegOpsVariant variant) {
+  switch (variant) {
+    case RegOpsVariant::P4Runtime: return "P4Runtime";
+    case RegOpsVariant::DpRegRw: return "DP-Reg-RW";
+    case RegOpsVariant::P4Auth: return "P4Auth";
+  }
+  return "?";
+}
+
+RegOpsResult run_regops_experiment(RegOpsVariant variant, const RegOpsOptions& options) {
+  Fabric::Options fabric_options;
+  fabric_options.p4auth = variant == RegOpsVariant::P4Auth;
+  fabric_options.seed = options.seed;
+  fabric_options.channel.jitter_fraction = 0.08;  // gives Fig 18 a real p99
+  Fabric fabric(fabric_options);
+
+  apps::l3fwd::L3FwdProgram* l3 = nullptr;
+  auto& sw = fabric.add_switch(kSw, [&](dataplane::RegisterFile& registers) {
+    auto p = std::make_unique<apps::l3fwd::L3FwdProgram>(registers);
+    l3 = p.get();
+    return p;
+  });
+  (void)l3->expose_to(*sw.agent);
+  if (auto status = fabric.init_all_keys(); !status.ok()) return RegOpsResult{};
+
+  RegOpsResult result;
+  Xoshiro256 rng(options.seed);
+
+  if (variant == RegOpsVariant::P4Runtime) {
+    controller::P4RuntimeClient client(fabric.sim, *sw.sw);
+    const auto reads = run_sequential(
+        fabric.sim, options.requests_per_kind, &result.failures, [&](auto done) {
+          client.read("l3_stats", rng.next_below(1024),
+                      [done](Result<std::uint64_t> r) { done(r.ok()); });
+        });
+    const auto writes = run_sequential(
+        fabric.sim, options.requests_per_kind, &result.failures, [&](auto done) {
+          client.write("l3_stats", rng.next_below(1024), rng.next_u64(),
+                       [done](Status s) { done(s.ok()); });
+        });
+    result.read_rct_us_mean = reads.mean();
+    result.read_rct_us_p99 = reads.percentile(99);
+    result.write_rct_us_mean = writes.mean();
+    result.write_rct_us_p99 = writes.percentile(99);
+  } else {
+    const auto reads = run_sequential(
+        fabric.sim, options.requests_per_kind, &result.failures, [&](auto done) {
+          fabric.controller.read_register(
+              kSw, apps::l3fwd::kStatsReg, static_cast<std::uint32_t>(rng.next_below(1024)),
+              [done](Result<std::uint64_t> r) { done(r.ok()); });
+        });
+    const auto writes = run_sequential(
+        fabric.sim, options.requests_per_kind, &result.failures, [&](auto done) {
+          fabric.controller.write_register(
+              kSw, apps::l3fwd::kStatsReg, static_cast<std::uint32_t>(rng.next_below(1024)),
+              rng.next_u64(), [done](Result<std::uint64_t> r) { done(r.ok()); });
+        });
+    result.read_rct_us_mean = reads.mean();
+    result.read_rct_us_p99 = reads.percentile(99);
+    result.write_rct_us_mean = writes.mean();
+    result.write_rct_us_p99 = writes.percentile(99);
+  }
+
+  // Sequential issue: throughput is the reciprocal of the mean RCT.
+  result.read_throughput_rps =
+      result.read_rct_us_mean > 0 ? 1e6 / result.read_rct_us_mean : 0;
+  result.write_throughput_rps =
+      result.write_rct_us_mean > 0 ? 1e6 / result.write_rct_us_mean : 0;
+  return result;
+}
+
+}  // namespace p4auth::experiments

@@ -1,0 +1,49 @@
+#include "experiments/resources_experiment.hpp"
+
+#include <memory>
+
+#include "apps/l3fwd/l3fwd.hpp"
+#include "core/agent.hpp"
+
+namespace p4auth::experiments {
+
+std::vector<ResourceRow> run_resources_experiment() {
+  std::vector<ResourceRow> rows;
+
+  {
+    dataplane::RegisterFile registers;
+    apps::l3fwd::L3FwdProgram baseline(registers);
+    rows.push_back(ResourceRow{"Baseline", dataplane::compute_usage(baseline.resources())});
+  }
+  {
+    dataplane::RegisterFile registers;
+    core::P4AuthAgent::Config config;
+    config.self = NodeId{1};
+    config.k_seed = 1;
+    config.num_ports = 64;  // the paper's key register: 64*(M+1) bits
+    core::P4AuthAgent agent(config, registers,
+                            std::make_unique<apps::l3fwd::L3FwdProgram>(registers));
+    rows.push_back(ResourceRow{"With P4Auth", dataplane::compute_usage(agent.resources())});
+  }
+  return rows;
+}
+
+std::vector<DigestAblationPoint> run_digest_ablation() {
+  std::vector<DigestAblationPoint> points;
+  const auto reference = dataplane::HashUse::halfsiphash("digest", 22, 1);
+  for (const int lanes : {1, 2, 4, 8}) {
+    const auto use = dataplane::HashUse::halfsiphash("digest", 22, lanes);
+    DigestAblationPoint point;
+    point.digest_bits = 32 * lanes;
+    point.hash_units = use.units();
+    point.stages = use.stages();
+    point.hash_unit_growth_pct =
+        100.0 * static_cast<double>(use.units() - reference.units()) / reference.units();
+    point.stage_growth_pct =
+        100.0 * static_cast<double>(use.stages() - reference.stages()) / reference.stages();
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace p4auth::experiments

@@ -1,0 +1,35 @@
+// Table II experiment: Tofino resource utilization of the baseline L3
+// program vs the same program with P4Auth's modules, computed by the
+// resource model from the programs' real declarations. Plus the §XI
+// digest-width ablation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataplane/resources.hpp"
+
+namespace p4auth::experiments {
+
+struct ResourceRow {
+  std::string program;
+  dataplane::ResourceUsage usage;
+};
+
+/// Rows: "Baseline" (L3 forwarding, 2 MATs + 1 register) and
+/// "With P4Auth" (same program wrapped by the agent).
+std::vector<ResourceRow> run_resources_experiment();
+
+struct DigestAblationPoint {
+  int digest_bits = 0;
+  int hash_units = 0;
+  int stages = 0;
+  double hash_unit_growth_pct = 0;  ///< vs the 32-bit digest
+  double stage_growth_pct = 0;
+};
+
+/// §XI: digest width 32 -> 256 bit; the paper quotes ~560% more hash
+/// distribution units and ~100% more stages at 256 bit.
+std::vector<DigestAblationPoint> run_digest_ablation();
+
+}  // namespace p4auth::experiments

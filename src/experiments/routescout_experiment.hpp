@@ -1,0 +1,45 @@
+// Fig 16 experiment: RouteScout at an edge switch with two upstream paths.
+//
+// The data plane aggregates per-path latency; each epoch the controller
+// pulls the aggregates and rebalances the split. The control-plane MitM
+// inflates path-1 latency in the read responses so the controller diverts
+// traffic to path 2 (the paper's ~70%); with P4Auth the tampered response
+// fails verification, the epoch aborts, and the split stays put.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "experiments/hula_experiment.hpp"  // Scenario
+
+namespace p4auth::experiments {
+
+struct RouteScoutResult {
+  /// Share of data bytes sent on path 1 / path 2, in percent, measured
+  /// over the post-attack phase.
+  std::array<double, 2> path_share_pct{};
+  std::array<std::uint64_t, 2> final_split{};  ///< controller's last split
+  std::array<double, 2> true_latency_us{};     ///< ground-truth path latency
+  std::uint64_t epochs_completed = 0;
+  std::uint64_t epochs_aborted = 0;
+  std::uint64_t alerts = 0;
+};
+
+struct RouteScoutOptions {
+  std::uint64_t seed = 1;
+  int clean_epochs = 3;     ///< epochs before the adversary switches on
+  int attacked_epochs = 5;  ///< epochs under attack
+  SimTime epoch_gap = SimTime::from_ms(120);
+  double path1_latency_us = 20'000.0;
+  double path2_latency_us = 35'000.0;
+  double inflate_factor = 6.0;  ///< attacker multiplies path-1 latency sums
+  double data_packets_per_second = 4'000.0;
+  std::uint32_t data_packet_bytes = 900;
+};
+
+RouteScoutResult run_routescout_experiment(Scenario scenario,
+                                           const RouteScoutOptions& options = {});
+
+}  // namespace p4auth::experiments

@@ -1,0 +1,30 @@
+// Table I experiment: one attack scenario per in-network system class,
+// each run three ways — no attack, attack without P4Auth, attack with
+// P4Auth. The "impact" column of the paper's Table I becomes a concrete
+// metric per row; the detection columns show P4Auth's contribution.
+//
+// The attacker model is an intermittent implant: it tampers the first
+// C-DP message of the targeted kind it sees (stealthier than tampering
+// everything, and it makes the with-P4Auth behaviour visible: detection
+// -> alert -> controller retry succeeds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p4auth::experiments {
+
+struct Table1Row {
+  std::string system;   ///< paper row (victim system class)
+  std::string metric;   ///< what the numbers mean
+  double baseline = 0;  ///< no attack
+  double attacked = 0;  ///< attack, no P4Auth
+  double with_p4auth = 0;
+  bool detected_without = false;  ///< attack detected without P4Auth
+  bool detected_with = false;     ///< attack detected with P4Auth
+};
+
+std::vector<Table1Row> run_table1_experiment(std::uint64_t seed = 1);
+
+}  // namespace p4auth::experiments

@@ -1,0 +1,33 @@
+#include "netsim/control_channel.hpp"
+
+namespace p4auth::netsim {
+
+ControlChannel::ControlChannel(Simulator& sim, Switch& sw, ChannelModel model)
+    : sim_(sim), switch_(sw), model_(model) {
+  switch_.set_packet_in_sink([this](Bytes message) {
+    ++stats_.to_controller;
+    const SimTime delay = jittered(model_.to_controller_delay(message.size()));
+    sim_.after(delay, [this, message = std::move(message)]() mutable {
+      if (controller_sink_) controller_sink_(switch_.id(), std::move(message));
+    });
+  });
+}
+
+SimTime ControlChannel::jittered(SimTime delay) {
+  if (model_.jitter_fraction <= 0) return delay;
+  const double scale =
+      1.0 + model_.jitter_fraction * (jitter_rng_.next_double() - 0.5);
+  return SimTime::from_ns(static_cast<std::uint64_t>(static_cast<double>(delay.ns()) * scale));
+}
+
+void ControlChannel::to_switch(Bytes message, std::function<void()> delivered) {
+  ++stats_.to_switch;
+  const SimTime delay = jittered(model_.to_switch_delay(message.size()));
+  sim_.after(delay, [this, message = std::move(message),
+                     delivered = std::move(delivered)]() mutable {
+    switch_.handle_packet_out(std::move(message));
+    if (delivered) delivered();
+  });
+}
+
+}  // namespace p4auth::netsim

@@ -1,0 +1,85 @@
+// Controller <-> switch transport (the C-DP path).
+//
+// Two channel models mirror the paper's evaluation variants (§IX-B):
+//  * P4Runtime — the full gRPC + SDK + driver stack: higher fixed latency
+//    per message and a per-byte serialization cost that makes writes
+//    (which carry data as well as an index) slower than reads — the
+//    source of the paper's "read throughput 1.7x write" observation.
+//  * PacketOut/PacketIn (PTF-style) — raw CPU-port frames: cheaper fixed
+//    cost; DP-Reg-RW and P4Auth both ride this.
+// Latency constants are calibration points, documented in EXPERIMENTS.md.
+#pragma once
+
+#include <functional>
+
+#include "netsim/switch.hpp"
+
+namespace p4auth::netsim {
+
+struct ChannelModel {
+  SimTime to_switch_base{};
+  SimTime to_controller_base{};
+  double per_byte_ns = 0;
+  /// Mean-preserving multiplicative jitter: each message's delay is scaled
+  /// by a uniform draw from [1 - j/2, 1 + j/2]. 0 = deterministic.
+  double jitter_fraction = 0;
+
+  static ChannelModel p4runtime() noexcept {
+    // gRPC marshal + HTTP/2 + agent dispatch + SDK + driver.
+    return ChannelModel{SimTime::from_us(210), SimTime::from_us(210), 3600.0};
+  }
+  static ChannelModel packet_out() noexcept {
+    // Raw CPU-port frame via the PTF harness.
+    return ChannelModel{SimTime::from_us(140), SimTime::from_us(140), 450.0};
+  }
+
+  SimTime to_switch_delay(std::size_t bytes) const noexcept {
+    return to_switch_base + per_byte_cost(bytes);
+  }
+  SimTime to_controller_delay(std::size_t bytes) const noexcept {
+    return to_controller_base + per_byte_cost(bytes);
+  }
+
+ private:
+  SimTime per_byte_cost(std::size_t bytes) const noexcept {
+    return SimTime::from_ns(static_cast<std::uint64_t>(per_byte_ns * static_cast<double>(bytes)));
+  }
+};
+
+class ControlChannel {
+ public:
+  /// Binds to `sw`'s PacketIn path. The channel outlives neither the
+  /// simulator nor the switch (both owned by the caller's Network/stack).
+  ControlChannel(Simulator& sim, Switch& sw, ChannelModel model);
+
+  /// Controller -> switch (PacketOut). Crosses the OS boundary on arrival.
+  /// `delivered`, if given, fires right after the switch ingests the
+  /// message (used to timestamp KMP completion).
+  void to_switch(Bytes message, std::function<void()> delivered = {});
+
+  /// Registers the controller-side receiver of PacketIn messages.
+  void set_controller_sink(std::function<void(NodeId, Bytes)> sink) {
+    controller_sink_ = std::move(sink);
+  }
+
+  const ChannelModel& model() const noexcept { return model_; }
+  NodeId switch_id() const noexcept { return switch_.id(); }
+
+  struct Stats {
+    std::uint64_t to_switch = 0;
+    std::uint64_t to_controller = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  SimTime jittered(SimTime delay);
+
+  Simulator& sim_;
+  Switch& switch_;
+  ChannelModel model_;
+  std::function<void(NodeId, Bytes)> controller_sink_;
+  Stats stats_;
+  Xoshiro256 jitter_rng_{0x71773E12u};
+};
+
+}  // namespace p4auth::netsim

@@ -1,0 +1,59 @@
+#include "netsim/link.hpp"
+
+#include <cmath>
+
+namespace p4auth::netsim {
+
+void Link::set_tamper(NodeId from, TamperHook hook) { dir(from).tamper = std::move(hook); }
+
+TamperHook* Link::tamper_for(NodeId from) noexcept {
+  auto& hook = dir(from).tamper;
+  return hook ? &hook : nullptr;
+}
+
+SimTime Link::reserve_transmitter(NodeId from, std::size_t bytes, SimTime now) noexcept {
+  if (config_.bandwidth_gbps <= 0) return SimTime::zero();
+  auto& d = dir(from);
+  const SimTime start = d.transmitter_free > now ? d.transmitter_free : now;
+  d.transmitter_free = start + serialization_delay(bytes);
+  const SimTime wait = start - now;
+  ++d.queue.frames_sent;
+  if (wait.ns() > 0) {
+    ++d.queue.frames_queued;
+    d.queue.total_wait += wait;
+  }
+  return wait;
+}
+
+SimTime Link::serialization_delay(std::size_t bytes) const noexcept {
+  if (config_.bandwidth_gbps <= 0) return SimTime::zero();
+  const double ns = static_cast<double>(bytes) * 8.0 / config_.bandwidth_gbps;
+  return SimTime::from_ns(static_cast<std::uint64_t>(ns));
+}
+
+void Link::decay(const Direction& d, SimTime now) const noexcept {
+  if (now <= d.last_update) return;
+  const double dt = static_cast<double>((now - d.last_update).ns());
+  const double tau = static_cast<double>(config_.util_window.ns());
+  d.window_bytes *= std::exp(-dt / tau);
+  d.last_update = now;
+}
+
+void Link::record_tx(NodeId from, std::size_t bytes, SimTime now) noexcept {
+  auto& d = dir(from);
+  decay(d, now);
+  d.window_bytes += static_cast<double>(bytes);
+}
+
+double Link::utilization(NodeId from, SimTime now) const noexcept {
+  const auto& d = dir(from);
+  decay(d, now);
+  // Capacity of one window: bandwidth * tau.
+  const double capacity_bytes =
+      config_.bandwidth_gbps * static_cast<double>(config_.util_window.ns()) / 8.0;
+  if (capacity_bytes <= 0) return 0.0;
+  const double util = d.window_bytes / capacity_bytes;
+  return util > 1.0 ? 1.0 : util;
+}
+
+}  // namespace p4auth::netsim

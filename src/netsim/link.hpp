@@ -1,0 +1,98 @@
+// Point-to-point links between switch ports.
+//
+// A link models propagation latency, serialization delay, and a byte-rate
+// utilization estimate (the signal HULA probes carry). Each direction
+// exposes a tamper hook — the on-link MitM seam the paper's Fig. 3
+// adversary occupies: the hook may rewrite or drop frames in flight.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace p4auth::netsim {
+
+/// What a tamper hook did with a frame.
+enum class TamperVerdict : std::uint8_t { Pass, Drop };
+
+/// In-flight frame interceptor; may mutate the payload in place.
+using TamperHook = std::function<TamperVerdict(Bytes& payload)>;
+
+struct LinkConfig {
+  SimTime latency = SimTime::from_us(5);
+  double bandwidth_gbps = 10.0;
+  /// Utilization estimator decay constant.
+  SimTime util_window = SimTime::from_ms(1);
+};
+
+struct LinkEndpoint {
+  NodeId node{};
+  PortId port{};
+};
+
+class Link {
+ public:
+  Link(LinkEndpoint a, LinkEndpoint b, LinkConfig config)
+      : a_(a), b_(b), config_(config) {}
+
+  const LinkEndpoint& endpoint_a() const noexcept { return a_; }
+  const LinkEndpoint& endpoint_b() const noexcept { return b_; }
+  const LinkConfig& config() const noexcept { return config_; }
+
+  /// The endpoint opposite `from`; from must be one of the two endpoints.
+  const LinkEndpoint& peer_of(NodeId from) const noexcept { return from == a_.node ? b_ : a_; }
+
+  /// Installs/removes the tamper hook for frames leaving `from`.
+  void set_tamper(NodeId from, TamperHook hook);
+  TamperHook* tamper_for(NodeId from) noexcept;
+
+  /// Transmission time for `bytes` at the configured bandwidth.
+  SimTime serialization_delay(std::size_t bytes) const noexcept;
+
+  /// FIFO egress queueing: reserves the transmitter for `bytes` starting
+  /// no earlier than `now`, returning how long the frame waits for the
+  /// transmitter to free up (0 when idle; bandwidth 0 disables queueing).
+  SimTime reserve_transmitter(NodeId from, std::size_t bytes, SimTime now) noexcept;
+
+  /// Per-direction queueing totals (congestion evidence per link).
+  struct QueueStats {
+    SimTime total_wait{};
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_queued = 0;
+    double mean_wait_us() const noexcept {
+      return frames_sent ? total_wait.us() / static_cast<double>(frames_sent) : 0.0;
+    }
+  };
+  const QueueStats& queue_stats(NodeId from) const noexcept { return dir(from).queue; }
+
+  /// Records `bytes` leaving `from` at time `now` and decays the window.
+  void record_tx(NodeId from, std::size_t bytes, SimTime now) noexcept;
+  /// Utilization in [0,1] of the `from`->peer direction at time `now`.
+  double utilization(NodeId from, SimTime now) const noexcept;
+
+ private:
+  struct Direction {
+    TamperHook tamper;
+    // Exponentially-decayed byte counter for utilization estimation.
+    mutable double window_bytes = 0;
+    mutable SimTime last_update{};
+    // When the transmitter finishes its current backlog (FIFO queueing).
+    SimTime transmitter_free{};
+    QueueStats queue;
+  };
+
+  Direction& dir(NodeId from) noexcept { return from == a_.node ? dir_a_ : dir_b_; }
+  const Direction& dir(NodeId from) const noexcept { return from == a_.node ? dir_a_ : dir_b_; }
+  void decay(const Direction& d, SimTime now) const noexcept;
+
+  LinkEndpoint a_;
+  LinkEndpoint b_;
+  LinkConfig config_;
+  Direction dir_a_;
+  Direction dir_b_;
+};
+
+}  // namespace p4auth::netsim

@@ -1,0 +1,66 @@
+#include "netsim/network.hpp"
+
+#include "common/logging.hpp"
+
+namespace p4auth::netsim {
+
+Link* Network::connect(NodeId a, PortId port_a, NodeId b, PortId port_b, LinkConfig config) {
+  auto link = std::make_unique<Link>(LinkEndpoint{a, port_a}, LinkEndpoint{b, port_b}, config);
+  Link* raw = link.get();
+  links_.push_back(std::move(link));
+  link_by_port_[PortKey{a, port_a}] = raw;
+  link_by_port_[PortKey{b, port_b}] = raw;
+  return raw;
+}
+
+Link* Network::link_at(NodeId node, PortId port) noexcept {
+  const auto it = link_by_port_.find(PortKey{node, port});
+  return it == link_by_port_.end() ? nullptr : it->second;
+}
+
+void Network::transmit(NodeId from, PortId port, Bytes payload) {
+  Link* link = link_at(from, port);
+  if (link == nullptr) {
+    ++stats_.frames_dropped_no_link;
+    LogStream(LogLevel::Debug, "network")
+        << "no link at node " << from.value << " port " << port.value;
+    return;
+  }
+
+  link->record_tx(from, payload.size(), sim_.now());
+
+  if (TamperHook* hook = link->tamper_for(from)) {
+    const std::size_t before = payload.size();
+    Bytes original = payload;
+    if ((*hook)(payload) == TamperVerdict::Drop) {
+      ++stats_.frames_dropped_by_tamper;
+      return;
+    }
+    if (payload != original || payload.size() != before) ++stats_.frames_tampered;
+  }
+
+  const LinkEndpoint peer = link->peer_of(from);
+  // FIFO egress queue: wait for the transmitter, then serialize, then
+  // propagate. Queueing delay is the congestion signal the HULA attack
+  // inflates.
+  const SimTime queue_wait = link->reserve_transmitter(from, payload.size(), sim_.now());
+  if (queue_wait.ns() > 0) {
+    ++stats_.frames_queued;
+    stats_.total_queue_delay += queue_wait;
+  }
+  const SimTime delay =
+      queue_wait + link->serialization_delay(payload.size()) + link->config().latency;
+  sim_.after(delay, [this, peer, payload = std::move(payload)]() mutable {
+    ++stats_.frames_delivered;
+    if (Node* dst = node(peer.node)) dst->on_frame(peer.port, std::move(payload));
+  });
+}
+
+void Network::inject(NodeId to, PortId ingress, Bytes payload, SimTime delay) {
+  sim_.after(delay, [this, to, ingress, payload = std::move(payload)]() mutable {
+    ++stats_.frames_delivered;
+    if (Node* dst = node(to)) dst->on_frame(ingress, std::move(payload));
+  });
+}
+
+}  // namespace p4auth::netsim

@@ -1,0 +1,81 @@
+// The network: owns nodes and links, routes frames between them with
+// latency/serialization delays, and applies on-link tamper hooks.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/link.hpp"
+#include "netsim/node.hpp"
+#include "netsim/simulator.hpp"
+
+namespace p4auth::netsim {
+
+class Network {
+ public:
+  explicit Network(Simulator& sim) noexcept : sim_(sim) {}
+
+  /// Constructs a node in place; the network owns it.
+  template <typename T, typename... Args>
+  T* add(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = node.get();
+    raw->attach(this);
+    nodes_by_id_.emplace(raw->id(), raw);
+    nodes_.push_back(std::move(node));
+    return raw;
+  }
+
+  Node* node(NodeId id) noexcept {
+    const auto it = nodes_by_id_.find(id);
+    return it == nodes_by_id_.end() ? nullptr : it->second;
+  }
+
+  /// Wires (a, port_a) <-> (b, port_b). A port can carry one link.
+  Link* connect(NodeId a, PortId port_a, NodeId b, PortId port_b, LinkConfig config = {});
+
+  Link* link_at(NodeId node, PortId port) noexcept;
+
+  /// Sends `payload` out of (from, port): records utilization, applies the
+  /// direction's tamper hook, and delivers to the peer after
+  /// serialization + propagation delay. No link on the port drops.
+  void transmit(NodeId from, PortId port, Bytes payload);
+
+  /// Test/host injection: delivers `payload` to `to` on `ingress` after
+  /// `delay`, bypassing links (models a directly-attached host).
+  void inject(NodeId to, PortId ingress, Bytes payload, SimTime delay = {});
+
+  Simulator& sim() noexcept { return sim_; }
+
+  struct Stats {
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t frames_tampered = 0;
+    std::uint64_t frames_dropped_by_tamper = 0;
+    std::uint64_t frames_dropped_no_link = 0;
+    std::uint64_t frames_queued = 0;        ///< frames that waited for a busy link
+    SimTime total_queue_delay{};            ///< accumulated egress queueing delay
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct PortKey {
+    NodeId node;
+    PortId port;
+    bool operator==(const PortKey&) const = default;
+  };
+  struct PortKeyHash {
+    std::size_t operator()(const PortKey& k) const noexcept {
+      return (static_cast<std::size_t>(k.node.value) << 16) | k.port.value;
+    }
+  };
+
+  Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<NodeId, Node*> nodes_by_id_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<PortKey, Link*, PortKeyHash> link_by_port_;
+  Stats stats_;
+};
+
+}  // namespace p4auth::netsim

@@ -1,0 +1,35 @@
+#include "netsim/simulator.hpp"
+
+#include <cassert>
+
+namespace p4auth::netsim {
+
+void Simulator::at(SimTime t, Handler fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  if (t < now_) t = now_;  // release builds: fire immediately, never rewind
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::run(std::size_t max_events) {
+  while (!queue_.empty() && processed_ < max_events) {
+    // Copy out before pop: the handler may schedule new events.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  now_ = t;
+}
+
+}  // namespace p4auth::netsim

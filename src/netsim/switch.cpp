@@ -1,0 +1,82 @@
+#include "netsim/switch.hpp"
+
+#include "common/logging.hpp"
+
+namespace p4auth::netsim {
+
+Switch::Switch(NodeId id, dataplane::TimingModel timing, std::uint64_t seed)
+    : Node(id), timing_(timing), rng_(seed) {}
+
+void Switch::on_frame(PortId ingress, Bytes payload) {
+  ++stats_.frames_in;
+  dataplane::Packet packet;
+  packet.payload = std::move(payload);
+  packet.ingress = ingress;
+  packet.arrival = network_ != nullptr ? network_->sim().now() : SimTime::zero();
+  run_pipeline(std::move(packet));
+}
+
+void Switch::handle_packet_out(Bytes message) {
+  ++stats_.packet_outs;
+  if (interposer_.to_dataplane) {
+    Bytes original = message;
+    if (interposer_.to_dataplane(message) == TamperVerdict::Drop) {
+      ++stats_.os_dropped;
+      return;
+    }
+    if (message != original) ++stats_.os_tampered;
+  }
+  dataplane::Packet packet;
+  packet.payload = std::move(message);
+  packet.ingress = kCpuPort;
+  packet.arrival = network_ != nullptr ? network_->sim().now() : SimTime::zero();
+  run_pipeline(std::move(packet));
+}
+
+void Switch::run_pipeline(dataplane::Packet packet) {
+  if (program_ == nullptr || network_ == nullptr) {
+    ++stats_.drops;
+    return;
+  }
+  auto& sim = network_->sim();
+  dataplane::PipelineContext ctx(registers_, rng_, sim.now(), id());
+  dataplane::PipelineOutput output = program_->process(packet, ctx);
+  const SimTime delay = timing_.process(ctx.costs());
+  total_processing_ += delay;
+
+  if (output.dropped) ++stats_.drops;
+
+  // Emissions and PacketIns leave after the pipeline walk completes.
+  for (auto& emit : output.emits) {
+    ++stats_.frames_out;
+    sim.after(delay, [this, port = emit.port, payload = std::move(emit.payload)]() mutable {
+      network_->transmit(id(), port, std::move(payload));
+    });
+  }
+  for (auto& message : output.to_cpu) {
+    sim.after(delay, [this, message = std::move(message)]() mutable {
+      send_packet_in(std::move(message));
+    });
+  }
+}
+
+void Switch::send_packet_in(Bytes message) {
+  if (interposer_.to_controller) {
+    Bytes original = message;
+    if (interposer_.to_controller(message) == TamperVerdict::Drop) {
+      ++stats_.os_dropped;
+      return;
+    }
+    if (message != original) ++stats_.os_tampered;
+  }
+  if (!packet_in_sink_) {
+    ++stats_.packet_ins_lost;
+    LogStream(LogLevel::Debug, "switch") << "PacketIn with no control channel, node "
+                                         << id().value;
+    return;
+  }
+  ++stats_.packet_ins;
+  packet_in_sink_(std::move(message));
+}
+
+}  // namespace p4auth::netsim

@@ -1,0 +1,86 @@
+// The behavioural-model switch node: a data plane (program + registers)
+// below an explicitly modelled switch-OS boundary.
+//
+// The OS boundary is the paper's central attack surface (§II-A): a
+// compromised switch OS can interpose between the gRPC agent and the
+// SDK/driver and rewrite C-DP messages in both directions. We model that
+// seam as a pair of hooks every PacketOut/PacketIn crosses. P4Auth's whole
+// point is that its checks run *below* this seam, in the data plane.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dataplane/program.hpp"
+#include "dataplane/timing.hpp"
+#include "netsim/link.hpp"
+#include "netsim/network.hpp"
+#include "netsim/node.hpp"
+
+namespace p4auth::netsim {
+
+/// The compromised-OS seam. Hooks may mutate the message or drop it;
+/// absent hooks pass everything through (benign OS).
+struct OsInterposer {
+  std::function<TamperVerdict(Bytes&)> to_dataplane;   ///< PacketOut path
+  std::function<TamperVerdict(Bytes&)> to_controller;  ///< PacketIn path
+};
+
+class Switch : public Node {
+ public:
+  Switch(NodeId id, dataplane::TimingModel timing, std::uint64_t seed);
+
+  dataplane::RegisterFile& registers() noexcept { return registers_; }
+  Xoshiro256& rng() noexcept { return rng_; }
+  const dataplane::TimingModel& timing() const noexcept { return timing_; }
+
+  void set_program(std::unique_ptr<dataplane::DataPlaneProgram> program) {
+    program_ = std::move(program);
+  }
+  dataplane::DataPlaneProgram* program() noexcept { return program_.get(); }
+
+  /// Data-port arrival: runs the pipeline; emissions leave after the
+  /// modelled processing delay.
+  void on_frame(PortId ingress, Bytes payload) override;
+
+  /// PacketOut delivery from the control channel. Crosses the OS boundary
+  /// (to_dataplane hook) before reaching the pipeline on the CPU port.
+  void handle_packet_out(Bytes message);
+
+  void set_os_interposer(OsInterposer interposer) { interposer_ = std::move(interposer); }
+
+  /// Wired by the control channel; receives PacketIn messages that already
+  /// crossed the OS boundary (to_controller hook).
+  void set_packet_in_sink(std::function<void(Bytes)> sink) { packet_in_sink_ = std::move(sink); }
+
+  struct Stats {
+    std::uint64_t frames_in = 0;
+    std::uint64_t frames_out = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t packet_outs = 0;
+    std::uint64_t packet_ins = 0;
+    std::uint64_t packet_ins_lost = 0;  ///< no channel attached
+    std::uint64_t os_tampered = 0;
+    std::uint64_t os_dropped = 0;
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Cumulative processing delay billed, for timing experiments.
+  SimTime total_processing_time() const noexcept { return total_processing_; }
+
+ private:
+  void run_pipeline(dataplane::Packet packet);
+  void send_packet_in(Bytes message);
+
+  dataplane::TimingModel timing_;
+  Xoshiro256 rng_;
+  dataplane::RegisterFile registers_;
+  std::unique_ptr<dataplane::DataPlaneProgram> program_;
+  OsInterposer interposer_;
+  std::function<void(Bytes)> packet_in_sink_;
+  Stats stats_;
+  SimTime total_processing_{};
+};
+
+}  // namespace p4auth::netsim

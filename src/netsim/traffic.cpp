@@ -1,0 +1,57 @@
+#include "netsim/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p4auth::netsim {
+
+double TraceGenerator::exponential(double mean) {
+  double u = rng_.next_double();
+  if (u <= 0.0) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+double TraceGenerator::pareto(double alpha, double xmin) {
+  double u = rng_.next_double();
+  if (u <= 0.0) u = 1e-12;
+  return xmin / std::pow(u, 1.0 / alpha);
+}
+
+std::vector<TracePacket> TraceGenerator::generate() {
+  std::vector<TracePacket> packets;
+  const double duration_s = config_.duration.seconds();
+  // Scale Pareto xmin so the mean flow length matches mean_flow_packets:
+  // E[X] = alpha*xmin/(alpha-1) for alpha > 1.
+  const double xmin = config_.pareto_alpha > 1.0
+                          ? config_.mean_flow_packets * (config_.pareto_alpha - 1.0) /
+                                config_.pareto_alpha
+                          : 1.0;
+
+  double t = 0.0;
+  std::uint64_t flow_id = 0;
+  while (true) {
+    t += exponential(1.0 / config_.flows_per_second);
+    if (t >= duration_s) break;
+    ++flow_id;
+    const auto n_packets =
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(pareto(config_.pareto_alpha, xmin)));
+
+    double pkt_time = t;
+    for (std::uint64_t i = 0; i < n_packets; ++i) {
+      if (pkt_time >= duration_s) break;
+      TracePacket pkt;
+      pkt.time = SimTime::from_ns(static_cast<std::uint64_t>(pkt_time * 1e9));
+      pkt.flow_id = flow_id;
+      pkt.size_bytes = rng_.next_double() < config_.large_fraction ? config_.large_packet
+                                                                   : config_.small_packet;
+      packets.push_back(pkt);
+      pkt_time += exponential(config_.mean_packet_gap.seconds());
+    }
+  }
+
+  std::sort(packets.begin(), packets.end(),
+            [](const TracePacket& a, const TracePacket& b) { return a.time < b.time; });
+  return packets;
+}
+
+}  // namespace p4auth::netsim

@@ -1,0 +1,51 @@
+// Synthetic workload generation.
+//
+// The paper drives RouteScout with replayed CAIDA traces (§IX-A); we do
+// not have the traces, so TraceGenerator produces a statistically similar
+// substitute: Poisson flow arrivals, Pareto (heavy-tailed) flow lengths,
+// and bimodal packet sizes — the properties RouteScout's per-path latency
+// aggregation actually depends on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace p4auth::netsim {
+
+struct TracePacket {
+  SimTime time{};
+  std::uint64_t flow_id = 0;
+  std::uint32_t size_bytes = 0;
+};
+
+class TraceGenerator {
+ public:
+  struct Config {
+    SimTime duration = SimTime::from_s(60);
+    double flows_per_second = 200.0;
+    double pareto_alpha = 1.3;       ///< flow-length tail index
+    double mean_flow_packets = 12.0;
+    SimTime mean_packet_gap = SimTime::from_ms(2);
+    std::uint32_t small_packet = 96;    ///< ACK/control mode
+    std::uint32_t large_packet = 1400;  ///< MTU-ish data mode
+    double large_fraction = 0.55;
+  };
+
+  explicit TraceGenerator(std::uint64_t seed) : TraceGenerator(seed, Config{}) {}
+  TraceGenerator(std::uint64_t seed, Config config) : rng_(seed), config_(config) {}
+
+  /// Produces packets sorted by timestamp.
+  std::vector<TracePacket> generate();
+
+ private:
+  double exponential(double mean);
+  double pareto(double alpha, double xmin);
+
+  Xoshiro256 rng_;
+  Config config_;
+};
+
+}  // namespace p4auth::netsim

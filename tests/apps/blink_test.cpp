@@ -1,0 +1,98 @@
+#include "apps/blink/blink.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::apps::blink {
+namespace {
+
+class BlinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BlinkProgram::Config config;
+    config.retx_threshold = 4;
+    config.retx_window = SimTime::from_ms(10);
+    program_ = std::make_unique<BlinkProgram>(config, regs_);
+    // Prefix 1: primary port 1, backups ports 2 and 3 (stored as port+1).
+    ASSERT_TRUE(regs_.by_name("bk_nexthops")->write(3, 2).ok());
+    ASSERT_TRUE(regs_.by_name("bk_nexthops")->write(4, 3).ok());
+    ASSERT_TRUE(regs_.by_name("bk_nexthops")->write(5, 4).ok());
+  }
+
+  dataplane::PipelineOutput deliver(bool retx, SimTime at, std::uint16_t prefix = 1) {
+    dataplane::Packet packet;
+    packet.payload = encode_packet({prefix, 42, retx});
+    packet.ingress = PortId{9};
+    dataplane::PipelineContext ctx(regs_, rng_, at, NodeId{1});
+    return program_->process(packet, ctx);
+  }
+
+  dataplane::RegisterFile regs_;
+  std::unique_ptr<BlinkProgram> program_;
+  Xoshiro256 rng_{5};
+};
+
+TEST_F(BlinkTest, CodecRoundTrip) {
+  auto p = decode_packet(encode_packet({3, 0x1122ull, true}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().prefix, 3);
+  EXPECT_TRUE(p.value().is_retransmission);
+  EXPECT_FALSE(decode_packet(Bytes{kPacketMagic, 0}).ok());
+}
+
+TEST_F(BlinkTest, ForwardsOnPrimaryNextHop) {
+  auto out = deliver(false, SimTime::from_ms(1));
+  ASSERT_EQ(out.emits.size(), 1u);
+  EXPECT_EQ(out.emits[0].port, PortId{1});
+}
+
+TEST_F(BlinkTest, RetransmissionBurstTriggersFailover) {
+  for (int i = 0; i < 4; ++i) {
+    deliver(true, SimTime::from_ms(1 + static_cast<std::uint64_t>(i)));
+  }
+  EXPECT_EQ(program_->stats().failovers, 1u);
+  auto out = deliver(false, SimTime::from_ms(6));
+  ASSERT_EQ(out.emits.size(), 1u);
+  EXPECT_EQ(out.emits[0].port, PortId{2});  // first backup
+}
+
+TEST_F(BlinkTest, SlowRetransmissionsDoNotTrigger) {
+  // Spread beyond the window: the counter resets each time.
+  for (int i = 0; i < 6; ++i) {
+    deliver(true, SimTime::from_ms(1 + static_cast<std::uint64_t>(20 * i)));
+  }
+  EXPECT_EQ(program_->stats().failovers, 0u);
+  EXPECT_EQ(deliver(false, SimTime::from_ms(200)).emits.at(0).port, PortId{1});
+}
+
+TEST_F(BlinkTest, FailoverWrapsThroughBackupList) {
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      deliver(true, SimTime::from_ms(1 + static_cast<std::uint64_t>(round * 20 + i)));
+    }
+  }
+  EXPECT_EQ(program_->stats().failovers, 3u);
+  // 3 failovers from slot 0 -> back to slot 0.
+  EXPECT_EQ(deliver(false, SimTime::from_ms(99)).emits.at(0).port, PortId{1});
+}
+
+TEST_F(BlinkTest, EmptyNextHopDrops) {
+  auto out = deliver(false, SimTime::from_ms(1), /*prefix=*/2);  // nothing installed
+  EXPECT_TRUE(out.dropped);
+  EXPECT_EQ(program_->stats().dropped_no_hop, 1u);
+}
+
+TEST_F(BlinkTest, OutOfRangePrefixDrops) {
+  auto out = deliver(false, SimTime::from_ms(1), /*prefix=*/999);
+  EXPECT_TRUE(out.dropped);
+}
+
+TEST_F(BlinkTest, PoisonedNextHopListHijacksTraffic) {
+  // Table I: the attacker rewrites the controller's next-hop update so the
+  // active slot points at the attacker-chosen port.
+  ASSERT_TRUE(regs_.by_name("bk_nexthops")->write(3, 8).ok());  // port 7
+  auto out = deliver(false, SimTime::from_ms(1));
+  EXPECT_EQ(out.emits.at(0).port, PortId{7});
+}
+
+}  // namespace
+}  // namespace p4auth::apps::blink

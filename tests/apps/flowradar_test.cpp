@@ -1,0 +1,116 @@
+#include "apps/flowradar/flowradar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::apps::flowradar {
+namespace {
+
+class FlowRadarTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlowRadarProgram::Config config;
+    config.cells = 64;
+    program_ = std::make_unique<FlowRadarProgram>(config, regs_);
+  }
+
+  void send(std::uint32_t flow, int packets) {
+    for (int i = 0; i < packets; ++i) {
+      dataplane::Packet packet;
+      packet.payload = encode_packet({flow});
+      packet.ingress = PortId{9};
+      dataplane::PipelineContext ctx(regs_, rng_, SimTime::from_us(1), NodeId{1});
+      (void)program_->process(packet, ctx);
+    }
+  }
+
+  DecodeResult decode_current() {
+    std::vector<std::uint64_t> fx(64), fc(64), pc(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+      fx[i] = regs_.by_name("fr_flow_xor")->read(i).value();
+      fc[i] = regs_.by_name("fr_flow_cnt")->read(i).value();
+      pc[i] = regs_.by_name("fr_pkt_cnt")->read(i).value();
+    }
+    return decode_flowset(fx, fc, pc);
+  }
+
+  dataplane::RegisterFile regs_;
+  std::unique_ptr<FlowRadarProgram> program_;
+  Xoshiro256 rng_{5};
+};
+
+TEST_F(FlowRadarTest, CodecRoundTrip) {
+  auto p = decode_packet(encode_packet({0xCAFE}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().flow, 0xCAFEu);
+  EXPECT_FALSE(decode_packet(Bytes{kPacketMagic}).ok());
+}
+
+TEST_F(FlowRadarTest, CellIndicesAreStableAndBounded) {
+  const auto a = FlowRadarProgram::cell_indices(1234, 64);
+  const auto b = FlowRadarProgram::cell_indices(1234, 64);
+  EXPECT_EQ(a, b);
+  for (const auto idx : a) EXPECT_LT(idx, 64u);
+  EXPECT_GE(a.size(), 2u);
+}
+
+TEST_F(FlowRadarTest, SingleFlowDecodes) {
+  send(777, 5);
+  const auto decoded = decode_current();
+  EXPECT_TRUE(decoded.clean);
+  ASSERT_EQ(decoded.flows.size(), 1u);
+  EXPECT_EQ(decoded.flows.at(777), 5u);
+}
+
+TEST_F(FlowRadarTest, ManyFlowsDecodeWithExactCounts) {
+  std::map<std::uint32_t, std::uint64_t> truth;
+  for (std::uint32_t f = 1; f <= 12; ++f) {
+    send(f * 37, static_cast<int>(f));
+    truth[f * 37] = f;
+  }
+  const auto decoded = decode_current();
+  EXPECT_TRUE(decoded.clean);
+  ASSERT_EQ(decoded.flows.size(), truth.size());
+  for (const auto& [flow, count] : truth) {
+    EXPECT_EQ(decoded.flows.at(flow), count) << "flow " << flow;
+  }
+}
+
+TEST_F(FlowRadarTest, InterleavedPacketsStillDecode) {
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint32_t f = 1; f <= 6; ++f) send(f * 101, 1);
+  }
+  const auto decoded = decode_current();
+  EXPECT_TRUE(decoded.clean);
+  for (std::uint32_t f = 1; f <= 6; ++f) {
+    EXPECT_EQ(decoded.flows.at(f * 101), 4u);
+  }
+}
+
+TEST_F(FlowRadarTest, TamperedSnapshotIsNotClean) {
+  send(777, 5);
+  send(888, 3);
+  std::vector<std::uint64_t> fx(64), fc(64), pc(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    fx[i] = regs_.by_name("fr_flow_xor")->read(i).value();
+    fc[i] = regs_.by_name("fr_flow_cnt")->read(i).value();
+    pc[i] = regs_.by_name("fr_pkt_cnt")->read(i).value();
+  }
+  // The attacker xors garbage into an occupied cell's flow field.
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (fc[i] == 1) {
+      fx[i] ^= 0x5A5A;
+      break;
+    }
+  }
+  const auto decoded = decode_flowset(fx, fc, pc);
+  EXPECT_FALSE(decoded.clean);
+}
+
+TEST_F(FlowRadarTest, EmptySnapshotDecodesClean) {
+  const auto decoded = decode_current();
+  EXPECT_TRUE(decoded.clean);
+  EXPECT_TRUE(decoded.flows.empty());
+}
+
+}  // namespace
+}  // namespace p4auth::apps::flowradar

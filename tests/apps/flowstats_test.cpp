@@ -1,0 +1,80 @@
+#include "apps/flowstats/flowstats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::apps::flowstats {
+namespace {
+
+class FlowStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    program_ = std::make_unique<FlowStatsProgram>(FlowStatsProgram::Config{}, regs_);
+  }
+
+  dataplane::PipelineOutput deliver(std::uint16_t flow, SimTime at) {
+    dataplane::Packet packet;
+    packet.payload = encode_packet({flow, 64});
+    packet.ingress = PortId{9};
+    dataplane::PipelineContext ctx(regs_, rng_, at, NodeId{1});
+    return program_->process(packet, ctx);
+  }
+
+  dataplane::RegisterFile regs_;
+  std::unique_ptr<FlowStatsProgram> program_;
+  Xoshiro256 rng_{5};
+};
+
+TEST_F(FlowStatsTest, CodecRoundTrip) {
+  auto p = decode_packet(encode_packet({7, 512}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().flow, 7);
+  EXPECT_EQ(p.value().size_bytes, 512u);
+  EXPECT_FALSE(decode_packet(Bytes{kPacketMagic, 1}).ok());
+}
+
+TEST_F(FlowStatsTest, FirstPacketRecordsNoIpd) {
+  deliver(3, SimTime::from_us(100));
+  EXPECT_EQ(regs_.by_name("fs_ipd_cnt")->read(3).value(), 0u);
+}
+
+TEST_F(FlowStatsTest, IpdAccumulatesInMicroseconds) {
+  deliver(3, SimTime::from_us(100));
+  deliver(3, SimTime::from_us(1100));  // +1000 us
+  deliver(3, SimTime::from_us(2200));  // +1100 us
+  EXPECT_EQ(regs_.by_name("fs_ipd_cnt")->read(3).value(), 2u);
+  EXPECT_EQ(regs_.by_name("fs_ipd_sum")->read(3).value(), 2100u);
+}
+
+TEST_F(FlowStatsTest, FlowsAreIndependent) {
+  deliver(1, SimTime::from_us(100));
+  deliver(2, SimTime::from_us(150));
+  deliver(1, SimTime::from_us(600));
+  EXPECT_EQ(regs_.by_name("fs_ipd_sum")->read(1).value(), 500u);
+  EXPECT_EQ(regs_.by_name("fs_ipd_cnt")->read(2).value(), 0u);
+}
+
+TEST_F(FlowStatsTest, BlockedFlowDropped) {
+  ASSERT_TRUE(regs_.by_name("fs_blocked")->write(5, 1).ok());
+  auto out = deliver(5, SimTime::from_us(100));
+  EXPECT_TRUE(out.dropped);
+  EXPECT_EQ(program_->stats().blocked, 1u);
+  EXPECT_EQ(program_->stats().forwarded, 0u);
+}
+
+TEST_F(FlowStatsTest, UnblockedFlowForwarded) {
+  auto out = deliver(5, SimTime::from_us(100));
+  ASSERT_EQ(out.emits.size(), 1u);
+  EXPECT_EQ(out.emits[0].port, PortId{1});
+  EXPECT_EQ(program_->stats().forwarded, 1u);
+}
+
+TEST_F(FlowStatsTest, OutOfRangeFlowDropped) {
+  dataplane::Packet packet;
+  packet.payload = encode_packet({999, 64});
+  packet.ingress = PortId{9};
+  dataplane::PipelineContext ctx(regs_, rng_, SimTime::from_us(1), NodeId{1});
+  EXPECT_TRUE(program_->process(packet, ctx).dropped);
+}
+
+}  // namespace
+}  // namespace p4auth::apps::flowstats

@@ -1,0 +1,67 @@
+#include "apps/l3fwd/l3fwd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::apps::l3fwd {
+namespace {
+
+class L3FwdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    program_ = std::make_unique<L3FwdProgram>(regs_);
+    ASSERT_TRUE(program_->add_route(0x0A000000u, 8, PortId{1}).ok());
+    ASSERT_TRUE(program_->add_route(0x0A010000u, 16, PortId{2}).ok());
+  }
+
+  dataplane::PipelineOutput deliver(std::uint32_t dst) {
+    dataplane::Packet packet;
+    packet.payload = encode_ipv4({dst, 1000});
+    packet.ingress = PortId{9};
+    dataplane::PipelineContext ctx(regs_, rng_, SimTime::from_us(1), NodeId{1});
+    return program_->process(packet, ctx);
+  }
+
+  dataplane::RegisterFile regs_;
+  std::unique_ptr<L3FwdProgram> program_;
+  Xoshiro256 rng_{5};
+};
+
+TEST_F(L3FwdTest, LongestPrefixWins) {
+  EXPECT_EQ(deliver(0x0A010203u).emits.at(0).port, PortId{2});
+  EXPECT_EQ(deliver(0x0A020304u).emits.at(0).port, PortId{1});
+}
+
+TEST_F(L3FwdTest, NoRouteDrops) {
+  EXPECT_TRUE(deliver(0x0B000000u).dropped);
+}
+
+TEST_F(L3FwdTest, StatsRegisterCounts) {
+  deliver(0x0A000001u);
+  deliver(0x0A000001u);
+  const std::size_t slot = 0x0A000001u % regs_.by_name("l3_stats")->size();
+  EXPECT_EQ(regs_.by_name("l3_stats")->read(slot).value(), 2u);
+  EXPECT_EQ(program_->forwarded(), 2u);
+}
+
+TEST_F(L3FwdTest, ResourcesMatchPaperBaseline) {
+  // 2 MATs + 1 register; Table II baseline row comes out of this.
+  const auto decl = program_->resources();
+  EXPECT_EQ(decl.tables.size(), 2u);
+  EXPECT_EQ(decl.registers.size(), 1u);
+  const auto usage = dataplane::compute_usage(decl);
+  EXPECT_NEAR(usage.tcam_pct, 8.3, 0.5);
+  EXPECT_NEAR(usage.sram_pct, 2.5, 0.5);
+  EXPECT_NEAR(usage.hash_pct, 1.4, 0.5);
+  EXPECT_NEAR(usage.phv_pct, 11.0, 1.0);
+}
+
+TEST_F(L3FwdTest, CodecRejectsGarbage) {
+  EXPECT_FALSE(decode_ipv4(Bytes{kIpv4Magic, 1, 2}).ok());
+  EXPECT_FALSE(decode_ipv4(Bytes{0x00}).ok());
+  auto round = decode_ipv4(encode_ipv4({0xC0A80101u, 64}));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().dst, 0xC0A80101u);
+}
+
+}  // namespace
+}  // namespace p4auth::apps::l3fwd

@@ -1,0 +1,92 @@
+#include "apps/netcache/netcache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::apps::netcache {
+namespace {
+
+class NetCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    program_ = std::make_unique<NetCacheProgram>(NetCacheProgram::Config{}, regs_);
+  }
+
+  dataplane::PipelineOutput deliver(Bytes payload, PortId ingress = PortId{1}) {
+    dataplane::Packet packet;
+    packet.payload = std::move(payload);
+    packet.ingress = ingress;
+    dataplane::PipelineContext ctx(regs_, rng_, SimTime::from_us(1), NodeId{1});
+    return program_->process(packet, ctx);
+  }
+
+  void install(std::size_t slot, std::uint32_t key, std::uint64_t value) {
+    ASSERT_TRUE(regs_.by_name("nc_cache_key")->write(slot, key).ok());
+    ASSERT_TRUE(regs_.by_name("nc_cache_val")->write(slot, value).ok());
+  }
+
+  dataplane::RegisterFile regs_;
+  std::unique_ptr<NetCacheProgram> program_;
+  Xoshiro256 rng_{5};
+};
+
+TEST_F(NetCacheTest, CodecRoundTrip) {
+  auto q = decode_query(encode_query({0xAB}));
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value().key, 0xABu);
+  auto r = decode_response(encode_response({0xAB, 99, true}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().value, 99u);
+  EXPECT_TRUE(r.value().from_cache);
+}
+
+TEST_F(NetCacheTest, MissForwardsToServer) {
+  auto out = deliver(encode_query({42}));
+  ASSERT_EQ(out.emits.size(), 1u);
+  EXPECT_EQ(out.emits[0].port, PortId{2});  // server port
+  EXPECT_EQ(program_->stats().misses, 1u);
+}
+
+TEST_F(NetCacheTest, HitAnsweredFromCache) {
+  install(0, 42, 777);
+  auto out = deliver(encode_query({42}));
+  ASSERT_EQ(out.emits.size(), 1u);
+  EXPECT_EQ(out.emits[0].port, PortId{1});  // straight back to the client
+  const auto response = decode_response(out.emits[0].payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response.value().value, 777u);
+  EXPECT_TRUE(response.value().from_cache);
+  EXPECT_EQ(program_->stats().hits, 1u);
+}
+
+TEST_F(NetCacheTest, ServerResponseForwardedToClient) {
+  auto out = deliver(encode_response({42, 1, false}), PortId{2});
+  ASSERT_EQ(out.emits.size(), 1u);
+  EXPECT_EQ(out.emits[0].port, PortId{1});
+}
+
+TEST_F(NetCacheTest, SketchCountsPopularity) {
+  for (int i = 0; i < 7; ++i) deliver(encode_query({1111}));
+  deliver(encode_query({2222}));
+  EXPECT_GE(program_->estimate(1111), 7u);  // CMS never undercounts
+  EXPECT_GE(program_->estimate(2222), 1u);
+  EXPECT_LT(program_->estimate(2222), 7u);
+  EXPECT_EQ(program_->estimate(0xFFFF), 0u);
+}
+
+TEST_F(NetCacheTest, WrongCachedKeyDoesNotHit) {
+  // The Table I attack result: a corrupted install caches a key nobody
+  // queries, so the hot key keeps missing.
+  install(0, 0xDEAD, 777);
+  auto out = deliver(encode_query({42}));
+  EXPECT_EQ(out.emits.at(0).port, PortId{2});
+  EXPECT_EQ(program_->stats().misses, 1u);
+}
+
+TEST_F(NetCacheTest, ZeroKeySlotNeverMatches) {
+  auto out = deliver(encode_query({0}));
+  EXPECT_EQ(program_->stats().misses, 1u);
+  (void)out;
+}
+
+}  // namespace
+}  // namespace p4auth::apps::netcache

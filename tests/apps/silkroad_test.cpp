@@ -1,0 +1,95 @@
+#include "apps/silkroad/silkroad.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::apps::silkroad {
+namespace {
+
+class SilkRoadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    program_ = std::make_unique<SilkRoadProgram>(SilkRoadProgram::Config{}, regs_);
+    // Distinguishable pools for VIP 1.
+    for (std::size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(regs_.by_name("slk_dips_old")->write(4 + i, 100 + i).ok());
+      ASSERT_TRUE(regs_.by_name("slk_dips_new")->write(4 + i, 200 + i).ok());
+    }
+  }
+
+  dataplane::PipelineOutput deliver(std::uint64_t conn) {
+    dataplane::Packet packet;
+    packet.payload = encode_conn({1, conn});
+    packet.ingress = PortId{9};
+    dataplane::PipelineContext ctx(regs_, rng_, SimTime::from_us(1), NodeId{1});
+    return program_->process(packet, ctx);
+  }
+
+  /// DIP carried in the forwarded packet's trailing 4 bytes.
+  static std::uint32_t dip_of(const dataplane::PipelineOutput& out) {
+    const Bytes& payload = out.emits.at(0).payload;
+    std::uint32_t dip = 0;
+    for (std::size_t i = payload.size() - 4; i < payload.size(); ++i) {
+      dip = (dip << 8) | payload[i];
+    }
+    return dip;
+  }
+
+  dataplane::RegisterFile regs_;
+  std::unique_ptr<SilkRoadProgram> program_;
+  Xoshiro256 rng_{5};
+};
+
+TEST_F(SilkRoadTest, CodecRoundTrip) {
+  auto c = decode_conn(encode_conn({3, 0x1122334455667788ull}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value().vip, 3);
+  EXPECT_EQ(c.value().conn_id, 0x1122334455667788ull);
+  EXPECT_FALSE(decode_conn(Bytes{kConnMagic, 0}).ok());
+}
+
+TEST_F(SilkRoadTest, NewConnectionUsesNewPoolWhenNotInTransit) {
+  auto out = deliver(1);
+  const std::uint32_t dip = dip_of(out);
+  EXPECT_GE(dip, 200u);
+  EXPECT_LT(dip, 204u);
+  EXPECT_EQ(program_->stats().to_new_pool, 1u);
+}
+
+TEST_F(SilkRoadTest, TransitBitSendsNewConnectionsToOldPool) {
+  ASSERT_TRUE(regs_.by_name("slk_transit")->write(1, 1).ok());
+  auto out = deliver(2);
+  const std::uint32_t dip = dip_of(out);
+  EXPECT_GE(dip, 100u);
+  EXPECT_LT(dip, 104u);
+  EXPECT_EQ(program_->stats().to_old_pool, 1u);
+}
+
+TEST_F(SilkRoadTest, ExistingConnectionStaysPinnedAcrossTransitChange) {
+  ASSERT_TRUE(regs_.by_name("slk_transit")->write(1, 1).ok());
+  auto first = deliver(7);
+  const std::uint32_t dip = dip_of(first);
+  // Migration ends; the pinned connection must keep its old DIP.
+  ASSERT_TRUE(regs_.by_name("slk_transit")->write(1, 0).ok());
+  auto second = deliver(7);
+  EXPECT_EQ(dip_of(second), dip);
+  EXPECT_EQ(program_->stats().pinned, 1u);
+}
+
+TEST_F(SilkRoadTest, OutOfRangeVipDropped) {
+  dataplane::Packet packet;
+  packet.payload = encode_conn({99, 1});
+  packet.ingress = PortId{9};
+  dataplane::PipelineContext ctx(regs_, rng_, SimTime::from_us(1), NodeId{1});
+  EXPECT_TRUE(program_->process(packet, ctx).dropped);
+}
+
+TEST_F(SilkRoadTest, ConnectionsSpreadOverPool) {
+  std::set<std::uint32_t> dips;
+  for (std::uint64_t conn = 0; conn < 64; ++conn) {
+    dips.insert(dip_of(deliver(conn + 10)));
+  }
+  EXPECT_GE(dips.size(), 3u);  // uses several DIPs of the 4-entry pool
+}
+
+}  // namespace
+}  // namespace p4auth::apps::silkroad

@@ -1,0 +1,52 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace p4auth {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return make_error("not positive");
+  return v;
+}
+
+TEST(Result, ValueCase) {
+  auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_TRUE(static_cast<bool>(r));
+}
+
+TEST(Result, ErrorCase) {
+  auto r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "not positive");
+}
+
+TEST(Result, ValueOr) {
+  EXPECT_EQ(parse_positive(3).value_or(9), 3);
+  EXPECT_EQ(parse_positive(-3).value_or(9), 9);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, ErrorCarriesMessage) {
+  Status s = make_error("boom");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().message, "boom");
+}
+
+}  // namespace
+}  // namespace p4auth

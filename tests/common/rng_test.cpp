@@ -1,0 +1,67 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace p4auth {
+namespace {
+
+TEST(SplitMix64, KnownSequenceFromSeedZero) {
+  // Reference values for SplitMix64 with seed 0 (Steele et al.).
+  SplitMix64 mix(0);
+  EXPECT_EQ(mix.next(), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(mix.next(), 0x6E789E6AA1B965F4ull);
+  EXPECT_EQ(mix.next(), 0x06C45D188009454Full);
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    if (va != c.next_u64()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Xoshiro256, NextBelowInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversAllResidues) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256, RoughUniformity) {
+  Xoshiro256 rng(2026);
+  int buckets[10] = {};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) ++buckets[static_cast<int>(rng.next_double() * 10)];
+  for (int b : buckets) {
+    EXPECT_GT(b, kN / 10 - kN / 50);
+    EXPECT_LT(b, kN / 10 + kN / 50);
+  }
+}
+
+}  // namespace
+}  // namespace p4auth

@@ -1,0 +1,61 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, MeanAndStddev) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSample) {
+  RunningStat s;
+  s.add(3.5);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.percentile(99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, EmptyYieldsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.percentile(50), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+}
+
+TEST(SampleSet, UnsortedInput) {
+  SampleSet s;
+  for (double x : {9.0, 1.0, 5.0}) s.add(x);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.percentile(50), 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace p4auth

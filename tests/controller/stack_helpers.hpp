@@ -1,0 +1,106 @@
+// Shared full-stack fixture: simulator + switches (each wrapped by a
+// P4AuthAgent) + control channels + controller.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "controller/controller.hpp"
+#include "core/agent.hpp"
+#include "netsim/control_channel.hpp"
+#include "netsim/network.hpp"
+
+namespace p4auth::controller::testing {
+
+inline constexpr Key64 kSeedBase = 0x5EED000000000000ull;
+inline constexpr std::uint8_t kProbeMagic = 0x50;
+inline constexpr RegisterId kUserReg{1234};
+
+/// Probe packets (magic 0x50) record byte[1] into "probe_val" and forward
+/// out the port stored in "probe_out"; other packets are dropped.
+class ProbeApp : public dataplane::DataPlaneProgram {
+ public:
+  dataplane::PipelineOutput process(dataplane::Packet& packet,
+                                    dataplane::PipelineContext& ctx) override {
+    if (packet.payload.empty() || packet.payload[0] != kProbeMagic) {
+      return dataplane::PipelineOutput::drop();
+    }
+    if (auto* reg = ctx.registers().by_name("probe_val")) {
+      (void)reg->write(0, packet.payload.size() > 1 ? packet.payload[1] : 0);
+    }
+    std::uint64_t out_port = 0;
+    if (auto* reg = ctx.registers().by_name("probe_out")) {
+      out_port = reg->read(0).value_or(0);
+    }
+    if (out_port == 0) return dataplane::PipelineOutput::drop();
+    return dataplane::PipelineOutput::unicast(PortId{static_cast<std::uint16_t>(out_port)},
+                                              packet.payload);
+  }
+};
+
+struct StackSwitch {
+  netsim::Switch* sw = nullptr;
+  core::P4AuthAgent* agent = nullptr;
+  std::unique_ptr<netsim::ControlChannel> channel;
+};
+
+class Stack {
+ public:
+  explicit Stack(Controller::Config config = {}) : controller(sim, config) {}
+
+  /// Adds a switch with a ProbeApp inner program and attaches it to the
+  /// controller. Returns its handle.
+  StackSwitch& add_switch(NodeId id, bool auth_enabled = true) {
+    auto& entry = switches_.emplace_back();
+    entry.sw = net.add<netsim::Switch>(id, dataplane::TimingModel::tofino(),
+                                       /*seed=*/1000 + id.value);
+
+    core::P4AuthAgent::Config agent_config;
+    agent_config.self = id;
+    agent_config.k_seed = kSeedBase + id.value;
+    agent_config.num_ports = 8;
+    agent_config.auth_enabled = auth_enabled;
+    auto agent = std::make_unique<core::P4AuthAgent>(agent_config, entry.sw->registers(),
+                                                     std::make_unique<ProbeApp>());
+    entry.agent = agent.get();
+    entry.agent->add_protected_magic(kProbeMagic);
+    entry.sw->set_program(std::move(agent));
+
+    (void)entry.sw->registers().create("user_reg", kUserReg, 16, 64);
+    (void)entry.sw->registers().create("probe_val", RegisterId{77}, 1, 64);
+    (void)entry.sw->registers().create("probe_out", RegisterId{78}, 1, 64);
+    (void)entry.agent->expose_register(kUserReg, "user_reg");
+
+    entry.channel = std::make_unique<netsim::ControlChannel>(
+        sim, *entry.sw, netsim::ChannelModel::packet_out());
+    controller.attach_switch(id, *entry.channel, kSeedBase + id.value, 8);
+    return entry;
+  }
+
+  /// Connects two switches and informs both agents of their neighbour
+  /// (what LLDP would do).
+  netsim::Link* connect(StackSwitch& a, PortId port_a, StackSwitch& b, PortId port_b) {
+    a.agent->set_neighbor(port_a, b.sw->id());
+    b.agent->set_neighbor(port_b, a.sw->id());
+    netsim::LinkConfig config;
+    config.latency = SimTime::from_us(20);
+    return net.connect(a.sw->id(), port_a, b.sw->id(), port_b, config);
+  }
+
+  /// Blocking helper: runs the local-key init to completion.
+  Result<Key64> init_local_key_sync(NodeId id) {
+    std::optional<Result<Key64>> result;
+    controller.init_local_key(id, [&](Result<Key64> r) { result = std::move(r); });
+    sim.run();
+    return result.has_value() ? std::move(*result) : Result<Key64>(make_error("no callback"));
+  }
+
+  netsim::Simulator sim;
+  netsim::Network net{sim};
+  Controller controller;
+
+ private:
+  std::deque<StackSwitch> switches_;  // stable references across add_switch
+};
+
+}  // namespace p4auth::controller::testing

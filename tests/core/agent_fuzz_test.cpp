@@ -1,0 +1,108 @@
+// Robustness fuzz: the agent must survive arbitrary bytes on every port —
+// no crash, no state corruption, no spurious key installs. The data plane
+// parses hostile input by definition of the threat model.
+#include <gtest/gtest.h>
+
+#include "core/agent.hpp"
+
+namespace p4auth::core {
+namespace {
+
+class AgentFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    P4AuthAgent::Config config;
+    config.self = NodeId{2};
+    config.k_seed = 0x5EED;
+    config.num_ports = 4;
+    agent_ = std::make_unique<P4AuthAgent>(config, regs_, nullptr);
+    agent_->set_neighbor(PortId{1}, NodeId{3});
+    agent_->add_protected_magic(0x48);
+    (void)regs_.create("fuzz_reg", RegisterId{500}, 4, 64);
+    ASSERT_TRUE(agent_->expose_register(RegisterId{500}, "fuzz_reg").ok());
+  }
+
+  void feed(Bytes payload, PortId ingress) {
+    dataplane::Packet packet;
+    packet.payload = std::move(payload);
+    packet.ingress = ingress;
+    dataplane::PipelineContext ctx(regs_, rng_, SimTime::from_us(1), NodeId{2});
+    (void)agent_->process(packet, ctx);
+  }
+
+  dataplane::RegisterFile regs_;
+  Xoshiro256 rng_{1};
+  std::unique_ptr<P4AuthAgent> agent_;
+};
+
+TEST_F(AgentFuzz, RandomBytesNeverCrashOrInstallKeys) {
+  Xoshiro256 fuzz(0xF022);
+  for (int i = 0; i < 20000; ++i) {
+    Bytes payload(fuzz.next_below(48));
+    for (auto& byte : payload) byte = static_cast<std::uint8_t>(fuzz.next_u64());
+    const PortId ingress{static_cast<std::uint16_t>(fuzz.next_below(5))};  // incl. CPU
+    feed(std::move(payload), ingress);
+  }
+  EXPECT_EQ(agent_->stats().key_installs, 0u);
+  EXPECT_EQ(agent_->stats().writes_served, 0u);
+  EXPECT_EQ(agent_->stats().reads_served, 0u);
+  EXPECT_EQ(regs_.by_name("fuzz_reg")->read(0).value(), 0u);
+  EXPECT_FALSE(agent_->has_local_key());
+}
+
+TEST_F(AgentFuzz, StructuredGarbageNeverServesRegisterOps) {
+  // Frames that decode as valid p4auth messages but carry random digests.
+  Xoshiro256 fuzz(0xF023);
+  for (int i = 0; i < 5000; ++i) {
+    Message msg;
+    msg.header.hdr_type = static_cast<HdrType>(1 + fuzz.next_below(4));
+    msg.header.msg_type = static_cast<std::uint8_t>(1 + fuzz.next_below(5));
+    msg.header.seq_num = static_cast<std::uint16_t>(fuzz.next_u64());
+    msg.header.key_version = KeyVersion{static_cast<std::uint8_t>(fuzz.next_u64())};
+    msg.header.flags = static_cast<std::uint8_t>(fuzz.next_below(8));
+    msg.header.src = NodeId{static_cast<std::uint16_t>(fuzz.next_below(8))};
+    msg.header.dst = NodeId{2};
+    msg.header.digest = fuzz.next_u32();
+    switch (msg.header.hdr_type) {
+      case HdrType::RegisterOp:
+        msg.header.msg_type = static_cast<std::uint8_t>(1 + fuzz.next_below(4));
+        msg.payload = RegisterOpPayload{RegisterId{500}, static_cast<std::uint32_t>(
+                                                             fuzz.next_below(8)),
+                                        fuzz.next_u64()};
+        break;
+      case HdrType::KeyExchange:
+        switch (static_cast<KeyExchMsg>(msg.header.msg_type)) {
+          case KeyExchMsg::EakExch:
+            msg.payload = EakPayload{fuzz.next_u64()};
+            break;
+          case KeyExchMsg::InitKeyExch:
+          case KeyExchMsg::UpdKeyExch:
+            msg.payload = AdhkdPayload{fuzz.next_u64(), fuzz.next_u64()};
+            break;
+          default:
+            msg.payload = PortKeyPayload{PortId{static_cast<std::uint16_t>(fuzz.next_below(5))},
+                                         NodeId{3}};
+            break;
+        }
+        break;
+      case HdrType::Alert:
+        msg.header.msg_type = static_cast<std::uint8_t>(1 + fuzz.next_below(5));
+        msg.payload = AlertPayload{};
+        break;
+      case HdrType::DpData:
+        msg.payload = DpDataPayload{Bytes{0x48, 0x01}};
+        break;
+    }
+    const PortId ingress{static_cast<std::uint16_t>(fuzz.next_below(3))};
+    feed(encode(msg), ingress);
+  }
+  // Digest guesses at 2^-32: nothing lands.
+  EXPECT_EQ(agent_->stats().writes_served, 0u);
+  EXPECT_EQ(agent_->stats().reads_served, 0u);
+  EXPECT_EQ(agent_->stats().key_installs, 0u);
+  EXPECT_EQ(agent_->stats().feedback_verified, 0u);
+  EXPECT_GT(agent_->stats().digest_failures, 1000u);
+}
+
+}  // namespace
+}  // namespace p4auth::core

@@ -1,0 +1,113 @@
+#include "core/auth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::core {
+namespace {
+
+constexpr Key64 kKey = 0x0123456789ABCDEFull;
+
+Message sample() {
+  Message m;
+  m.header.hdr_type = HdrType::RegisterOp;
+  m.header.msg_type = static_cast<std::uint8_t>(RegisterMsg::WriteReq);
+  m.header.seq_num = 42;
+  m.header.src = kControllerId;
+  m.header.dst = NodeId{3};
+  m.payload = RegisterOpPayload{RegisterId{99}, 2, 1234};
+  return m;
+}
+
+class AuthMacSweep : public ::testing::TestWithParam<crypto::MacKind> {};
+
+TEST_P(AuthMacSweep, TagThenVerify) {
+  Message m = sample();
+  tag_message(GetParam(), kKey, m);
+  EXPECT_NE(m.header.digest, 0u);
+  EXPECT_TRUE(verify_message(GetParam(), kKey, m));
+}
+
+TEST_P(AuthMacSweep, WrongKeyFails) {
+  Message m = sample();
+  tag_message(GetParam(), kKey, m);
+  EXPECT_FALSE(verify_message(GetParam(), kKey ^ 1, m));
+}
+
+TEST_P(AuthMacSweep, AnyHeaderFieldTamperFails) {
+  Message m = sample();
+  tag_message(GetParam(), kKey, m);
+
+  Message t = m;
+  t.header.msg_type = static_cast<std::uint8_t>(RegisterMsg::ReadReq);
+  EXPECT_FALSE(verify_message(GetParam(), kKey, t));
+
+  t = m;
+  t.header.seq_num ^= 1;
+  EXPECT_FALSE(verify_message(GetParam(), kKey, t));
+
+  t = m;
+  t.header.key_version.value ^= 1;
+  EXPECT_FALSE(verify_message(GetParam(), kKey, t));
+
+  t = m;
+  t.header.flags ^= kFlagResponse;
+  EXPECT_FALSE(verify_message(GetParam(), kKey, t));
+
+  t = m;
+  t.header.src = NodeId{9};
+  EXPECT_FALSE(verify_message(GetParam(), kKey, t));
+
+  t = m;
+  t.header.dst = NodeId{9};
+  EXPECT_FALSE(verify_message(GetParam(), kKey, t));
+}
+
+TEST_P(AuthMacSweep, PayloadTamperFails) {
+  // The exact attack of Fig. 9: flip the value in a register response.
+  Message m = sample();
+  tag_message(GetParam(), kKey, m);
+  std::get<RegisterOpPayload>(m.payload).value = 9999;
+  EXPECT_FALSE(verify_message(GetParam(), kKey, m));
+}
+
+TEST_P(AuthMacSweep, DigestSurvivesEncodeDecode) {
+  Message m = sample();
+  tag_message(GetParam(), kKey, m);
+  auto decoded = decode(encode(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(verify_message(GetParam(), kKey, decoded.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Macs, AuthMacSweep,
+                         ::testing::Values(crypto::MacKind::HalfSipHash24,
+                                           crypto::MacKind::Crc32Envelope));
+
+TEST(Auth, CostBillingVariantMatches) {
+  Message m = sample();
+  dataplane::PacketCosts costs;
+  tag_message(crypto::MacKind::HalfSipHash24, kKey, m, costs);
+  EXPECT_EQ(costs.hash_calls, 1);
+  EXPECT_EQ(costs.hashed_bytes, encoded_size(m.payload) - 4);  // header sans digest + payload
+  EXPECT_TRUE(verify_message(crypto::MacKind::HalfSipHash24, kKey, m));
+
+  const Digest32 with_costs = m.header.digest;
+  Message m2 = sample();
+  tag_message(crypto::MacKind::HalfSipHash24, kKey, m2);
+  EXPECT_EQ(m2.header.digest, with_costs);
+}
+
+TEST(Auth, DpDataTagging) {
+  Message m;
+  m.header.hdr_type = HdrType::DpData;
+  m.header.msg_type = 1;
+  m.header.src = NodeId{4};
+  m.payload = DpDataPayload{Bytes{0x50, 9, 9, 9}};
+  tag_message(crypto::MacKind::HalfSipHash24, kKey, m);
+  EXPECT_TRUE(verify_message(crypto::MacKind::HalfSipHash24, kKey, m));
+  // The HULA attack: rewrite probeUtil inside the carried probe.
+  std::get<DpDataPayload>(m.payload).inner[1] = 1;
+  EXPECT_FALSE(verify_message(crypto::MacKind::HalfSipHash24, kKey, m));
+}
+
+}  // namespace
+}  // namespace p4auth::core

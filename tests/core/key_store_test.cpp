@@ -1,0 +1,128 @@
+#include "core/key_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::core {
+namespace {
+
+TEST(VersionedKeyChain, StartsUninitialized) {
+  VersionedKeyChain chain;
+  EXPECT_FALSE(chain.initialized());
+  EXPECT_FALSE(chain.current().has_value());
+  EXPECT_FALSE(chain.get(KeyVersion{0}).has_value());
+  EXPECT_FALSE(chain.get(KeyVersion{1}).has_value());
+}
+
+TEST(VersionedKeyChain, FirstInstall) {
+  VersionedKeyChain chain;
+  chain.install(0xAAAA);
+  EXPECT_TRUE(chain.initialized());
+  EXPECT_EQ(chain.current(), 0xAAAAu);
+  EXPECT_EQ(chain.current_version(), KeyVersion{1});
+  EXPECT_EQ(chain.get(KeyVersion{1}), 0xAAAAu);
+  // No previous version yet.
+  EXPECT_FALSE(chain.get(KeyVersion{0}).has_value());
+}
+
+TEST(VersionedKeyChain, TwoVersionConsistentUpdate) {
+  // §VI-C: during rollover, messages tagged with either the old or the
+  // new version must verify.
+  VersionedKeyChain chain;
+  chain.install(0xAAAA);
+  chain.install(0xBBBB);
+  EXPECT_EQ(chain.current(), 0xBBBBu);
+  EXPECT_EQ(chain.current_version(), KeyVersion{2});
+  EXPECT_EQ(chain.get(KeyVersion{2}), 0xBBBBu);
+  EXPECT_EQ(chain.get(KeyVersion{1}), 0xAAAAu);  // previous still live
+}
+
+TEST(VersionedKeyChain, OnlyTwoVersionsRetained) {
+  VersionedKeyChain chain;
+  chain.install(0xAAAA);
+  chain.install(0xBBBB);
+  chain.install(0xCCCC);
+  EXPECT_EQ(chain.get(KeyVersion{3}), 0xCCCCu);
+  EXPECT_EQ(chain.get(KeyVersion{2}), 0xBBBBu);
+  EXPECT_FALSE(chain.get(KeyVersion{1}).has_value());  // expired
+}
+
+TEST(VersionedKeyChain, VersionWrapsAt256) {
+  VersionedKeyChain chain;
+  for (int i = 0; i < 256; ++i) chain.install(static_cast<Key64>(i));
+  EXPECT_EQ(chain.current_version(), KeyVersion{0});  // 256 mod 256
+  chain.install(0x1234);
+  EXPECT_EQ(chain.current_version(), KeyVersion{1});
+  EXPECT_EQ(chain.get(KeyVersion{1}), 0x1234u);
+  EXPECT_EQ(chain.get(KeyVersion{0}), 255u);
+}
+
+TEST(MirrorKeyStore, SlotZeroIsLocal) {
+  MirrorKeyStore store(4);
+  store.local().install(0x1111);
+  EXPECT_EQ(store.slot(kCpuPort).current(), 0x1111u);
+  EXPECT_EQ(store.num_ports(), 4);
+}
+
+TEST(MirrorKeyStore, PortSlotsIndependent) {
+  MirrorKeyStore store(4);
+  store.slot(PortId{1}).install(0x1111);
+  store.slot(PortId{2}).install(0x2222);
+  EXPECT_EQ(store.slot(PortId{1}).current(), 0x1111u);
+  EXPECT_EQ(store.slot(PortId{2}).current(), 0x2222u);
+  EXPECT_FALSE(store.slot(PortId{3}).initialized());
+}
+
+struct DataPlaneFixture : ::testing::Test {
+  dataplane::RegisterFile registers;
+  DataPlaneKeyStore store{registers, 8};
+};
+
+TEST_F(DataPlaneFixture, CreatesBackingRegisters) {
+  // §VII: "a register with N+1 entries to store the local key and N port
+  // keys" — here doubled for the two-version scheme plus install counts.
+  auto* a = registers.by_name("p4auth_keys_a");
+  auto* b = registers.by_name("p4auth_keys_b");
+  auto* installs = registers.by_name("p4auth_key_installs");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(installs, nullptr);
+  EXPECT_EQ(a->size(), 9u);
+  EXPECT_EQ(a->width_bits(), 64);
+  EXPECT_EQ(a->total_bits(), 9u * 64u);  // the paper's 64*(M+1) bits
+}
+
+TEST_F(DataPlaneFixture, InstallAndLookup) {
+  EXPECT_FALSE(store.has_key(kCpuPort));
+  store.install(kCpuPort, 0xFACE);
+  EXPECT_TRUE(store.has_key(kCpuPort));
+  EXPECT_EQ(store.current(kCpuPort), 0xFACEu);
+  EXPECT_EQ(store.get(kCpuPort, KeyVersion{1}), 0xFACEu);
+  EXPECT_FALSE(store.get(kCpuPort, KeyVersion{2}).has_value());
+}
+
+TEST_F(DataPlaneFixture, KeysMaterializedIntoRegisters) {
+  store.install(PortId{3}, 0xABCDEF);
+  const auto installs = registers.by_name("p4auth_key_installs")->read(3);
+  ASSERT_TRUE(installs.ok());
+  EXPECT_EQ(installs.value(), 1u);
+  // First install lands in the odd bank (installs=1 -> keys_[1] -> reg_b).
+  EXPECT_EQ(registers.by_name("p4auth_keys_b")->read(3).value(), 0xABCDEFu);
+}
+
+TEST_F(DataPlaneFixture, RolloverKeepsPreviousInOtherBank) {
+  store.install(PortId{2}, 0x1111);
+  store.install(PortId{2}, 0x2222);
+  EXPECT_EQ(registers.by_name("p4auth_keys_b")->read(2).value(), 0x1111u);
+  EXPECT_EQ(registers.by_name("p4auth_keys_a")->read(2).value(), 0x2222u);
+  EXPECT_EQ(store.get(PortId{2}, KeyVersion{1}), 0x1111u);
+  EXPECT_EQ(store.get(PortId{2}, KeyVersion{2}), 0x2222u);
+}
+
+TEST_F(DataPlaneFixture, OutOfRangeSlotIsSafe) {
+  EXPECT_FALSE(store.has_key(PortId{100}));
+  EXPECT_FALSE(store.current(PortId{100}).has_value());
+  EXPECT_FALSE(store.get(PortId{100}, KeyVersion{1}).has_value());
+}
+
+}  // namespace
+}  // namespace p4auth::core

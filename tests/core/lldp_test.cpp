@@ -1,0 +1,93 @@
+#include "core/lldp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/agent.hpp"
+
+namespace p4auth::core {
+namespace {
+
+TEST(LldpCodec, AnnouncementRoundTrip) {
+  const LldpAnnouncement announcement{NodeId{7}, PortId{3}};
+  auto decoded = decode_lldp(encode_lldp(announcement));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), announcement);
+}
+
+TEST(LldpCodec, ReportRoundTrip) {
+  const LldpReport report{NodeId{7}, PortId{3}, NodeId{9}, PortId{5}};
+  auto decoded = decode_lldp_report(encode_lldp_report(report));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), report);
+}
+
+TEST(LldpCodec, RejectsGarbage) {
+  EXPECT_FALSE(decode_lldp(Bytes{kLldpMagic, 1}).ok());
+  EXPECT_FALSE(decode_lldp(Bytes{0x00, 1, 2, 3, 4}).ok());
+  EXPECT_FALSE(decode_lldp_report(Bytes{kLldpReportMagic, 1, 2}).ok());
+  EXPECT_FALSE(decode_lldp({}).ok());
+}
+
+TEST(LldpCodec, MagicsAreDistinctFromProtocolBytes) {
+  // LLDP magics must not collide with p4auth hdrTypes (1..4) nor with the
+  // app magics used in this repo.
+  const std::uint8_t magics[] = {kLldpMagic, kLldpGenMagic, kLldpReportMagic};
+  for (const auto magic : magics) {
+    EXPECT_GT(magic, 4);  // not a p4auth hdrType
+    EXPECT_NE(magic, 0x48);  // hula probe
+    EXPECT_NE(magic, 0x44);  // hula data
+    EXPECT_NE(magic, 0x52);  // routescout data
+    EXPECT_NE(magic, 0x4C);  // routescout sample
+  }
+}
+
+TEST(LldpAgent, TriggerAnnouncesOnEveryPort) {
+  dataplane::RegisterFile registers;
+  P4AuthAgent::Config config;
+  config.self = NodeId{3};
+  config.k_seed = 1;
+  config.num_ports = 4;
+  P4AuthAgent agent(config, registers, nullptr);
+
+  dataplane::Packet packet;
+  packet.payload = encode_lldp_gen();
+  packet.ingress = PortId{9};
+  Xoshiro256 rng(1);
+  dataplane::PipelineContext ctx(registers, rng, SimTime::zero(), NodeId{3});
+  auto out = agent.process(packet, ctx);
+  ASSERT_EQ(out.emits.size(), 4u);
+  for (std::uint16_t port = 1; port <= 4; ++port) {
+    const auto announcement = decode_lldp(out.emits[port - 1].payload);
+    ASSERT_TRUE(announcement.ok());
+    EXPECT_EQ(announcement.value().sender, NodeId{3});
+    EXPECT_EQ(announcement.value().sender_port, PortId{port});
+  }
+  EXPECT_EQ(agent.stats().lldp_announcement_rounds, 1u);
+}
+
+TEST(LldpAgent, AnnouncementLearnsNeighborAndReports) {
+  dataplane::RegisterFile registers;
+  P4AuthAgent::Config config;
+  config.self = NodeId{3};
+  config.k_seed = 1;
+  P4AuthAgent agent(config, registers, nullptr);
+
+  dataplane::Packet packet;
+  packet.payload = encode_lldp(LldpAnnouncement{NodeId{8}, PortId{2}});
+  packet.ingress = PortId{1};
+  Xoshiro256 rng(1);
+  dataplane::PipelineContext ctx(registers, rng, SimTime::zero(), NodeId{3});
+  auto out = agent.process(packet, ctx);
+
+  EXPECT_EQ(agent.stats().lldp_neighbors_learned, 1u);
+  ASSERT_EQ(out.to_cpu.size(), 1u);
+  const auto report = decode_lldp_report(out.to_cpu[0]);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().sender, NodeId{8});
+  EXPECT_EQ(report.value().sender_port, PortId{2});
+  EXPECT_EQ(report.value().receiver, NodeId{3});
+  EXPECT_EQ(report.value().receiver_port, PortId{1});
+}
+
+}  // namespace
+}  // namespace p4auth::core

@@ -1,0 +1,70 @@
+#include "crypto/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "common/rng.hpp"
+
+namespace p4auth::crypto {
+namespace {
+
+std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32, StandardCheckValue) {
+  // The canonical CRC-32/IEEE check value.
+  EXPECT_EQ(crc32(as_bytes("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) { EXPECT_EQ(crc32({}), 0x00000000u); }
+
+TEST(Crc32, KnownStrings) {
+  EXPECT_EQ(crc32(as_bytes("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(as_bytes("abc")), 0x352441C2u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Crc32 inc;
+  inc.update(std::span(data, 4)).update(std::span(data + 4, 6));
+  EXPECT_EQ(inc.final(), crc32(data));
+}
+
+TEST(Crc32, UpdateIntsMatchBigEndianBytes) {
+  Crc32 a;
+  a.update_u32(0x01020304u);
+  const std::uint8_t bytes4[] = {1, 2, 3, 4};
+  EXPECT_EQ(a.final(), crc32(bytes4));
+
+  Crc32 b;
+  b.update_u64(0x0102030405060708ull);
+  const std::uint8_t bytes8[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(b.final(), crc32(bytes8));
+}
+
+// Property: single-bit flips always change the CRC (CRC-32 detects all
+// 1-bit errors).
+TEST(Crc32, DetectsAllSingleBitFlips) {
+  Xoshiro256 rng(5);
+  std::vector<std::uint8_t> msg(32);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u64());
+  const std::uint32_t base = crc32(msg);
+  for (std::size_t byte = 0; byte < msg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = msg;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc32(mutated), base) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32, FinalIsIdempotent) {
+  Crc32 c;
+  c.update_u32(42);
+  EXPECT_EQ(c.final(), c.final());
+}
+
+}  // namespace
+}  // namespace p4auth::crypto

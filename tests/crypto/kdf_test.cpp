@@ -1,0 +1,104 @@
+#include "crypto/kdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace p4auth::crypto {
+namespace {
+
+TEST(Kdf, Deterministic) {
+  const Kdf kdf;
+  EXPECT_EQ(kdf.derive(0x1234, 0x5678), kdf.derive(0x1234, 0x5678));
+}
+
+TEST(Kdf, SecretSensitivity) {
+  const Kdf kdf;
+  EXPECT_NE(kdf.derive(0x1234, 0x5678), kdf.derive(0x1235, 0x5678));
+}
+
+TEST(Kdf, SaltSensitivity) {
+  const Kdf kdf;
+  EXPECT_NE(kdf.derive(0x1234, 0x5678), kdf.derive(0x1234, 0x5679));
+}
+
+TEST(Kdf, PrfChoiceChangesOutput) {
+  const Kdf crc(PrfKind::Crc32);
+  const Kdf sip(PrfKind::HalfSipHash24);
+  EXPECT_NE(crc.derive(1, 2), sip.derive(1, 2));
+}
+
+TEST(Kdf, RoundsChangeOutput) {
+  const Kdf one(PrfKind::Crc32, 1);
+  const Kdf three(PrfKind::Crc32, 3);
+  EXPECT_NE(one.derive(42, 43), three.derive(42, 43));
+}
+
+TEST(Kdf, OutputUsesBothHalves) {
+  // The expand step fills low and high 32-bit halves independently; over
+  // many derivations both halves must vary.
+  const Kdf kdf;
+  std::set<std::uint32_t> lows, highs;
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const Key64 k = kdf.derive(rng.next_u64(), rng.next_u64());
+    lows.insert(static_cast<std::uint32_t>(k));
+    highs.insert(static_cast<std::uint32_t>(k >> 32));
+  }
+  EXPECT_GT(lows.size(), 95u);
+  EXPECT_GT(highs.size(), 95u);
+}
+
+// Property: "close-to-random" keys (§VI-D) — bit balance across many
+// derived keys should hover near 50% per bit position.
+TEST(Kdf, DerivedKeyBitBalance) {
+  const Kdf kdf(PrfKind::HalfSipHash24);
+  Xoshiro256 rng(9);
+  constexpr int kTrials = 2000;
+  int ones[64] = {};
+  for (int t = 0; t < kTrials; ++t) {
+    const Key64 k = kdf.derive(rng.next_u64(), rng.next_u64());
+    for (int b = 0; b < 64; ++b) {
+      if ((k >> b) & 1u) ++ones[b];
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_GT(ones[b], kTrials * 40 / 100) << "bit " << b;
+    EXPECT_LT(ones[b], kTrials * 60 / 100) << "bit " << b;
+  }
+}
+
+// Property: no trivial collisions — distinct secrets under the same salt
+// rarely collide (2000 draws into 64-bit space must all be unique).
+TEST(Kdf, NoCollisionsAcrossSecrets) {
+  const Kdf kdf;
+  Xoshiro256 rng(10);
+  std::set<Key64> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(kdf.derive(rng.next_u64(), 0xABCDEFull));
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+// Parameterized sweep across PRF kinds: the EAK/ADHKD contract — both ends
+// derive the same key from the same inputs — holds for every PRF.
+class KdfPrfSweep : public ::testing::TestWithParam<PrfKind> {};
+
+TEST_P(KdfPrfSweep, BothEndsAgree) {
+  const Kdf local(GetParam());
+  const Kdf remote(GetParam());
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t secret = rng.next_u64();
+    const std::uint64_t salt = rng.next_u64();
+    EXPECT_EQ(local.derive(secret, salt), remote.derive(secret, salt));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Prfs, KdfPrfSweep,
+                         ::testing::Values(PrfKind::Crc32, PrfKind::HalfSipHash24));
+
+}  // namespace
+}  // namespace p4auth::crypto

@@ -1,0 +1,98 @@
+#include "crypto/stream_cipher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/kdf.hpp"
+
+namespace p4auth::crypto {
+namespace {
+
+constexpr Key64 kKey = 0x0123456789ABCDEFull;
+
+TEST(StreamCipher, EncryptDecryptRoundTrip) {
+  Bytes data = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  const Bytes original = data;
+  xor_keystream(kKey, 42, data);
+  EXPECT_NE(data, original);
+  xor_keystream(kKey, 42, data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(StreamCipher, EmptyAndSingleByte) {
+  Bytes empty;
+  xor_keystream(kKey, 1, empty);
+  EXPECT_TRUE(empty.empty());
+
+  Bytes one = {0xAB};
+  xor_keystream(kKey, 1, one);
+  xor_keystream(kKey, 1, one);
+  EXPECT_EQ(one[0], 0xAB);
+}
+
+TEST(StreamCipher, DifferentNoncesDifferentKeystreams) {
+  Bytes a(16, 0), b(16, 0);
+  xor_keystream(kKey, 1, a);
+  xor_keystream(kKey, 2, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(StreamCipher, DifferentKeysDifferentKeystreams) {
+  Bytes a(16, 0), b(16, 0);
+  xor_keystream(kKey, 1, a);
+  xor_keystream(kKey ^ 1, 1, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(StreamCipher, WrongNonceDoesNotDecrypt) {
+  Bytes data = {1, 2, 3, 4, 5, 6, 7, 8};
+  const Bytes original = data;
+  xor_keystream(kKey, 7, data);
+  xor_keystream(kKey, 8, data);
+  EXPECT_NE(data, original);
+}
+
+// Property: keystream bytes look balanced (each output bit ~50% ones
+// across many nonces).
+TEST(StreamCipher, KeystreamBitBalance) {
+  constexpr int kTrials = 500;
+  int ones = 0;
+  for (int nonce = 0; nonce < kTrials; ++nonce) {
+    Bytes zeros(8, 0);
+    xor_keystream(kKey, static_cast<std::uint64_t>(nonce), zeros);
+    for (const auto byte : zeros) ones += __builtin_popcount(byte);
+  }
+  const double fraction = static_cast<double>(ones) / (kTrials * 64);
+  EXPECT_GT(fraction, 0.45);
+  EXPECT_LT(fraction, 0.55);
+}
+
+TEST(StreamCipher, PrefixStability) {
+  // Counter mode: encrypting a longer message keeps the shared prefix.
+  Bytes short_msg(6, 0x11), long_msg(14, 0x11);
+  xor_keystream(kKey, 5, short_msg);
+  xor_keystream(kKey, 5, long_msg);
+  for (std::size_t i = 0; i < short_msg.size(); ++i) {
+    EXPECT_EQ(short_msg[i], long_msg[i]);
+  }
+}
+
+TEST(KdfLabels, LabelsSeparateKeys) {
+  const Kdf kdf;
+  const Key64 master = 0xFEEDFACEull;
+  const Key64 auth = kdf.derive_labeled(master, 0, kAuthLabel);
+  const Key64 enc = kdf.derive_labeled(master, 0, kEncryptionLabel);
+  EXPECT_NE(auth, enc);
+  // Label 0 is the plain derive().
+  EXPECT_EQ(auth, kdf.derive(master, 0));
+}
+
+TEST(KdfLabels, DeterministicPerLabel) {
+  const Kdf kdf;
+  EXPECT_EQ(kdf.derive_labeled(1, 2, 0x45), kdf.derive_labeled(1, 2, 0x45));
+  EXPECT_NE(kdf.derive_labeled(1, 2, 0x45), kdf.derive_labeled(1, 2, 0x46));
+}
+
+}  // namespace
+}  // namespace p4auth::crypto

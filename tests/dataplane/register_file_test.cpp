@@ -1,0 +1,77 @@
+#include "dataplane/register_file.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::dataplane {
+namespace {
+
+TEST(RegisterArray, ReadWriteRoundTrip) {
+  RegisterArray reg("lat_sum", RegisterId{1}, 8, 32);
+  ASSERT_TRUE(reg.write(3, 0xDEADBEEFu).ok());
+  EXPECT_EQ(reg.read(3).value(), 0xDEADBEEFu);
+  EXPECT_EQ(reg.read(0).value(), 0u);
+}
+
+TEST(RegisterArray, WidthMasking) {
+  RegisterArray reg("small", RegisterId{2}, 4, 16);
+  ASSERT_TRUE(reg.write(0, 0x12345678u).ok());
+  EXPECT_EQ(reg.read(0).value(), 0x5678u);
+}
+
+TEST(RegisterArray, FullWidth64) {
+  RegisterArray reg("wide", RegisterId{3}, 2, 64);
+  ASSERT_TRUE(reg.write(1, ~0ull).ok());
+  EXPECT_EQ(reg.read(1).value(), ~0ull);
+}
+
+TEST(RegisterArray, OutOfRangeFails) {
+  RegisterArray reg("r", RegisterId{4}, 4, 32);
+  EXPECT_FALSE(reg.read(4).ok());
+  EXPECT_FALSE(reg.write(4, 1).ok());
+  EXPECT_FALSE(reg.read(10000).ok());
+}
+
+TEST(RegisterArray, FillAndFootprint) {
+  RegisterArray reg("keys", RegisterId{5}, 65, 64);
+  reg.fill(0xAB);
+  EXPECT_EQ(reg.read(0).value(), 0xABu);
+  EXPECT_EQ(reg.read(64).value(), 0xABu);
+  EXPECT_EQ(reg.total_bits(), 65u * 64u);
+}
+
+TEST(RegisterFile, CreateAndLookupByNameAndId) {
+  RegisterFile file;
+  auto created = file.create("util", RegisterId{10}, 16, 32);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(file.by_name("util"), created.value());
+  EXPECT_EQ(file.by_id(RegisterId{10}), created.value());
+  EXPECT_EQ(file.by_name("nope"), nullptr);
+  EXPECT_EQ(file.by_id(RegisterId{11}), nullptr);
+}
+
+TEST(RegisterFile, RejectsDuplicateNameOrId) {
+  RegisterFile file;
+  ASSERT_TRUE(file.create("a", RegisterId{1}, 4, 32).ok());
+  EXPECT_FALSE(file.create("a", RegisterId{2}, 4, 32).ok());
+  EXPECT_FALSE(file.create("b", RegisterId{1}, 4, 32).ok());
+  EXPECT_TRUE(file.create("b", RegisterId{2}, 4, 32).ok());
+  EXPECT_EQ(file.count(), 2u);
+}
+
+TEST(RegisterFile, TotalBitsSumsArrays) {
+  RegisterFile file;
+  ASSERT_TRUE(file.create("a", RegisterId{1}, 100, 32).ok());
+  ASSERT_TRUE(file.create("b", RegisterId{2}, 10, 64).ok());
+  EXPECT_EQ(file.total_bits(), 100u * 32u + 10u * 64u);
+}
+
+TEST(RegisterFile, StateIsolatedPerArray) {
+  RegisterFile file;
+  auto* a = file.create("a", RegisterId{1}, 4, 32).value();
+  auto* b = file.create("b", RegisterId{2}, 4, 32).value();
+  ASSERT_TRUE(a->write(0, 7).ok());
+  EXPECT_EQ(b->read(0).value(), 0u);
+}
+
+}  // namespace
+}  // namespace p4auth::dataplane

@@ -1,0 +1,145 @@
+#include "dataplane/resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::dataplane {
+namespace {
+
+TEST(HashUse, HalfSipHashUnitsScaleWithBytes) {
+  const auto small = HashUse::halfsiphash("d", 8);
+  const auto large = HashUse::halfsiphash("d", 64);
+  EXPECT_LT(small.units(), large.units());
+  // rounds_c * ceil(bytes/4) + rounds_d
+  EXPECT_EQ(small.units(), 2 * 2 + 4);
+  EXPECT_EQ(large.units(), 2 * 16 + 4);
+}
+
+TEST(HashUse, WideDigestCostsMoreUnitsAndStages) {
+  const auto narrow = HashUse::halfsiphash("d32", 24, /*lanes=*/1);
+  const auto wide = HashUse::halfsiphash("d256", 24, /*lanes=*/8);
+  // §XI: a 256-bit digest needs ~560% more hash units and ~100% more stages.
+  const double unit_growth =
+      static_cast<double>(wide.units() - narrow.units()) / narrow.units() * 100.0;
+  EXPECT_NEAR(unit_growth, 560.0, 60.0);
+  EXPECT_EQ(wide.stages(), 2 * narrow.stages());
+}
+
+TEST(HashUse, Crc32IsOneUnitPerLane) {
+  EXPECT_EQ(HashUse::crc32("prf").units(), 1);
+  EXPECT_EQ(HashUse::table_lookup("tbl").units(), 1);
+  EXPECT_EQ(HashUse::random_gen("rng").units(), 1);
+}
+
+ProgramDeclaration baseline_l3() {
+  // The paper's evaluation base: destination-based L3 port forwarding with
+  // two match-action tables and one register (§IX-B).
+  ProgramDeclaration program;
+  program.name = "baseline_l3";
+  program.add_table(TableShape{"ipv4_lpm", MatchKind::Lpm, 32, 64, 12288});
+  program.add_table(TableShape{"port_fwd", MatchKind::Exact, 32, 64, 2048});
+  program.registers.push_back(RegisterShape{"stats", 32768u * 32u});
+  program.header_phv_bits = 112 + 160;  // eth + ipv4
+  program.metadata_phv_bits = 178;
+  return program;
+}
+
+ProgramDeclaration with_p4auth() {
+  // Baseline plus P4Auth's modules: digest verify + compute, KDF, DH,
+  // key/seq/alert registers, and the reg_id_to_name mapping table (§VII).
+  ProgramDeclaration program = baseline_l3();
+  program.name = "with_p4auth";
+  program.add_table(TableShape{"reg_id_to_name_mapping", MatchKind::Exact, 40, 64, 256});
+  program.registers.push_back(RegisterShape{"p4auth_keys", 65u * 64u});
+  program.registers.push_back(RegisterShape{"p4auth_seq", 16384u * 32u});
+  program.registers.push_back(RegisterShape{"p4auth_alert_cnt", 2u * 4096u * 32u});
+  program.registers.push_back(RegisterShape{"p4auth_pending", 2u * 4096u * 32u});
+  program.hash_uses.push_back(HashUse::halfsiphash("digest_verify", 22));
+  program.hash_uses.push_back(HashUse::halfsiphash("digest_compute", 22));
+  program.hash_uses.push_back(HashUse::crc32("kdf_extract"));
+  program.hash_uses.push_back(HashUse::crc32("kdf_expand_1"));
+  program.hash_uses.push_back(HashUse::crc32("kdf_expand_2"));
+  program.hash_uses.push_back(HashUse::random_gen("dh_private_key"));
+  // p4auth_h (112) + DH scratch (192) + KDF scratch (96) + digest scratch
+  // (64) + seq/flags (32)
+  program.header_phv_bits += 112;
+  program.metadata_phv_bits += 384;
+  return program;
+}
+
+// Table II reproduction targets: baseline 8.3/2.5/1.4/11, P4Auth
+// 8.3/3.6/51.4/23.1 (TCAM/SRAM/Hash/PHV, % of budget).
+TEST(ResourceModel, BaselineMatchesTableII) {
+  const auto usage = compute_usage(baseline_l3());
+  EXPECT_NEAR(usage.tcam_pct, 8.3, 0.5);
+  EXPECT_NEAR(usage.sram_pct, 2.5, 0.5);
+  EXPECT_NEAR(usage.hash_pct, 1.4, 0.5);
+  EXPECT_NEAR(usage.phv_pct, 11.0, 1.0);
+}
+
+TEST(ResourceModel, P4AuthMatchesTableII) {
+  const auto usage = compute_usage(with_p4auth());
+  EXPECT_NEAR(usage.tcam_pct, 8.3, 0.5);       // unchanged: no new TCAM
+  EXPECT_NEAR(usage.sram_pct, 3.6, 0.6);
+  EXPECT_NEAR(usage.hash_pct, 51.4, 6.0);      // digest + KDF dominate
+  EXPECT_NEAR(usage.phv_pct, 23.1, 1.5);
+}
+
+TEST(ResourceModel, P4AuthTcamIsExactlyBaseline) {
+  EXPECT_EQ(compute_usage(baseline_l3()).tcam_blocks, compute_usage(with_p4auth()).tcam_blocks);
+}
+
+TEST(ResourceModel, SramScalesWithRegisterCount) {
+  // §IX-B: SRAM grows linearly with the number of protected registers
+  // (mapping-table entries) and ports (key register).
+  auto program = with_p4auth();
+  const auto base = compute_usage(program);
+  program.registers.push_back(RegisterShape{"extra", 1024u * 1024u * 8u});
+  const auto grown = compute_usage(program);
+  EXPECT_GT(grown.sram_blocks, base.sram_blocks);
+  EXPECT_EQ(grown.hash_units, base.hash_units);  // hash cost is constant
+}
+
+TEST(ResourceModel, HashCostIndependentOfTopology) {
+  // "the usage does not vary based on the P4 program or network topology"
+  // — digest hash units depend only on covered bytes, not table sizes.
+  auto program = with_p4auth();
+  const auto before = compute_usage(program).hash_units;
+  program.tables[0].capacity *= 2;
+  EXPECT_EQ(compute_usage(program).hash_units, before);
+}
+
+TEST(ResourceModel, EmptyProgramOnlyParserOverhead) {
+  ProgramDeclaration empty;
+  const auto usage = compute_usage(empty);
+  EXPECT_EQ(usage.tcam_blocks, 0);
+  EXPECT_EQ(usage.sram_blocks, 1);  // parser overhead
+  EXPECT_EQ(usage.hash_units, 0);
+  EXPECT_EQ(usage.phv_bits, 0);
+}
+
+TEST(ResourceModel, PercentagesAgainstCustomBudget) {
+  ProgramDeclaration program;
+  program.hash_uses.push_back(HashUse::crc32("x"));
+  ResourceBudget tiny;
+  tiny.hash_units = 4;
+  EXPECT_DOUBLE_EQ(compute_usage(program, tiny).hash_pct, 25.0);
+}
+
+// Digest-width sweep backing the §XI ablation bench.
+class DigestWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DigestWidthSweep, UnitsMonotoneInWidth) {
+  const int lanes = GetParam();
+  const auto use = HashUse::halfsiphash("d", 24, lanes);
+  EXPECT_GT(use.units(), 0);
+  if (lanes > 1) {
+    const auto narrower = HashUse::halfsiphash("d", 24, lanes / 2);
+    EXPECT_GT(use.units(), narrower.units());
+    EXPECT_GE(use.stages(), narrower.stages());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DigestWidthSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace p4auth::dataplane

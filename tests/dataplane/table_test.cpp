@@ -1,0 +1,110 @@
+#include "dataplane/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::dataplane {
+namespace {
+
+TEST(ExactTable, InsertLookupErase) {
+  ExactTable table("map", 40, 8);
+  const Bytes key = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(table.insert(key, Action{1, 42}).ok());
+  const auto hit = table.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action_id, 1);
+  EXPECT_EQ(hit->data, 42u);
+  EXPECT_TRUE(table.erase(key));
+  EXPECT_FALSE(table.lookup(key).has_value());
+  EXPECT_FALSE(table.erase(key));
+}
+
+TEST(ExactTable, MissReturnsNothing) {
+  ExactTable table("map", 40, 8);
+  EXPECT_FALSE(table.lookup(Bytes{9}).has_value());
+}
+
+TEST(ExactTable, OverwriteExistingKey) {
+  ExactTable table("map", 40, 2);
+  const Bytes key = {7};
+  ASSERT_TRUE(table.insert(key, Action{1, 1}).ok());
+  ASSERT_TRUE(table.insert(key, Action{2, 2}).ok());
+  EXPECT_EQ(table.lookup(key)->action_id, 2);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(ExactTable, CapacityEnforced) {
+  ExactTable table("tiny", 8, 2);
+  ASSERT_TRUE(table.insert(Bytes{1}, Action{}).ok());
+  ASSERT_TRUE(table.insert(Bytes{2}, Action{}).ok());
+  EXPECT_FALSE(table.insert(Bytes{3}, Action{}).ok());
+  // Overwrites still work at capacity.
+  EXPECT_TRUE(table.insert(Bytes{2}, Action{5, 5}).ok());
+}
+
+TEST(LpmTable, LongestPrefixWins) {
+  LpmTable table("routes", 64);
+  ASSERT_TRUE(table.insert(0x0A000000u, 8, Action{1, 100}).ok());   // 10/8
+  ASSERT_TRUE(table.insert(0x0A010000u, 16, Action{2, 200}).ok());  // 10.1/16
+  ASSERT_TRUE(table.insert(0u, 0, Action{3, 300}).ok());            // default
+
+  EXPECT_EQ(table.lookup(0x0A010203u)->action_id, 2);  // 10.1.2.3 -> /16
+  EXPECT_EQ(table.lookup(0x0A020304u)->action_id, 1);  // 10.2.3.4 -> /8
+  EXPECT_EQ(table.lookup(0x0B000000u)->action_id, 3);  // 11.0.0.0 -> default
+}
+
+TEST(LpmTable, HostRoute) {
+  LpmTable table("routes", 64);
+  ASSERT_TRUE(table.insert(0xC0A80001u, 32, Action{9, 0}).ok());
+  EXPECT_EQ(table.lookup(0xC0A80001u)->action_id, 9);
+  EXPECT_FALSE(table.lookup(0xC0A80002u).has_value());
+}
+
+TEST(LpmTable, MasksIgnoredBitsOnInsert) {
+  LpmTable table("routes", 64);
+  ASSERT_TRUE(table.insert(0x0A0000FFu, 8, Action{1, 0}).ok());  // junk low bits
+  EXPECT_TRUE(table.lookup(0x0A123456u).has_value());
+}
+
+TEST(LpmTable, RejectsBadPrefixLen) {
+  LpmTable table("routes", 4);
+  EXPECT_FALSE(table.insert(0, 33, Action{}).ok());
+  EXPECT_FALSE(table.insert(0, -1, Action{}).ok());
+}
+
+TEST(TernaryTable, PriorityOrder) {
+  TernaryTable table("acl", 64, 8);
+  ASSERT_TRUE(table.insert(0x00, 0x00, /*priority=*/1, Action{1, 0}).ok());  // match-all
+  ASSERT_TRUE(table.insert(0xAB00, 0xFF00, /*priority=*/10, Action{2, 0}).ok());
+  EXPECT_EQ(table.lookup(0xAB12)->action_id, 2);
+  EXPECT_EQ(table.lookup(0xCD12)->action_id, 1);
+}
+
+TEST(TernaryTable, InsertionOrderBreaksTies) {
+  TernaryTable table("acl", 64, 8);
+  ASSERT_TRUE(table.insert(0x1, 0xF, 5, Action{1, 0}).ok());
+  ASSERT_TRUE(table.insert(0x1, 0x1, 5, Action{2, 0}).ok());
+  EXPECT_EQ(table.lookup(0x1)->action_id, 1);
+}
+
+TEST(TernaryTable, CapacityEnforced) {
+  TernaryTable table("acl", 64, 1);
+  ASSERT_TRUE(table.insert(1, 1, 1, Action{}).ok());
+  EXPECT_FALSE(table.insert(2, 2, 1, Action{}).ok());
+}
+
+TEST(TableShape, ReflectsDeclaration) {
+  ExactTable exact("e", 40, 256);
+  EXPECT_EQ(exact.shape().match_kind, MatchKind::Exact);
+  EXPECT_EQ(exact.shape().key_bits, 40);
+  EXPECT_EQ(exact.shape().capacity, 256u);
+
+  LpmTable lpm("l", 1024);
+  EXPECT_EQ(lpm.shape().match_kind, MatchKind::Lpm);
+  EXPECT_EQ(lpm.shape().key_bits, 32);
+
+  TernaryTable ternary("t", 48, 64);
+  EXPECT_EQ(ternary.shape().match_kind, MatchKind::Ternary);
+}
+
+}  // namespace
+}  // namespace p4auth::dataplane

@@ -1,0 +1,77 @@
+#include "dataplane/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::dataplane {
+namespace {
+
+PacketCosts forwarding_costs() {
+  PacketCosts costs;
+  costs.table_lookups = 3;
+  costs.register_accesses = 2;
+  return costs;
+}
+
+TEST(TimingModel, BaseCostWithNoWork) {
+  const auto model = TimingModel::tofino();
+  EXPECT_EQ(model.process(PacketCosts{}), model.base_pipeline);
+}
+
+TEST(TimingModel, CostsAreAdditive) {
+  const auto model = TimingModel::bmv2();
+  PacketCosts costs = forwarding_costs();
+  const auto base = model.process(costs);
+  costs.add_hash(24);
+  const auto with_hash = model.process(costs);
+  EXPECT_GT(with_hash, base);
+  const auto expected_delta =
+      model.hash_fixed.ns() + static_cast<std::uint64_t>(model.hash_per_byte_ns * 24);
+  EXPECT_EQ(with_hash.ns() - base.ns(), expected_delta);
+}
+
+TEST(TimingModel, HashCostGrowsWithBytes) {
+  const auto model = TimingModel::bmv2();
+  PacketCosts small, large;
+  small.add_hash(16);
+  large.add_hash(96);
+  EXPECT_LT(model.process(small), model.process(large));
+}
+
+TEST(TimingModel, Bmv2MuchSlowerThanTofino) {
+  const auto costs = forwarding_costs();
+  EXPECT_GT(TimingModel::bmv2().process(costs).ns(),
+            100 * TimingModel::tofino().process(costs).ns());
+}
+
+TEST(TimingModel, TofinoP4AuthDataPacketOverheadNearSixPercent) {
+  // §IX-C: "On a single hardware switch, the data packet processing time
+  // is only 6% more for P4Auth compared to the base case."
+  const auto model = TimingModel::tofino();
+  PacketCosts base = forwarding_costs();
+  PacketCosts p4auth = base;
+  p4auth.add_hash(26);  // verify digest over p4auth-covered fields
+  p4auth.add_hash(26);  // re-tag for the next hop
+  const double overhead_pct =
+      100.0 * (static_cast<double>(model.process(p4auth).ns()) -
+               static_cast<double>(model.process(base).ns())) /
+      static_cast<double>(model.process(base).ns());
+  EXPECT_NEAR(overhead_pct, 6.0, 1.5);
+}
+
+TEST(TimingModel, RecirculationPenalty) {
+  const auto model = TimingModel::tofino();
+  PacketCosts costs;
+  costs.recirculations = 2;
+  EXPECT_EQ(model.process(costs).ns(), model.base_pipeline.ns() + 2 * model.recirculation.ns());
+}
+
+TEST(PacketCosts, AddHashAccumulates) {
+  PacketCosts costs;
+  costs.add_hash(10);
+  costs.add_hash(14);
+  EXPECT_EQ(costs.hash_calls, 2);
+  EXPECT_EQ(costs.hashed_bytes, 24u);
+}
+
+}  // namespace
+}  // namespace p4auth::dataplane

@@ -1,0 +1,43 @@
+#include "experiments/attack_rate_experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::experiments {
+namespace {
+
+TEST(AttackRate, IntegrityAbsoluteAvailabilityDegradesGracefully) {
+  AttackRateOptions options;
+  options.rates = {0.0, 0.3, 0.6};
+  options.writes = 60;
+  const auto points = run_attack_rate_experiment(options);
+  ASSERT_EQ(points.size(), 3u);
+
+  // Clean run: full goodput, no retries, no alerts.
+  EXPECT_EQ(points[0].retries_per_write, 0.0);
+  EXPECT_EQ(points[0].alerts, 0u);
+  EXPECT_EQ(points[0].writes_failed, 0u);
+
+  // More tampering -> more retries, more alerts, lower goodput, higher
+  // completion time — but (almost) everything still completes correctly.
+  EXPECT_GT(points[1].retries_per_write, 0.1);
+  EXPECT_GT(points[2].retries_per_write, points[1].retries_per_write);
+  EXPECT_GT(points[1].alerts, 0u);
+  EXPECT_GT(points[2].alerts, points[1].alerts);
+  EXPECT_LT(points[2].goodput_rps, points[0].goodput_rps);
+  EXPECT_GT(points[2].mean_completion_us, points[0].mean_completion_us);
+  // With 4 attempts and p=0.6, P(all fail) = 0.13 -> a few may exhaust,
+  // but most complete.
+  EXPECT_LT(points[2].writes_failed, 60u / 2);
+}
+
+TEST(AttackRate, ZeroRateMatchesCleanRct) {
+  AttackRateOptions options;
+  options.rates = {0.0};
+  options.writes = 40;
+  const auto points = run_attack_rate_experiment(options);
+  // Write completion ~ compose (1.8ms) + digest + channel + parse ≈ 2.2ms.
+  EXPECT_NEAR(points[0].mean_completion_us, 2220.0, 300.0);
+}
+
+}  // namespace
+}  // namespace p4auth::experiments

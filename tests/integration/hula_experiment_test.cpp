@@ -1,0 +1,77 @@
+// Fig 17 shape guard: HULA traffic distribution across the three paths
+// under the three scenarios. Paper: roughly equal thirds with no
+// adversary; >70% onto the compromised S4 path under attack; the S4 path
+// blocked (and alerts raised) with P4Auth.
+#include <gtest/gtest.h>
+
+#include "experiments/hula_experiment.hpp"
+
+namespace p4auth::experiments {
+namespace {
+
+HulaOptions quick_options() {
+  HulaOptions options;
+  options.duration = SimTime::from_ms(800);
+  options.data_packets_per_second = 12'000;
+  return options;
+}
+
+TEST(HulaExperiment, BaselineSpreadsAcrossAllPaths) {
+  const auto result = run_hula_experiment(Scenario::Baseline, quick_options());
+  ASSERT_GT(result.total_bytes, 0u);
+  for (int path = 0; path < 3; ++path) {
+    EXPECT_GT(result.path_share_pct[static_cast<std::size_t>(path)], 12.0) << "path " << path;
+    EXPECT_LT(result.path_share_pct[static_cast<std::size_t>(path)], 60.0) << "path " << path;
+  }
+  EXPECT_EQ(result.probes_rejected, 0u);
+}
+
+TEST(HulaExperiment, AdversaryDivertsTrafficToCompromisedPath) {
+  const auto result = run_hula_experiment(Scenario::Attack, quick_options());
+  ASSERT_GT(result.total_bytes, 0u);
+  // Paper: "more than 70% of the traffic through the compromised link".
+  EXPECT_GT(result.path_share_pct[2], 60.0);
+}
+
+TEST(HulaExperiment, P4AuthBlocksCompromisedLink) {
+  const auto result = run_hula_experiment(Scenario::P4AuthAttack, quick_options());
+  ASSERT_GT(result.total_bytes, 0u);
+  // Tampered probes are rejected; the S4 path starves and traffic splits
+  // over S2/S3.
+  EXPECT_LT(result.path_share_pct[2], 10.0);
+  EXPECT_GT(result.path_share_pct[0], 25.0);
+  EXPECT_GT(result.path_share_pct[1], 25.0);
+  EXPECT_GT(result.probes_rejected, 0u);
+  EXPECT_GT(result.alerts, 0u);
+}
+
+TEST(HulaExperiment, P4AuthCleanMatchesBaselineShape) {
+  const auto clean = run_hula_experiment(Scenario::P4AuthClean, quick_options());
+  ASSERT_GT(clean.total_bytes, 0u);
+  for (int path = 0; path < 3; ++path) {
+    EXPECT_GT(clean.path_share_pct[static_cast<std::size_t>(path)], 12.0) << "path " << path;
+  }
+  EXPECT_EQ(clean.probes_rejected, 0u);
+  EXPECT_EQ(clean.unauth_probes_dropped, 0u);
+}
+
+TEST(HulaExperiment, AdversaryCongestsTheCompromisedLink) {
+  // §II: the attack "inflates flow completion times" — visible as egress
+  // queueing concentrating on the S4->S5 link.
+  const auto baseline = run_hula_experiment(Scenario::Baseline, quick_options());
+  const auto attacked = run_hula_experiment(Scenario::Attack, quick_options());
+  // Balanced load queues evenly; the attack skews queueing onto S4's path.
+  EXPECT_NEAR(baseline.s4_path_queue_us, baseline.other_paths_queue_us,
+              0.5 * baseline.other_paths_queue_us + 0.5);
+  EXPECT_GT(attacked.s4_path_queue_us, 1.4 * attacked.other_paths_queue_us);
+  EXPECT_GT(attacked.s4_path_queue_us, baseline.s4_path_queue_us);
+}
+
+TEST(HulaExperiment, TrafficIsDelivered) {
+  const auto result = run_hula_experiment(Scenario::Baseline, quick_options());
+  // The destination ToR must actually sink the forwarded traffic.
+  EXPECT_GT(result.delivered, 0u);
+}
+
+}  // namespace
+}  // namespace p4auth::experiments

@@ -1,0 +1,79 @@
+// Fig 20 / Table III shape guards: key-management RTT orderings and
+// message/byte scalability counts.
+#include <gtest/gtest.h>
+
+#include "experiments/kmp_experiment.hpp"
+
+namespace p4auth::experiments {
+namespace {
+
+TEST(KmpRtt, OrderingsMatchFig20) {
+  KmpRttOptions options;
+  options.samples = 5;
+  const auto result = run_kmp_rtt_experiment(options);
+  ASSERT_EQ(result.samples, 5);
+  // Port init is the longest (redirected via the controller with digest
+  // checks both ways); updates are cheaper than inits; port update beats
+  // local update because the DP-DP legs are fast.
+  EXPECT_GT(result.port_init_ms, result.local_init_ms);
+  EXPECT_LT(result.local_update_ms, result.local_init_ms);
+  EXPECT_LT(result.port_update_ms, result.local_update_ms);
+  // Magnitudes: initialization ~1-2 ms, updates < 1 ms (paper Fig 20).
+  EXPECT_LT(result.local_init_ms, 2.5);
+  EXPECT_GT(result.local_init_ms, 0.1);
+  EXPECT_LT(result.port_update_ms, 1.0);
+}
+
+TEST(KmpScaling, SmallTopologyMatchesClosedForm) {
+  const auto measured = run_kmp_scaling_experiment(3, 3);
+  const auto expected = kmp_closed_form(3, 3);
+  EXPECT_EQ(measured.init_messages, expected.init_messages);
+  EXPECT_EQ(measured.init_bytes, expected.init_bytes);
+  EXPECT_EQ(measured.update_messages, expected.update_messages);
+  EXPECT_EQ(measured.update_bytes, expected.update_bytes);
+}
+
+TEST(KmpScaling, MediumTopologyMatchesClosedForm) {
+  const auto measured = run_kmp_scaling_experiment(5, 8);
+  const auto expected = kmp_closed_form(5, 8);
+  EXPECT_EQ(measured.init_messages, expected.init_messages);
+  EXPECT_EQ(measured.init_bytes, expected.init_bytes);
+  EXPECT_EQ(measured.update_messages, expected.update_messages);
+  EXPECT_EQ(measured.update_bytes, expected.update_bytes);
+}
+
+TEST(KmpScaling, PaperHeadlineNumbers) {
+  // Table III: m=25 switches, n=50 links -> 350 messages / 9.5 KB for
+  // init; update bytes 5.4 KB. Note: the paper's "125 messages" for the
+  // update row contradicts its own 2m+3n formula (= 200 at m=25, n=50);
+  // the byte count 5.4 KB matches 60m+78n exactly, so we reproduce the
+  // formulas (see EXPERIMENTS.md).
+  const auto closed = kmp_closed_form(25, 50);
+  EXPECT_EQ(closed.init_messages, 350u);
+  EXPECT_EQ(closed.init_bytes, 9500u);  // 9.5 KB
+  EXPECT_EQ(closed.update_messages, 200u);  // paper text says 125 (see above)
+  EXPECT_EQ(closed.update_bytes, 5400u);    // 5.4 KB
+}
+
+TEST(KmpScaling, MeasuredMatchesPaperScaleTopology) {
+  // Run the real protocol at the paper's per-controller scale.
+  const auto measured = run_kmp_scaling_experiment(25, 50);
+  EXPECT_EQ(measured.init_messages, 350u);
+  EXPECT_EQ(measured.init_bytes, 9500u);
+  EXPECT_EQ(measured.update_messages, 200u);
+  EXPECT_EQ(measured.update_bytes, 5400u);
+}
+
+
+TEST(KmpMakespan, ParallelInitIsMuchFasterThanSequential) {
+  // §XI: simultaneous key initialization "improves significantly when
+  // done in parallel" — independent exchanges overlap their channel RTTs.
+  const auto makespan = run_kmp_makespan_experiment(10, 20);
+  ASSERT_GT(makespan.sequential_ms, 0.0);
+  ASSERT_GT(makespan.parallel_ms, 0.0);
+  EXPECT_GT(makespan.speedup, 3.0);
+  EXPECT_LT(makespan.parallel_ms, makespan.sequential_ms / 3.0);
+}
+
+}  // namespace
+}  // namespace p4auth::experiments

@@ -1,0 +1,52 @@
+// Fig 21 shape guards: P4Auth's probe-traversal overhead grows with hop
+// count (0.95% at 2 hops -> 5.9% at 10 hops in the paper) and stays
+// small; single hardware switch ~6% on data-packet processing.
+#include <gtest/gtest.h>
+
+#include "experiments/multihop_experiment.hpp"
+
+namespace p4auth::experiments {
+namespace {
+
+TEST(MultihopExperiment, OverheadGrowsWithHops) {
+  MultihopOptions options;
+  options.min_hops = 2;
+  options.max_hops = 10;
+  options.probes_per_point = 3;
+  const auto points = run_multihop_experiment(options);
+  ASSERT_EQ(points.size(), 9u);
+
+  // Monotone-ish growth: last point clearly above first.
+  EXPECT_GT(points.back().overhead_pct, 2.0 * points.front().overhead_pct);
+  // Small at 2 hops, moderate at 10 (paper: 0.95% -> 5.9%).
+  EXPECT_LT(points.front().overhead_pct, 3.5);
+  EXPECT_GT(points.front().overhead_pct, 0.2);
+  EXPECT_GT(points.back().overhead_pct, 3.5);
+  EXPECT_LT(points.back().overhead_pct, 9.0);
+}
+
+TEST(MultihopExperiment, TraversalTimeGrowsLinearlyWithHops) {
+  MultihopOptions options;
+  options.min_hops = 2;
+  options.max_hops = 6;
+  options.probes_per_point = 2;
+  const auto points = run_multihop_experiment(options);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].base_us, points[i - 1].base_us);
+    EXPECT_GT(points[i].p4auth_us, points[i].base_us);
+  }
+  // Each extra hop costs roughly one BMv2 pipeline pass + link latency.
+  const double per_hop = (points.back().base_us - points.front().base_us) /
+                         static_cast<double>(points.back().hops - points.front().hops);
+  EXPECT_GT(per_hop, 80.0);
+  EXPECT_LT(per_hop, 250.0);
+}
+
+TEST(MultihopExperiment, SingleSwitchTofinoOverheadNearSixPercent) {
+  const auto result = run_single_switch_overhead();
+  ASSERT_GT(result.base_ns, 0.0);
+  EXPECT_NEAR(result.overhead_pct, 6.0, 3.0);
+}
+
+}  // namespace
+}  // namespace p4auth::experiments

@@ -1,0 +1,70 @@
+// Fig 18/19 shape guards: request completion time and throughput
+// relationships between P4Runtime, DP-Reg-RW and P4Auth.
+#include <gtest/gtest.h>
+
+#include "experiments/regops_experiment.hpp"
+
+namespace p4auth::experiments {
+namespace {
+
+RegOpsOptions quick() {
+  RegOpsOptions options;
+  options.requests_per_kind = 150;
+  return options;
+}
+
+TEST(RegOpsExperiment, P4RuntimeReadThroughputAbout1p7xWrite) {
+  const auto result = run_regops_experiment(RegOpsVariant::P4Runtime, quick());
+  ASSERT_GT(result.read_throughput_rps, 0);
+  const double ratio = result.read_throughput_rps / result.write_throughput_rps;
+  EXPECT_NEAR(ratio, 1.7, 0.2);
+  EXPECT_EQ(result.failures, 0u);
+}
+
+TEST(RegOpsExperiment, P4AuthCostsAFewPercentOverDpRegRw) {
+  const auto dp = run_regops_experiment(RegOpsVariant::DpRegRw, quick());
+  const auto p4auth = run_regops_experiment(RegOpsVariant::P4Auth, quick());
+  // Paper: read throughput -4.2%, write -2.1% vs DP-Reg-RW.
+  const double read_drop_pct =
+      100.0 * (dp.read_throughput_rps - p4auth.read_throughput_rps) / dp.read_throughput_rps;
+  const double write_drop_pct =
+      100.0 * (dp.write_throughput_rps - p4auth.write_throughput_rps) /
+      dp.write_throughput_rps;
+  EXPECT_GT(read_drop_pct, 1.0);
+  EXPECT_LT(read_drop_pct, 8.0);
+  EXPECT_GT(write_drop_pct, 0.5);
+  EXPECT_LT(write_drop_pct, 5.0);
+  EXPECT_GT(read_drop_pct, write_drop_pct);  // reads hurt more (smaller base)
+}
+
+TEST(RegOpsExperiment, WriteThroughputSimilarAcrossAllThree) {
+  // Paper: "There is not much difference in register write throughput
+  // among P4Runtime, DP-REG-RW and P4Auth."
+  const auto grpc = run_regops_experiment(RegOpsVariant::P4Runtime, quick());
+  const auto dp = run_regops_experiment(RegOpsVariant::DpRegRw, quick());
+  const auto p4auth = run_regops_experiment(RegOpsVariant::P4Auth, quick());
+  const double lo =
+      std::min({grpc.write_throughput_rps, dp.write_throughput_rps, p4auth.write_throughput_rps});
+  const double hi =
+      std::max({grpc.write_throughput_rps, dp.write_throughput_rps, p4auth.write_throughput_rps});
+  EXPECT_LT((hi - lo) / hi, 0.15);
+}
+
+TEST(RegOpsExperiment, RctIsMillisecondScaleAndConsistent) {
+  const auto result = run_regops_experiment(RegOpsVariant::P4Auth, quick());
+  EXPECT_GT(result.read_rct_us_mean, 500.0);
+  EXPECT_LT(result.read_rct_us_mean, 5000.0);
+  EXPECT_GT(result.write_rct_us_mean, result.read_rct_us_mean);  // writes compose more
+  EXPECT_GE(result.read_rct_us_p99, result.read_rct_us_mean);
+}
+
+TEST(RegOpsExperiment, NoFailuresOnCleanRuns) {
+  for (const auto variant :
+       {RegOpsVariant::P4Runtime, RegOpsVariant::DpRegRw, RegOpsVariant::P4Auth}) {
+    const auto result = run_regops_experiment(variant, quick());
+    EXPECT_EQ(result.failures, 0u) << variant_name(variant);
+  }
+}
+
+}  // namespace
+}  // namespace p4auth::experiments

@@ -1,0 +1,53 @@
+// Fig 16 shape guard: RouteScout traffic split under the three scenarios.
+// Paper: the controller splits by measured per-path delay; the adversary
+// diverts ~70% to the slower path 2; P4Auth detects the tampering and the
+// split stays at the honest ratio.
+#include <gtest/gtest.h>
+
+#include "experiments/routescout_experiment.hpp"
+
+namespace p4auth::experiments {
+namespace {
+
+TEST(RouteScoutExperiment, BaselineFavorsFasterPath) {
+  const auto result = run_routescout_experiment(Scenario::Baseline);
+  // Inverse-latency weighting: path1 (20 ms) over path2 (35 ms) -> ~64/36.
+  EXPECT_GT(result.path_share_pct[0], 55.0);
+  EXPECT_LT(result.path_share_pct[0], 75.0);
+  EXPECT_GT(result.epochs_completed, 0u);
+  EXPECT_EQ(result.epochs_aborted, 0u);
+  EXPECT_EQ(result.alerts, 0u);
+}
+
+TEST(RouteScoutExperiment, AdversaryDivertsTrafficToSlowPath) {
+  const auto result = run_routescout_experiment(Scenario::Attack);
+  // Paper: "around 70% of the traffic is rerouted to path 2".
+  EXPECT_GT(result.path_share_pct[1], 60.0);
+  EXPECT_EQ(result.alerts, 0u);  // silent corruption without P4Auth
+}
+
+TEST(RouteScoutExperiment, P4AuthRetainsHonestSplit) {
+  const auto baseline = run_routescout_experiment(Scenario::Baseline);
+  const auto result = run_routescout_experiment(Scenario::P4AuthAttack);
+  // The controller refuses tampered reports and keeps the previous ratio.
+  EXPECT_NEAR(result.path_share_pct[0], baseline.path_share_pct[0], 10.0);
+  EXPECT_GT(result.epochs_aborted, 0u);
+  EXPECT_GT(result.alerts, 0u);
+}
+
+TEST(RouteScoutExperiment, P4AuthCleanOperatesNormally) {
+  const auto result = run_routescout_experiment(Scenario::P4AuthClean);
+  EXPECT_GT(result.path_share_pct[0], 55.0);
+  EXPECT_EQ(result.epochs_aborted, 0u);
+  EXPECT_GT(result.epochs_completed, 0u);
+}
+
+TEST(RouteScoutExperiment, AttackedSplitRegisterReflectsForgedLatency) {
+  const auto result = run_routescout_experiment(Scenario::Attack);
+  // The last controller-written split should strongly favor path 2.
+  EXPECT_LT(result.final_split[0], 35u);
+  EXPECT_GT(result.final_split[1], 65u);
+}
+
+}  // namespace
+}  // namespace p4auth::experiments

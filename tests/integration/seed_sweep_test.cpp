@@ -1,0 +1,42 @@
+// Robustness: the headline defence results hold across random seeds, not
+// just the one the benches print.
+#include <gtest/gtest.h>
+
+#include "experiments/hula_experiment.hpp"
+#include "experiments/routescout_experiment.hpp"
+
+namespace p4auth::experiments {
+namespace {
+
+class HulaSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HulaSeedSweep, P4AuthAlwaysBlocksTheCompromisedLink) {
+  HulaOptions options;
+  options.seed = GetParam();
+  options.duration = SimTime::from_ms(500);
+  options.data_packets_per_second = 10'000;
+  const auto result = run_hula_experiment(Scenario::P4AuthAttack, options);
+  ASSERT_GT(result.total_bytes, 0u);
+  EXPECT_LT(result.path_share_pct[2], 12.0) << "seed " << GetParam();
+  EXPECT_GT(result.probes_rejected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HulaSeedSweep, ::testing::Values(2, 3, 5));
+
+class RouteScoutSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouteScoutSeedSweep, AdversaryAlwaysDetected) {
+  RouteScoutOptions options;
+  options.seed = GetParam();
+  options.clean_epochs = 2;
+  options.attacked_epochs = 2;
+  options.data_packets_per_second = 2000;
+  const auto result = run_routescout_experiment(Scenario::P4AuthAttack, options);
+  EXPECT_GT(result.epochs_aborted, 0u) << "seed " << GetParam();
+  EXPECT_GT(result.alerts, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouteScoutSeedSweep, ::testing::Values(2, 3, 5));
+
+}  // namespace
+}  // namespace p4auth::experiments

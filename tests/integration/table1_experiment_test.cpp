@@ -1,0 +1,81 @@
+// Table I shape guards: for every victim system class, the attack hurts
+// the baseline metric, P4Auth restores it, and only P4Auth detects the
+// attack.
+#include <gtest/gtest.h>
+
+#include "experiments/table1_experiment.hpp"
+
+namespace p4auth::experiments {
+namespace {
+
+class Table1 : public ::testing::Test {
+ protected:
+  static const std::vector<Table1Row>& rows() {
+    static const std::vector<Table1Row> r = run_table1_experiment(/*seed=*/1);
+    return r;
+  }
+  static const Table1Row& row(const std::string& prefix) {
+    for (const auto& r : rows()) {
+      if (r.system.rfind(prefix, 0) == 0) return r;
+    }
+    throw std::runtime_error("row not found: " + prefix);
+  }
+};
+
+TEST_F(Table1, HasAllSystemClasses) {
+  ASSERT_EQ(rows().size(), 6u);  // FRR x2 (RouteScout, Blink) + 4 others
+}
+
+TEST_F(Table1, BlinkAttackHijacksNextHopAndP4AuthRestores) {
+  const auto& r = row("FRR (Blink)");
+  EXPECT_GT(r.baseline, 95.0);
+  EXPECT_LT(r.attacked, 5.0);   // hijacked to the attacker's port
+  EXPECT_GT(r.with_p4auth, 95.0);
+  EXPECT_FALSE(r.detected_without);
+  EXPECT_TRUE(r.detected_with);
+}
+
+TEST_F(Table1, FrrAttackDivertsAndP4AuthRestores) {
+  const auto& r = row("FRR");
+  EXPECT_GT(r.attacked, r.baseline + 15.0);           // traffic diverted
+  EXPECT_NEAR(r.with_p4auth, r.baseline, 12.0);       // split retained
+  EXPECT_FALSE(r.detected_without);
+  EXPECT_TRUE(r.detected_with);
+}
+
+TEST_F(Table1, LbAttackStrandsConnectionsAndP4AuthRestores) {
+  const auto& r = row("LB");
+  EXPECT_LT(r.baseline, 5.0);        // new conns use the new pool
+  EXPECT_GT(r.attacked, 90.0);       // stranded on the draining pool
+  EXPECT_LT(r.with_p4auth, 5.0);
+  EXPECT_FALSE(r.detected_without);
+  EXPECT_TRUE(r.detected_with);
+}
+
+TEST_F(Table1, IdsAttackEvadesAndP4AuthRestoresDetection) {
+  const auto& r = row("IDS");
+  EXPECT_EQ(r.baseline, 1.0);     // covert flow blocked
+  EXPECT_EQ(r.attacked, 0.0);     // evasion
+  EXPECT_EQ(r.with_p4auth, 1.0);  // blocked again
+  EXPECT_FALSE(r.detected_without);
+  EXPECT_TRUE(r.detected_with);
+}
+
+TEST_F(Table1, CacheAttackInflatesRetrievalTime) {
+  const auto& r = row("Cache");
+  EXPECT_LT(r.baseline, 100.0);            // mostly hits
+  EXPECT_GT(r.attacked, 2.0 * r.baseline); // Table I: inflated retrieval time
+  EXPECT_NEAR(r.with_p4auth, r.baseline, 30.0);
+  EXPECT_TRUE(r.detected_with);
+}
+
+TEST_F(Table1, MeasurementAttackPoisonsDecode) {
+  const auto& r = row("Measurement");
+  EXPECT_GT(r.baseline, 95.0);            // clean decode
+  EXPECT_LT(r.attacked, r.baseline - 10.0);  // poisoned counts
+  EXPECT_GT(r.with_p4auth, 95.0);
+  EXPECT_TRUE(r.detected_with);
+}
+
+}  // namespace
+}  // namespace p4auth::experiments

@@ -1,0 +1,80 @@
+#include "netsim/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::netsim {
+namespace {
+
+Link make_link(LinkConfig config = {}) {
+  return Link(LinkEndpoint{NodeId{1}, PortId{2}}, LinkEndpoint{NodeId{3}, PortId{4}}, config);
+}
+
+TEST(Link, PeerLookup) {
+  Link link = make_link();
+  EXPECT_EQ(link.peer_of(NodeId{1}).node, NodeId{3});
+  EXPECT_EQ(link.peer_of(NodeId{3}).node, NodeId{1});
+  EXPECT_EQ(link.peer_of(NodeId{1}).port, PortId{4});
+}
+
+TEST(Link, SerializationDelayScalesWithSize) {
+  LinkConfig config;
+  config.bandwidth_gbps = 10.0;
+  Link link = make_link(config);
+  // 1250 bytes at 10 Gb/s = 1 us.
+  EXPECT_EQ(link.serialization_delay(1250).ns(), 1000u);
+  EXPECT_EQ(link.serialization_delay(0).ns(), 0u);
+}
+
+TEST(Link, TamperHookPerDirection) {
+  Link link = make_link();
+  EXPECT_EQ(link.tamper_for(NodeId{1}), nullptr);
+  link.set_tamper(NodeId{1}, [](Bytes&) { return TamperVerdict::Pass; });
+  EXPECT_NE(link.tamper_for(NodeId{1}), nullptr);
+  EXPECT_EQ(link.tamper_for(NodeId{3}), nullptr);
+}
+
+TEST(Link, UtilizationStartsAtZero) {
+  Link link = make_link();
+  EXPECT_DOUBLE_EQ(link.utilization(NodeId{1}, SimTime::from_ms(1)), 0.0);
+}
+
+TEST(Link, UtilizationRisesWithTraffic) {
+  LinkConfig config;
+  config.bandwidth_gbps = 1.0;
+  config.util_window = SimTime::from_ms(1);
+  Link link = make_link(config);
+  const SimTime t = SimTime::from_ms(10);
+  // Window capacity = 1 Gb/s * 1 ms / 8 = 125000 bytes. Send half of it.
+  link.record_tx(NodeId{1}, 62500, t);
+  EXPECT_NEAR(link.utilization(NodeId{1}, t), 0.5, 0.01);
+}
+
+TEST(Link, UtilizationDecaysOverTime) {
+  LinkConfig config;
+  config.bandwidth_gbps = 1.0;
+  config.util_window = SimTime::from_ms(1);
+  Link link = make_link(config);
+  link.record_tx(NodeId{1}, 125000, SimTime::from_ms(1));
+  const double at_send = link.utilization(NodeId{1}, SimTime::from_ms(1));
+  const double later = link.utilization(NodeId{1}, SimTime::from_ms(3));
+  EXPECT_GT(at_send, 0.9);
+  EXPECT_LT(later, at_send * 0.2);  // two time constants later
+}
+
+TEST(Link, UtilizationIsPerDirection) {
+  Link link = make_link();
+  link.record_tx(NodeId{1}, 100000, SimTime::from_ms(1));
+  EXPECT_GT(link.utilization(NodeId{1}, SimTime::from_ms(1)), 0.0);
+  EXPECT_DOUBLE_EQ(link.utilization(NodeId{3}, SimTime::from_ms(1)), 0.0);
+}
+
+TEST(Link, UtilizationCapsAtOne) {
+  LinkConfig config;
+  config.bandwidth_gbps = 0.001;
+  Link link = make_link(config);
+  link.record_tx(NodeId{1}, 10'000'000, SimTime::from_ms(1));
+  EXPECT_DOUBLE_EQ(link.utilization(NodeId{1}, SimTime::from_ms(1)), 1.0);
+}
+
+}  // namespace
+}  // namespace p4auth::netsim

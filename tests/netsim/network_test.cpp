@@ -1,0 +1,187 @@
+#include "netsim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace p4auth::netsim {
+namespace {
+
+using testing::SinkNode;
+
+TEST(Network, DeliversOverLinkWithLatency) {
+  Simulator sim;
+  Network net(sim);
+  auto* a = net.add<SinkNode>(NodeId{1});
+  auto* b = net.add<SinkNode>(NodeId{2});
+  (void)a;
+  LinkConfig config;
+  config.latency = SimTime::from_us(50);
+  config.bandwidth_gbps = 0;  // disable serialization delay
+  net.connect(NodeId{1}, PortId{1}, NodeId{2}, PortId{3}, config);
+
+  sim.at(SimTime::from_us(10), [&] { net.transmit(NodeId{1}, PortId{1}, Bytes{0xAA}); });
+  sim.run();
+
+  ASSERT_EQ(b->frames.size(), 1u);
+  EXPECT_EQ(b->frames[0].first, PortId{3});
+  EXPECT_EQ(b->frames[0].second, Bytes{0xAA});
+  EXPECT_EQ(sim.now(), SimTime::from_us(60));
+}
+
+TEST(Network, BidirectionalDelivery) {
+  Simulator sim;
+  Network net(sim);
+  auto* a = net.add<SinkNode>(NodeId{1});
+  auto* b = net.add<SinkNode>(NodeId{2});
+  net.connect(NodeId{1}, PortId{1}, NodeId{2}, PortId{1});
+  sim.after(SimTime::zero(), [&] {
+    net.transmit(NodeId{1}, PortId{1}, Bytes{1});
+    net.transmit(NodeId{2}, PortId{1}, Bytes{2});
+  });
+  sim.run();
+  ASSERT_EQ(a->frames.size(), 1u);
+  ASSERT_EQ(b->frames.size(), 1u);
+  EXPECT_EQ(a->frames[0].second, Bytes{2});
+  EXPECT_EQ(b->frames[0].second, Bytes{1});
+}
+
+TEST(Network, TransmitWithoutLinkDrops) {
+  Simulator sim;
+  Network net(sim);
+  net.add<SinkNode>(NodeId{1});
+  sim.after(SimTime::zero(), [&] { net.transmit(NodeId{1}, PortId{9}, Bytes{1}); });
+  sim.run();
+  EXPECT_EQ(net.stats().frames_dropped_no_link, 1u);
+  EXPECT_EQ(net.stats().frames_delivered, 0u);
+}
+
+TEST(Network, TamperHookRewritesInFlight) {
+  Simulator sim;
+  Network net(sim);
+  net.add<SinkNode>(NodeId{1});
+  auto* b = net.add<SinkNode>(NodeId{2});
+  Link* link = net.connect(NodeId{1}, PortId{1}, NodeId{2}, PortId{1});
+  link->set_tamper(NodeId{1}, [](Bytes& payload) {
+    payload[0] = 0xEE;
+    return TamperVerdict::Pass;
+  });
+  sim.after(SimTime::zero(), [&] { net.transmit(NodeId{1}, PortId{1}, Bytes{0x11}); });
+  sim.run();
+  ASSERT_EQ(b->frames.size(), 1u);
+  EXPECT_EQ(b->frames[0].second, Bytes{0xEE});
+  EXPECT_EQ(net.stats().frames_tampered, 1u);
+}
+
+TEST(Network, TamperHookOnlyAffectsItsDirection) {
+  Simulator sim;
+  Network net(sim);
+  auto* a = net.add<SinkNode>(NodeId{1});
+  net.add<SinkNode>(NodeId{2});
+  Link* link = net.connect(NodeId{1}, PortId{1}, NodeId{2}, PortId{1});
+  link->set_tamper(NodeId{1}, [](Bytes& payload) {
+    payload[0] = 0xEE;
+    return TamperVerdict::Pass;
+  });
+  sim.after(SimTime::zero(), [&] { net.transmit(NodeId{2}, PortId{1}, Bytes{0x22}); });
+  sim.run();
+  ASSERT_EQ(a->frames.size(), 1u);
+  EXPECT_EQ(a->frames[0].second, Bytes{0x22});  // reverse direction untouched
+  EXPECT_EQ(net.stats().frames_tampered, 0u);
+}
+
+TEST(Network, TamperHookCanDrop) {
+  Simulator sim;
+  Network net(sim);
+  net.add<SinkNode>(NodeId{1});
+  auto* b = net.add<SinkNode>(NodeId{2});
+  Link* link = net.connect(NodeId{1}, PortId{1}, NodeId{2}, PortId{1});
+  link->set_tamper(NodeId{1}, [](Bytes&) { return TamperVerdict::Drop; });
+  sim.after(SimTime::zero(), [&] { net.transmit(NodeId{1}, PortId{1}, Bytes{0x11}); });
+  sim.run();
+  EXPECT_TRUE(b->frames.empty());
+  EXPECT_EQ(net.stats().frames_dropped_by_tamper, 1u);
+}
+
+TEST(Network, InjectDeliversDirectly) {
+  Simulator sim;
+  Network net(sim);
+  auto* a = net.add<SinkNode>(NodeId{5});
+  net.inject(NodeId{5}, PortId{7}, Bytes{9, 9}, SimTime::from_us(3));
+  sim.run();
+  ASSERT_EQ(a->frames.size(), 1u);
+  EXPECT_EQ(a->frames[0].first, PortId{7});
+  EXPECT_EQ(sim.now(), SimTime::from_us(3));
+}
+
+TEST(Network, SerializationDelayAddsToLatency) {
+  Simulator sim;
+  Network net(sim);
+  net.add<SinkNode>(NodeId{1});
+  auto* b = net.add<SinkNode>(NodeId{2});
+  LinkConfig config;
+  config.latency = SimTime::from_us(10);
+  config.bandwidth_gbps = 1.0;  // 1250 bytes -> 10 us
+  net.connect(NodeId{1}, PortId{1}, NodeId{2}, PortId{1}, config);
+  sim.after(SimTime::zero(), [&] { net.transmit(NodeId{1}, PortId{1}, Bytes(1250, 0)); });
+  sim.run();
+  ASSERT_EQ(b->frames.size(), 1u);
+  EXPECT_EQ(sim.now(), SimTime::from_us(20));
+}
+
+
+TEST(Network, EgressQueueingDelaysBackToBackFrames) {
+  Simulator sim;
+  Network net(sim);
+  net.add<SinkNode>(NodeId{1});
+  auto* b = net.add<SinkNode>(NodeId{2});
+  LinkConfig config;
+  config.latency = SimTime::from_us(10);
+  config.bandwidth_gbps = 1.0;  // 1250 B -> 10 us serialization
+  net.connect(NodeId{1}, PortId{1}, NodeId{2}, PortId{1}, config);
+
+  // Two frames sent at the same instant share one transmitter: the second
+  // waits a full serialization time.
+  sim.after(SimTime::zero(), [&] {
+    net.transmit(NodeId{1}, PortId{1}, Bytes(1250, 1));
+    net.transmit(NodeId{1}, PortId{1}, Bytes(1250, 2));
+  });
+  sim.run();
+  ASSERT_EQ(b->frames.size(), 2u);
+  EXPECT_EQ(sim.now(), SimTime::from_us(30));  // 10 queue + 10 serialize + 10 latency
+  EXPECT_EQ(net.stats().frames_queued, 1u);
+  EXPECT_EQ(net.stats().total_queue_delay, SimTime::from_us(10));
+}
+
+TEST(Network, QueueDrainsWhenIdle) {
+  Simulator sim;
+  Network net(sim);
+  net.add<SinkNode>(NodeId{1});
+  net.add<SinkNode>(NodeId{2});
+  LinkConfig config;
+  config.latency = SimTime::from_us(10);
+  config.bandwidth_gbps = 1.0;
+  net.connect(NodeId{1}, PortId{1}, NodeId{2}, PortId{1}, config);
+  sim.after(SimTime::zero(), [&] { net.transmit(NodeId{1}, PortId{1}, Bytes(1250, 1)); });
+  sim.after(SimTime::from_us(100), [&] { net.transmit(NodeId{1}, PortId{1}, Bytes(1250, 2)); });
+  sim.run();
+  EXPECT_EQ(net.stats().frames_queued, 0u);  // transmitter idle again
+}
+
+TEST(Network, DirectionsQueueIndependently) {
+  Simulator sim;
+  Network net(sim);
+  net.add<SinkNode>(NodeId{1});
+  net.add<SinkNode>(NodeId{2});
+  LinkConfig config;
+  config.bandwidth_gbps = 1.0;
+  net.connect(NodeId{1}, PortId{1}, NodeId{2}, PortId{1}, config);
+  sim.after(SimTime::zero(), [&] {
+    net.transmit(NodeId{1}, PortId{1}, Bytes(1250, 1));
+    net.transmit(NodeId{2}, PortId{1}, Bytes(1250, 2));  // reverse direction
+  });
+  sim.run();
+  EXPECT_EQ(net.stats().frames_queued, 0u);  // full duplex
+}
+}  // namespace
+}  // namespace p4auth::netsim

@@ -1,0 +1,90 @@
+#include "netsim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace p4auth::netsim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(SimTime::from_us(30), [&] { order.push_back(3); });
+  sim.at(SimTime::from_us(10), [&] { order.push_back(1); });
+  sim.at(SimTime::from_us(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::from_us(30));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(SimTime::from_us(7), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.after(SimTime::from_us(1), chain);
+  };
+  sim.after(SimTime::from_us(1), chain);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.now(), SimTime::from_us(10));
+}
+
+TEST(Simulator, AfterIsRelativeToNow) {
+  Simulator sim;
+  SimTime inner_fire{};
+  sim.at(SimTime::from_us(100), [&] {
+    sim.after(SimTime::from_us(50), [&] { inner_fire = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_fire, SimTime::from_us(150));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(SimTime::from_us(10), [&] { ++fired; });
+  sim.at(SimTime::from_us(20), [&] { ++fired; });
+  sim.at(SimTime::from_us(30), [&] { ++fired; });
+  sim.run_until(SimTime::from_us(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::from_us(20));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(SimTime::from_ms(5));
+  EXPECT_EQ(sim.now(), SimTime::from_ms(5));
+}
+
+TEST(Simulator, ProcessedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.at(SimTime::from_us(static_cast<std::uint64_t>(i)), [] {});
+  sim.run();
+  EXPECT_EQ(sim.processed(), 7u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, MaxEventsGuardStopsRunaway) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.after(SimTime::from_ns(1), forever); };
+  sim.after(SimTime::from_ns(1), forever);
+  sim.run(/*max_events=*/1000);
+  EXPECT_EQ(sim.processed(), 1000u);
+}
+
+}  // namespace
+}  // namespace p4auth::netsim

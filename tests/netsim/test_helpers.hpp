@@ -1,0 +1,60 @@
+// Shared helpers for netsim tests: a frame-recording sink node and trivial
+// data-plane programs.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "dataplane/program.hpp"
+#include "netsim/network.hpp"
+#include "netsim/node.hpp"
+
+namespace p4auth::netsim::testing {
+
+/// Records every frame it receives.
+class SinkNode : public Node {
+ public:
+  explicit SinkNode(NodeId id) : Node(id) {}
+
+  void on_frame(PortId ingress, Bytes payload) override {
+    frames.emplace_back(ingress, std::move(payload));
+  }
+
+  std::vector<std::pair<PortId, Bytes>> frames;
+};
+
+/// Forwards every packet to a fixed egress port.
+class ForwardProgram : public dataplane::DataPlaneProgram {
+ public:
+  explicit ForwardProgram(PortId egress) : egress_(egress) {}
+
+  dataplane::PipelineOutput process(dataplane::Packet& packet,
+                                    dataplane::PipelineContext& ctx) override {
+    ++ctx.costs().table_lookups;
+    return dataplane::PipelineOutput::unicast(egress_, packet.payload);
+  }
+
+ private:
+  PortId egress_;
+};
+
+/// Sends every packet's payload to the CPU port as a PacketIn.
+class ToCpuProgram : public dataplane::DataPlaneProgram {
+ public:
+  dataplane::PipelineOutput process(dataplane::Packet& packet,
+                                    dataplane::PipelineContext&) override {
+    dataplane::PipelineOutput out;
+    out.to_cpu.push_back(packet.payload);
+    return out;
+  }
+};
+
+/// Drops everything.
+class DropProgram : public dataplane::DataPlaneProgram {
+ public:
+  dataplane::PipelineOutput process(dataplane::Packet&, dataplane::PipelineContext&) override {
+    return dataplane::PipelineOutput::drop();
+  }
+};
+
+}  // namespace p4auth::netsim::testing

@@ -1,0 +1,82 @@
+#include "netsim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace p4auth::netsim {
+namespace {
+
+TEST(TraceGenerator, DeterministicPerSeed) {
+  TraceGenerator a(42), b(42), c(43);
+  const auto pa = a.generate();
+  const auto pb = b.generate();
+  const auto pc = c.generate();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].time, pb[i].time);
+    EXPECT_EQ(pa[i].flow_id, pb[i].flow_id);
+  }
+  EXPECT_NE(pa.size(), pc.size());
+}
+
+TEST(TraceGenerator, PacketsSortedAndWithinDuration) {
+  TraceGenerator::Config config;
+  config.duration = SimTime::from_s(10);
+  TraceGenerator gen(7, config);
+  const auto packets = gen.generate();
+  ASSERT_FALSE(packets.empty());
+  EXPECT_TRUE(std::is_sorted(packets.begin(), packets.end(),
+                             [](const auto& a, const auto& b) { return a.time < b.time; }));
+  EXPECT_LT(packets.back().time, config.duration);
+}
+
+TEST(TraceGenerator, FlowArrivalRateRoughlyMatches) {
+  TraceGenerator::Config config;
+  config.duration = SimTime::from_s(30);
+  config.flows_per_second = 100.0;
+  TraceGenerator gen(11, config);
+  const auto packets = gen.generate();
+  std::map<std::uint64_t, int> flows;
+  for (const auto& p : packets) ++flows[p.flow_id];
+  const double flows_per_s = static_cast<double>(flows.size()) / 30.0;
+  EXPECT_NEAR(flows_per_s, 100.0, 15.0);
+}
+
+TEST(TraceGenerator, HeavyTailedFlowSizes) {
+  // Pareto lengths: a few flows should dominate the packet count — the
+  // top 10% of flows must carry well above 10% of packets.
+  TraceGenerator::Config config;
+  config.duration = SimTime::from_s(30);
+  TraceGenerator gen(13, config);
+  const auto packets = gen.generate();
+  std::map<std::uint64_t, std::size_t> flows;
+  for (const auto& p : packets) ++flows[p.flow_id];
+  std::vector<std::size_t> sizes;
+  for (const auto& [id, n] : flows) sizes.push_back(n);
+  std::sort(sizes.rbegin(), sizes.rend());
+  std::size_t top = 0, total = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    total += sizes[i];
+    if (i < sizes.size() / 10) top += sizes[i];
+  }
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.25);
+}
+
+TEST(TraceGenerator, BimodalPacketSizes) {
+  TraceGenerator gen(17);
+  const auto packets = gen.generate();
+  ASSERT_FALSE(packets.empty());
+  int small = 0, large = 0;
+  for (const auto& p : packets) {
+    if (p.size_bytes == 96) ++small;
+    else if (p.size_bytes == 1400) ++large;
+    else FAIL() << "unexpected size " << p.size_bytes;
+  }
+  EXPECT_GT(small, 0);
+  EXPECT_GT(large, 0);
+}
+
+}  // namespace
+}  // namespace p4auth::netsim

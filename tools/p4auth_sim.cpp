@@ -1,0 +1,211 @@
+// p4auth_sim — command-line front-end for the experiment suite.
+//
+// Usage:
+//   p4auth_sim hula       [--scenario S] [--seed N] [--duration-ms N]
+//   p4auth_sim routescout [--scenario S] [--seed N]
+//   p4auth_sim regops     [--variant p4runtime|dpregrw|p4auth] [--requests N]
+//   p4auth_sim kmp        [--samples N]
+//   p4auth_sim multihop   [--min-hops N] [--max-hops N]
+//   p4auth_sim scaling    [--switches M] [--links N]
+//   p4auth_sim table1     [--seed N]
+//   p4auth_sim resources
+//
+// Scenarios: baseline | attack | p4auth | p4auth-clean.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "experiments/attack_rate_experiment.hpp"
+#include "experiments/hula_experiment.hpp"
+#include "experiments/kmp_experiment.hpp"
+#include "experiments/multihop_experiment.hpp"
+#include "experiments/regops_experiment.hpp"
+#include "experiments/resources_experiment.hpp"
+#include "experiments/routescout_experiment.hpp"
+#include "experiments/table1_experiment.hpp"
+
+using namespace p4auth;
+using namespace p4auth::experiments;
+
+namespace {
+
+/// Returns the value following `flag`, or `fallback`.
+const char* arg_value(int argc, char** argv, const char* flag, const char* fallback) {
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+std::uint64_t arg_u64(int argc, char** argv, const char* flag, std::uint64_t fallback) {
+  const char* value = arg_value(argc, argv, flag, nullptr);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+Result<Scenario> parse_scenario(const std::string& name) {
+  if (name == "baseline") return Scenario::Baseline;
+  if (name == "attack") return Scenario::Attack;
+  if (name == "p4auth") return Scenario::P4AuthAttack;
+  if (name == "p4auth-clean") return Scenario::P4AuthClean;
+  return make_error("unknown scenario: " + name);
+}
+
+int run_hula(int argc, char** argv) {
+  const auto scenario = parse_scenario(arg_value(argc, argv, "--scenario", "baseline"));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.error().message.c_str());
+    return 2;
+  }
+  HulaOptions options;
+  options.seed = arg_u64(argc, argv, "--seed", options.seed);
+  options.duration = SimTime::from_ms(arg_u64(argc, argv, "--duration-ms", 1500));
+  const auto result = run_hula_experiment(scenario.value(), options);
+  std::printf("scenario=%s via-S2=%.1f%% via-S3=%.1f%% via-S4=%.1f%% "
+              "probes-rejected=%llu alerts=%llu delivered=%llu\n",
+              scenario_name(scenario.value()), result.path_share_pct[0],
+              result.path_share_pct[1], result.path_share_pct[2],
+              static_cast<unsigned long long>(result.probes_rejected),
+              static_cast<unsigned long long>(result.alerts),
+              static_cast<unsigned long long>(result.delivered));
+  return 0;
+}
+
+int run_routescout(int argc, char** argv) {
+  const auto scenario = parse_scenario(arg_value(argc, argv, "--scenario", "baseline"));
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.error().message.c_str());
+    return 2;
+  }
+  RouteScoutOptions options;
+  options.seed = arg_u64(argc, argv, "--seed", options.seed);
+  const auto result = run_routescout_experiment(scenario.value(), options);
+  std::printf("scenario=%s path1=%.1f%% path2=%.1f%% split=%llu/%llu "
+              "epochs-aborted=%llu alerts=%llu\n",
+              scenario_name(scenario.value()), result.path_share_pct[0],
+              result.path_share_pct[1],
+              static_cast<unsigned long long>(result.final_split[0]),
+              static_cast<unsigned long long>(result.final_split[1]),
+              static_cast<unsigned long long>(result.epochs_aborted),
+              static_cast<unsigned long long>(result.alerts));
+  return 0;
+}
+
+int run_regops(int argc, char** argv) {
+  const std::string name = arg_value(argc, argv, "--variant", "p4auth");
+  RegOpsVariant variant = RegOpsVariant::P4Auth;
+  if (name == "p4runtime") variant = RegOpsVariant::P4Runtime;
+  else if (name == "dpregrw") variant = RegOpsVariant::DpRegRw;
+  else if (name != "p4auth") {
+    std::fprintf(stderr, "unknown variant: %s\n", name.c_str());
+    return 2;
+  }
+  RegOpsOptions options;
+  options.requests_per_kind = static_cast<int>(arg_u64(argc, argv, "--requests", 400));
+  const auto result = run_regops_experiment(variant, options);
+  std::printf("variant=%s read-rct=%.1fus write-rct=%.1fus read=%.1frps write=%.1frps\n",
+              variant_name(variant), result.read_rct_us_mean, result.write_rct_us_mean,
+              result.read_throughput_rps, result.write_throughput_rps);
+  return 0;
+}
+
+int run_kmp(int argc, char** argv) {
+  KmpRttOptions options;
+  options.samples = static_cast<int>(arg_u64(argc, argv, "--samples", 20));
+  const auto result = run_kmp_rtt_experiment(options);
+  std::printf("local-init=%.3fms port-init=%.3fms local-update=%.3fms port-update=%.3fms\n",
+              result.local_init_ms, result.port_init_ms, result.local_update_ms,
+              result.port_update_ms);
+  return 0;
+}
+
+int run_multihop(int argc, char** argv) {
+  MultihopOptions options;
+  options.min_hops = static_cast<int>(arg_u64(argc, argv, "--min-hops", 2));
+  options.max_hops = static_cast<int>(arg_u64(argc, argv, "--max-hops", 10));
+  for (const auto& point : run_multihop_experiment(options)) {
+    std::printf("hops=%d base=%.1fus p4auth=%.1fus overhead=%.2f%%\n", point.hops,
+                point.base_us, point.p4auth_us, point.overhead_pct);
+  }
+  return 0;
+}
+
+int run_scaling(int argc, char** argv) {
+  const int switches = static_cast<int>(arg_u64(argc, argv, "--switches", 25));
+  const int links = static_cast<int>(arg_u64(argc, argv, "--links", 50));
+  const auto measured = run_kmp_scaling_experiment(switches, links);
+  const auto closed = kmp_closed_form(static_cast<std::uint64_t>(switches),
+                                      static_cast<std::uint64_t>(links));
+  std::printf("m=%d n=%d init=%llu msgs/%llu B (closed %llu/%llu) "
+              "update=%llu msgs/%llu B (closed %llu/%llu)\n",
+              switches, links, static_cast<unsigned long long>(measured.init_messages),
+              static_cast<unsigned long long>(measured.init_bytes),
+              static_cast<unsigned long long>(closed.init_messages),
+              static_cast<unsigned long long>(closed.init_bytes),
+              static_cast<unsigned long long>(measured.update_messages),
+              static_cast<unsigned long long>(measured.update_bytes),
+              static_cast<unsigned long long>(closed.update_messages),
+              static_cast<unsigned long long>(closed.update_bytes));
+  return 0;
+}
+
+int run_table1(int argc, char** argv) {
+  for (const auto& row : run_table1_experiment(arg_u64(argc, argv, "--seed", 1))) {
+    std::printf("%-24s baseline=%.1f attacked=%.1f p4auth=%.1f detected=%s/%s (%s)\n",
+                row.system.c_str(), row.baseline, row.attacked, row.with_p4auth,
+                row.detected_without ? "yes" : "no", row.detected_with ? "yes" : "no",
+                row.metric.c_str());
+  }
+  return 0;
+}
+
+int run_attack_rate(int argc, char** argv) {
+  AttackRateOptions options;
+  options.writes = static_cast<int>(arg_u64(argc, argv, "--writes", 150));
+  const char* rate = arg_value(argc, argv, "--rate", nullptr);
+  if (rate != nullptr) options.rates = {std::strtod(rate, nullptr)};
+  for (const auto& point : run_attack_rate_experiment(options)) {
+    std::printf("rate=%.2f goodput=%.1frps completion=%.1fus retries=%.2f alerts=%llu "
+                "failed=%llu\n",
+                point.tamper_probability, point.goodput_rps, point.mean_completion_us,
+                point.retries_per_write, static_cast<unsigned long long>(point.alerts),
+                static_cast<unsigned long long>(point.writes_failed));
+  }
+  return 0;
+}
+
+int run_resources() {
+  for (const auto& row : run_resources_experiment()) {
+    std::printf("%-14s tcam=%.1f%% sram=%.1f%% hash=%.1f%% phv=%.1f%%\n",
+                row.program.c_str(), row.usage.tcam_pct, row.usage.sram_pct,
+                row.usage.hash_pct, row.usage.phv_pct);
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: p4auth_sim <hula|routescout|regops|kmp|multihop|scaling|table1|"
+               "resources|attack-rate> [options]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  if (command == "hula") return run_hula(argc, argv);
+  if (command == "routescout") return run_routescout(argc, argv);
+  if (command == "regops") return run_regops(argc, argv);
+  if (command == "kmp") return run_kmp(argc, argv);
+  if (command == "multihop") return run_multihop(argc, argv);
+  if (command == "scaling") return run_scaling(argc, argv);
+  if (command == "table1") return run_table1(argc, argv);
+  if (command == "resources") return run_resources();
+  if (command == "attack-rate") return run_attack_rate(argc, argv);
+  usage();
+  return 2;
+}

@@ -15,6 +15,7 @@ int main() {
   bench::note("tampered probes and blocks traffic on the compromised link.");
   bench::rule();
 
+  bench::JsonReport report("fig17_hula");
   std::printf("%-20s %9s %9s %9s %11s %7s %10s %10s\n", "scenario", "via S2 %", "via S3 %",
               "via S4 %", "probes rej", "alerts", "S4q (us)", "restq (us)");
   for (const auto scenario :
@@ -26,6 +27,15 @@ int main() {
                 static_cast<unsigned long long>(result.probes_rejected),
                 static_cast<unsigned long long>(result.alerts), result.s4_path_queue_us,
                 result.other_paths_queue_us);
+    report.row()
+        .field("scenario", scenario_name(scenario))
+        .field("via_s2_pct", result.path_share_pct[0])
+        .field("via_s3_pct", result.path_share_pct[1])
+        .field("via_s4_pct", result.path_share_pct[2])
+        .field("probes_rejected", result.probes_rejected)
+        .field("alerts", result.alerts)
+        .field("s4_queue_us", result.s4_path_queue_us)
+        .field("other_queue_us", result.other_paths_queue_us);
   }
   bench::rule();
   bench::note("Adversary on the S4-S1 link forges probeUtil to ~4% while the S4");

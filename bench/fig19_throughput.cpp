@@ -15,6 +15,7 @@ int main() {
   bench::note("-4.2% read / -2.1% write vs DP-Reg-RW.");
   bench::rule();
 
+  bench::JsonReport report("fig19_throughput");
   RegOpsResult results[3];
   const RegOpsVariant variants[] = {RegOpsVariant::P4Runtime, RegOpsVariant::DpRegRw,
                                     RegOpsVariant::P4Auth};
@@ -23,6 +24,10 @@ int main() {
     results[i] = run_regops_experiment(variants[i]);
     std::printf("%-12s %14.1f %14.1f\n", variant_name(variants[i]),
                 results[i].read_throughput_rps, results[i].write_throughput_rps);
+    report.row()
+        .field("variant", variant_name(variants[i]))
+        .field("read_rps", results[i].read_throughput_rps)
+        .field("write_rps", results[i].write_throughput_rps);
   }
   bench::rule();
   const auto& grpc = results[0];
@@ -35,5 +40,13 @@ int main() {
                   dp.read_throughput_rps,
               100.0 * (p4auth.write_throughput_rps - dp.write_throughput_rps) /
                   dp.write_throughput_rps);
+  report.scalar("p4runtime_read_write_ratio",
+                grpc.read_throughput_rps / grpc.write_throughput_rps);
+  report.scalar("p4auth_vs_dpregrw_read_pct",
+                100.0 * (p4auth.read_throughput_rps - dp.read_throughput_rps) /
+                    dp.read_throughput_rps);
+  report.scalar("p4auth_vs_dpregrw_write_pct",
+                100.0 * (p4auth.write_throughput_rps - dp.write_throughput_rps) /
+                    dp.write_throughput_rps);
   return 0;
 }

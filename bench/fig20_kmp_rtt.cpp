@@ -20,6 +20,17 @@ int main() {
   options.samples = 30;
   const auto result = run_kmp_rtt_experiment(options);
 
+  bench::JsonReport report("fig20_kmp_rtt");
+  report.row().field("op", "local_init").field("rtt_ms", result.local_init_ms).field(
+      "messages", std::int64_t{4});
+  report.row().field("op", "port_init").field("rtt_ms", result.port_init_ms).field(
+      "messages", std::int64_t{5});
+  report.row().field("op", "local_update").field("rtt_ms", result.local_update_ms).field(
+      "messages", std::int64_t{2});
+  report.row().field("op", "port_update").field("rtt_ms", result.port_update_ms).field(
+      "messages", std::int64_t{3});
+  report.scalar("samples", std::int64_t{result.samples});
+
   std::printf("%-28s %12s %10s\n", "operation", "RTT (ms)", "messages");
   std::printf("%-28s %12.3f %10d\n", "local key initialization", result.local_init_ms, 4);
   std::printf("%-28s %12.3f %10d\n", "port key initialization", result.port_init_ms, 5);

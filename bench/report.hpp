@@ -1,8 +1,12 @@
-// Tiny formatting helpers shared by the figure/table harnesses.
+// Tiny formatting helpers shared by the figure/table harnesses, plus the
+// machine-readable artifact writer (BENCH_<name>.json).
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <string_view>
+
+#include "telemetry/json.hpp"
 
 namespace p4auth::bench {
 
@@ -17,5 +21,92 @@ inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
 inline void rule() {
   std::printf("----------------------------------------------------------------\n");
 }
+
+/// Machine-readable companion to the human-readable tables: collects the
+/// numbers a harness prints into a flat JSON document and writes it to
+/// BENCH_<name>.json in the working directory on destruction (or an
+/// explicit write()). Rows model table lines; top-level scalars model
+/// summary figures. Output field order is insertion order, so a harness
+/// emits byte-identical artifacts across runs.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {
+    writer_.begin_object();
+    writer_.key("schema");
+    writer_.value(std::string_view("p4auth.bench.v1"));
+    writer_.key("bench");
+    writer_.value(std::string_view(name_));
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { write(); }
+
+  template <typename V>
+  JsonReport& scalar(std::string_view key, V value) {
+    end_rows();
+    writer_.key(key);
+    writer_.value(value);
+    return *this;
+  }
+
+  /// Starts a row in the "rows" array; fill it with field() calls.
+  JsonReport& row() {
+    if (!in_rows_) {
+      writer_.key("rows");
+      writer_.begin_array();
+      in_rows_ = true;
+    } else {
+      writer_.end_object();
+    }
+    writer_.begin_object();
+    in_row_ = true;
+    return *this;
+  }
+
+  template <typename V>
+  JsonReport& field(std::string_view key, V value) {
+    writer_.key(key);
+    writer_.value(value);
+    return *this;
+  }
+
+  /// Writes BENCH_<name>.json; safe to call once, destructor is a no-op
+  /// afterwards. Returns false (and warns on stderr) if the file cannot
+  /// be created.
+  bool write() {
+    if (written_) return true;
+    written_ = true;
+    end_rows();
+    writer_.end_object();
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const std::string body = writer_.take() + "\n";
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  void end_rows() {
+    if (!in_rows_) return;
+    if (in_row_) writer_.end_object();
+    writer_.end_array();
+    in_rows_ = false;
+    in_row_ = false;
+  }
+
+  std::string name_;
+  telemetry::JsonWriter writer_;
+  bool in_rows_ = false;
+  bool in_row_ = false;
+  bool written_ = false;
+};
 
 }  // namespace p4auth::bench

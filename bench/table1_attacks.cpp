@@ -15,12 +15,21 @@ int main() {
   bench::note("whether the attack was detected (alert / digest failure).");
   bench::rule();
 
+  bench::JsonReport report("table1_attacks");
   std::printf("%-24s %-44s %10s %10s %10s %5s %5s\n", "system", "metric", "baseline",
               "attacked", "p4auth", "det-", "det+");
   for (const auto& row : run_table1_experiment()) {
     std::printf("%-24s %-44s %10.1f %10.1f %10.1f %5s %5s\n", row.system.c_str(),
                 row.metric.c_str(), row.baseline, row.attacked, row.with_p4auth,
                 row.detected_without ? "yes" : "no", row.detected_with ? "yes" : "no");
+    report.row()
+        .field("system", std::string_view(row.system))
+        .field("metric", std::string_view(row.metric))
+        .field("baseline", row.baseline)
+        .field("attacked", row.attacked)
+        .field("with_p4auth", row.with_p4auth)
+        .field("detected_without", row.detected_without)
+        .field("detected_with", row.detected_with);
   }
   bench::rule();
   bench::note("Reference: paper Table I impact column — poisoned rerouting (FRR),");

@@ -7,6 +7,7 @@ namespace p4auth {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::function<std::uint64_t()> g_clock;
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -29,11 +30,25 @@ LogLevel log_level() noexcept {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_clock(std::function<std::uint64_t()> now_ns) { g_clock = std::move(now_ns); }
+
 void log_line(LogLevel level, std::string_view component, std::string_view message) {
   if (level < log_level()) return;
-  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
-               static_cast<int>(component.size()), component.data(),
-               static_cast<int>(message.size()), message.data());
+  std::string record;
+  record.reserve(component.size() + message.size() + 32);
+  record += '[';
+  record += level_name(level);
+  record += "] ";
+  if (g_clock) {
+    record += "t=";
+    record += std::to_string(g_clock());
+    record += "ns ";
+  }
+  record += component;
+  record += ": ";
+  record += message;
+  record += '\n';
+  std::fwrite(record.data(), 1, record.size(), stderr);
 }
 
 LogStream::~LogStream() {

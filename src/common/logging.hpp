@@ -2,6 +2,8 @@
 // output stays machine-readable; tests may raise it to Debug.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -14,7 +16,15 @@ enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emits one line to stderr as "[LEVEL] component: message".
+/// Optional sim-time source. When set, every record carries a "t=<ns>"
+/// column so interleaved component logs can be correlated with the
+/// telemetry trace. Pass nullptr (or {}) to detach.
+void set_log_clock(std::function<std::uint64_t()> now_ns);
+
+/// Emits one record to stderr as "[LEVEL] component: message" (plus the
+/// sim-time column when a log clock is attached). The record — including
+/// the trailing newline — is written with a single write call so
+/// concurrent writers cannot interleave within a line.
 void log_line(LogLevel level, std::string_view component, std::string_view message);
 
 /// Stream-style helper: LogStream(LogLevel::Info, "kmp") << "key " << k;

@@ -14,6 +14,12 @@ class RunningStat {
  public:
   void add(double x) noexcept;
 
+  /// Folds another accumulator into this one (parallel Welford combine):
+  /// the result is identical (up to floating-point rounding) to having
+  /// added both sample streams into a single accumulator. Lets per-shard
+  /// stats be collected independently and combined afterwards.
+  void merge(const RunningStat& other) noexcept;
+
   std::size_t count() const noexcept { return n_; }
   double mean() const noexcept { return mean_; }
   double variance() const noexcept;
@@ -36,7 +42,10 @@ class SampleSet {
   void add(double x) { samples_.push_back(x); }
   std::size_t count() const noexcept { return samples_.size(); }
   double mean() const noexcept;
-  /// p in [0, 100]. Empty set yields 0. Uses nearest-rank on a sorted copy.
+  /// p in [0, 100]. Empty set yields 0. Linearly interpolates between the
+  /// two closest ranks of a sorted copy (the "exclusive" variant most
+  /// spreadsheet PERCENTILE functions use), so p=0 is the minimum, p=100
+  /// the maximum, and intermediate values blend adjacent samples.
   double percentile(double p) const;
   double min() const;
   double max() const;

@@ -52,7 +52,32 @@ void Controller::send(SwitchState& st, Message msg, Key64 key, bool is_kmp,
     ++stats_.kmp_messages_sent;
     stats_.kmp_bytes_sent += frame.size();
   }
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.counter("ctrl.messages_sent").inc();
+    telemetry_->metrics.counter("ctrl.bytes_sent").inc(frame.size());
+    if (is_kmp) telemetry_->metrics.counter("kmp.messages_sent").inc();
+  }
   st.channel->to_switch(std::move(frame), std::move(delivered));
+}
+
+template <typename V>
+std::function<void(V)> Controller::track_kmp(NodeId sw, const char* op,
+                                             std::function<void(V)> done) {
+  if (telemetry_ == nullptr) return done;
+  return [this, sw, op, start = sim_.now(), done = std::move(done)](V result) {
+    const bool ok = result.ok();
+    const SimTime rtt = sim_.now() - start;
+    telemetry_->metrics
+        .histogram("kmp.rtt_ns", telemetry::Labels{{"op", op}})
+        .observe(static_cast<double>(rtt.ns()));
+    telemetry_->metrics
+        .counter("kmp.completed",
+                 telemetry::Labels{{"op", op}, {"ok", ok ? "true" : "false"}})
+        .inc();
+    telemetry_->trace.record(sim_.now(), sw, kCpuPort, telemetry::TraceEventKind::KmpComplete,
+                             static_cast<std::uint64_t>(rtt.ns()), ok ? 1 : 0);
+    if (done) done(std::move(result));
+  };
 }
 
 std::optional<Key64> Controller::verify_key_for(SwitchState& st, const Message& msg) const {
@@ -171,15 +196,20 @@ void Controller::on_register_response(SwitchState& st, const Message& msg) {
   sim_.after(delay, [this, pending = std::move(pending), digest_ok, op, payload]() {
     if (!digest_ok) {
       ++stats_.response_digest_failures;
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics.counter("ctrl.response_digest_failures").inc();
+      }
       pending.done(make_error("response digest mismatch — possible MitM"));
       return;
     }
     if (op == RegisterMsg::NAck) {
       ++stats_.nacks_received;
+      if (telemetry_ != nullptr) telemetry_->metrics.counter("ctrl.nacks_received").inc();
       pending.done(make_error("nAck from data plane"));
       return;
     }
     ++stats_.acks_received;
+    if (telemetry_ != nullptr) telemetry_->metrics.counter("ctrl.acks_received").inc();
     pending.done(payload.value);
   });
 }
@@ -200,7 +230,7 @@ void Controller::init_local_key(NodeId sw, std::function<void(Result<Key64>)> do
   pending.phase = LocalPhase::Eak;
   pending.is_update = false;
   pending.eak.emplace(config_.schedule, st->k_seed);
-  pending.done = std::move(done);
+  pending.done = track_kmp(sw, "local_init", std::move(done));
 
   const EakPayload salt1 = pending.eak->start(rng_);
   const std::uint16_t seq = st->tx_seq.next();
@@ -260,7 +290,7 @@ void Controller::update_local_key(NodeId sw, std::function<void(Result<Key64>)> 
   }
   PendingLocal pending;
   pending.is_update = true;
-  pending.done = std::move(done);
+  pending.done = track_kmp(sw, "local_update", std::move(done));
   st->pending_local = std::move(pending);
   start_adhkd_local(*st, /*is_update=*/true);
 }
@@ -279,7 +309,8 @@ void Controller::init_port_key(NodeId a, PortId port_a, NodeId b, PortId port_b,
     done(make_error("port key init requires local keys on both switches"));
     return;
   }
-  pending_port_inits_.push_back(PendingPortInit{a, port_a, b, port_b, std::move(done)});
+  pending_port_inits_.push_back(
+      PendingPortInit{a, port_a, b, port_b, track_kmp(a, "port_init", std::move(done))});
 
   Message msg;
   msg.header.hdr_type = HdrType::KeyExchange;
@@ -309,7 +340,8 @@ void Controller::update_port_key(NodeId a, PortId port_a, NodeId b,
   msg.header.dst = a;
   msg.payload = PortKeyPayload{port_a, b};
   send(*st_a, std::move(msg), st_a->keys.local().current().value_or(st_a->k_seed),
-       /*is_kmp=*/true, [done = std::move(done)]() { done(Status{}); });
+       /*is_kmp=*/true,
+       [done = track_kmp(a, "port_update", std::move(done))]() { done(Status{}); });
 }
 
 void Controller::on_key_exchange(SwitchState& st, const Message& msg) {
@@ -413,6 +445,12 @@ void Controller::on_alert(SwitchState& st, const Message& msg) {
   record.payload = std::get<core::AlertPayload>(msg.payload);
   record.at = sim_.now();
   record.authentic = key.has_value() && core::verify_message(config_.mac, *key, msg);
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics
+        .counter("ctrl.alerts_received",
+                 telemetry::Labels{{"authentic", record.authentic ? "true" : "false"}})
+        .inc();
+  }
   alerts_.push_back(record);
   if (alert_handler_) alert_handler_(record);
 }

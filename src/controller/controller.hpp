@@ -23,6 +23,7 @@
 #include "core/replay_guard.hpp"
 #include "core/wire.hpp"
 #include "netsim/control_channel.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace p4auth::controller {
 
@@ -104,6 +105,11 @@ class Controller {
   };
   const Stats& stats() const noexcept { return stats_; }
 
+  /// Attaches the shared telemetry bundle (null = off): KMP round-trip
+  /// histograms (kmp.rtt_ns{op}), control-plane message counters, and
+  /// kmp_complete trace events.
+  void set_telemetry(telemetry::Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+
   /// Current mirrored local key for a switch (tests/benches).
   std::optional<Key64> local_key(NodeId sw) const;
   bool has_switch(NodeId sw) const { return switches_.contains(sw); }
@@ -178,6 +184,11 @@ class Controller {
   /// Key to verify an inbound message from `st`, given its header.
   std::optional<Key64> verify_key_for(SwitchState& st, const core::Message& msg) const;
 
+  /// Wraps a KMP completion callback so it records kmp.rtt_ns{op},
+  /// kmp.completed{op,ok} and a kmp_complete trace event when it fires.
+  template <typename V>
+  std::function<void(V)> track_kmp(NodeId sw, const char* op, std::function<void(V)> done);
+
   void start_adhkd_local(SwitchState& st, bool is_update);
 
   netsim::Simulator& sim_;
@@ -189,6 +200,7 @@ class Controller {
   std::function<void(const AlertRecord&)> alert_handler_;
   Stats stats_;
   Xoshiro256 rng_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace p4auth::controller

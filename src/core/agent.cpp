@@ -84,6 +84,86 @@ void P4AuthAgent::install_key(PortId slot, Key64 key, dataplane::PipelineContext
   ctx.costs().register_accesses += 2;  // key register + install counter
   ++stats_.key_installs;
   stats_.last_key_install = ctx.now();
+  note_key_install(ctx, slot);
+}
+
+P4AuthAgent::TeleSeries* P4AuthAgent::tele(dataplane::PipelineContext& ctx) {
+  telemetry::Telemetry* t = ctx.telemetry();
+  if (t == nullptr) return nullptr;
+  if (tele_.bound != t) {
+    const telemetry::Labels labels{{"switch", std::to_string(config_.self.value)}};
+    auto& m = t->metrics;
+    tele_.bound = t;
+    tele_.verify_ok = &m.counter("auth.verify_ok", labels);
+    tele_.verify_fail = &m.counter("auth.verify_fail", labels);
+    tele_.replay_drops = &m.counter("auth.replay_drops", labels);
+    tele_.unauth_drops = &m.counter("auth.unauth_feedback_drops", labels);
+    tele_.alerts_sent = &m.counter("dos.alerts_sent", labels);
+    tele_.alerts_suppressed = &m.counter("dos.alerts_suppressed", labels);
+    tele_.table_hits = &m.counter("dataplane.reg_map_hits", labels);
+    tele_.table_misses = &m.counter("dataplane.reg_map_misses", labels);
+    tele_.key_installs = &m.counter("keys.installs", labels);
+  }
+  return &tele_;
+}
+
+void P4AuthAgent::note_verify(dataplane::PipelineContext& ctx, bool ok, PortId port,
+                              std::uint16_t seq, HdrType hdr) {
+  TeleSeries* t = tele(ctx);
+  if (t == nullptr) return;
+  (ok ? t->verify_ok : t->verify_fail)->inc();
+  t->bound->trace.record(ctx.now(), config_.self, port,
+                         ok ? telemetry::TraceEventKind::VerifyOk
+                            : telemetry::TraceEventKind::VerifyFail,
+                         seq, static_cast<std::uint64_t>(hdr));
+}
+
+void P4AuthAgent::note_replay(dataplane::PipelineContext& ctx, PortId port, std::uint16_t seq,
+                              std::uint16_t last) {
+  TeleSeries* t = tele(ctx);
+  if (t == nullptr) return;
+  t->replay_drops->inc();
+  t->bound->trace.record(ctx.now(), config_.self, port, telemetry::TraceEventKind::ReplayDrop,
+                         seq, last);
+}
+
+void P4AuthAgent::note_table_lookup(dataplane::PipelineContext& ctx, bool hit, RegisterId reg) {
+  TeleSeries* t = tele(ctx);
+  if (t == nullptr) return;
+  (hit ? t->table_hits : t->table_misses)->inc();
+  t->bound->trace.record(ctx.now(), config_.self, kCpuPort,
+                         hit ? telemetry::TraceEventKind::TableHit
+                             : telemetry::TraceEventKind::TableMiss,
+                         reg.value);
+}
+
+void P4AuthAgent::note_unauth_drop(dataplane::PipelineContext& ctx, PortId port) {
+  TeleSeries* t = tele(ctx);
+  if (t == nullptr) return;
+  t->unauth_drops->inc();
+  t->bound->trace.record(ctx.now(), config_.self, port, telemetry::TraceEventKind::UnauthDrop);
+}
+
+void P4AuthAgent::note_alert(dataplane::PipelineContext& ctx, bool suppressed, AlertMsg code) {
+  TeleSeries* t = tele(ctx);
+  if (t == nullptr) return;
+  (suppressed ? t->alerts_suppressed : t->alerts_sent)->inc();
+  t->bound->trace.record(ctx.now(), config_.self, kCpuPort,
+                         suppressed ? telemetry::TraceEventKind::AlertSuppressed
+                                    : telemetry::TraceEventKind::AlertSent,
+                         static_cast<std::uint64_t>(code));
+}
+
+void P4AuthAgent::note_key_install(dataplane::PipelineContext& ctx, PortId slot) {
+  TeleSeries* t = tele(ctx);
+  if (t == nullptr) return;
+  t->key_installs->inc();
+  t->bound->metrics
+      .gauge("keys.generation", telemetry::Labels{{"switch", std::to_string(config_.self.value)},
+                                                  {"slot", std::to_string(slot.value)}})
+      .set(static_cast<double>(keys_.current_version(slot).value));
+  t->bound->trace.record(ctx.now(), config_.self, slot, telemetry::TraceEventKind::KeyInstall,
+                         keys_.current_version(slot).value);
 }
 
 Message P4AuthAgent::make_response_header(const Message& request, HdrType type,
@@ -106,6 +186,7 @@ void P4AuthAgent::push_alert(dataplane::PipelineOutput& out, dataplane::Pipeline
   if (!config_.auth_enabled) return;
   if (!alert_limiter_.allow(ctx.now())) {
     ++stats_.alerts_suppressed;
+    note_alert(ctx, /*suppressed=*/true, code);
     return;
   }
   Message alert;
@@ -126,6 +207,7 @@ void P4AuthAgent::push_alert(dataplane::PipelineOutput& out, dataplane::Pipeline
   }
   out.to_cpu.push_back(encode(alert));
   ++stats_.alerts_sent;
+  note_alert(ctx, /*suppressed=*/false, code);
 }
 
 dataplane::PipelineOutput P4AuthAgent::process(dataplane::Packet& packet,
@@ -194,6 +276,7 @@ dataplane::PipelineOutput P4AuthAgent::process(dataplane::Packet& packet,
     // A protected in-network message arrived without authentication —
     // either a stripped tag or an injected forgery.
     ++stats_.unauth_feedback_dropped;
+    note_unauth_drop(ctx, packet.ingress);
     dataplane::PipelineOutput out = dataplane::PipelineOutput::drop();
     push_alert(out, ctx, AlertMsg::MissingAuth, packet.ingress.value, 0, 0);
     return out;
@@ -250,6 +333,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_register_op(const Message& msg,
     const Bytes input = digest_input(msg);
     const bool ok =
         key.has_value() && digest_.verify(*key, input, msg.header.digest, ctx.costs());
+    note_verify(ctx, ok, kCpuPort, msg.header.seq_num, HdrType::RegisterOp);
     if (!ok) {
       ++stats_.digest_failures;
       nack(AlertMsg::DigestMismatch, 0);
@@ -257,6 +341,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_register_op(const Message& msg,
     }
     if (!cdp_rx_.accept(msg.header.seq_num)) {
       ++stats_.replay_rejections;
+      note_replay(ctx, kCpuPort, msg.header.seq_num, cdp_rx_.last());
       push_alert(out, ctx, AlertMsg::ReplayDetected, req.reg_id.value, msg.header.seq_num,
                  cdp_rx_.last());
       out.dropped = true;
@@ -267,6 +352,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_register_op(const Message& msg,
   // reg_id_to_name_mapping lookup (Fig. 15).
   ++ctx.costs().table_lookups;
   const auto action = reg_map_.lookup(map_key_bytes(req.reg_id, op));
+  note_table_lookup(ctx, action.has_value(), req.reg_id);
   if (!action.has_value()) {
     nack(AlertMsg::UnknownRegister, 0);
     return out;
@@ -331,8 +417,10 @@ dataplane::PipelineOutput P4AuthAgent::handle_key_exchange_cpu(const Message& ms
   }
 
   const Bytes input = digest_input(msg);
-  if (!verify_key.has_value() ||
-      !digest_.verify(*verify_key, input, msg.header.digest, ctx.costs())) {
+  const bool verified = verify_key.has_value() &&
+                        digest_.verify(*verify_key, input, msg.header.digest, ctx.costs());
+  note_verify(ctx, verified, kCpuPort, msg.header.seq_num, HdrType::KeyExchange);
+  if (!verified) {
     ++stats_.digest_failures;
     push_alert(out, ctx, AlertMsg::DigestMismatch, static_cast<std::uint32_t>(kind),
                msg.header.seq_num, 0);
@@ -341,6 +429,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_key_exchange_cpu(const Message& ms
   }
   if (!msg.header.is_response() && !cdp_rx_.accept(msg.header.seq_num)) {
     ++stats_.replay_rejections;
+    note_replay(ctx, kCpuPort, msg.header.seq_num, cdp_rx_.last());
     push_alert(out, ctx, AlertMsg::ReplayDetected, static_cast<std::uint32_t>(kind),
                msg.header.seq_num, cdp_rx_.last());
     out.dropped = true;
@@ -486,7 +575,10 @@ dataplane::PipelineOutput P4AuthAgent::handle_dp_data(const Message& msg,
 
   const auto key = keys_.get(port, msg.header.key_version);
   const Bytes input = digest_input(msg);
-  if (!key.has_value() || !digest_.verify(*key, input, msg.header.digest, ctx.costs())) {
+  const bool verified =
+      key.has_value() && digest_.verify(*key, input, msg.header.digest, ctx.costs());
+  note_verify(ctx, verified, port, msg.header.seq_num, HdrType::DpData);
+  if (!verified) {
     ++stats_.digest_failures;
     ++stats_.feedback_rejected;
     out = dataplane::PipelineOutput::drop();
@@ -495,6 +587,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_dp_data(const Message& msg,
   }
   if (!port_rx_[port].accept(msg.header.seq_num)) {
     ++stats_.replay_rejections;
+    note_replay(ctx, port, msg.header.seq_num, port_rx_[port].last());
     out = dataplane::PipelineOutput::drop();
     push_alert(out, ctx, AlertMsg::ReplayDetected, port.value, msg.header.seq_num,
                port_rx_[port].last());
@@ -529,7 +622,10 @@ dataplane::PipelineOutput P4AuthAgent::handle_key_exchange_port(const Message& m
 
   const auto key = keys_.get(ingress, msg.header.key_version);
   const Bytes input = digest_input(msg);
-  if (!key.has_value() || !digest_.verify(*key, input, msg.header.digest, ctx.costs())) {
+  const bool verified =
+      key.has_value() && digest_.verify(*key, input, msg.header.digest, ctx.costs());
+  note_verify(ctx, verified, ingress, msg.header.seq_num, HdrType::KeyExchange);
+  if (!verified) {
     ++stats_.digest_failures;
     out.dropped = true;
     push_alert(out, ctx, AlertMsg::DigestMismatch, ingress.value, msg.header.seq_num, 0);
@@ -540,6 +636,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_key_exchange_port(const Message& m
   if (!msg.header.is_response()) {
     if (!port_rx_[ingress].accept(msg.header.seq_num)) {
       ++stats_.replay_rejections;
+      note_replay(ctx, ingress, msg.header.seq_num, port_rx_[ingress].last());
       out.dropped = true;
       push_alert(out, ctx, AlertMsg::ReplayDetected, ingress.value, msg.header.seq_num,
                  port_rx_[ingress].last());

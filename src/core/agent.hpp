@@ -35,6 +35,7 @@
 #include "dataplane/digest_extern.hpp"
 #include "dataplane/program.hpp"
 #include "dataplane/table.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace p4auth::core {
 
@@ -143,6 +144,33 @@ class P4AuthAgent : public dataplane::DataPlaneProgram {
   Message make_response_header(const Message& request, HdrType type, std::uint8_t msg_type,
                                Payload payload) const;
 
+  // --- telemetry hooks ----------------------------------------------------
+  // Per-switch counter series cached on first use (registry references
+  // are stable); every hook is a no-op when the context carries no
+  // telemetry bundle.
+  struct TeleSeries {
+    telemetry::Telemetry* bound = nullptr;
+    telemetry::Counter* verify_ok = nullptr;
+    telemetry::Counter* verify_fail = nullptr;
+    telemetry::Counter* replay_drops = nullptr;
+    telemetry::Counter* unauth_drops = nullptr;
+    telemetry::Counter* alerts_sent = nullptr;
+    telemetry::Counter* alerts_suppressed = nullptr;
+    telemetry::Counter* table_hits = nullptr;
+    telemetry::Counter* table_misses = nullptr;
+    telemetry::Counter* key_installs = nullptr;
+  };
+  /// Binds (or rebinds) the cache to the context's bundle; null when off.
+  TeleSeries* tele(dataplane::PipelineContext& ctx);
+  void note_verify(dataplane::PipelineContext& ctx, bool ok, PortId port, std::uint16_t seq,
+                   HdrType hdr);
+  void note_replay(dataplane::PipelineContext& ctx, PortId port, std::uint16_t seq,
+                   std::uint16_t last);
+  void note_table_lookup(dataplane::PipelineContext& ctx, bool hit, RegisterId reg);
+  void note_unauth_drop(dataplane::PipelineContext& ctx, PortId port);
+  void note_alert(dataplane::PipelineContext& ctx, bool suppressed, AlertMsg code);
+  void note_key_install(dataplane::PipelineContext& ctx, PortId slot);
+
   Config config_;
   std::unique_ptr<dataplane::DataPlaneProgram> inner_;
   DataPlaneKeyStore keys_;
@@ -164,6 +192,7 @@ class P4AuthAgent : public dataplane::DataPlaneProgram {
 
   RateLimiter alert_limiter_;
   Stats stats_;
+  TeleSeries tele_;
 };
 
 }  // namespace p4auth::core

@@ -8,27 +8,35 @@
 #include "dataplane/register_file.hpp"
 #include "dataplane/resources.hpp"
 
+namespace p4auth::telemetry {
+struct Telemetry;
+}
+
 namespace p4auth::dataplane {
 
 /// Per-invocation view of the switch a program runs on: stateful register
 /// access, the target's random() source, current time, and the cost
-/// counters the timing model bills from.
+/// counters the timing model bills from. Optionally carries the hosting
+/// switch's telemetry bundle (null when telemetry is off).
 class PipelineContext {
  public:
-  PipelineContext(RegisterFile& registers, Xoshiro256& rng, SimTime now, NodeId self)
-      : registers_(registers), rng_(rng), now_(now), self_(self) {}
+  PipelineContext(RegisterFile& registers, Xoshiro256& rng, SimTime now, NodeId self,
+                  telemetry::Telemetry* telemetry = nullptr)
+      : registers_(registers), rng_(rng), now_(now), self_(self), telemetry_(telemetry) {}
 
   RegisterFile& registers() noexcept { return registers_; }
   Xoshiro256& rng() noexcept { return rng_; }
   SimTime now() const noexcept { return now_; }
   NodeId self() const noexcept { return self_; }
   PacketCosts& costs() noexcept { return costs_; }
+  telemetry::Telemetry* telemetry() const noexcept { return telemetry_; }
 
  private:
   RegisterFile& registers_;
   Xoshiro256& rng_;
   SimTime now_;
   NodeId self_;
+  telemetry::Telemetry* telemetry_;
   PacketCosts costs_;
 };
 

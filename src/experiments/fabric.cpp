@@ -20,7 +20,10 @@ controller::Controller::Config with_fabric_options(controller::Controller::Confi
 Fabric::Fabric(Options options)
     : controller(sim,
                  with_fabric_options(options.controller_config, options.p4auth, options.mac)),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  net.set_telemetry(options_.telemetry);
+  controller.set_telemetry(options_.telemetry);
+}
 
 FabricSwitch& Fabric::add_switch(NodeId id, const ProgramFactory& make_inner) {
   auto& entry = switches_.emplace_back();
@@ -40,6 +43,7 @@ FabricSwitch& Fabric::add_switch(NodeId id, const ProgramFactory& make_inner) {
     entry.agent->add_protected_magic(magic);
   }
   entry.sw->set_program(std::move(agent));
+  entry.sw->set_telemetry(options_.telemetry);
 
   entry.channel =
       std::make_unique<netsim::ControlChannel>(sim, *entry.sw, options_.channel);

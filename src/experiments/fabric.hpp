@@ -40,6 +40,9 @@ class Fabric {
     /// Crc32Envelope (Tofino-analog, §VII). Applied to agents and the
     /// controller alike.
     crypto::MacKind mac = crypto::MacKind::HalfSipHash24;
+    /// Shared telemetry bundle wired into the network, every switch, and
+    /// the controller (null = telemetry off).
+    telemetry::Telemetry* telemetry = nullptr;
   };
 
   explicit Fabric(Options options);

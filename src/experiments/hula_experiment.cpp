@@ -58,6 +58,7 @@ HulaResult run_hula_experiment(Scenario scenario, const HulaOptions& options) {
   fabric_options.p4auth = p4auth;
   fabric_options.seed = options.seed;
   fabric_options.protected_magics = {hula::kProbeMagic};
+  fabric_options.telemetry = options.telemetry;
   Fabric fabric(fabric_options);
 
   // S1 ports: 1->S2, 2->S3, 3->S4. S5 ports: 1->S2, 2->S3, 3->S4.
@@ -165,6 +166,7 @@ HulaResult run_hula_experiment(Scenario scenario, const HulaOptions& options) {
   result.s4_path_queue_us = s4_s5->queue_stats(kS4).mean_wait_us();
   result.other_paths_queue_us =
       (s2_s5->queue_stats(kS2).mean_wait_us() + s3_s5->queue_stats(kS3).mean_wait_us()) / 2.0;
+  if (options.telemetry != nullptr) options.telemetry->stamp(fabric.sim.now());
   return result;
 }
 

@@ -16,6 +16,10 @@
 
 #include "common/types.hpp"
 
+namespace p4auth::telemetry {
+struct Telemetry;
+}
+
 namespace p4auth::experiments {
 
 enum class Scenario {
@@ -55,6 +59,9 @@ struct HulaOptions {
   /// ~50% while the forged probe claims ~10%), which is what the on-link
   /// adversary hides from S1.
   double background_load_fraction = 0.30;
+  /// Shared telemetry bundle (null = off); stamped with the final
+  /// sim-time before the experiment returns.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 HulaResult run_hula_experiment(Scenario scenario, const HulaOptions& options = {});

@@ -24,6 +24,7 @@ RouteScoutResult run_routescout_experiment(Scenario scenario,
   Fabric::Options fabric_options;
   fabric_options.p4auth = p4auth;
   fabric_options.seed = options.seed;
+  fabric_options.telemetry = options.telemetry;
   Fabric fabric(fabric_options);
 
   rs::RouteScoutProgram* program = nullptr;
@@ -118,6 +119,7 @@ RouteScoutResult run_routescout_experiment(Scenario scenario,
   result.true_latency_us = {options.path1_latency_us, options.path2_latency_us};
   result.alerts = fabric.controller.alerts().size() +
                   fabric.controller.stats().response_digest_failures;
+  if (options.telemetry != nullptr) options.telemetry->stamp(fabric.sim.now());
   return result;
 }
 

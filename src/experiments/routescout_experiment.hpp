@@ -37,6 +37,9 @@ struct RouteScoutOptions {
   double inflate_factor = 6.0;  ///< attacker multiplies path-1 latency sums
   double data_packets_per_second = 4'000.0;
   std::uint32_t data_packet_bytes = 900;
+  /// Shared telemetry bundle (null = off); stamped with the final
+  /// sim-time before the experiment returns.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 RouteScoutResult run_routescout_experiment(Scenario scenario,

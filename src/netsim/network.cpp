@@ -22,6 +22,10 @@ void Network::transmit(NodeId from, PortId port, Bytes payload) {
   Link* link = link_at(from, port);
   if (link == nullptr) {
     ++stats_.frames_dropped_no_link;
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics.counter("net.drops_no_link").inc();
+      telemetry_->trace.record(sim_.now(), from, port, telemetry::TraceEventKind::NoLinkDrop);
+    }
     LogStream(LogLevel::Debug, "network")
         << "no link at node " << from.value << " port " << port.value;
     return;
@@ -34,9 +38,21 @@ void Network::transmit(NodeId from, PortId port, Bytes payload) {
     Bytes original = payload;
     if ((*hook)(payload) == TamperVerdict::Drop) {
       ++stats_.frames_dropped_by_tamper;
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics.counter("net.tamper_drops").inc();
+        telemetry_->trace.record(sim_.now(), from, port, telemetry::TraceEventKind::TamperDrop,
+                                 before);
+      }
       return;
     }
-    if (payload != original || payload.size() != before) ++stats_.frames_tampered;
+    if (payload != original || payload.size() != before) {
+      ++stats_.frames_tampered;
+      if (telemetry_ != nullptr) {
+        telemetry_->metrics.counter("net.tamper_rewrites").inc();
+        telemetry_->trace.record(sim_.now(), from, port,
+                                 telemetry::TraceEventKind::TamperRewrite, payload.size());
+      }
+    }
   }
 
   const LinkEndpoint peer = link->peer_of(from);
@@ -50,8 +66,14 @@ void Network::transmit(NodeId from, PortId port, Bytes payload) {
   }
   const SimTime delay =
       queue_wait + link->serialization_delay(payload.size()) + link->config().latency;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics.histogram("net.queue_wait_ns")
+        .observe(static_cast<double>(queue_wait.ns()));
+    telemetry_->metrics.histogram("net.delivery_ns").observe(static_cast<double>(delay.ns()));
+  }
   sim_.after(delay, [this, peer, payload = std::move(payload)]() mutable {
     ++stats_.frames_delivered;
+    if (telemetry_ != nullptr) telemetry_->metrics.counter("net.frames_delivered").inc();
     if (Node* dst = node(peer.node)) dst->on_frame(peer.port, std::move(payload));
   });
 }

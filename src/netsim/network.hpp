@@ -9,6 +9,7 @@
 #include "netsim/link.hpp"
 #include "netsim/node.hpp"
 #include "netsim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace p4auth::netsim {
 
@@ -48,6 +49,10 @@ class Network {
 
   Simulator& sim() noexcept { return sim_; }
 
+  /// Attaches the shared telemetry bundle (null = off): link queue-wait
+  /// and delivery-latency histograms, drop/tamper counters and events.
+  void set_telemetry(telemetry::Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+
   struct Stats {
     std::uint64_t frames_delivered = 0;
     std::uint64_t frames_tampered = 0;
@@ -76,6 +81,7 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   std::unordered_map<PortKey, Link*, PortKeyHash> link_by_port_;
   Stats stats_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace p4auth::netsim

@@ -29,7 +29,10 @@ void Simulator::run_until(SimTime t) {
     ++processed_;
     ev.fn();
   }
-  now_ = t;
+  // Advance-only: a run_until into the past (t < now()) must not rewind
+  // the clock, or subsequent after() calls would schedule "before" events
+  // that already fired.
+  if (t > now_) now_ = t;
 }
 
 }  // namespace p4auth::netsim

@@ -27,7 +27,9 @@ class Simulator {
 
   /// Runs until the queue drains (or max_events fires as a runaway guard).
   void run(std::size_t max_events = 100'000'000);
-  /// Runs all events with time <= t, then advances the clock to t.
+  /// Runs all events with time <= t (inclusive — an event exactly at t
+  /// fires), then advances the clock to t even if no events fired. The
+  /// clock never moves backwards: run_until(t) with t < now() is a no-op.
   void run_until(SimTime t);
 
   std::size_t processed() const noexcept { return processed_; }

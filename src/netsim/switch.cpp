@@ -7,12 +7,30 @@ namespace p4auth::netsim {
 Switch::Switch(NodeId id, dataplane::TimingModel timing, std::uint64_t seed)
     : Node(id), timing_(timing), rng_(seed) {}
 
+void Switch::set_telemetry(telemetry::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  tele_ = TeleSeries{};
+  if (telemetry_ == nullptr) return;
+  const telemetry::Labels labels{{"switch", std::to_string(id().value)}};
+  auto& m = telemetry_->metrics;
+  tele_.process_ns = &m.histogram("switch.process_ns", labels);
+  tele_.table_lookups = &m.counter("dataplane.table_lookups", labels);
+  tele_.register_accesses = &m.counter("dataplane.register_accesses", labels);
+  tele_.hash_calls = &m.counter("dataplane.hash_calls", labels);
+  tele_.hashed_bytes = &m.counter("dataplane.hashed_bytes", labels);
+  tele_.drops = &m.counter("switch.drops", labels);
+}
+
 void Switch::on_frame(PortId ingress, Bytes payload) {
   ++stats_.frames_in;
   dataplane::Packet packet;
   packet.payload = std::move(payload);
   packet.ingress = ingress;
   packet.arrival = network_ != nullptr ? network_->sim().now() : SimTime::zero();
+  if (telemetry_ != nullptr) {
+    telemetry_->trace.record(packet.arrival, id(), ingress, telemetry::TraceEventKind::Ingress,
+                             packet.payload.size());
+  }
   run_pipeline(std::move(packet));
 }
 
@@ -39,12 +57,34 @@ void Switch::run_pipeline(dataplane::Packet packet) {
     return;
   }
   auto& sim = network_->sim();
-  dataplane::PipelineContext ctx(registers_, rng_, sim.now(), id());
+  dataplane::PipelineContext ctx(registers_, rng_, sim.now(), id(), telemetry_);
   dataplane::PipelineOutput output = program_->process(packet, ctx);
   const SimTime delay = timing_.process(ctx.costs());
   total_processing_ += delay;
 
   if (output.dropped) ++stats_.drops;
+
+  if (telemetry_ != nullptr) {
+    const auto& costs = ctx.costs();
+    tele_.process_ns->observe(static_cast<double>(delay.ns()));
+    tele_.table_lookups->inc(static_cast<std::uint64_t>(costs.table_lookups));
+    tele_.register_accesses->inc(static_cast<std::uint64_t>(costs.register_accesses));
+    tele_.hash_calls->inc(static_cast<std::uint64_t>(costs.hash_calls));
+    tele_.hashed_bytes->inc(costs.hashed_bytes);
+    if (output.dropped) {
+      tele_.drops->inc();
+      telemetry_->trace.record(sim.now(), id(), packet.ingress,
+                               telemetry::TraceEventKind::PipelineDrop);
+    }
+    for (const auto& emit : output.emits) {
+      telemetry_->trace.record(sim.now(), id(), emit.port, telemetry::TraceEventKind::Egress,
+                               emit.payload.size());
+    }
+    for (const auto& message : output.to_cpu) {
+      telemetry_->trace.record(sim.now(), id(), kCpuPort, telemetry::TraceEventKind::ToCpu,
+                               message.size());
+    }
+  }
 
   // Emissions and PacketIns leave after the pipeline walk completes.
   for (auto& emit : output.emits) {

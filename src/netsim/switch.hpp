@@ -17,6 +17,7 @@
 #include "netsim/link.hpp"
 #include "netsim/network.hpp"
 #include "netsim/node.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace p4auth::netsim {
 
@@ -50,6 +51,10 @@ class Switch : public Node {
 
   void set_os_interposer(OsInterposer interposer) { interposer_ = std::move(interposer); }
 
+  /// Attaches the shared telemetry bundle (null = off). Per-switch
+  /// counters and the per-stage timing histogram are bound lazily.
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   /// Wired by the control channel; receives PacketIn messages that already
   /// crossed the OS boundary (to_controller hook).
   void set_packet_in_sink(std::function<void(Bytes)> sink) { packet_in_sink_ = std::move(sink); }
@@ -81,6 +86,18 @@ class Switch : public Node {
   std::function<void(Bytes)> packet_in_sink_;
   Stats stats_;
   SimTime total_processing_{};
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  /// Cached per-switch series (registry references are stable), so the
+  /// per-packet path does one pointer test instead of a map lookup.
+  struct TeleSeries {
+    telemetry::Histogram* process_ns = nullptr;
+    telemetry::Counter* table_lookups = nullptr;
+    telemetry::Counter* register_accesses = nullptr;
+    telemetry::Counter* hash_calls = nullptr;
+    telemetry::Counter* hashed_bytes = nullptr;
+    telemetry::Counter* drops = nullptr;
+  } tele_;
 };
 
 }  // namespace p4auth::netsim

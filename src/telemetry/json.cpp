@@ -1,0 +1,131 @@
+#include "telemetry/json.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace p4auth::telemetry {
+
+void JsonWriter::before_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (!comma_due_.empty()) {
+    if (comma_due_.back()) out_.push_back(',');
+    comma_due_.back() = true;
+  }
+}
+
+void JsonWriter::escaped(std::string_view text) {
+  out_.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out_ += "\\u00";
+          out_.push_back(hex[(c >> 4) & 0xF]);
+          out_.push_back(hex[c & 0xF]);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_.push_back('{');
+  comma_due_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  comma_due_.pop_back();
+  out_.push_back('}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_.push_back('[');
+  comma_due_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  comma_due_.pop_back();
+  out_.push_back(']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!comma_due_.empty()) {
+    if (comma_due_.back()) out_.push_back(',');
+    comma_due_.back() = true;
+  }
+  escaped(k);
+  out_.push_back(':');
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {  // JSON has no Inf/NaN
+    raw("null");
+    return *this;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc{}) {
+    out_.append(buf, ptr);
+  } else {
+    raw("null");
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out_.append(buf, ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out_.append(buf, ptr);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  raw(v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  raw("null");
+  return *this;
+}
+
+}  // namespace p4auth::telemetry

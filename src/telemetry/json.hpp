@@ -1,0 +1,57 @@
+// Dependency-free streaming JSON writer.
+//
+// Built for the telemetry snapshots: output must be byte-stable across
+// runs, so numbers are formatted with std::to_chars (shortest round-trip,
+// locale-independent) and callers are expected to iterate containers with
+// a deterministic order (the MetricRegistry uses std::map for exactly
+// this reason).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p4auth::telemetry {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits `"k":`; must be followed by a value or container start.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // Key/value conveniences for object members.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() noexcept { return std::move(out_); }
+
+ private:
+  void before_value();
+  void raw(std::string_view text) { out_.append(text); }
+  void escaped(std::string_view text);
+
+  std::string out_;
+  /// One frame per open container: whether a comma is due before the next
+  /// element. A pending key suppresses the comma logic for its value.
+  std::vector<bool> comma_due_;
+  bool key_pending_ = false;
+};
+
+}  // namespace p4auth::telemetry

@@ -1,0 +1,131 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace p4auth::telemetry {
+
+void Histogram::observe(double v) noexcept {
+  const int index = bucket_index(v);
+  ++buckets_[static_cast<std::size_t>(index)];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+int Histogram::bucket_index(double v) noexcept {
+  if (!(v >= 1.0)) return 0;  // also catches NaN and negatives
+  if (v >= 9.223372036854776e18) return kBuckets - 1;  // >= 2^63
+  const auto n = static_cast<std::uint64_t>(v);
+  const int index = std::bit_width(n);  // bit_width(1) == 1 -> [1,2)
+  return index < kBuckets ? index : kBuckets - 1;
+}
+
+void Histogram::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.kv("count", count_);
+  w.kv("sum", sum_);
+  w.kv("min", min());
+  w.kv("max", max());
+  w.key("buckets").begin_array();
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    w.begin_array().value(bucket_upper(i)).value(n).end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string MetricRegistry::label_key(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& [k, v] : sorted) {
+    if (!key.empty()) key.push_back(',');
+    key += k;
+    key.push_back('=');
+    key += v;
+  }
+  return key;
+}
+
+template <typename T>
+T& MetricRegistry::series(Family<T>& family, std::string_view name, const Labels& labels) {
+  auto family_it = family.find(name);
+  if (family_it == family.end()) {
+    family_it = family.emplace(std::string(name), std::map<std::string, T, std::less<>>{}).first;
+  }
+  std::string key = label_key(labels);
+  auto series_it = family_it->second.find(key);
+  if (series_it == family_it->second.end()) {
+    series_it = family_it->second.emplace(std::move(key), T{}).first;
+  }
+  return series_it->second;
+}
+
+Counter& MetricRegistry::counter(std::string_view name, const Labels& labels) {
+  return series(counters_, name, labels);
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, const Labels& labels) {
+  return series(gauges_, name, labels);
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name, const Labels& labels) {
+  return series(histograms_, name, labels);
+}
+
+std::uint64_t MetricRegistry::counter_total(std::string_view name) const {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& [key, c] : it->second) total += c.value();
+  return total;
+}
+
+void MetricRegistry::write_json(JsonWriter& w) const {
+  w.key("counters").begin_object();
+  for (const auto& [name, family] : counters_) {
+    std::uint64_t total = 0;
+    for (const auto& [key, c] : family) total += c.value();
+    w.key(name).begin_object();
+    w.kv("total", total);
+    w.key("series").begin_object();
+    for (const auto& [key, c] : family) w.kv(key, c.value());
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, family] : gauges_) {
+    w.key(name).begin_object();
+    w.key("series").begin_object();
+    for (const auto& [key, g] : family) w.kv(key, g.value());
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, family] : histograms_) {
+    w.key(name).begin_object();
+    w.key("series").begin_object();
+    for (const auto& [key, h] : family) {
+      w.key(key);
+      h.write_json(w);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace p4auth::telemetry

@@ -1,0 +1,45 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdio>
+
+namespace p4auth::telemetry {
+namespace {
+
+Status write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return make_error("cannot open " + path + " for writing");
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return make_error("short write to " + path);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string Telemetry::metrics_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "p4auth.metrics.v1");
+  w.kv("sim_time_ns", stamped.ns());
+  metrics.write_json(w);
+  w.kv("trace_events_recorded", trace.total_recorded());
+  w.kv("trace_events_overwritten", trace.overwritten());
+  w.end_object();
+  std::string out = w.take();
+  out.push_back('\n');
+  return out;
+}
+
+std::string Telemetry::trace_jsonl() const { return trace.to_jsonl(); }
+
+Status Telemetry::write_metrics_file(const std::string& path) const {
+  return write_file(path, metrics_json());
+}
+
+Status Telemetry::write_trace_file(const std::string& path) const {
+  return write_file(path, trace_jsonl());
+}
+
+}  // namespace p4auth::telemetry

@@ -1,0 +1,44 @@
+// The telemetry bundle every instrumented component shares: one metric
+// registry plus one packet event tracer.
+//
+// Components hold a `Telemetry*` that may be null (telemetry off: the
+// instrumentation reduces to a pointer test). The owner — typically the
+// experiment Fabric or a CLI harness — wires the same bundle into the
+// network, every switch, and the controller, stamps it with the final
+// sim-time, and serialises it.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace p4auth::telemetry {
+
+struct Telemetry {
+  MetricRegistry metrics;
+  PacketTracer trace;
+  /// Sim-time of the snapshot; set by the harness after the run so the
+  /// serialised output is stamped in sim-time, never wall-clock.
+  SimTime stamped{};
+
+  Telemetry() = default;
+  explicit Telemetry(std::size_t trace_capacity) : trace(trace_capacity) {}
+
+  void stamp(SimTime now) noexcept { stamped = now; }
+
+  /// Full metrics snapshot:
+  ///   {"schema":"p4auth.metrics.v1","sim_time_ns":N,
+  ///    "counters":{...},"gauges":{...},"histograms":{...}}
+  std::string metrics_json() const;
+
+  /// JSONL trace dump (see PacketTracer::to_jsonl).
+  std::string trace_jsonl() const;
+
+  Status write_metrics_file(const std::string& path) const;
+  Status write_trace_file(const std::string& path) const;
+};
+
+}  // namespace p4auth::telemetry

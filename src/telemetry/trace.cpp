@@ -1,0 +1,72 @@
+#include "telemetry/trace.hpp"
+
+namespace p4auth::telemetry {
+
+std::string_view trace_event_name(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::Ingress: return "ingress";
+    case TraceEventKind::Egress: return "egress";
+    case TraceEventKind::ToCpu: return "to_cpu";
+    case TraceEventKind::PipelineDrop: return "pipeline_drop";
+    case TraceEventKind::TableHit: return "table_hit";
+    case TraceEventKind::TableMiss: return "table_miss";
+    case TraceEventKind::VerifyOk: return "verify_ok";
+    case TraceEventKind::VerifyFail: return "verify_fail";
+    case TraceEventKind::ReplayDrop: return "replay_drop";
+    case TraceEventKind::UnauthDrop: return "unauth_drop";
+    case TraceEventKind::AlertSent: return "alert_sent";
+    case TraceEventKind::AlertSuppressed: return "alert_suppressed";
+    case TraceEventKind::KeyInstall: return "key_install";
+    case TraceEventKind::TamperRewrite: return "tamper_rewrite";
+    case TraceEventKind::TamperDrop: return "tamper_drop";
+    case TraceEventKind::NoLinkDrop: return "no_link_drop";
+    case TraceEventKind::KmpComplete: return "kmp_complete";
+  }
+  return "?";
+}
+
+PacketTracer::PacketTracer(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
+  records_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void PacketTracer::record(SimTime at, NodeId node, PortId port, TraceEventKind kind,
+                          std::uint64_t a, std::uint64_t b) {
+  ++total_;
+  const TraceRecord rec{at, node, port, kind, a, b};
+  if (records_.size() < capacity_) {
+    records_.push_back(rec);
+    return;
+  }
+  records_[head_] = rec;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceRecord> PacketTracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(records_.size());
+  // head_ is the oldest record once the ring has wrapped.
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out.push_back(records_[(head_ + i) % records_.size()]);
+  }
+  return out;
+}
+
+std::string PacketTracer::to_jsonl() const {
+  std::string out;
+  for (const TraceRecord& rec : snapshot()) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("t", rec.at.ns());
+    w.kv("ev", trace_event_name(rec.kind));
+    w.kv("node", static_cast<std::uint64_t>(rec.node.value));
+    w.kv("port", static_cast<std::uint64_t>(rec.port.value));
+    w.kv("a", rec.a);
+    w.kv("b", rec.b);
+    w.end_object();
+    out += w.str();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace p4auth::telemetry

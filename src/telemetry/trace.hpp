@@ -1,0 +1,80 @@
+// Per-packet lifecycle event tracer.
+//
+// A fixed-capacity ring buffer of compact records: when the buffer is
+// full the oldest events are overwritten (the drop count is retained), so
+// tracing a long run costs bounded memory and the tail of the run — where
+// attack/defence outcomes land — is always available. Records carry
+// SimTime stamps only, never wall-clock, so traces from two runs with
+// the same seed are byte-identical and diffable across scenarios.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/json.hpp"
+
+namespace p4auth::telemetry {
+
+enum class TraceEventKind : std::uint8_t {
+  Ingress,         ///< frame entered a switch pipeline (a = payload bytes)
+  Egress,          ///< pipeline emitted a frame on a data port (a = bytes)
+  ToCpu,           ///< pipeline emitted a PacketIn message (a = bytes)
+  PipelineDrop,    ///< pipeline dropped the packet
+  TableHit,        ///< match-action table lookup hit (a = key detail)
+  TableMiss,       ///< match-action table lookup miss (a = key detail)
+  VerifyOk,        ///< digest verification passed (a = seq, b = hdr detail)
+  VerifyFail,      ///< digest verification failed (a = seq, b = hdr detail)
+  ReplayDrop,      ///< sequence-number replay rejected (a = seq, b = last)
+  UnauthDrop,      ///< untagged protected feedback dropped on a data port
+  AlertSent,       ///< alert emitted toward the controller (a = code)
+  AlertSuppressed, ///< alert rate-limited (a = code)
+  KeyInstall,      ///< key installed into a slot (port = slot, a = version)
+  TamperRewrite,   ///< on-link adversary rewrote a frame in flight
+  TamperDrop,      ///< on-link adversary dropped a frame in flight
+  NoLinkDrop,      ///< transmit on a port with no link attached
+  KmpComplete,     ///< a KMP operation finished (a = rtt ns, b = 1 if ok)
+};
+
+std::string_view trace_event_name(TraceEventKind kind) noexcept;
+
+struct TraceRecord {
+  SimTime at{};
+  NodeId node{};
+  PortId port{};
+  TraceEventKind kind{};
+  std::uint64_t a = 0;  ///< event-specific detail (see TraceEventKind)
+  std::uint64_t b = 0;  ///< event-specific detail
+};
+
+class PacketTracer {
+ public:
+  explicit PacketTracer(std::size_t capacity = 1 << 16);
+
+  void record(SimTime at, NodeId node, PortId port, TraceEventKind kind, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  std::uint64_t total_recorded() const noexcept { return total_; }
+  /// Events overwritten after the ring wrapped.
+  std::uint64_t overwritten() const noexcept { return total_ - records_.size(); }
+
+  /// Oldest-first snapshot of the retained window.
+  std::vector<TraceRecord> snapshot() const;
+
+  /// One JSON object per line:
+  ///   {"t":<ns>,"ev":"verify_fail","node":4,"port":2,"a":99,"b":0}
+  std::string to_jsonl() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> records_;  // ring once size() == capacity_
+  std::size_t head_ = 0;              // next write position once wrapped
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace p4auth::telemetry

@@ -55,5 +55,40 @@ TEST(Logging, StreamFlushesAtOrAboveThreshold) {
   set_log_level(before);
 }
 
+TEST(Logging, RecordIsOneLineWithLevelAndComponent) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::Warn, "kmp", "rotation due");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "[WARN] kmp: rotation due\n");
+  set_log_level(before);
+}
+
+TEST(Logging, OffLevelEmitsNothing) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Off);
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::Error, "test", "must not appear");
+  LogStream(LogLevel::Error, "test") << "nor this " << 99;
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  set_log_level(before);
+}
+
+TEST(Logging, SimTimeColumnWhenClockAttached) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Info);
+  set_log_clock([] { return std::uint64_t{123456}; });
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::Info, "net", "frame sent");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out, "[INFO] t=123456ns net: frame sent\n");
+  set_log_clock({});
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::Info, "net", "frame sent");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "[INFO] net: frame sent\n");
+  set_log_level(before);
+}
+
 }  // namespace
 }  // namespace p4auth

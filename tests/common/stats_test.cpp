@@ -32,6 +32,61 @@ TEST(RunningStat, SingleSample) {
   EXPECT_EQ(s.max(), 3.5);
 }
 
+TEST(RunningStat, MergeMatchesSingleAccumulator) {
+  RunningStat combined;
+  RunningStat a;
+  RunningStat b;
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (int i = 0; i < 8; ++i) {
+    combined.add(xs[i]);
+    (i < 3 ? a : b).add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-12);
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStat, MergeWithEmptySides) {
+  RunningStat filled;
+  for (double x : {1.0, 2.0, 3.0}) filled.add(x);
+
+  RunningStat into_empty;
+  into_empty.merge(filled);
+  EXPECT_EQ(into_empty.count(), 3u);
+  EXPECT_DOUBLE_EQ(into_empty.mean(), 2.0);
+  EXPECT_EQ(into_empty.min(), 1.0);
+  EXPECT_EQ(into_empty.max(), 3.0);
+
+  RunningStat empty;
+  filled.merge(empty);
+  EXPECT_EQ(filled.count(), 3u);
+  EXPECT_DOUBLE_EQ(filled.mean(), 2.0);
+
+  RunningStat both;
+  both.merge(empty);
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_EQ(both.mean(), 0.0);
+}
+
+TEST(RunningStat, MergeDisjointRanges) {
+  RunningStat lo;
+  RunningStat hi;
+  for (double x : {1.0, 2.0}) lo.add(x);
+  for (double x : {100.0, 200.0, 300.0}) hi.add(x);
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), 5u);
+  EXPECT_NEAR(lo.mean(), 120.6, 1e-9);
+  EXPECT_EQ(lo.min(), 1.0);
+  EXPECT_EQ(lo.max(), 300.0);
+
+  RunningStat reference;
+  for (double x : {1.0, 2.0, 100.0, 200.0, 300.0}) reference.add(x);
+  EXPECT_NEAR(lo.variance(), reference.variance(), 1e-9);
+}
+
 TEST(SampleSet, Percentiles) {
   SampleSet s;
   for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
@@ -55,6 +110,33 @@ TEST(SampleSet, UnsortedInput) {
   EXPECT_EQ(s.min(), 1.0);
   EXPECT_EQ(s.max(), 9.0);
   EXPECT_NEAR(s.percentile(50), 5.0, 1e-9);
+}
+
+TEST(SampleSet, SingleSampleEveryPercentile) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_EQ(s.percentile(0), 42.0);
+  EXPECT_EQ(s.percentile(50), 42.0);
+  EXPECT_EQ(s.percentile(100), 42.0);
+}
+
+TEST(SampleSet, PercentileInterpolatesBetweenRanks) {
+  // Two samples: any p strictly between 0 and 100 blends them linearly —
+  // the documented linear-interpolation behaviour (NOT nearest-rank,
+  // which would snap to one of the two samples).
+  SampleSet s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_NEAR(s.percentile(25), 12.5, 1e-9);
+  EXPECT_NEAR(s.percentile(50), 15.0, 1e-9);
+  EXPECT_NEAR(s.percentile(75), 17.5, 1e-9);
+}
+
+TEST(SampleSet, PercentileBoundsAreMinAndMax) {
+  SampleSet s;
+  for (double x : {7.0, -3.0, 12.0, 0.5}) s.add(x);
+  EXPECT_EQ(s.percentile(0), s.min());
+  EXPECT_EQ(s.percentile(100), s.max());
 }
 
 }  // namespace

@@ -70,6 +70,61 @@ TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
   EXPECT_EQ(sim.now(), SimTime::from_ms(5));
 }
 
+TEST(Simulator, RunUntilFiresEventExactlyAtBoundary) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(SimTime::from_us(20), [&] { fired = true; });
+  sim.run_until(SimTime::from_us(20));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), SimTime::from_us(20));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunUntilNeverRewindsClock) {
+  Simulator sim;
+  sim.run_until(SimTime::from_ms(10));
+  ASSERT_EQ(sim.now(), SimTime::from_ms(10));
+  // A later run_until with an earlier target must not move time backwards
+  // (after() would otherwise schedule "into the past").
+  sim.run_until(SimTime::from_ms(3));
+  EXPECT_EQ(sim.now(), SimTime::from_ms(10));
+  SimTime fire_at{};
+  sim.after(SimTime::from_ms(1), [&] { fire_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fire_at, SimTime::from_ms(11));
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsQueued) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(SimTime::from_us(5), [&] { ++fired; });
+  sim.at(SimTime::from_us(50), [&] { ++fired; });
+  sim.run_until(SimTime::from_us(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.empty());
+  EXPECT_EQ(sim.processed(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), SimTime::from_us(50));
+}
+
+TEST(Simulator, MaxEventsGuardResumesWhereItStopped) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> forever = [&] {
+    ++fired;
+    sim.after(SimTime::from_ns(1), forever);
+  };
+  sim.after(SimTime::from_ns(1), forever);
+  sim.run(/*max_events=*/10);
+  EXPECT_EQ(fired, 10);
+  EXPECT_FALSE(sim.empty());
+  // run() compares against the cumulative processed() counter, so a second
+  // call with a higher budget continues from where the first stopped.
+  sim.run(/*max_events=*/25);
+  EXPECT_EQ(fired, 25);
+}
+
 TEST(Simulator, ProcessedCounts) {
   Simulator sim;
   for (int i = 0; i < 7; ++i) sim.at(SimTime::from_us(static_cast<std::uint64_t>(i)), [] {});

@@ -1,0 +1,93 @@
+#include "telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p4auth::telemetry {
+namespace {
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter obj;
+  obj.begin_object().end_object();
+  EXPECT_EQ(obj.str(), "{}");
+
+  JsonWriter arr;
+  arr.begin_array().end_array();
+  EXPECT_EQ(arr.str(), "[]");
+}
+
+TEST(JsonWriter, ObjectMembersAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("a", std::uint64_t{1});
+  w.kv("b", std::string_view("two"));
+  w.kv("c", true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"two","c":true})");
+}
+
+TEST(JsonWriter, NestedContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("rows");
+  w.begin_array();
+  w.begin_object();
+  w.kv("x", std::int64_t{-5});
+  w.end_object();
+  w.begin_object();
+  w.kv("x", std::int64_t{7});
+  w.end_object();
+  w.end_array();
+  w.kv("n", std::uint64_t{2});
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"rows":[{"x":-5},{"x":7}],"n":2})");
+}
+
+TEST(JsonWriter, ArrayValueCommas) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
+  w.value(std::uint64_t{3});
+  w.end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonWriter, StringEscaping) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("k", std::string_view("a\"b\\c\nd\te\rf"));
+  w.kv("ctrl", std::string_view(std::string("x\x01y", 3)));
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"k\":\"a\\\"b\\\\c\\nd\\te\\rf\",\"ctrl\":\"x\\u0001y\"}");
+}
+
+TEST(JsonWriter, DoubleFormattingIsShortestRoundTrip) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(0.5);
+  w.value(1.0);
+  w.value(-2.25);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[0.5,1,-2.25]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(HUGE_VAL);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonWriter, TakeMovesBuffer) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  const std::string s = w.take();
+  EXPECT_EQ(s, "{}");
+}
+
+}  // namespace
+}  // namespace p4auth::telemetry

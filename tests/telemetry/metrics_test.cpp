@@ -1,0 +1,102 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::telemetry {
+namespace {
+
+TEST(MetricRegistry, CounterIncrementsAndTotals) {
+  MetricRegistry reg;
+  reg.counter("auth.verify_ok", {{"switch", "1"}}).inc();
+  reg.counter("auth.verify_ok", {{"switch", "1"}}).inc(4);
+  reg.counter("auth.verify_ok", {{"switch", "2"}}).inc(10);
+  EXPECT_EQ(reg.counter("auth.verify_ok", {{"switch", "1"}}).value(), 5u);
+  EXPECT_EQ(reg.counter_total("auth.verify_ok"), 15u);
+  EXPECT_EQ(reg.counter_total("absent.metric"), 0u);
+}
+
+TEST(MetricRegistry, ReferencesAreStableAcrossInsertions) {
+  MetricRegistry reg;
+  Counter& first = reg.counter("c", {{"k", "1"}});
+  first.inc();
+  // Force many new series; node-based map storage must not invalidate.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c", {{"k", std::to_string(i + 10)}}).inc();
+  }
+  first.inc();
+  EXPECT_EQ(reg.counter("c", {{"k", "1"}}).value(), 2u);
+}
+
+TEST(MetricRegistry, LabelOrderDoesNotMatter) {
+  MetricRegistry reg;
+  reg.counter("m", {{"b", "2"}, {"a", "1"}}).inc();
+  reg.counter("m", {{"a", "1"}, {"b", "2"}}).inc();
+  EXPECT_EQ(reg.counter("m", {{"b", "2"}, {"a", "1"}}).value(), 2u);
+  EXPECT_EQ(MetricRegistry::label_key({{"b", "2"}, {"a", "1"}}), "a=1,b=2");
+}
+
+TEST(MetricRegistry, GaugeSetAndAdd) {
+  MetricRegistry reg;
+  Gauge& g = reg.gauge("queue.depth");
+  g.set(5.0);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("queue.depth").value(), 7.5);
+}
+
+TEST(Histogram, BucketIndexBoundaries) {
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(0.99), 0);
+  EXPECT_EQ(Histogram::bucket_index(-3.0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1.0), 1);
+  EXPECT_EQ(Histogram::bucket_index(1.99), 1);
+  EXPECT_EQ(Histogram::bucket_index(2.0), 2);
+  EXPECT_EQ(Histogram::bucket_index(3.99), 2);
+  EXPECT_EQ(Histogram::bucket_index(4.0), 3);
+  EXPECT_EQ(Histogram::bucket_index(1024.0), 11);
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  EXPECT_EQ(Histogram::bucket_upper(0), 1u);
+  EXPECT_EQ(Histogram::bucket_upper(1), 2u);
+  EXPECT_EQ(Histogram::bucket_upper(2), 4u);
+  EXPECT_EQ(Histogram::bucket_upper(10), 1024u);
+}
+
+TEST(Histogram, ObserveTracksCountSumMinMax) {
+  Histogram h;
+  for (double v : {0.5, 3.0, 3.5, 100.0}) h.observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.bucket(0), 1u);  // 0.5
+  EXPECT_EQ(h.bucket(2), 2u);  // 3.0, 3.5 in [2,4)
+  EXPECT_EQ(h.bucket(7), 1u);  // 100 in [64,128)
+}
+
+TEST(MetricRegistry, JsonSnapshotIsSortedAndStable) {
+  MetricRegistry reg;
+  reg.counter("z.last", {{"switch", "2"}}).inc(2);
+  reg.counter("a.first", {{"switch", "1"}}).inc();
+  reg.gauge("g.depth").set(3.0);
+  reg.histogram("h.lat").observe(5.0);
+
+  const auto render = [](const MetricRegistry& r) {
+    JsonWriter w;
+    w.begin_object();
+    r.write_json(w);
+    w.end_object();
+    return w.take();
+  };
+  const std::string first = render(reg);
+  const std::string second = render(reg);
+  EXPECT_EQ(first, second);
+  // Family names appear in sorted order regardless of creation order.
+  EXPECT_LT(first.find("a.first"), first.find("z.last"));
+  EXPECT_NE(first.find("\"total\":2"), std::string::npos);
+  EXPECT_NE(first.find("switch=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4auth::telemetry

@@ -1,0 +1,107 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/telemetry.hpp"
+
+namespace p4auth::telemetry {
+namespace {
+
+TEST(PacketTracer, RecordsInOrder) {
+  PacketTracer tracer(8);
+  tracer.record(SimTime::from_us(1), NodeId{1}, PortId{2}, TraceEventKind::Ingress, 64);
+  tracer.record(SimTime::from_us(2), NodeId{1}, PortId{3}, TraceEventKind::Egress, 64);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TraceEventKind::Ingress);
+  EXPECT_EQ(events[0].at, SimTime::from_us(1));
+  EXPECT_EQ(events[0].a, 64u);
+  EXPECT_EQ(events[1].kind, TraceEventKind::Egress);
+  EXPECT_EQ(tracer.total_recorded(), 2u);
+  EXPECT_EQ(tracer.overwritten(), 0u);
+}
+
+TEST(PacketTracer, RingOverwritesOldestKeepsTail) {
+  PacketTracer tracer(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tracer.record(SimTime::from_ns(i), NodeId{1}, PortId{0}, TraceEventKind::Ingress, i);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.total_recorded(), 10u);
+  EXPECT_EQ(tracer.overwritten(), 6u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first tail: events 6, 7, 8, 9.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].a, 6 + i);
+  }
+}
+
+TEST(PacketTracer, JsonlFormat) {
+  PacketTracer tracer(4);
+  tracer.record(SimTime::from_ns(42), NodeId{4}, PortId{2}, TraceEventKind::VerifyFail, 99);
+  EXPECT_EQ(tracer.to_jsonl(),
+            "{\"t\":42,\"ev\":\"verify_fail\",\"node\":4,\"port\":2,\"a\":99,\"b\":0}\n");
+}
+
+TEST(PacketTracer, EventNamesAreSnakeCase) {
+  EXPECT_EQ(trace_event_name(TraceEventKind::Ingress), "ingress");
+  EXPECT_EQ(trace_event_name(TraceEventKind::VerifyOk), "verify_ok");
+  EXPECT_EQ(trace_event_name(TraceEventKind::ReplayDrop), "replay_drop");
+  EXPECT_EQ(trace_event_name(TraceEventKind::TamperRewrite), "tamper_rewrite");
+  EXPECT_EQ(trace_event_name(TraceEventKind::KmpComplete), "kmp_complete");
+}
+
+TEST(Telemetry, MetricsJsonHasSchemaAndStamp) {
+  Telemetry t;
+  t.metrics.counter("auth.verify_ok").inc(3);
+  t.trace.record(SimTime::from_ns(5), NodeId{1}, PortId{0}, TraceEventKind::Ingress);
+  t.stamp(SimTime::from_ms(10));
+  const std::string json = t.metrics_json();
+  EXPECT_NE(json.find("\"schema\":\"p4auth.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_time_ns\":10000000"), std::string::npos);
+  EXPECT_NE(json.find("\"auth.verify_ok\":{\"total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_events_recorded\":1"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(Telemetry, SnapshotsAreByteIdentical) {
+  const auto build = [] {
+    Telemetry t;
+    for (int i = 0; i < 50; ++i) {
+      t.metrics.counter("c", {{"switch", std::to_string(i % 3)}}).inc();
+      t.metrics.histogram("h").observe(static_cast<double>(i * 17 % 91));
+      t.trace.record(SimTime::from_ns(static_cast<std::uint64_t>(i)), NodeId{1}, PortId{0},
+                     TraceEventKind::Ingress, static_cast<std::uint64_t>(i));
+    }
+    t.stamp(SimTime::from_ms(1));
+    return t;
+  };
+  const Telemetry a = build();
+  const Telemetry b = build();
+  EXPECT_EQ(a.metrics_json(), b.metrics_json());
+  EXPECT_EQ(a.trace_jsonl(), b.trace_jsonl());
+}
+
+TEST(Telemetry, WriteFilesRoundTrip) {
+  Telemetry t;
+  t.metrics.counter("x").inc();
+  t.stamp(SimTime::from_us(7));
+  const std::string dir = testing::TempDir();
+  const std::string metrics_path = dir + "/p4auth_metrics_test.json";
+  const std::string trace_path = dir + "/p4auth_trace_test.jsonl";
+  ASSERT_TRUE(t.write_metrics_file(metrics_path).ok());
+  ASSERT_TRUE(t.write_trace_file(trace_path).ok());
+
+  std::FILE* f = std::fopen(metrics_path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), t.metrics_json());
+
+  EXPECT_FALSE(t.write_metrics_file("/nonexistent-dir/x.json").ok());
+}
+
+}  // namespace
+}  // namespace p4auth::telemetry

@@ -2,7 +2,9 @@
 //
 // Usage:
 //   p4auth_sim hula       [--scenario S] [--seed N] [--duration-ms N]
+//                         [--metrics-out FILE] [--trace FILE]
 //   p4auth_sim routescout [--scenario S] [--seed N]
+//                         [--metrics-out FILE] [--trace FILE]
 //   p4auth_sim regops     [--variant p4runtime|dpregrw|p4auth] [--requests N]
 //   p4auth_sim kmp        [--samples N]
 //   p4auth_sim multihop   [--min-hops N] [--max-hops N]
@@ -10,7 +12,12 @@
 //   p4auth_sim table1     [--seed N]
 //   p4auth_sim resources
 //
-// Scenarios: baseline | attack | p4auth | p4auth-clean.
+// Flags accept both "--flag value" and "--flag=value". Scenarios:
+// baseline | attack | p4auth | p4auth-clean.
+//
+// --metrics-out writes a deterministic JSON snapshot of every counter,
+// gauge and histogram the run recorded; --trace writes the per-packet
+// event ring as JSONL. See docs/OBSERVABILITY.md for the schemas.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,18 +31,42 @@
 #include "experiments/resources_experiment.hpp"
 #include "experiments/routescout_experiment.hpp"
 #include "experiments/table1_experiment.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace p4auth;
 using namespace p4auth::experiments;
 
 namespace {
 
-/// Returns the value following `flag`, or `fallback`.
+/// Returns the value of `flag` ("--flag value" or "--flag=value"), or
+/// `fallback` when absent.
 const char* arg_value(int argc, char** argv, const char* flag, const char* fallback) {
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[i + 1];
+    if (std::strncmp(argv[i], flag, flag_len) == 0 && argv[i][flag_len] == '=') {
+      return argv[i] + flag_len + 1;
+    }
   }
   return fallback;
+}
+
+/// Writes the requested telemetry artifacts; returns 0 or an exit code.
+int write_telemetry(telemetry::Telemetry& telemetry, const char* metrics_path,
+                    const char* trace_path) {
+  if (metrics_path != nullptr) {
+    if (auto s = telemetry.write_metrics_file(metrics_path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.error().message.c_str());
+      return 3;
+    }
+  }
+  if (trace_path != nullptr) {
+    if (auto s = telemetry.write_trace_file(trace_path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.error().message.c_str());
+      return 3;
+    }
+  }
+  return 0;
 }
 
 std::uint64_t arg_u64(int argc, char** argv, const char* flag, std::uint64_t fallback) {
@@ -60,6 +91,10 @@ int run_hula(int argc, char** argv) {
   HulaOptions options;
   options.seed = arg_u64(argc, argv, "--seed", options.seed);
   options.duration = SimTime::from_ms(arg_u64(argc, argv, "--duration-ms", 1500));
+  const char* metrics_path = arg_value(argc, argv, "--metrics-out", nullptr);
+  const char* trace_path = arg_value(argc, argv, "--trace", nullptr);
+  telemetry::Telemetry telemetry;
+  if (metrics_path != nullptr || trace_path != nullptr) options.telemetry = &telemetry;
   const auto result = run_hula_experiment(scenario.value(), options);
   std::printf("scenario=%s via-S2=%.1f%% via-S3=%.1f%% via-S4=%.1f%% "
               "probes-rejected=%llu alerts=%llu delivered=%llu\n",
@@ -68,7 +103,7 @@ int run_hula(int argc, char** argv) {
               static_cast<unsigned long long>(result.probes_rejected),
               static_cast<unsigned long long>(result.alerts),
               static_cast<unsigned long long>(result.delivered));
-  return 0;
+  return write_telemetry(telemetry, metrics_path, trace_path);
 }
 
 int run_routescout(int argc, char** argv) {
@@ -79,6 +114,10 @@ int run_routescout(int argc, char** argv) {
   }
   RouteScoutOptions options;
   options.seed = arg_u64(argc, argv, "--seed", options.seed);
+  const char* metrics_path = arg_value(argc, argv, "--metrics-out", nullptr);
+  const char* trace_path = arg_value(argc, argv, "--trace", nullptr);
+  telemetry::Telemetry telemetry;
+  if (metrics_path != nullptr || trace_path != nullptr) options.telemetry = &telemetry;
   const auto result = run_routescout_experiment(scenario.value(), options);
   std::printf("scenario=%s path1=%.1f%% path2=%.1f%% split=%llu/%llu "
               "epochs-aborted=%llu alerts=%llu\n",
@@ -88,7 +127,7 @@ int run_routescout(int argc, char** argv) {
               static_cast<unsigned long long>(result.final_split[1]),
               static_cast<unsigned long long>(result.epochs_aborted),
               static_cast<unsigned long long>(result.alerts));
-  return 0;
+  return write_telemetry(telemetry, metrics_path, trace_path);
 }
 
 int run_regops(int argc, char** argv) {

@@ -2,7 +2,14 @@
 // operating correctly (retry-on-detect) but pays goodput and latency as
 // the tamper probability grows, while the alert stream quantifies the
 // DoS pressure the paper's thresholds are there to damp.
+//
+// Each tamper rate is measured as a multi-seed campaign — one isolated
+// simulation per (rate, seed), fanned out over the worker pool — and the
+// table reports mean ± stddev across seeds. Accepts --seeds A..B and
+// --jobs N.
+#include <cstddef>
 #include <cstdio>
+#include <vector>
 
 #include "experiments/attack_rate_experiment.hpp"
 #include "report.hpp"
@@ -10,20 +17,56 @@
 using namespace p4auth;
 using namespace p4auth::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto campaign = bench::parse_campaign_args(argc, argv, {1, 5});
+
   bench::title("Ablation — control-loop cost vs tamper probability (§VIII)");
   bench::note("A control-plane MitM tampers each write with probability p; the");
   bench::note("controller retries detected failures (max 4 attempts). No tampered");
   bench::note("value is ever accepted; the attack only costs time and alerts.");
+  std::printf("seeds=%s jobs=%d\n", campaign.seeds.to_string().c_str(), campaign.jobs);
   bench::rule();
 
-  std::printf("%-10s %14s %18s %14s %10s %10s\n", "tamper p", "goodput rps",
+  bench::JsonReport report("ablation_attack_rate");
+  report.scalar("seeds", campaign.seeds.to_string());
+
+  const std::vector<double> rates{0.0, 0.1, 0.25, 0.5, 0.75};
+  // One campaign job per (rate, seed) pair; rate-major order so the
+  // reduction below can slice the flat result vector by rate.
+  const std::size_t seeds = campaign.seeds.count();
+  std::vector<std::vector<AttackRatePoint>> points(rates.size() * seeds);
+  runner::parallel_for(points.size(), campaign.jobs, [&](std::size_t i) {
+    AttackRateOptions options;
+    options.rates = {rates[i / seeds]};
+    options.seed = campaign.seeds.seed(i % seeds);
+    points[i] = run_attack_rate_experiment(options);
+  });
+
+  std::printf("%-10s %14s %10s %18s %14s %10s %10s\n", "tamper p", "goodput rps", "±stddev",
               "completion (us)", "retries/write", "alerts", "failed");
-  for (const auto& point : run_attack_rate_experiment()) {
-    std::printf("%-10.2f %14.1f %18.1f %14.2f %10llu %10llu\n", point.tamper_probability,
-                point.goodput_rps, point.mean_completion_us, point.retries_per_write,
-                static_cast<unsigned long long>(point.alerts),
-                static_cast<unsigned long long>(point.writes_failed));
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    RunningStat goodput, completion, retries, alerts, failed;
+    for (std::size_t s = 0; s < seeds; ++s) {
+      const auto& point = points[r * seeds + s].front();
+      goodput.add(point.goodput_rps);
+      completion.add(point.mean_completion_us);
+      retries.add(point.retries_per_write);
+      alerts.add(static_cast<double>(point.alerts));
+      failed.add(static_cast<double>(point.writes_failed));
+    }
+    std::printf("%-10.2f %14.1f %10.1f %18.1f %14.2f %10.1f %10.1f\n", rates[r],
+                goodput.mean(), goodput.stddev(), completion.mean(), retries.mean(),
+                alerts.mean(), failed.mean());
+    report.row()
+        .field("tamper_probability", rates[r])
+        .field("goodput_rps_mean", goodput.mean())
+        .field("goodput_rps_stddev", goodput.stddev())
+        .field("completion_us_mean", completion.mean())
+        .field("completion_us_stddev", completion.stddev())
+        .field("retries_per_write_mean", retries.mean())
+        .field("alerts_mean", alerts.mean())
+        .field("writes_failed_mean", failed.mean())
+        .field("seeds_run", static_cast<std::uint64_t>(seeds));
   }
   bench::rule();
   bench::note("Integrity is absolute (zero tampered values land); availability");

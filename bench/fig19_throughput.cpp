@@ -1,5 +1,8 @@
 // Fig 19 — register read/write throughput (requests completed per second,
-// sequential issue) for P4Runtime, DP-Reg-RW, P4Auth.
+// sequential issue) for P4Runtime, DP-Reg-RW, P4Auth, measured as a
+// multi-seed campaign: each (variant, seed) pair runs an isolated
+// simulation, fanned out over the worker pool, and the table reports
+// mean ± stddev across seeds. Accepts --seeds A..B and --jobs N.
 #include <cstdio>
 
 #include "experiments/regops_experiment.hpp"
@@ -8,45 +11,63 @@
 using namespace p4auth;
 using namespace p4auth::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto campaign = bench::parse_campaign_args(argc, argv, {1, 5});
+
   bench::title("Fig 19 — Register read/write throughput (req/s)");
   bench::note("Paper: P4Runtime read throughput ~1.7x its write throughput; not");
   bench::note("much write-throughput difference across the three; P4Auth costs");
   bench::note("-4.2% read / -2.1% write vs DP-Reg-RW.");
+  std::printf("seeds=%s jobs=%d\n", campaign.seeds.to_string().c_str(), campaign.jobs);
   bench::rule();
 
   bench::JsonReport report("fig19_throughput");
-  RegOpsResult results[3];
+  report.scalar("seeds", campaign.seeds.to_string());
   const RegOpsVariant variants[] = {RegOpsVariant::P4Runtime, RegOpsVariant::DpRegRw,
                                     RegOpsVariant::P4Auth};
-  std::printf("%-12s %14s %14s\n", "variant", "read req/s", "write req/s");
+  runner::CampaignResult results[3];
+  std::printf("%-12s %14s %10s %14s %10s\n", "variant", "read req/s", "±stddev",
+              "write req/s", "±stddev");
   for (int i = 0; i < 3; ++i) {
-    results[i] = run_regops_experiment(variants[i]);
-    std::printf("%-12s %14.1f %14.1f\n", variant_name(variants[i]),
-                results[i].read_throughput_rps, results[i].write_throughput_rps);
+    results[i] = runner::run_campaign(
+        campaign.seeds.count(), campaign.jobs, [&, i](std::size_t s) {
+          RegOpsOptions options;
+          options.seed = campaign.seeds.seed(s);
+          const auto r = run_regops_experiment(variants[i], options);
+          runner::JobResult job;
+          job.observe("read_rps", r.read_throughput_rps);
+          job.observe("write_rps", r.write_throughput_rps);
+          job.observe("read_rct_us", r.read_rct_us_mean);
+          job.observe("write_rct_us", r.write_rct_us_mean);
+          return job;
+        });
+    const auto& read = results[i].stat("read_rps");
+    const auto& write = results[i].stat("write_rps");
+    std::printf("%-12s %14.1f %10.1f %14.1f %10.1f\n", variant_name(variants[i]),
+                read.mean(), read.stddev(), write.mean(), write.stddev());
     report.row()
         .field("variant", variant_name(variants[i]))
-        .field("read_rps", results[i].read_throughput_rps)
-        .field("write_rps", results[i].write_throughput_rps);
+        .field("read_rps_mean", read.mean())
+        .field("read_rps_stddev", read.stddev())
+        .field("write_rps_mean", write.mean())
+        .field("write_rps_stddev", write.stddev())
+        .field("read_rct_us_mean", results[i].stat("read_rct_us").mean())
+        .field("write_rct_us_mean", results[i].stat("write_rct_us").mean())
+        .field("seeds_run", static_cast<std::uint64_t>(results[i].jobs_run));
   }
   bench::rule();
-  const auto& grpc = results[0];
-  const auto& dp = results[1];
-  const auto& p4auth = results[2];
-  std::printf("P4Runtime read/write ratio: %.2fx   (paper: ~1.7x)\n",
-              grpc.read_throughput_rps / grpc.write_throughput_rps);
+  const double grpc_read = results[0].stat("read_rps").mean();
+  const double grpc_write = results[0].stat("write_rps").mean();
+  const double dp_read = results[1].stat("read_rps").mean();
+  const double dp_write = results[1].stat("write_rps").mean();
+  const double p4auth_read = results[2].stat("read_rps").mean();
+  const double p4auth_write = results[2].stat("write_rps").mean();
+  std::printf("P4Runtime read/write ratio: %.2fx   (paper: ~1.7x)\n", grpc_read / grpc_write);
   std::printf("P4Auth vs DP-Reg-RW: read %+.1f%%, write %+.1f%%   (paper: -4.2%% / -2.1%%)\n",
-              100.0 * (p4auth.read_throughput_rps - dp.read_throughput_rps) /
-                  dp.read_throughput_rps,
-              100.0 * (p4auth.write_throughput_rps - dp.write_throughput_rps) /
-                  dp.write_throughput_rps);
-  report.scalar("p4runtime_read_write_ratio",
-                grpc.read_throughput_rps / grpc.write_throughput_rps);
-  report.scalar("p4auth_vs_dpregrw_read_pct",
-                100.0 * (p4auth.read_throughput_rps - dp.read_throughput_rps) /
-                    dp.read_throughput_rps);
-  report.scalar("p4auth_vs_dpregrw_write_pct",
-                100.0 * (p4auth.write_throughput_rps - dp.write_throughput_rps) /
-                    dp.write_throughput_rps);
+              100.0 * (p4auth_read - dp_read) / dp_read,
+              100.0 * (p4auth_write - dp_write) / dp_write);
+  report.scalar("p4runtime_read_write_ratio", grpc_read / grpc_write);
+  report.scalar("p4auth_vs_dpregrw_read_pct", 100.0 * (p4auth_read - dp_read) / dp_read);
+  report.scalar("p4auth_vs_dpregrw_write_pct", 100.0 * (p4auth_write - dp_write) / dp_write);
   return 0;
 }

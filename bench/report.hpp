@@ -3,12 +3,54 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <string_view>
 
+#include "runner/runner.hpp"
 #include "telemetry/json.hpp"
 
 namespace p4auth::bench {
+
+/// Campaign parameters shared by the multi-seed harnesses.
+struct CampaignArgs {
+  runner::SeedRange seeds;
+  int jobs = 0;  ///< 0 = hardware concurrency
+};
+
+/// Parses "--seeds A..B" and "--jobs N" (both "--flag value" and
+/// "--flag=value") and rejects anything else on the command line with
+/// exit code 2, so a typoed flag never silently runs the defaults.
+inline CampaignArgs parse_campaign_args(int argc, char** argv,
+                                        runner::SeedRange default_seeds, int default_jobs = 0) {
+  CampaignArgs args{default_seeds, default_jobs};
+  const auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "%s\nusage: %s [--seeds A..B] [--jobs N]\n", message.c_str(), argv[0]);
+    std::exit(2);
+  };
+  const auto flag_value = [&](int& i, const char* flag) -> const char* {
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, len) != 0) return nullptr;
+    if (argv[i][len] == '=') return argv[i] + len + 1;
+    if (argv[i][len] != '\0') return nullptr;
+    if (i + 1 >= argc) fail(std::string("missing value for ") + flag);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = flag_value(i, "--seeds"); v != nullptr) {
+      const auto range = runner::parse_seed_range(v);
+      if (!range.ok()) fail(range.error().message);
+      args.seeds = range.value();
+    } else if (const char* v2 = flag_value(i, "--jobs"); v2 != nullptr) {
+      args.jobs = static_cast<int>(std::strtoul(v2, nullptr, 10));
+    } else {
+      fail(std::string("unknown flag: ") + argv[i]);
+    }
+  }
+  args.jobs = runner::resolve_workers(args.jobs);
+  return args;
+}
 
 inline void title(const std::string& heading) {
   std::printf("\n================================================================\n");

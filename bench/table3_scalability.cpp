@@ -2,7 +2,15 @@
 // key initializations/updates, measured by running the real protocol over
 // generated topologies and cross-checked against the closed forms
 // 4m+5n / 2m+3n messages and 104m+138n / 60m+78n bytes.
+//
+// The topology rows run as a parallel campaign (one isolated simulation
+// per (m, n) case), and the §XI makespan figures are multi-seed: each
+// (m, n) pair is measured over --seeds A..B and reported mean ± stddev.
+#include <cstddef>
 #include <cstdio>
+#include <iterator>
+#include <utility>
+#include <vector>
 
 #include "experiments/kmp_experiment.hpp"
 #include "report.hpp"
@@ -10,32 +18,56 @@
 using namespace p4auth;
 using namespace p4auth::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto campaign = bench::parse_campaign_args(argc, argv, {1, 5});
+
   bench::title("Table III — KMP scalability (measured vs closed form)");
   bench::note("Per-operation wire sizes: EAK leg 22 B, ADHKD leg 30 B,");
   bench::note("portKeyInit/Update 18 B. Note: the paper's '125 messages' for the");
   bench::note("update row at m=25,n=50 contradicts its own 2m+3n formula (=200);");
   bench::note("the 5.4 KB byte count matches 60m+78n exactly. We reproduce the");
   bench::note("formulas (see EXPERIMENTS.md).");
+  std::printf("seeds=%s jobs=%d\n", campaign.seeds.to_string().c_str(), campaign.jobs);
   bench::rule();
+
+  bench::JsonReport report("table3_scalability");
+  report.scalar("seeds", campaign.seeds.to_string());
 
   std::printf("%-10s %-8s | %12s %12s | %12s %12s\n", "m (sw)", "n (links)", "init msgs",
               "init bytes", "upd msgs", "upd bytes");
   const int cases[][2] = {{3, 3}, {5, 8}, {10, 20}, {25, 50}};
-  for (const auto& c : cases) {
-    const auto measured = run_kmp_scaling_experiment(c[0], c[1]);
-    const auto closed = kmp_closed_form(static_cast<std::uint64_t>(c[0]),
-                                        static_cast<std::uint64_t>(c[1]));
-    std::printf("%-10d %-8d | %12llu %12llu | %12llu %12llu   (measured)\n", c[0], c[1],
-                static_cast<unsigned long long>(measured.init_messages),
-                static_cast<unsigned long long>(measured.init_bytes),
-                static_cast<unsigned long long>(measured.update_messages),
-                static_cast<unsigned long long>(measured.update_bytes));
+  constexpr std::size_t kCases = std::size(cases);
+
+  // Fan the topology rows out across the pool; message/byte counts are
+  // structural, so one seed per row suffices.
+  std::vector<KmpScalingResult> measured(kCases);
+  runner::parallel_for(kCases, campaign.jobs, [&](std::size_t i) {
+    measured[i] = run_kmp_scaling_experiment(cases[i][0], cases[i][1]);
+  });
+  for (std::size_t i = 0; i < kCases; ++i) {
+    const auto closed = kmp_closed_form(static_cast<std::uint64_t>(cases[i][0]),
+                                        static_cast<std::uint64_t>(cases[i][1]));
+    std::printf("%-10d %-8d | %12llu %12llu | %12llu %12llu   (measured)\n", cases[i][0],
+                cases[i][1], static_cast<unsigned long long>(measured[i].init_messages),
+                static_cast<unsigned long long>(measured[i].init_bytes),
+                static_cast<unsigned long long>(measured[i].update_messages),
+                static_cast<unsigned long long>(measured[i].update_bytes));
     std::printf("%-10s %-8s | %12llu %12llu | %12llu %12llu   (closed form)\n", "", "",
                 static_cast<unsigned long long>(closed.init_messages),
                 static_cast<unsigned long long>(closed.init_bytes),
                 static_cast<unsigned long long>(closed.update_messages),
                 static_cast<unsigned long long>(closed.update_bytes));
+    report.row()
+        .field("switches", static_cast<std::int64_t>(cases[i][0]))
+        .field("links", static_cast<std::int64_t>(cases[i][1]))
+        .field("init_messages", measured[i].init_messages)
+        .field("init_bytes", measured[i].init_bytes)
+        .field("update_messages", measured[i].update_messages)
+        .field("update_bytes", measured[i].update_bytes)
+        .field("closed_init_messages", closed.init_messages)
+        .field("closed_init_bytes", closed.init_bytes)
+        .field("closed_update_messages", closed.update_messages)
+        .field("closed_update_bytes", closed.update_bytes);
   }
   bench::rule();
   bench::note("m=25, n=50 is the paper's per-controller share of the 205-switch");
@@ -44,12 +76,33 @@ int main() {
   bench::rule();
   bench::note("§XI makespan: sequential vs parallel simultaneous key init");
   bench::note("(paper: ~150 ms sequential at 2 ms/key, 'improves significantly");
-  bench::note("when done in parallel'):");
+  bench::note("when done in parallel'); mean ± stddev across seeds:");
   for (const auto& c : std::initializer_list<std::pair<int, int>>{{10, 20}, {25, 50}}) {
-    const auto makespan = run_kmp_makespan_experiment(c.first, c.second);
-    std::printf("  m=%-3d n=%-3d sequential=%7.1f ms  parallel=%6.1f ms  speedup=%.1fx\n",
-                makespan.switches, makespan.links, makespan.sequential_ms,
-                makespan.parallel_ms, makespan.speedup);
+    const auto result = runner::run_campaign(
+        campaign.seeds.count(), campaign.jobs, [&](std::size_t s) {
+          const auto makespan =
+              run_kmp_makespan_experiment(c.first, c.second, campaign.seeds.seed(s));
+          runner::JobResult job;
+          job.observe("sequential_ms", makespan.sequential_ms);
+          job.observe("parallel_ms", makespan.parallel_ms);
+          job.observe("speedup", makespan.speedup);
+          return job;
+        });
+    const auto& seq = result.stat("sequential_ms");
+    const auto& par = result.stat("parallel_ms");
+    std::printf("  m=%-3d n=%-3d sequential=%7.1f±%.1f ms  parallel=%6.1f±%.1f ms  "
+                "speedup=%.1fx\n",
+                c.first, c.second, seq.mean(), seq.stddev(), par.mean(), par.stddev(),
+                result.stat("speedup").mean());
+    report.row()
+        .field("makespan_switches", static_cast<std::int64_t>(c.first))
+        .field("makespan_links", static_cast<std::int64_t>(c.second))
+        .field("sequential_ms_mean", seq.mean())
+        .field("sequential_ms_stddev", seq.stddev())
+        .field("parallel_ms_mean", par.mean())
+        .field("parallel_ms_stddev", par.stddev())
+        .field("speedup_mean", result.stat("speedup").mean())
+        .field("seeds_run", static_cast<std::uint64_t>(result.jobs_run));
   }
   return 0;
 }

@@ -2,6 +2,9 @@
 
 namespace p4auth::controller {
 
+P4RuntimeClient::P4RuntimeClient(netsim::Simulator& sim, netsim::Switch& sw)
+    : P4RuntimeClient(sim, sw, Timing{}) {}
+
 SimTime P4RuntimeClient::round_trip(SimTime compose, std::size_t request_bytes) noexcept {
   const SimTime nominal = compose + timing_.channel.to_switch_delay(request_bytes) +
                           timing_.switch_stack +

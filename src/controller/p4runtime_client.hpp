@@ -40,9 +40,14 @@ class P4RuntimeClient {
     double jitter_fraction = 0.08;
   };
 
-  P4RuntimeClient(netsim::Simulator& sim, netsim::Switch& sw) : sim_(sim), switch_(sw) {}
-  P4RuntimeClient(netsim::Simulator& sim, netsim::Switch& sw, Timing timing)
-      : sim_(sim), switch_(sw), timing_(timing) {}
+  /// `jitter_seed` seeds the round-trip jitter RNG; derive it from the
+  /// experiment seed so multi-seed campaigns see different gRPC timings.
+  static constexpr std::uint64_t kDefaultJitterSeed = 0x9047C0DEu;
+
+  P4RuntimeClient(netsim::Simulator& sim, netsim::Switch& sw);  // default Timing
+  P4RuntimeClient(netsim::Simulator& sim, netsim::Switch& sw, Timing timing,
+                  std::uint64_t jitter_seed = kDefaultJitterSeed)
+      : sim_(sim), switch_(sw), timing_(timing), jitter_rng_(jitter_seed) {}
 
   /// Reads `reg_name[index]`; the callback fires at response-parse time.
   void read(const std::string& reg_name, std::size_t index,
@@ -60,7 +65,7 @@ class P4RuntimeClient {
   netsim::Simulator& sim_;
   netsim::Switch& switch_;
   Timing timing_;
-  Xoshiro256 jitter_rng_{0x9047C0DEu};
+  Xoshiro256 jitter_rng_;
 };
 
 }  // namespace p4auth::controller

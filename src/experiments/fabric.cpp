@@ -45,8 +45,9 @@ FabricSwitch& Fabric::add_switch(NodeId id, const ProgramFactory& make_inner) {
   entry.sw->set_program(std::move(agent));
   entry.sw->set_telemetry(options_.telemetry);
 
-  entry.channel =
-      std::make_unique<netsim::ControlChannel>(sim, *entry.sw, options_.channel);
+  entry.channel = std::make_unique<netsim::ControlChannel>(
+      sim, *entry.sw, options_.channel,
+      netsim::ControlChannel::kDefaultJitterSeed + options_.seed * 6151 + id.value);
   controller.attach_switch(id, *entry.channel, seed_key_for(id),
                            options_.ports_per_switch);
   return entry;

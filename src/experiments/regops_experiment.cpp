@@ -62,7 +62,9 @@ RegOpsResult run_regops_experiment(RegOpsVariant variant, const RegOpsOptions& o
   Xoshiro256 rng(options.seed);
 
   if (variant == RegOpsVariant::P4Runtime) {
-    controller::P4RuntimeClient client(fabric.sim, *sw.sw);
+    controller::P4RuntimeClient client(
+        fabric.sim, *sw.sw, {},
+        controller::P4RuntimeClient::kDefaultJitterSeed + options.seed * 6151);
     const auto reads = run_sequential(
         fabric.sim, options.requests_per_kind, &result.failures, [&](auto done) {
           client.read("l3_stats", rng.next_below(1024),

@@ -2,8 +2,9 @@
 
 namespace p4auth::netsim {
 
-ControlChannel::ControlChannel(Simulator& sim, Switch& sw, ChannelModel model)
-    : sim_(sim), switch_(sw), model_(model) {
+ControlChannel::ControlChannel(Simulator& sim, Switch& sw, ChannelModel model,
+                               std::uint64_t jitter_seed)
+    : sim_(sim), switch_(sw), model_(model), jitter_rng_(jitter_seed) {
   switch_.set_packet_in_sink([this](Bytes message) {
     ++stats_.to_controller;
     const SimTime delay = jittered(model_.to_controller_delay(message.size()));

@@ -50,7 +50,13 @@ class ControlChannel {
  public:
   /// Binds to `sw`'s PacketIn path. The channel outlives neither the
   /// simulator nor the switch (both owned by the caller's Network/stack).
-  ControlChannel(Simulator& sim, Switch& sw, ChannelModel model);
+  /// `jitter_seed` seeds the delay-jitter RNG; derive it from the
+  /// experiment seed so multi-seed campaigns see genuinely different
+  /// channel timings (the default keeps standalone channels stable).
+  ControlChannel(Simulator& sim, Switch& sw, ChannelModel model,
+                 std::uint64_t jitter_seed = kDefaultJitterSeed);
+
+  static constexpr std::uint64_t kDefaultJitterSeed = 0x71773E12u;
 
   /// Controller -> switch (PacketOut). Crosses the OS boundary on arrival.
   /// `delivered`, if given, fires right after the switch ingests the
@@ -79,7 +85,7 @@ class ControlChannel {
   ChannelModel model_;
   std::function<void(NodeId, Bytes)> controller_sink_;
   Stats stats_;
-  Xoshiro256 jitter_rng_{0x71773E12u};
+  Xoshiro256 jitter_rng_;
 };
 
 }  // namespace p4auth::netsim

@@ -1,0 +1,115 @@
+#include "runner/runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace p4auth::runner {
+
+std::string SeedRange::to_string() const {
+  if (first == last) return std::to_string(first);
+  return std::to_string(first) + ".." + std::to_string(last);
+}
+
+Result<SeedRange> parse_seed_range(const std::string& text) {
+  const auto parse_u64 = [](const std::string& s, std::uint64_t& out) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    errno = 0;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return errno == 0 && end == s.c_str() + s.size();
+  };
+  SeedRange range;
+  const std::size_t dots = text.find("..");
+  if (dots == std::string::npos) {
+    if (!parse_u64(text, range.first)) {
+      return make_error("bad seed range '" + text + "' (expected A or A..B)");
+    }
+    range.last = range.first;
+    return range;
+  }
+  if (!parse_u64(text.substr(0, dots), range.first) ||
+      !parse_u64(text.substr(dots + 2), range.last)) {
+    return make_error("bad seed range '" + text + "' (expected A or A..B)");
+  }
+  if (range.last < range.first) {
+    return make_error("bad seed range '" + text + "' (A must be <= B)");
+  }
+  return range;
+}
+
+void JobResult::observe(std::string_view name, double value) {
+  auto it = stats.find(name);
+  if (it == stats.end()) it = stats.emplace(std::string(name), RunningStat{}).first;
+  it->second.add(value);
+}
+
+const RunningStat& CampaignResult::stat(std::string_view name) const noexcept {
+  static const RunningStat kEmpty{};
+  const auto it = stats.find(name);
+  return it != stats.end() ? it->second : kEmpty;
+}
+
+int resolve_workers(int requested) noexcept {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+void parallel_for(std::size_t count, int workers, const std::function<void(std::size_t)>& body) {
+  workers = resolve_workers(workers);
+  if (count <= 1 || workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  if (static_cast<std::size_t>(workers) > count) workers = static_cast<int>(count);
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+CampaignResult run_campaign(std::size_t count, int workers,
+                            const std::function<JobResult(std::size_t)>& job) {
+  std::vector<JobResult> results(count);
+  parallel_for(count, workers, [&](std::size_t i) { results[i] = job(i); });
+
+  CampaignResult merged;
+  merged.jobs_run = count;
+  for (auto& result : results) {
+    for (auto& [name, stat] : result.stats) {
+      auto it = merged.stats.find(name);
+      if (it == merged.stats.end()) {
+        merged.stats.emplace(name, stat);
+      } else {
+        it->second.merge(stat);
+      }
+    }
+    telemetry::merge_snapshots(merged.telemetry, result.telemetry);
+  }
+  return merged;
+}
+
+}  // namespace p4auth::runner

@@ -19,6 +19,21 @@ void Histogram::observe(double v) noexcept {
   sum_ += v;
 }
 
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets_[static_cast<std::size_t>(i)] += other.buckets_[static_cast<std::size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 int Histogram::bucket_index(double v) noexcept {
   if (!(v >= 1.0)) return 0;  // also catches NaN and negatives
   if (v >= 9.223372036854776e18) return kBuckets - 1;  // >= 2^63
@@ -80,6 +95,18 @@ Gauge& MetricRegistry::gauge(std::string_view name, const Labels& labels) {
 
 Histogram& MetricRegistry::histogram(std::string_view name, const Labels& labels) {
   return series(histograms_, name, labels);
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [name, family] : other.counters_) {
+    for (const auto& [key, c] : family) counters_[name][key].merge(c);
+  }
+  for (const auto& [name, family] : other.gauges_) {
+    for (const auto& [key, g] : family) gauges_[name][key].merge(g);
+  }
+  for (const auto& [name, family] : other.histograms_) {
+    for (const auto& [key, h] : family) histograms_[name][key].merge(h);
+  }
 }
 
 std::uint64_t MetricRegistry::counter_total(std::string_view name) const {

@@ -35,6 +35,9 @@ class Counter {
   void inc(std::uint64_t n = 1) noexcept { value_ += n; }
   std::uint64_t value() const noexcept { return value_; }
 
+  /// Folds another counter in (value addition).
+  void merge(const Counter& other) noexcept { value_ += other.value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -44,6 +47,12 @@ class Gauge {
   void set(double v) noexcept { value_ = v; }
   void add(double delta) noexcept { value_ += delta; }
   double value() const noexcept { return value_; }
+
+  /// Folds another gauge in. Gauges are point-in-time values, so the
+  /// merged series sums them: for the per-shard snapshots the campaign
+  /// runner merges, each shard's gauge describes that shard's disjoint
+  /// slice of the workload and addition is the aggregate reading.
+  void merge(const Gauge& other) noexcept { value_ += other.value_; }
 
  private:
   double value_ = 0;
@@ -64,6 +73,11 @@ class Histogram {
   std::uint64_t bucket(int index) const noexcept {
     return buckets_[static_cast<std::size_t>(index)];
   }
+
+  /// Folds another histogram in: buckets add element-wise, count/sum
+  /// accumulate, min/max combine. Equivalent (up to floating-point
+  /// rounding of `sum`) to having observed both sample streams here.
+  void merge(const Histogram& other) noexcept;
 
   /// Index of the bucket `v` falls into.
   static int bucket_index(double v) noexcept;
@@ -93,6 +107,13 @@ class MetricRegistry {
   bool empty() const noexcept {
     return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
+
+  /// Folds every series of `other` into this registry: counters and
+  /// gauges add, histograms add bucket-wise. Series absent here are
+  /// created; series present in both are combined. Merging per-shard
+  /// registries in a fixed order yields byte-identical snapshots
+  /// regardless of how the shards were scheduled.
+  void merge(const MetricRegistry& other);
 
   /// Sum over all label series of a counter family (0 when absent).
   std::uint64_t counter_total(std::string_view name) const;

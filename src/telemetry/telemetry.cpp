@@ -18,6 +18,14 @@ Status write_file(const std::string& path, const std::string& content) {
 
 }  // namespace
 
+void Telemetry::merge(const Telemetry& other) {
+  metrics.merge(other.metrics);
+  trace.absorb_totals(other.trace);
+  if (other.stamped > stamped) stamped = other.stamped;
+}
+
+void merge_snapshots(Telemetry& dst, const Telemetry& src) { dst.merge(src); }
+
 std::string Telemetry::metrics_json() const {
   JsonWriter w;
   w.begin_object();

@@ -29,6 +29,14 @@ struct Telemetry {
 
   void stamp(SimTime now) noexcept { stamped = now; }
 
+  /// Folds another bundle into this one: metric series merge element-wise
+  /// (counters/gauges add, histograms add bucket-wise), the stamp becomes
+  /// the max of the two, and trace event *totals* accumulate. Trace
+  /// records are not merged — per-job rings have unrelated timelines, so
+  /// a merged bundle reports how many events its jobs recorded but keeps
+  /// no event window of its own.
+  void merge(const Telemetry& other);
+
   /// Full metrics snapshot:
   ///   {"schema":"p4auth.metrics.v1","sim_time_ns":N,
   ///    "counters":{...},"gauges":{...},"histograms":{...}}
@@ -40,5 +48,11 @@ struct Telemetry {
   Status write_metrics_file(const std::string& path) const;
   Status write_trace_file(const std::string& path) const;
 };
+
+/// Free-function spelling of Telemetry::merge, for reduction loops:
+/// folds `src` into `dst`. Merging job snapshots into a fresh bundle in
+/// job-index order produces byte-identical metrics JSON regardless of
+/// how many workers executed the jobs (see docs/OBSERVABILITY.md).
+void merge_snapshots(Telemetry& dst, const Telemetry& src);
 
 }  // namespace p4auth::telemetry

@@ -63,6 +63,12 @@ class PacketTracer {
   /// Events overwritten after the ring wrapped.
   std::uint64_t overwritten() const noexcept { return total_ - records_.size(); }
 
+  /// Accounts for another tracer's events without copying its records:
+  /// per-job rings have unrelated timelines, so a merged snapshot keeps
+  /// only the event totals. The other tracer's retained records count as
+  /// overwritten here (total rises, size does not).
+  void absorb_totals(const PacketTracer& other) noexcept { total_ += other.total_; }
+
   /// Oldest-first snapshot of the retained window.
   std::vector<TraceRecord> snapshot() const;
 

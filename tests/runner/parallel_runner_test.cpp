@@ -1,0 +1,123 @@
+// Worker-pool semantics: every job runs exactly once, exceptions
+// propagate, seed ranges parse, and campaign reduction is independent of
+// the worker count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "runner/runner.hpp"
+
+namespace p4auth::runner {
+namespace {
+
+TEST(ParallelRunner, RunsEveryIndexExactlyOnce) {
+  constexpr std::size_t kJobs = 100;
+  std::vector<std::atomic<int>> hits(kJobs);
+  parallel_for(kJobs, 4, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelRunner, SingleWorkerRunsInline) {
+  std::vector<std::size_t> order;
+  parallel_for(5, 1, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelRunner, MoreWorkersThanJobsIsFine) {
+  std::atomic<int> total{0};
+  parallel_for(3, 16, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelRunner, ZeroJobsRunsNothing) {
+  parallel_for(0, 4, [&](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelRunner, ExceptionPropagatesAfterJoin) {
+  std::atomic<int> completed{0};
+  EXPECT_THROW(parallel_for(20, 4,
+                            [&](std::size_t i) {
+                              if (i == 7) throw std::runtime_error("job 7 failed");
+                              completed.fetch_add(1);
+                            }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 19);
+}
+
+TEST(ParallelRunner, ResolveWorkersClampsToAtLeastOne) {
+  EXPECT_GE(resolve_workers(0), 1);
+  EXPECT_EQ(resolve_workers(1), 1);
+  EXPECT_EQ(resolve_workers(7), 7);
+}
+
+TEST(SeedRangeParse, SingleSeed) {
+  const auto r = parse_seed_range("5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().first, 5u);
+  EXPECT_EQ(r.value().last, 5u);
+  EXPECT_EQ(r.value().count(), 1u);
+  EXPECT_EQ(r.value().to_string(), "5");
+}
+
+TEST(SeedRangeParse, Interval) {
+  const auto r = parse_seed_range("1..16");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().count(), 16u);
+  EXPECT_EQ(r.value().seed(0), 1u);
+  EXPECT_EQ(r.value().seed(15), 16u);
+  EXPECT_EQ(r.value().to_string(), "1..16");
+}
+
+TEST(SeedRangeParse, RejectsMalformed) {
+  EXPECT_FALSE(parse_seed_range("").ok());
+  EXPECT_FALSE(parse_seed_range("abc").ok());
+  EXPECT_FALSE(parse_seed_range("1..").ok());
+  EXPECT_FALSE(parse_seed_range("..4").ok());
+  EXPECT_FALSE(parse_seed_range("4x..9").ok());
+  EXPECT_FALSE(parse_seed_range("9..2").ok());
+}
+
+JobResult make_job_result(std::size_t index) {
+  JobResult job;
+  job.observe("value", static_cast<double>(index));
+  job.observe("constant", 1.0);
+  job.telemetry.metrics.counter("jobs.run").inc();
+  job.telemetry.metrics.counter("jobs.index_sum").inc(index);
+  job.telemetry.metrics.histogram("jobs.value").observe(static_cast<double>(index));
+  job.telemetry.stamp(SimTime::from_ns(index));
+  return job;
+}
+
+TEST(Campaign, ReducesStatsAcrossJobs) {
+  const auto result = run_campaign(8, 4, make_job_result);
+  EXPECT_EQ(result.jobs_run, 8u);
+  EXPECT_EQ(result.stat("value").count(), 8u);
+  EXPECT_DOUBLE_EQ(result.stat("value").mean(), 3.5);
+  EXPECT_DOUBLE_EQ(result.stat("value").min(), 0.0);
+  EXPECT_DOUBLE_EQ(result.stat("value").max(), 7.0);
+  EXPECT_DOUBLE_EQ(result.stat("constant").stddev(), 0.0);
+  EXPECT_EQ(result.stat("missing").count(), 0u);
+  EXPECT_EQ(result.telemetry.metrics.counter_total("jobs.run"), 8u);
+  EXPECT_EQ(result.telemetry.metrics.counter_total("jobs.index_sum"),
+            0u + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+  EXPECT_EQ(result.telemetry.stamped.ns(), 7u);
+}
+
+TEST(Campaign, WorkerCountDoesNotChangeMergedResult) {
+  const auto serial = run_campaign(16, 1, make_job_result);
+  const auto parallel = run_campaign(16, 8, make_job_result);
+  EXPECT_EQ(serial.telemetry.metrics_json(), parallel.telemetry.metrics_json());
+  ASSERT_EQ(serial.stats.size(), parallel.stats.size());
+  for (const auto& [name, stat] : serial.stats) {
+    const auto& other = parallel.stat(name);
+    EXPECT_EQ(stat.count(), other.count()) << name;
+    EXPECT_DOUBLE_EQ(stat.mean(), other.mean()) << name;
+    EXPECT_DOUBLE_EQ(stat.stddev(), other.stddev()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace p4auth::runner

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a freshly generated BENCH_*.json
+artifact against a checked-in baseline.
+
+Rows (the "rows" array of the p4auth.bench.v1 schema) are matched on a
+key field ("variant" by default); the checked fields are
+higher-is-better throughput numbers, so the gate fails when
+
+    current < baseline * (1 - tolerance)
+
+for any checked field of any matched row. Values above baseline are
+reported but never fail — improvements land, regressions don't.
+
+The simulator is deterministic, so on identical code current == baseline
+to the last bit; the tolerance band only absorbs deliberate model
+recalibrations smaller than the gate.
+
+Usage:
+    check_bench.py CURRENT BASELINE [--tolerance 0.25]
+        [--key variant] [--fields read_rps_mean,write_rps_mean]
+
+Exit codes: 0 ok, 1 regression, 2 bad input.
+
+Refreshing the baseline after an intentional change (see
+docs/BENCHMARKING.md):
+    ./build/bench/fig19_throughput --seeds 1..3 --jobs 3
+    cp BENCH_fig19_throughput.json bench/baselines/fig19.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_bench: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly generated BENCH_*.json")
+    parser.add_argument("baseline", help="checked-in baseline json")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative drop before failing (default 0.25)")
+    parser.add_argument("--key", default="variant",
+                        help="row field used to match rows (default: variant)")
+    parser.add_argument("--fields", default="read_rps_mean,write_rps_mean",
+                        help="comma-separated higher-is-better fields to check")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    fields = [f for f in args.fields.split(",") if f]
+
+    current_rows = {row.get(args.key): row for row in current.get("rows", [])}
+    baseline_rows = baseline.get("rows", [])
+    if not baseline_rows:
+        print(f"check_bench: baseline {args.baseline} has no rows", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    for base_row in baseline_rows:
+        key = base_row.get(args.key)
+        cur_row = current_rows.get(key)
+        if cur_row is None:
+            failures.append(f"row '{key}' missing from {args.current}")
+            continue
+        for field in fields:
+            if field not in base_row:
+                continue
+            base = float(base_row[field])
+            if field not in cur_row:
+                failures.append(f"{key}.{field}: missing from current run")
+                continue
+            cur = float(cur_row[field])
+            floor = base * (1.0 - args.tolerance)
+            delta_pct = 100.0 * (cur - base) / base if base else 0.0
+            status = "FAIL" if cur < floor else "ok"
+            print(f"  [{status}] {key}.{field}: current={cur:.1f} baseline={base:.1f} "
+                  f"({delta_pct:+.1f}%, floor={floor:.1f})")
+            if cur < floor:
+                failures.append(
+                    f"{key}.{field} regressed {delta_pct:.1f}% "
+                    f"(current {cur:.1f} < floor {floor:.1f})")
+
+    if failures:
+        print(f"\ncheck_bench: {len(failures)} regression(s) beyond "
+              f"{100 * args.tolerance:.0f}% tolerance:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_bench: all checked fields within {100 * args.tolerance:.0f}% of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+# ctest script: runs the same multi-seed hula campaign with --jobs 1 and
+# --jobs 8 and fails unless the merged metrics files (and the printed
+# campaign summaries) are byte-identical. Invoked as:
+#   cmake -DP4AUTH_SIM=<binary> -DWORK_DIR=<dir> -P compare_jobs.cmake
+set(common_args hula --scenario p4auth --seeds 1..8 --duration-ms 60)
+
+foreach(jobs 1 8)
+  execute_process(
+    COMMAND ${P4AUTH_SIM} ${common_args} --jobs ${jobs}
+      --metrics-out ${WORK_DIR}/metrics_jobs${jobs}.json
+    WORKING_DIRECTORY ${WORK_DIR}
+    OUTPUT_VARIABLE stdout_jobs${jobs}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "p4auth_sim --jobs ${jobs} failed with exit code ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/metrics_jobs1.json ${WORK_DIR}/metrics_jobs8.json
+  RESULT_VARIABLE files_differ)
+if(NOT files_differ EQUAL 0)
+  message(FATAL_ERROR "merged metrics differ between --jobs 1 and --jobs 8")
+endif()
+
+# The summary lines carry the jobs count; mask it before comparing.
+string(REPLACE "jobs=1 " "jobs=N " stdout_jobs1 "${stdout_jobs1}")
+string(REPLACE "jobs=8 " "jobs=N " stdout_jobs8 "${stdout_jobs8}")
+if(NOT stdout_jobs1 STREQUAL stdout_jobs8)
+  message(FATAL_ERROR "campaign summaries differ between --jobs 1 and --jobs 8:\n"
+    "--jobs 1:\n${stdout_jobs1}\n--jobs 8:\n${stdout_jobs8}")
+endif()
+
+message(STATUS "jobs determinism ok")

@@ -1,9 +1,9 @@
 // p4auth_sim — command-line front-end for the experiment suite.
 //
 // Usage:
-//   p4auth_sim hula       [--scenario S] [--seed N] [--duration-ms N]
-//                         [--metrics-out FILE] [--trace FILE]
-//   p4auth_sim routescout [--scenario S] [--seed N]
+//   p4auth_sim hula       [--scenario S] [--seed N | --seeds A..B] [--jobs N]
+//                         [--duration-ms N] [--metrics-out FILE] [--trace FILE]
+//   p4auth_sim routescout [--scenario S] [--seed N | --seeds A..B] [--jobs N]
 //                         [--metrics-out FILE] [--trace FILE]
 //   p4auth_sim regops     [--variant p4runtime|dpregrw|p4auth] [--requests N]
 //   p4auth_sim kmp        [--samples N]
@@ -12,15 +12,22 @@
 //   p4auth_sim table1     [--seed N]
 //   p4auth_sim resources
 //
-// Flags accept both "--flag value" and "--flag=value". Scenarios:
+// Flags accept both "--flag value" and "--flag=value"; unknown flags are
+// rejected with a usage message and exit code 2. Scenarios:
 // baseline | attack | p4auth | p4auth-clean.
 //
+// --seeds A..B runs a campaign: one isolated simulation per seed, fanned
+// out over --jobs worker threads (default 1), results merged in seed
+// order — the merged output is byte-identical for any --jobs value.
+//
 // --metrics-out writes a deterministic JSON snapshot of every counter,
-// gauge and histogram the run recorded; --trace writes the per-packet
-// event ring as JSONL. See docs/OBSERVABILITY.md for the schemas.
+// gauge and histogram the run recorded (merged across seeds in campaign
+// mode); --trace writes the per-packet event ring as JSONL (single-seed
+// runs only). See docs/OBSERVABILITY.md for the schemas.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 
 #include "experiments/attack_rate_experiment.hpp"
@@ -31,12 +38,60 @@
 #include "experiments/resources_experiment.hpp"
 #include "experiments/routescout_experiment.hpp"
 #include "experiments/table1_experiment.hpp"
+#include "runner/runner.hpp"
 #include "telemetry/telemetry.hpp"
 
 using namespace p4auth;
 using namespace p4auth::experiments;
 
 namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: p4auth_sim <hula|routescout|regops|kmp|multihop|scaling|table1|"
+               "resources|attack-rate> [options]\n"
+               "  campaign options (hula, routescout): --seeds A..B --jobs N\n");
+}
+
+/// Validates every token after the command: each must be a known
+/// "--flag=value" or "--flag value" pair. Returns false (after printing
+/// a diagnostic plus usage) on an unknown flag, a missing value, or a
+/// stray positional argument, so typos fail loudly instead of silently
+/// running the defaults.
+bool check_flags(int argc, char** argv, std::initializer_list<const char*> allowed) {
+  for (int i = 2; i < argc; ++i) {
+    const char* token = argv[i];
+    if (std::strncmp(token, "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", token);
+      usage();
+      return false;
+    }
+    const char* eq = std::strchr(token, '=');
+    const std::size_t name_len = eq != nullptr ? static_cast<std::size_t>(eq - token)
+                                               : std::strlen(token);
+    bool known = false;
+    for (const char* flag : allowed) {
+      if (std::strlen(flag) == name_len && std::strncmp(token, flag, name_len) == 0) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "unknown flag: %.*s\n", static_cast<int>(name_len), token);
+      usage();
+      return false;
+    }
+    if (eq == nullptr) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", token);
+        usage();
+        return false;
+      }
+      ++i;  // consume the value token
+    }
+  }
+  return true;
+}
 
 /// Returns the value of `flag` ("--flag value" or "--flag=value"), or
 /// `fallback` when absent.
@@ -51,8 +106,13 @@ const char* arg_value(int argc, char** argv, const char* flag, const char* fallb
   return fallback;
 }
 
+std::uint64_t arg_u64(int argc, char** argv, const char* flag, std::uint64_t fallback) {
+  const char* value = arg_value(argc, argv, flag, nullptr);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
 /// Writes the requested telemetry artifacts; returns 0 or an exit code.
-int write_telemetry(telemetry::Telemetry& telemetry, const char* metrics_path,
+int write_telemetry(const telemetry::Telemetry& telemetry, const char* metrics_path,
                     const char* trace_path) {
   if (metrics_path != nullptr) {
     if (auto s = telemetry.write_metrics_file(metrics_path); !s.ok()) {
@@ -69,11 +129,6 @@ int write_telemetry(telemetry::Telemetry& telemetry, const char* metrics_path,
   return 0;
 }
 
-std::uint64_t arg_u64(int argc, char** argv, const char* flag, std::uint64_t fallback) {
-  const char* value = arg_value(argc, argv, flag, nullptr);
-  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
-}
-
 Result<Scenario> parse_scenario(const std::string& name) {
   if (name == "baseline") return Scenario::Baseline;
   if (name == "attack") return Scenario::Attack;
@@ -82,10 +137,61 @@ Result<Scenario> parse_scenario(const std::string& name) {
   return make_error("unknown scenario: " + name);
 }
 
+/// Shared campaign parameters for the multi-seed commands. `active` is
+/// false when --seeds was absent (single-run mode).
+struct CampaignArgs {
+  bool active = false;
+  runner::SeedRange seeds;
+  int jobs = 1;
+};
+
+/// Parses --seeds/--jobs and enforces the campaign-mode flag rules:
+/// --seeds excludes --seed and --trace, --jobs requires --seeds. Returns
+/// an error string on misuse.
+Result<CampaignArgs> parse_campaign_args(int argc, char** argv) {
+  CampaignArgs campaign;
+  const char* seeds = arg_value(argc, argv, "--seeds", nullptr);
+  const char* jobs = arg_value(argc, argv, "--jobs", nullptr);
+  if (seeds == nullptr) {
+    if (jobs != nullptr) return make_error("--jobs requires --seeds A..B");
+    return campaign;
+  }
+  if (arg_value(argc, argv, "--seed", nullptr) != nullptr) {
+    return make_error("--seed and --seeds are mutually exclusive");
+  }
+  if (arg_value(argc, argv, "--trace", nullptr) != nullptr) {
+    return make_error("--trace requires a single seed (per-job traces are not merged)");
+  }
+  const auto range = runner::parse_seed_range(seeds);
+  if (!range.ok()) return make_error(range.error().message);
+  campaign.active = true;
+  campaign.seeds = range.value();
+  campaign.jobs = jobs != nullptr ? static_cast<int>(std::strtoull(jobs, nullptr, 10)) : 1;
+  return campaign;
+}
+
+/// Prints the merged per-observable statistics of a campaign, one line
+/// per observable in name order.
+void print_campaign_stats(const runner::CampaignResult& result) {
+  for (const auto& [name, stat] : result.stats) {
+    std::printf("  %-20s mean=%.3f stddev=%.3f min=%.3f max=%.3f\n", name.c_str(),
+                stat.mean(), stat.stddev(), stat.min(), stat.max());
+  }
+}
+
 int run_hula(int argc, char** argv) {
+  if (!check_flags(argc, argv, {"--scenario", "--seed", "--seeds", "--jobs", "--duration-ms",
+                                "--metrics-out", "--trace"})) {
+    return 2;
+  }
   const auto scenario = parse_scenario(arg_value(argc, argv, "--scenario", "baseline"));
   if (!scenario.ok()) {
     std::fprintf(stderr, "%s\n", scenario.error().message.c_str());
+    return 2;
+  }
+  const auto campaign = parse_campaign_args(argc, argv);
+  if (!campaign.ok()) {
+    std::fprintf(stderr, "%s\n", campaign.error().message.c_str());
     return 2;
   }
   HulaOptions options;
@@ -93,6 +199,30 @@ int run_hula(int argc, char** argv) {
   options.duration = SimTime::from_ms(arg_u64(argc, argv, "--duration-ms", 1500));
   const char* metrics_path = arg_value(argc, argv, "--metrics-out", nullptr);
   const char* trace_path = arg_value(argc, argv, "--trace", nullptr);
+
+  if (campaign.value().active) {
+    const auto& args = campaign.value();
+    const auto result = runner::run_campaign(
+        args.seeds.count(), args.jobs, [&](std::size_t i) {
+          HulaOptions job_options = options;
+          job_options.seed = args.seeds.seed(i);
+          runner::JobResult job;
+          job_options.telemetry = &job.telemetry;
+          const auto r = run_hula_experiment(scenario.value(), job_options);
+          job.observe("via_s2_pct", r.path_share_pct[0]);
+          job.observe("via_s3_pct", r.path_share_pct[1]);
+          job.observe("via_s4_pct", r.path_share_pct[2]);
+          job.observe("delivered", static_cast<double>(r.delivered));
+          job.observe("probes_rejected", static_cast<double>(r.probes_rejected));
+          job.observe("alerts", static_cast<double>(r.alerts));
+          return job;
+        });
+    std::printf("scenario=%s seeds=%s jobs=%d runs=%zu\n", scenario_name(scenario.value()),
+                args.seeds.to_string().c_str(), args.jobs, result.jobs_run);
+    print_campaign_stats(result);
+    return write_telemetry(result.telemetry, metrics_path, nullptr);
+  }
+
   telemetry::Telemetry telemetry;
   if (metrics_path != nullptr || trace_path != nullptr) options.telemetry = &telemetry;
   const auto result = run_hula_experiment(scenario.value(), options);
@@ -107,15 +237,47 @@ int run_hula(int argc, char** argv) {
 }
 
 int run_routescout(int argc, char** argv) {
+  if (!check_flags(argc, argv,
+                   {"--scenario", "--seed", "--seeds", "--jobs", "--metrics-out", "--trace"})) {
+    return 2;
+  }
   const auto scenario = parse_scenario(arg_value(argc, argv, "--scenario", "baseline"));
   if (!scenario.ok()) {
     std::fprintf(stderr, "%s\n", scenario.error().message.c_str());
+    return 2;
+  }
+  const auto campaign = parse_campaign_args(argc, argv);
+  if (!campaign.ok()) {
+    std::fprintf(stderr, "%s\n", campaign.error().message.c_str());
     return 2;
   }
   RouteScoutOptions options;
   options.seed = arg_u64(argc, argv, "--seed", options.seed);
   const char* metrics_path = arg_value(argc, argv, "--metrics-out", nullptr);
   const char* trace_path = arg_value(argc, argv, "--trace", nullptr);
+
+  if (campaign.value().active) {
+    const auto& args = campaign.value();
+    const auto result = runner::run_campaign(
+        args.seeds.count(), args.jobs, [&](std::size_t i) {
+          RouteScoutOptions job_options = options;
+          job_options.seed = args.seeds.seed(i);
+          runner::JobResult job;
+          job_options.telemetry = &job.telemetry;
+          const auto r = run_routescout_experiment(scenario.value(), job_options);
+          job.observe("path1_pct", r.path_share_pct[0]);
+          job.observe("path2_pct", r.path_share_pct[1]);
+          job.observe("epochs_completed", static_cast<double>(r.epochs_completed));
+          job.observe("epochs_aborted", static_cast<double>(r.epochs_aborted));
+          job.observe("alerts", static_cast<double>(r.alerts));
+          return job;
+        });
+    std::printf("scenario=%s seeds=%s jobs=%d runs=%zu\n", scenario_name(scenario.value()),
+                args.seeds.to_string().c_str(), args.jobs, result.jobs_run);
+    print_campaign_stats(result);
+    return write_telemetry(result.telemetry, metrics_path, nullptr);
+  }
+
   telemetry::Telemetry telemetry;
   if (metrics_path != nullptr || trace_path != nullptr) options.telemetry = &telemetry;
   const auto result = run_routescout_experiment(scenario.value(), options);
@@ -131,6 +293,7 @@ int run_routescout(int argc, char** argv) {
 }
 
 int run_regops(int argc, char** argv) {
+  if (!check_flags(argc, argv, {"--variant", "--requests"})) return 2;
   const std::string name = arg_value(argc, argv, "--variant", "p4auth");
   RegOpsVariant variant = RegOpsVariant::P4Auth;
   if (name == "p4runtime") variant = RegOpsVariant::P4Runtime;
@@ -149,6 +312,7 @@ int run_regops(int argc, char** argv) {
 }
 
 int run_kmp(int argc, char** argv) {
+  if (!check_flags(argc, argv, {"--samples"})) return 2;
   KmpRttOptions options;
   options.samples = static_cast<int>(arg_u64(argc, argv, "--samples", 20));
   const auto result = run_kmp_rtt_experiment(options);
@@ -159,6 +323,7 @@ int run_kmp(int argc, char** argv) {
 }
 
 int run_multihop(int argc, char** argv) {
+  if (!check_flags(argc, argv, {"--min-hops", "--max-hops"})) return 2;
   MultihopOptions options;
   options.min_hops = static_cast<int>(arg_u64(argc, argv, "--min-hops", 2));
   options.max_hops = static_cast<int>(arg_u64(argc, argv, "--max-hops", 10));
@@ -170,6 +335,7 @@ int run_multihop(int argc, char** argv) {
 }
 
 int run_scaling(int argc, char** argv) {
+  if (!check_flags(argc, argv, {"--switches", "--links"})) return 2;
   const int switches = static_cast<int>(arg_u64(argc, argv, "--switches", 25));
   const int links = static_cast<int>(arg_u64(argc, argv, "--links", 50));
   const auto measured = run_kmp_scaling_experiment(switches, links);
@@ -189,6 +355,7 @@ int run_scaling(int argc, char** argv) {
 }
 
 int run_table1(int argc, char** argv) {
+  if (!check_flags(argc, argv, {"--seed"})) return 2;
   for (const auto& row : run_table1_experiment(arg_u64(argc, argv, "--seed", 1))) {
     std::printf("%-24s baseline=%.1f attacked=%.1f p4auth=%.1f detected=%s/%s (%s)\n",
                 row.system.c_str(), row.baseline, row.attacked, row.with_p4auth,
@@ -199,8 +366,10 @@ int run_table1(int argc, char** argv) {
 }
 
 int run_attack_rate(int argc, char** argv) {
+  if (!check_flags(argc, argv, {"--writes", "--rate", "--seed"})) return 2;
   AttackRateOptions options;
   options.writes = static_cast<int>(arg_u64(argc, argv, "--writes", 150));
+  options.seed = arg_u64(argc, argv, "--seed", options.seed);
   const char* rate = arg_value(argc, argv, "--rate", nullptr);
   if (rate != nullptr) options.rates = {std::strtod(rate, nullptr)};
   for (const auto& point : run_attack_rate_experiment(options)) {
@@ -213,19 +382,14 @@ int run_attack_rate(int argc, char** argv) {
   return 0;
 }
 
-int run_resources() {
+int run_resources(int argc, char** argv) {
+  if (!check_flags(argc, argv, {})) return 2;
   for (const auto& row : run_resources_experiment()) {
     std::printf("%-14s tcam=%.1f%% sram=%.1f%% hash=%.1f%% phv=%.1f%%\n",
                 row.program.c_str(), row.usage.tcam_pct, row.usage.sram_pct,
                 row.usage.hash_pct, row.usage.phv_pct);
   }
   return 0;
-}
-
-void usage() {
-  std::fprintf(stderr,
-               "usage: p4auth_sim <hula|routescout|regops|kmp|multihop|scaling|table1|"
-               "resources|attack-rate> [options]\n");
 }
 
 }  // namespace
@@ -243,8 +407,9 @@ int main(int argc, char** argv) {
   if (command == "multihop") return run_multihop(argc, argv);
   if (command == "scaling") return run_scaling(argc, argv);
   if (command == "table1") return run_table1(argc, argv);
-  if (command == "resources") return run_resources();
+  if (command == "resources") return run_resources(argc, argv);
   if (command == "attack-rate") return run_attack_rate(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   usage();
   return 2;
 }

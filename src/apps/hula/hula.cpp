@@ -79,7 +79,7 @@ dataplane::PipelineOutput HulaProgram::process(dataplane::Packet& packet,
   }
 }
 
-dataplane::PipelineOutput HulaProgram::generate_probe(dataplane::PipelineContext& /*ctx*/) {
+dataplane::PipelineOutput HulaProgram::generate_probe(dataplane::PipelineContext& ctx) {
   Probe probe;
   probe.origin_tor = config_.self;
   probe.max_util = 0;
@@ -88,7 +88,10 @@ dataplane::PipelineOutput HulaProgram::generate_probe(dataplane::PipelineContext
   dataplane::PipelineOutput out;
   const Bytes encoded = encode_probe(probe);
   for (const PortId port : config_.probe_ports) {
-    out.emits.push_back(dataplane::Emit{port, encoded});
+    // Probe replication: each copy lands in a recycled pool buffer.
+    Bytes copy = ctx.acquire_buffer(encoded.size());
+    copy.assign(encoded.begin(), encoded.end());
+    out.emits.push_back(dataplane::Emit{port, std::move(copy)});
   }
   return out;
 }
@@ -135,7 +138,9 @@ dataplane::PipelineOutput HulaProgram::handle_probe(const Probe& incoming,
   const Bytes encoded = encode_probe(probe);
   for (const PortId port : config_.probe_ports) {
     if (port == packet.ingress) continue;
-    out.emits.push_back(dataplane::Emit{port, encoded});
+    Bytes copy = ctx.acquire_buffer(encoded.size());
+    copy.assign(encoded.begin(), encoded.end());
+    out.emits.push_back(dataplane::Emit{port, std::move(copy)});
   }
   return out;
 }
@@ -187,7 +192,8 @@ dataplane::PipelineOutput HulaProgram::handle_data(const DataPacket& data,
   ctx.costs().register_accesses += 2;
   ++stats_.data_forwarded;
   stats_.egress_bytes[egress] += data.size_bytes;
-  return dataplane::PipelineOutput::unicast(egress, packet.payload);
+  // The forwarded frame reuses the ingress buffer — no copy, no alloc.
+  return dataplane::PipelineOutput::unicast(egress, std::move(packet.payload));
 }
 
 std::optional<PortId> HulaProgram::best_hop(NodeId tor, SimTime now) const {

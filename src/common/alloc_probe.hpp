@@ -1,0 +1,27 @@
+// Allocation counting for the zero-allocation regression test and the
+// micro_hotpath bench.
+//
+// Compiling alloc_probe.cpp into a binary (list it as a source of the
+// executable — an archive member would only be pulled in if referenced,
+// silently leaving the default operator new in place) replaces the
+// global operator new/delete with counting wrappers. The counters are
+// process-wide, so measurement windows must bracket the code under test
+// (reset(), run, allocations()).
+#pragma once
+
+#include <cstdint>
+
+namespace p4auth {
+
+struct AllocProbe {
+  /// Zeroes the allocation/deallocation counters.
+  static void reset() noexcept;
+  /// operator new calls since the last reset().
+  static std::uint64_t allocations() noexcept;
+  /// operator delete calls (of a non-null pointer) since the last reset().
+  static std::uint64_t deallocations() noexcept;
+  /// True when the counting operator new is linked into this binary.
+  static bool active() noexcept;
+};
+
+}  // namespace p4auth

@@ -69,10 +69,18 @@ Result<Bytes> ByteReader::raw(std::size_t n) {
   return out;
 }
 
+Result<std::span<const std::uint8_t>> ByteReader::view(std::size_t n) {
+  if (remaining() < n) return make_error("ByteReader: view past end");
+  const auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::string to_hex(std::span<const std::uint8_t> data) {
   static constexpr char kDigits[] = "0123456789abcdef";
   std::string out;
-  out.reserve(data.size() * 3);
+  // Exact output size: two digits per byte plus a ':' between bytes.
+  out.reserve(data.empty() ? 0 : data.size() * 3 - 1);
   for (std::size_t i = 0; i < data.size(); ++i) {
     if (i != 0) out.push_back(':');
     out.push_back(kDigits[data[i] >> 4]);

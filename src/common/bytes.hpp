@@ -44,6 +44,9 @@ class ByteReader {
   Result<std::uint64_t> u64();
   /// Reads exactly `n` bytes; fails if fewer remain.
   Result<Bytes> raw(std::size_t n);
+  /// Reads exactly `n` bytes as a view into the source buffer — no copy.
+  /// The span is only valid while the source buffer outlives the parse.
+  Result<std::span<const std::uint8_t>> view(std::size_t n);
 
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   std::size_t position() const noexcept { return pos_; }

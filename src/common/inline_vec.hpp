@@ -1,0 +1,145 @@
+// Small-buffer vector: the first N elements live inside the object, a
+// heap block takes over only past that. PipelineOutput uses it for its
+// emit/to-CPU lists so the common pipeline pass (0-3 outputs) completes
+// without touching the allocator.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace p4auth {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0, "inline capacity must be non-zero");
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "elements must be nothrow-movable so growth cannot lose them");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() noexcept = default;
+
+  InlineVec(const InlineVec& other) { append_all(other.data_, other.size_); }
+
+  InlineVec(InlineVec&& other) noexcept { take_from(std::move(other)); }
+
+  InlineVec& operator=(const InlineVec& other) {
+    if (this == &other) return *this;
+    clear();
+    append_all(other.data_, other.size_);
+    return *this;
+  }
+
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this == &other) return *this;
+    destroy_storage();
+    data_ = inline_data();
+    capacity_ = N;
+    size_ = 0;
+    take_from(std::move(other));
+    return *this;
+  }
+
+  ~InlineVec() { destroy_storage(); }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow();
+    T* slot = ::new (static_cast<void*>(data_ + size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = size_; i > 0; --i) data_[i - 1].~T();
+    size_ = 0;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool empty() const noexcept { return size_ == 0; }
+  /// True while elements still fit the in-object buffer (no heap block).
+  bool inline_storage() const noexcept { return data_ == inline_data(); }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data_[i];
+  }
+  T& at(std::size_t i) noexcept { return (*this)[i]; }
+  const T& at(std::size_t i) const noexcept { return (*this)[i]; }
+  T& front() noexcept { return (*this)[0]; }
+  const T& front() const noexcept { return (*this)[0]; }
+  T& back() noexcept { return (*this)[size_ - 1]; }
+  const T& back() const noexcept { return (*this)[size_ - 1]; }
+
+  iterator begin() noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator begin() const noexcept { return data_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+
+ private:
+  T* inline_data() noexcept { return reinterpret_cast<T*>(inline_storage_); }
+  const T* inline_data() const noexcept { return reinterpret_cast<const T*>(inline_storage_); }
+
+  void append_all(const T* src, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) emplace_back(src[i]);
+  }
+
+  void take_from(InlineVec&& other) noexcept {
+    if (other.inline_storage()) {
+      for (std::size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      }
+      size_ = other.size_;
+      other.clear();
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_data();
+      other.size_ = 0;
+      other.capacity_ = N;
+    }
+  }
+
+  void grow() {
+    const std::size_t new_capacity = capacity_ * 2;
+    T* block = static_cast<T*>(::operator new(new_capacity * sizeof(T), std::align_val_t{alignof(T)}));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(block + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!inline_storage()) {
+      ::operator delete(static_cast<void*>(data_), std::align_val_t{alignof(T)});
+    }
+    data_ = block;
+    capacity_ = new_capacity;
+  }
+
+  void destroy_storage() noexcept {
+    clear();
+    if (!inline_storage()) {
+      ::operator delete(static_cast<void*>(data_), std::align_val_t{alignof(T)});
+    }
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace p4auth

@@ -205,7 +205,9 @@ void P4AuthAgent::push_alert(dataplane::PipelineOutput& out, dataplane::Pipeline
   } else {
     tag_message(config_.mac, config_.k_seed, alert, ctx.costs());
   }
-  out.to_cpu.push_back(encode(alert));
+  Bytes encoded = ctx.acquire_buffer(encoded_size(alert.payload));
+  encode_into(alert, encoded);
+  out.to_cpu.push_back(std::move(encoded));
   ++stats_.alerts_sent;
   note_alert(ctx, /*suppressed=*/false, code);
 }
@@ -225,7 +227,7 @@ dataplane::PipelineOutput P4AuthAgent::process(dataplane::Packet& packet,
   if (looks_like_p4auth(packet.payload)) {
     auto decoded = decode(packet.payload);
     if (decoded.ok()) {
-      const Message& msg = decoded.value();
+      Message& msg = decoded.value();
       if (msg.header.hdr_type == HdrType::DpData) {
         return handle_dp_data(msg, packet, ctx);
       }
@@ -330,9 +332,10 @@ dataplane::PipelineOutput P4AuthAgent::handle_register_op(const Message& msg,
     // same fallback the controller applies.
     std::optional<Key64> key = keys_.get(kCpuPort, msg.header.key_version);
     if (!key.has_value() && !keys_.has_key(kCpuPort)) key = config_.k_seed;
-    const Bytes input = digest_input(msg);
-    const bool ok =
-        key.has_value() && digest_.verify(*key, input, msg.header.digest, ctx.costs());
+    DigestScratch scratch;
+    const DigestView input = digest_input_into(msg, scratch);
+    const bool ok = key.has_value() &&
+                    digest_.verify(*key, input.head, input.tail, msg.header.digest, ctx.costs());
     note_verify(ctx, ok, kCpuPort, msg.header.seq_num, HdrType::RegisterOp);
     if (!ok) {
       ++stats_.digest_failures;
@@ -416,9 +419,11 @@ dataplane::PipelineOutput P4AuthAgent::handle_key_exchange_cpu(const Message& ms
       break;
   }
 
-  const Bytes input = digest_input(msg);
-  const bool verified = verify_key.has_value() &&
-                        digest_.verify(*verify_key, input, msg.header.digest, ctx.costs());
+  DigestScratch scratch;
+  const DigestView input = digest_input_into(msg, scratch);
+  const bool verified =
+      verify_key.has_value() &&
+      digest_.verify(*verify_key, input.head, input.tail, msg.header.digest, ctx.costs());
   note_verify(ctx, verified, kCpuPort, msg.header.seq_num, HdrType::KeyExchange);
   if (!verified) {
     ++stats_.digest_failures;
@@ -567,16 +572,18 @@ dataplane::PipelineOutput P4AuthAgent::handle_key_exchange_cpu(const Message& ms
   return out;
 }
 
-dataplane::PipelineOutput P4AuthAgent::handle_dp_data(const Message& msg,
+dataplane::PipelineOutput P4AuthAgent::handle_dp_data(Message& msg,
                                                       dataplane::Packet& packet,
                                                       dataplane::PipelineContext& ctx) {
   const PortId port = packet.ingress;
   dataplane::PipelineOutput out;
 
   const auto key = keys_.get(port, msg.header.key_version);
-  const Bytes input = digest_input(msg);
+  DigestScratch scratch;
+  const DigestView input = digest_input_into(msg, scratch);
   const bool verified =
-      key.has_value() && digest_.verify(*key, input, msg.header.digest, ctx.costs());
+      key.has_value() &&
+      digest_.verify(*key, input.head, input.tail, msg.header.digest, ctx.costs());
   note_verify(ctx, verified, port, msg.header.seq_num, HdrType::DpData);
   if (!verified) {
     ++stats_.digest_failures;
@@ -596,7 +603,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_dp_data(const Message& msg,
   ++stats_.feedback_verified;
 
   dataplane::Packet inner_packet;
-  inner_packet.payload = std::get<DpDataPayload>(msg.payload).inner;
+  inner_packet.payload = std::move(std::get<DpDataPayload>(msg.payload).inner);
   if (msg.header.is_encrypted()) {
     // MAC already verified over the ciphertext; now decrypt with the key
     // derived from the same port master secret.
@@ -621,9 +628,11 @@ dataplane::PipelineOutput P4AuthAgent::handle_key_exchange_port(const Message& m
   }
 
   const auto key = keys_.get(ingress, msg.header.key_version);
-  const Bytes input = digest_input(msg);
+  DigestScratch scratch;
+  const DigestView input = digest_input_into(msg, scratch);
   const bool verified =
-      key.has_value() && digest_.verify(*key, input, msg.header.digest, ctx.costs());
+      key.has_value() &&
+      digest_.verify(*key, input.head, input.tail, msg.header.digest, ctx.costs());
   note_verify(ctx, verified, ingress, msg.header.seq_num, HdrType::KeyExchange);
   if (!verified) {
     ++stats_.digest_failures;
@@ -694,7 +703,12 @@ dataplane::PipelineOutput P4AuthAgent::run_inner(dataplane::Packet& packet,
     }
     frame.payload = DpDataPayload{std::move(emit.payload)};
     tag_message(config_.mac, *key, frame, ctx.costs());
-    emit.payload = encode(frame);
+    // Pool-backed wrap: the encoded frame reuses a recycled buffer and the
+    // consumed inner buffer goes back to the pool for the next emit.
+    Bytes encoded = ctx.acquire_buffer(encoded_size(frame.payload));
+    encode_into(frame, encoded);
+    ctx.release_buffer(std::move(std::get<DpDataPayload>(frame.payload).inner));
+    emit.payload = std::move(encoded);
     ++stats_.feedback_tagged;
   }
   return out;

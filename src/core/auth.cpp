@@ -3,27 +3,31 @@
 namespace p4auth::core {
 
 void tag_message(crypto::MacKind mac, Key64 key, Message& message) {
-  const Bytes input = digest_input(message);
-  message.header.digest = crypto::compute_digest(mac, key, input);
+  DigestScratch scratch;
+  const DigestView input = digest_input_into(message, scratch);
+  message.header.digest = crypto::compute_digest(mac, key, input.head, input.tail);
 }
 
 bool verify_message(crypto::MacKind mac, Key64 key, const Message& message) {
-  const Bytes input = digest_input(message);
-  return crypto::verify_digest(mac, key, input, message.header.digest);
+  DigestScratch scratch;
+  const DigestView input = digest_input_into(message, scratch);
+  return crypto::verify_digest(mac, key, input.head, input.tail, message.header.digest);
 }
 
 void tag_message(crypto::MacKind mac, Key64 key, Message& message,
                  dataplane::PacketCosts& costs) {
-  const Bytes input = digest_input(message);
+  DigestScratch scratch;
+  const DigestView input = digest_input_into(message, scratch);
   costs.add_hash(input.size());
-  message.header.digest = crypto::compute_digest(mac, key, input);
+  message.header.digest = crypto::compute_digest(mac, key, input.head, input.tail);
 }
 
 bool verify_message(crypto::MacKind mac, Key64 key, const Message& message,
                     dataplane::PacketCosts& costs) {
-  const Bytes input = digest_input(message);
+  DigestScratch scratch;
+  const DigestView input = digest_input_into(message, scratch);
   costs.add_hash(input.size());
-  return crypto::verify_digest(mac, key, input, message.header.digest);
+  return crypto::verify_digest(mac, key, input.head, input.tail, message.header.digest);
 }
 
 }  // namespace p4auth::core

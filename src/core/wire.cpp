@@ -5,7 +5,39 @@
 namespace p4auth::core {
 namespace {
 
-void write_header(ByteWriter& w, const Header& h) {
+/// ByteWriter-compatible writer into a fixed caller-provided buffer —
+/// the digest scratch path, where the output must not heap-allocate.
+/// The caller guarantees capacity (DigestScratch is sized for the
+/// header plus the largest fixed payload).
+class ScratchWriter {
+ public:
+  explicit ScratchWriter(std::uint8_t* out) noexcept : begin_(out), p_(out) {}
+
+  ScratchWriter& u8(std::uint8_t v) noexcept {
+    *p_++ = v;
+    return *this;
+  }
+  ScratchWriter& u16(std::uint16_t v) noexcept {
+    return u8(static_cast<std::uint8_t>(v >> 8)).u8(static_cast<std::uint8_t>(v));
+  }
+  ScratchWriter& u32(std::uint32_t v) noexcept {
+    for (int shift = 24; shift >= 0; shift -= 8) u8(static_cast<std::uint8_t>(v >> shift));
+    return *this;
+  }
+  ScratchWriter& u64(std::uint64_t v) noexcept {
+    for (int shift = 56; shift >= 0; shift -= 8) u8(static_cast<std::uint8_t>(v >> shift));
+    return *this;
+  }
+
+  std::size_t written() const noexcept { return static_cast<std::size_t>(p_ - begin_); }
+
+ private:
+  std::uint8_t* begin_;
+  std::uint8_t* p_;
+};
+
+template <typename Writer>
+void write_header(Writer& w, const Header& h) {
   w.u8(static_cast<std::uint8_t>(h.hdr_type))
       .u8(h.msg_type)
       .u16(h.seq_num)
@@ -16,7 +48,24 @@ void write_header(ByteWriter& w, const Header& h) {
       .u32(h.digest);
 }
 
-void write_payload(ByteWriter& w, const Payload& payload) {
+/// Header prefix the digest covers: everything above except the digest
+/// field itself (the header's last 4 bytes).
+template <typename Writer>
+void write_header_sans_digest(Writer& w, const Header& h) {
+  w.u8(static_cast<std::uint8_t>(h.hdr_type))
+      .u8(h.msg_type)
+      .u16(h.seq_num)
+      .u8(h.key_version.value)
+      .u8(h.flags)
+      .u16(h.src.value)
+      .u16(h.dst.value);
+}
+
+/// Writes the fixed-width payload alternatives. DpData (the only
+/// variable-length payload) is excluded so this can target the digest
+/// scratch; callers handle it explicitly.
+template <typename Writer>
+void write_fixed_payload(Writer& w, const Payload& payload) {
   std::visit(
       [&w](const auto& p) {
         using T = std::decay_t<decltype(p)>;
@@ -30,8 +79,6 @@ void write_payload(ByteWriter& w, const Payload& payload) {
           w.u16(p.port.value).u16(p.peer.value);
         } else if constexpr (std::is_same_v<T, AlertPayload>) {
           w.u32(p.context).u16(p.observed_seq).u16(p.expected_seq).u32(p.detail);
-        } else if constexpr (std::is_same_v<T, DpDataPayload>) {
-          w.raw(p.inner);
         }
       },
       payload);
@@ -58,13 +105,19 @@ void write_payload(ByteWriter& w, const Payload& payload) {
 }  // namespace
 
 Bytes encode(const Message& message) {
-  assert(payload_matches_type(message));
   Bytes out;
-  out.reserve(kHeaderSize + encoded_size(message.payload) - kHeaderSize);
+  encode_into(message, out);
+  return out;
+}
+
+void encode_into(const Message& message, Bytes& out) {
+  assert(payload_matches_type(message));
+  out.clear();
+  out.reserve(encoded_size(message.payload));  // exact: header included
   ByteWriter w(out);
   write_header(w, message.header);
-  write_payload(w, message.payload);
-  return out;
+  write_fixed_payload(w, message.payload);
+  if (const auto* dp = std::get_if<DpDataPayload>(&message.payload)) w.raw(dp->inner);
 }
 
 Result<Message> decode(std::span<const std::uint8_t> frame) {
@@ -139,8 +192,11 @@ Result<Message> decode(std::span<const std::uint8_t> frame) {
     }
     case HdrType::DpData: {
       DpDataPayload p;
-      p.inner = r.raw(r.remaining()).value();
-      m.payload = p;
+      // Borrow the remainder and copy once into the owned payload (the
+      // Message outlives the frame; raw() would build an extra temporary).
+      const auto rest = r.view(r.remaining()).value();
+      p.inner.assign(rest.begin(), rest.end());
+      m.payload = std::move(p);
       break;
     }
   }
@@ -153,16 +209,28 @@ bool looks_like_p4auth(std::span<const std::uint8_t> frame) noexcept {
 }
 
 Bytes digest_input(const Message& message) {
-  // Eqn. 4: the digest covers p4auth_h *excluding the digest field* plus
-  // the payload. The digest occupies the header's last 4 bytes, so drop
-  // them rather than hashing zeros in their place.
+  DigestScratch scratch;
+  const DigestView view = digest_input_into(message, scratch);
   Bytes out;
-  ByteWriter w(out);
-  write_header(w, message.header);
-  out.erase(out.begin() + static_cast<std::ptrdiff_t>(kHeaderSize - 4),
-            out.begin() + static_cast<std::ptrdiff_t>(kHeaderSize));
-  write_payload(w, message.payload);
+  out.reserve(view.size());
+  out.insert(out.end(), view.head.begin(), view.head.end());
+  out.insert(out.end(), view.tail.begin(), view.tail.end());
   return out;
+}
+
+DigestView digest_input_into(const Message& message, DigestScratch& scratch) noexcept {
+  // Eqn. 4: the digest covers p4auth_h *excluding the digest field* plus
+  // the payload. The digest occupies the header's last 4 bytes, so skip
+  // them rather than hashing zeros in their place. Fixed payloads land in
+  // the scratch behind the header; DpData's inner is borrowed as the tail
+  // so the (arbitrarily long) feedback payload is never copied.
+  ScratchWriter w(scratch.data());
+  write_header_sans_digest(w, message.header);
+  if (const auto* dp = std::get_if<DpDataPayload>(&message.payload)) {
+    return DigestView{std::span(scratch.data(), w.written()), std::span(dp->inner)};
+  }
+  write_fixed_payload(w, message.payload);
+  return DigestView{std::span(scratch.data(), w.written()), {}};
 }
 
 std::size_t encoded_size(const Payload& payload) noexcept {

@@ -13,7 +13,9 @@
 // = 2x22 + 2x30 = 104 B, etc.). Do not resize fields casually.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <span>
 #include <variant>
 
 #include "common/bytes.hpp"
@@ -126,6 +128,10 @@ struct Message {
 /// header.hdr_type / msg_type (checked by assert in debug builds).
 Bytes encode(const Message& message);
 
+/// Serializes into `out` (cleared first, exact-size reserve). Reusing a
+/// pooled buffer here keeps the tag-and-emit path allocation-free.
+void encode_into(const Message& message, Bytes& out);
+
 /// Parses a frame. Fails on truncation, unknown types, or a payload
 /// alternative that does not match the header.
 Result<Message> decode(std::span<const std::uint8_t> frame);
@@ -137,6 +143,24 @@ bool looks_like_p4auth(std::span<const std::uint8_t> frame) noexcept;
 /// The digest's input: header with digest zeroed, followed by the payload
 /// (Eqn. 4 — digest covers both header groups).
 Bytes digest_input(const Message& message);
+
+/// Stack scratch for the copy-free digest input: 10 header bytes (sans
+/// digest) plus the largest fixed payload (16 B), rounded up.
+using DigestScratch = std::array<std::uint8_t, 32>;
+
+/// The digest input as two spans. `head` points into the caller's
+/// scratch (header sans digest, plus fixed payload fields); `tail`
+/// borrows a variable-length payload (DpData inner) and is empty
+/// otherwise. Valid only while the scratch and the message both live.
+struct DigestView {
+  std::span<const std::uint8_t> head;
+  std::span<const std::uint8_t> tail;
+  std::size_t size() const noexcept { return head.size() + tail.size(); }
+};
+
+/// Builds the digest input in `scratch` without heap allocation —
+/// feed the two spans to the matching crypto::compute_digest overload.
+DigestView digest_input_into(const Message& message, DigestScratch& scratch) noexcept;
 
 /// Total encoded size of a message carrying this payload.
 std::size_t encoded_size(const Payload& payload) noexcept;

@@ -72,4 +72,52 @@ std::uint32_t halfsiphash(std::uint64_t key, std::span<const std::uint8_t> data,
   return s.v1 ^ s.v3;
 }
 
+std::uint32_t halfsiphash(std::uint64_t key, std::span<const std::uint8_t> head,
+                          std::span<const std::uint8_t> tail, SipRounds rounds) noexcept {
+  const auto k0 = static_cast<std::uint32_t>(key);
+  const auto k1 = static_cast<std::uint32_t>(key >> 32);
+
+  SipState s{/*v0=*/k0, /*v1=*/k1, /*v2=*/0x6c796765u ^ k0, /*v3=*/0x74656473u ^ k1};
+
+  const std::size_t total = head.size() + tail.size();
+  const auto byte_at = [&](std::size_t i) noexcept {
+    return i < head.size() ? head[i] : tail[i - head.size()];
+  };
+  // Compression blocks walk the logical concatenation; blocks wholly
+  // inside one part load directly, only the (at most one) straddling
+  // block assembles bytewise.
+  const std::size_t full_blocks = total / 4;
+  for (std::size_t block = 0; block < full_blocks; ++block) {
+    const std::size_t base = block * 4;
+    std::uint32_t m;
+    if (base + 4 <= head.size()) {
+      m = load_le32(head.data() + base);
+    } else if (base >= head.size()) {
+      m = load_le32(tail.data() + (base - head.size()));
+    } else {
+      m = static_cast<std::uint32_t>(byte_at(base)) |
+          (static_cast<std::uint32_t>(byte_at(base + 1)) << 8) |
+          (static_cast<std::uint32_t>(byte_at(base + 2)) << 16) |
+          (static_cast<std::uint32_t>(byte_at(base + 3)) << 24);
+    }
+    s.v3 ^= m;
+    s.rounds(rounds.compression);
+    s.v0 ^= m;
+  }
+
+  // Last block: remaining bytes plus the total length in the top byte.
+  std::uint32_t b = static_cast<std::uint32_t>(total) << 24;
+  int shift = 0;
+  for (std::size_t i = full_blocks * 4; i < total; ++i, shift += 8) {
+    b |= static_cast<std::uint32_t>(byte_at(i)) << shift;
+  }
+  s.v3 ^= b;
+  s.rounds(rounds.compression);
+  s.v0 ^= b;
+
+  s.v2 ^= 0xFFu;
+  s.rounds(rounds.finalization);
+  return s.v1 ^ s.v3;
+}
+
 }  // namespace p4auth::crypto

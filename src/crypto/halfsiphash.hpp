@@ -29,4 +29,12 @@ inline constexpr SipRounds kHalfSipHash13{1, 3};
 std::uint32_t halfsiphash(std::uint64_t key, std::span<const std::uint8_t> data,
                           SipRounds rounds = kHalfSipHash24) noexcept;
 
+/// HalfSipHash of the logical concatenation `head || tail` without
+/// materializing it — the copy-free digest path hashes a stack-resident
+/// header scratch plus a borrowed payload span. Identical to hashing a
+/// single buffer holding both parts.
+std::uint32_t halfsiphash(std::uint64_t key, std::span<const std::uint8_t> head,
+                          std::span<const std::uint8_t> tail,
+                          SipRounds rounds = kHalfSipHash24) noexcept;
+
 }  // namespace p4auth::crypto

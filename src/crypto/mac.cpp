@@ -27,4 +27,28 @@ bool verify_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> data,
   return compute_digest(kind, key, data) == tag;
 }
 
+Digest32 compute_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> head,
+                        std::span<const std::uint8_t> tail) noexcept {
+  switch (kind) {
+    case MacKind::HalfSipHash24:
+      return halfsiphash(key, head, tail, kHalfSipHash24);
+    case MacKind::HalfSipHash13:
+      return halfsiphash(key, head, tail, kHalfSipHash13);
+    case MacKind::Crc32Envelope: {
+      Crc32 crc;
+      crc.update_u64(key);
+      crc.update(head);
+      crc.update(tail);
+      crc.update_u64(key);
+      return crc.final();
+    }
+  }
+  return 0;  // unreachable
+}
+
+bool verify_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> head,
+                   std::span<const std::uint8_t> tail, Digest32 tag) noexcept {
+  return compute_digest(kind, key, head, tail) == tag;
+}
+
 }  // namespace p4auth::crypto

@@ -33,4 +33,13 @@ Digest32 compute_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> d
 bool verify_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> data,
                    Digest32 tag) noexcept;
 
+/// Copy-free variants: the tag of the logical concatenation
+/// `head || tail`, without materializing it. `head` is the wire codec's
+/// stack-resident scratch (header sans digest + fixed payload fields),
+/// `tail` a borrowed view of a variable-length payload (may be empty).
+Digest32 compute_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> head,
+                        std::span<const std::uint8_t> tail) noexcept;
+bool verify_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> head,
+                   std::span<const std::uint8_t> tail, Digest32 tag) noexcept;
+
 }  // namespace p4auth::crypto

@@ -31,6 +31,21 @@ class DigestExtern {
     return crypto::verify_digest(kind_, key, data, tag);
   }
 
+  /// Copy-free variants over a two-span digest input (header scratch +
+  /// borrowed payload view) — see core::digest_input_into.
+  Digest32 compute(Key64 key, std::span<const std::uint8_t> head,
+                   std::span<const std::uint8_t> tail, PacketCosts& costs) const noexcept {
+    costs.add_hash(head.size() + tail.size());
+    return crypto::compute_digest(kind_, key, head, tail);
+  }
+
+  bool verify(Key64 key, std::span<const std::uint8_t> head,
+              std::span<const std::uint8_t> tail, Digest32 tag,
+              PacketCosts& costs) const noexcept {
+    costs.add_hash(head.size() + tail.size());
+    return crypto::verify_digest(kind_, key, head, tail, tag);
+  }
+
  private:
   crypto::MacKind kind_;
 };

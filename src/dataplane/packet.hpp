@@ -7,9 +7,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
 #include "common/bytes.hpp"
+#include "common/inline_vec.hpp"
 #include "common/types.hpp"
 
 namespace p4auth::dataplane {
@@ -31,9 +31,13 @@ struct Emit {
 /// messages to the controller CPU port (a rejected request produces both a
 /// nAck and an alert). The hosting switch computes the processing delay
 /// from the PacketCosts the program accrued.
+///
+/// The emit lists use in-object storage sized for the common cases
+/// (unicast forward, probe replication to a few ports, nAck + alert) so a
+/// steady-state pipeline pass never heap-allocates the output itself.
 struct PipelineOutput {
-  std::vector<Emit> emits;
-  std::vector<Bytes> to_cpu;
+  InlineVec<Emit, 4> emits;
+  InlineVec<Bytes, 2> to_cpu;
   bool dropped = false;
 
   static PipelineOutput drop() {

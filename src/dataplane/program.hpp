@@ -2,6 +2,7 @@
 // switch, a DataPlaneProgram is to our behavioural-model Switch.
 #pragma once
 
+#include "common/buffer_pool.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "dataplane/packet.hpp"
@@ -17,12 +18,14 @@ namespace p4auth::dataplane {
 /// Per-invocation view of the switch a program runs on: stateful register
 /// access, the target's random() source, current time, and the cost
 /// counters the timing model bills from. Optionally carries the hosting
-/// switch's telemetry bundle (null when telemetry is off).
+/// switch's telemetry bundle (null when telemetry is off) and the
+/// network's packet-buffer pool (null when the program runs standalone).
 class PipelineContext {
  public:
   PipelineContext(RegisterFile& registers, Xoshiro256& rng, SimTime now, NodeId self,
-                  telemetry::Telemetry* telemetry = nullptr)
-      : registers_(registers), rng_(rng), now_(now), self_(self), telemetry_(telemetry) {}
+                  telemetry::Telemetry* telemetry = nullptr, BufferPool* pool = nullptr)
+      : registers_(registers), rng_(rng), now_(now), self_(self), telemetry_(telemetry),
+        pool_(pool) {}
 
   RegisterFile& registers() noexcept { return registers_; }
   Xoshiro256& rng() noexcept { return rng_; }
@@ -30,6 +33,23 @@ class PipelineContext {
   NodeId self() const noexcept { return self_; }
   PacketCosts& costs() noexcept { return costs_; }
   telemetry::Telemetry* telemetry() const noexcept { return telemetry_; }
+  BufferPool* pool() const noexcept { return pool_; }
+
+  /// Pool-backed buffer for an outgoing frame; a plain Bytes when the
+  /// context has no pool. The buffer leaves the pool's custody here and
+  /// re-enters it when the network recycles the delivered frame.
+  Bytes acquire_buffer(std::size_t capacity_hint = 0) {
+    if (pool_ != nullptr) return pool_->acquire(capacity_hint);
+    Bytes out;
+    out.reserve(capacity_hint);
+    return out;
+  }
+
+  /// Hands a spent buffer (e.g. a consumed ingress payload) back to the
+  /// pool; frees it normally when the context has no pool.
+  void release_buffer(Bytes&& buffer) {
+    if (pool_ != nullptr) pool_->release(std::move(buffer));
+  }
 
  private:
   RegisterFile& registers_;
@@ -37,6 +57,7 @@ class PipelineContext {
   SimTime now_;
   NodeId self_;
   telemetry::Telemetry* telemetry_;
+  BufferPool* pool_;
   PacketCosts costs_;
 };
 

@@ -166,7 +166,10 @@ HulaResult run_hula_experiment(Scenario scenario, const HulaOptions& options) {
   result.s4_path_queue_us = s4_s5->queue_stats(kS4).mean_wait_us();
   result.other_paths_queue_us =
       (s2_s5->queue_stats(kS2).mean_wait_us() + s3_s5->queue_stats(kS3).mean_wait_us()) / 2.0;
-  if (options.telemetry != nullptr) options.telemetry->stamp(fabric.sim.now());
+  if (options.telemetry != nullptr) {
+    fabric.net.export_pool_stats();
+    options.telemetry->stamp(fabric.sim.now());
+  }
   return result;
 }
 

@@ -119,7 +119,10 @@ RouteScoutResult run_routescout_experiment(Scenario scenario,
   result.true_latency_us = {options.path1_latency_us, options.path2_latency_us};
   result.alerts = fabric.controller.alerts().size() +
                   fabric.controller.stats().response_digest_failures;
-  if (options.telemetry != nullptr) options.telemetry->stamp(fabric.sim.now());
+  if (options.telemetry != nullptr) {
+    fabric.net.export_pool_stats();
+    options.telemetry->stamp(fabric.sim.now());
+  }
   return result;
 }
 

@@ -25,12 +25,15 @@ struct ChannelModel {
   double jitter_fraction = 0;
 
   static ChannelModel p4runtime() noexcept {
-    // gRPC marshal + HTTP/2 + agent dispatch + SDK + driver.
-    return ChannelModel{SimTime::from_us(210), SimTime::from_us(210), 3600.0};
+    // gRPC marshal + HTTP/2 + agent dispatch + SDK + driver. Recalibrated
+    // (EXPERIMENTS.md) after the host-stack alloc/copy overhead folded
+    // into the original constants was eliminated; both models scaled by
+    // the same 0.75 so the paper's cross-variant ratios are unchanged.
+    return ChannelModel{SimTime::from_us(158), SimTime::from_us(158), 2700.0};
   }
   static ChannelModel packet_out() noexcept {
-    // Raw CPU-port frame via the PTF harness.
-    return ChannelModel{SimTime::from_us(140), SimTime::from_us(140), 450.0};
+    // Raw CPU-port frame via the PTF harness (same 0.75 rescale).
+    return ChannelModel{SimTime::from_us(105), SimTime::from_us(105), 338.0};
   }
 
   SimTime to_switch_delay(std::size_t bytes) const noexcept {

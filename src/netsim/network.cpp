@@ -18,16 +18,42 @@ Link* Network::link_at(NodeId node, PortId port) noexcept {
   return it == link_by_port_.end() ? nullptr : it->second;
 }
 
+void Network::set_telemetry(telemetry::Telemetry* telemetry) noexcept {
+  telemetry_ = telemetry;
+  tele_ = TeleSeries{};
+  if (telemetry_ == nullptr) return;
+  auto& m = telemetry_->metrics;
+  tele_.queue_wait_ns = &m.histogram("net.queue_wait_ns");
+  tele_.delivery_ns = &m.histogram("net.delivery_ns");
+  tele_.frames_delivered = &m.counter("net.frames_delivered");
+  tele_.drops_no_link = &m.counter("net.drops_no_link");
+  tele_.tamper_drops = &m.counter("net.tamper_drops");
+  tele_.tamper_rewrites = &m.counter("net.tamper_rewrites");
+}
+
+void Network::export_pool_stats() {
+  if (telemetry_ == nullptr) return;
+  const BufferPool::Stats& s = pool_.stats();
+  auto& m = telemetry_->metrics;
+  m.counter("pool.acquires").inc(s.acquires);
+  m.counter("pool.reuses").inc(s.reuses);
+  m.counter("pool.misses").inc(s.misses);
+  m.counter("pool.releases").inc(s.releases);
+  m.counter("pool.dropped").inc(s.dropped);
+  m.gauge("pool.high_water").set(static_cast<double>(s.high_water));
+}
+
 void Network::transmit(NodeId from, PortId port, Bytes payload) {
   Link* link = link_at(from, port);
   if (link == nullptr) {
     ++stats_.frames_dropped_no_link;
     if (telemetry_ != nullptr) {
-      telemetry_->metrics.counter("net.drops_no_link").inc();
+      tele_.drops_no_link->inc();
       telemetry_->trace.record(sim_.now(), from, port, telemetry::TraceEventKind::NoLinkDrop);
     }
     LogStream(LogLevel::Debug, "network")
         << "no link at node " << from.value << " port " << port.value;
+    pool_.release(std::move(payload));
     return;
   }
 
@@ -39,16 +65,17 @@ void Network::transmit(NodeId from, PortId port, Bytes payload) {
     if ((*hook)(payload) == TamperVerdict::Drop) {
       ++stats_.frames_dropped_by_tamper;
       if (telemetry_ != nullptr) {
-        telemetry_->metrics.counter("net.tamper_drops").inc();
+        tele_.tamper_drops->inc();
         telemetry_->trace.record(sim_.now(), from, port, telemetry::TraceEventKind::TamperDrop,
                                  before);
       }
+      pool_.release(std::move(payload));
       return;
     }
     if (payload != original || payload.size() != before) {
       ++stats_.frames_tampered;
       if (telemetry_ != nullptr) {
-        telemetry_->metrics.counter("net.tamper_rewrites").inc();
+        tele_.tamper_rewrites->inc();
         telemetry_->trace.record(sim_.now(), from, port,
                                  telemetry::TraceEventKind::TamperRewrite, payload.size());
       }
@@ -67,14 +94,17 @@ void Network::transmit(NodeId from, PortId port, Bytes payload) {
   const SimTime delay =
       queue_wait + link->serialization_delay(payload.size()) + link->config().latency;
   if (telemetry_ != nullptr) {
-    telemetry_->metrics.histogram("net.queue_wait_ns")
-        .observe(static_cast<double>(queue_wait.ns()));
-    telemetry_->metrics.histogram("net.delivery_ns").observe(static_cast<double>(delay.ns()));
+    tele_.queue_wait_ns->observe(static_cast<double>(queue_wait.ns()));
+    tele_.delivery_ns->observe(static_cast<double>(delay.ns()));
   }
   sim_.after(delay, [this, peer, payload = std::move(payload)]() mutable {
     ++stats_.frames_delivered;
-    if (telemetry_ != nullptr) telemetry_->metrics.counter("net.frames_delivered").inc();
-    if (Node* dst = node(peer.node)) dst->on_frame(peer.port, std::move(payload));
+    if (telemetry_ != nullptr) tele_.frames_delivered->inc();
+    if (Node* dst = node(peer.node)) {
+      dst->on_frame(peer.port, std::move(payload));
+    } else {
+      pool_.release(std::move(payload));
+    }
   });
 }
 

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "netsim/link.hpp"
 #include "netsim/node.hpp"
 #include "netsim/simulator.hpp"
@@ -49,9 +50,23 @@ class Network {
 
   Simulator& sim() noexcept { return sim_; }
 
+  /// The network's packet-buffer pool. Payload buffers are recycled
+  /// through the link -> switch -> pipeline -> emit cycle: switches
+  /// acquire emit buffers here and hand spent ingress payloads back, so
+  /// steady-state forwarding runs without heap churn. Owned per network
+  /// (= per simulation run), which keeps pool stats independent of how
+  /// campaign workers are scheduled.
+  BufferPool& pool() noexcept { return pool_; }
+
   /// Attaches the shared telemetry bundle (null = off): link queue-wait
   /// and delivery-latency histograms, drop/tamper counters and events.
-  void set_telemetry(telemetry::Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+  /// Hot-path series are cached here so transmit() does pointer tests
+  /// instead of registry map lookups per frame.
+  void set_telemetry(telemetry::Telemetry* telemetry) noexcept;
+
+  /// Writes the pool's counters into the telemetry registry (pool.*).
+  /// Call once per run, before the bundle is stamped/serialized.
+  void export_pool_stats();
 
   struct Stats {
     std::uint64_t frames_delivered = 0;
@@ -80,8 +95,18 @@ class Network {
   std::unordered_map<NodeId, Node*> nodes_by_id_;
   std::vector<std::unique_ptr<Link>> links_;
   std::unordered_map<PortKey, Link*, PortKeyHash> link_by_port_;
+  BufferPool pool_;
   Stats stats_;
   telemetry::Telemetry* telemetry_ = nullptr;
+  /// Cached registry series (stable references), bound in set_telemetry.
+  struct TeleSeries {
+    telemetry::Histogram* queue_wait_ns = nullptr;
+    telemetry::Histogram* delivery_ns = nullptr;
+    telemetry::Counter* frames_delivered = nullptr;
+    telemetry::Counter* drops_no_link = nullptr;
+    telemetry::Counter* tamper_drops = nullptr;
+    telemetry::Counter* tamper_rewrites = nullptr;
+  } tele_;
 };
 
 }  // namespace p4auth::netsim

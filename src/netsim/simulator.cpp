@@ -7,26 +7,31 @@ namespace p4auth::netsim {
 void Simulator::at(SimTime t, Handler fn) {
   assert(t >= now_ && "cannot schedule into the past");
   if (t < now_) t = now_;  // release builds: fire immediately, never rewind
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Simulator::Event Simulator::pop_next() {
+  // Move out before the handler runs: it may schedule new events and
+  // reshape the heap under us.
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = ev.time;
+  ++processed_;
+  return ev;
 }
 
 void Simulator::run(std::size_t max_events) {
-  while (!queue_.empty() && processed_ < max_events) {
-    // Copy out before pop: the handler may schedule new events.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ++processed_;
+  while (!heap_.empty() && processed_ < max_events) {
+    Event ev = pop_next();
     ev.fn();
   }
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ++processed_;
+  while (!heap_.empty() && heap_.front().time <= t) {
+    Event ev = pop_next();
     ev.fn();
   }
   // Advance-only: a run_until into the past (t < now()) must not rewind

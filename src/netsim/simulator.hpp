@@ -3,20 +3,26 @@
 // Single-threaded: events fire in (time, insertion-order) order, so every
 // run with the same seeds is bit-for-bit reproducible — a requirement for
 // the attack/defence experiments where we compare three scenarios.
+//
+// Events carry their closures in a move-only InplaceHandler (inline up to
+// 64 bytes) and sit in a flat binary heap (std::vector + std::push_heap),
+// so the steady-state schedule/fire cycle performs no heap allocations:
+// std::priority_queue was dropped because its const top() forces either a
+// copyable handler or a const_cast move.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
+#include "netsim/inplace_handler.hpp"
 
 namespace p4auth::netsim {
 
 class Simulator {
  public:
-  using Handler = std::function<void()>;
+  using Handler = InplaceHandler;
 
   SimTime now() const noexcept { return now_; }
 
@@ -33,7 +39,7 @@ class Simulator {
   void run_until(SimTime t);
 
   std::size_t processed() const noexcept { return processed_; }
-  bool empty() const noexcept { return queue_.empty(); }
+  bool empty() const noexcept { return heap_.empty(); }
 
  private:
   struct Event {
@@ -41,6 +47,9 @@ class Simulator {
     std::uint64_t seq;
     Handler fn;
   };
+  /// Heap predicate: std::push_heap builds a max-heap, so "later fires
+  /// lower" puts the earliest (time, seq) at the front. (time, seq) pairs
+  /// are unique, which makes the fire order total and deterministic.
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
       if (a.time != b.time) return a.time > b.time;
@@ -48,10 +57,13 @@ class Simulator {
     }
   };
 
+  /// Moves the earliest event out of the heap and advances the clock.
+  Event pop_next();
+
   SimTime now_{};
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;
 };
 
 }  // namespace p4auth::netsim

@@ -57,8 +57,12 @@ void Switch::run_pipeline(dataplane::Packet packet) {
     return;
   }
   auto& sim = network_->sim();
-  dataplane::PipelineContext ctx(registers_, rng_, sim.now(), id(), telemetry_);
+  dataplane::PipelineContext ctx(registers_, rng_, sim.now(), id(), telemetry_,
+                                 &network_->pool());
   dataplane::PipelineOutput output = program_->process(packet, ctx);
+  // Whatever the program left in the ingress payload is dead now (a
+  // forwarding program moves it into an emit); recycle the buffer.
+  if (packet.payload.capacity() > 0) network_->pool().release(std::move(packet.payload));
   const SimTime delay = timing_.process(ctx.costs());
   total_processing_ += delay;
 

@@ -56,6 +56,28 @@ TEST(ByteReader, RawExactAndPastEnd) {
   EXPECT_TRUE(r.exhausted());
 }
 
+TEST(ByteReader, ViewBorrowsWithoutCopying) {
+  const Bytes buf = {9, 8, 7, 6};
+  ByteReader r(buf);
+  ASSERT_TRUE(r.u8().ok());
+  const auto view = r.view(2);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().size(), 2u);
+  EXPECT_EQ(view.value().data(), buf.data() + 1);  // a window, not a copy
+  EXPECT_EQ(view.value()[0], 8u);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(ByteReader, ViewPastEndFailsWithoutConsuming) {
+  const Bytes buf = {1, 2};
+  ByteReader r(buf);
+  EXPECT_FALSE(r.view(3).ok());
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_TRUE(r.view(0).ok());
+  EXPECT_TRUE(r.view(2).ok());
+  EXPECT_TRUE(r.exhausted());
+}
+
 TEST(ByteReader, EmptyBufferBehaviour) {
   ByteReader r(std::span<const std::uint8_t>{});
   EXPECT_TRUE(r.exhausted());

@@ -1,0 +1,113 @@
+#include "common/inline_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace p4auth {
+namespace {
+
+/// Counts constructions/destructions to catch leaks and double-destroys.
+struct Tracked {
+  static int live;
+  int value = 0;
+  explicit Tracked(int v) noexcept : value(v) { ++live; }
+  Tracked(const Tracked& other) noexcept : value(other.value) { ++live; }
+  Tracked(Tracked&& other) noexcept : value(other.value) { ++live; }
+  ~Tracked() { --live; }
+};
+int Tracked::live = 0;
+
+TEST(InlineVec, StaysInlineUpToN) {
+  InlineVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.inline_storage());
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_EQ(v.front(), 0);
+  EXPECT_EQ(v.back(), 3);
+}
+
+TEST(InlineVec, SpillsToHeapPastNAndKeepsElements) {
+  InlineVec<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  EXPECT_FALSE(v.inline_storage());
+  EXPECT_EQ(v.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(InlineVec, RangeForIterates) {
+  InlineVec<int, 4> v;
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  int sum = 0;
+  for (const int x : v) sum += x;
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(InlineVec, MoveFromInlineMovesElements) {
+  InlineVec<std::string, 4> a;
+  a.push_back(std::string(64, 'x'));
+  InlineVec<std::string, 4> b(std::move(a));
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], std::string(64, 'x'));
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(InlineVec, MoveFromHeapStealsThePointer) {
+  InlineVec<std::string, 2> a;
+  for (int i = 0; i < 5; ++i) a.push_back("s" + std::to_string(i));
+  const std::string* elems = &a[0];
+  InlineVec<std::string, 2> b(std::move(a));
+  EXPECT_FALSE(b.inline_storage());
+  EXPECT_EQ(&b[0], elems);  // no element moves, just the block
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_TRUE(a.empty());           // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(a.inline_storage());  // donor reset to its inline buffer
+  a.push_back("reuse");             // and is still usable
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(InlineVec, CopyIsDeep) {
+  InlineVec<std::string, 2> a;
+  a.push_back("one");
+  a.push_back("two");
+  a.push_back("three");
+  InlineVec<std::string, 2> b(a);
+  b[0] = "changed";
+  EXPECT_EQ(a[0], "one");
+  EXPECT_EQ(b.size(), 3u);
+  a = b;
+  EXPECT_EQ(a[0], "changed");
+}
+
+TEST(InlineVec, DestructionBalancedInlineAndHeap) {
+  ASSERT_EQ(Tracked::live, 0);
+  {
+    InlineVec<Tracked, 2> inline_only;
+    inline_only.emplace_back(1);
+    InlineVec<Tracked, 2> spilled;
+    for (int i = 0; i < 7; ++i) spilled.emplace_back(i);
+    EXPECT_EQ(Tracked::live, 8);
+    InlineVec<Tracked, 2> moved(std::move(spilled));
+    EXPECT_EQ(moved.size(), 7u);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineVec, ClearDestroysButKeepsStorage) {
+  InlineVec<Tracked, 2> v;
+  for (int i = 0; i < 5; ++i) v.emplace_back(i);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_EQ(Tracked::live, 0);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+}
+
+}  // namespace
+}  // namespace p4auth

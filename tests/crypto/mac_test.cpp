@@ -52,6 +52,34 @@ TEST_P(MacKindSweep, EmptyMessageIsTaggable) {
   EXPECT_FALSE(verify_digest(GetParam(), 8, {}, tag));
 }
 
+// The copy-free two-span overload must agree with the one-span digest of
+// the concatenation for every split point, including splits that straddle
+// the hash's internal block boundaries.
+TEST_P(MacKindSweep, TwoSpanMatchesConcatenationAtEverySplit) {
+  const Key64 key = 0xA5A5A5A55A5A5A5Aull;
+  Xoshiro256 rng(7);
+  std::vector<std::uint8_t> msg(37);
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u32());
+  const Digest32 whole = compute_digest(GetParam(), key, msg);
+  for (std::size_t cut = 0; cut <= msg.size(); ++cut) {
+    const std::span<const std::uint8_t> head(msg.data(), cut);
+    const std::span<const std::uint8_t> tail(msg.data() + cut, msg.size() - cut);
+    EXPECT_EQ(compute_digest(GetParam(), key, head, tail), whole) << "cut " << cut;
+    EXPECT_TRUE(verify_digest(GetParam(), key, head, tail, whole)) << "cut " << cut;
+    EXPECT_FALSE(verify_digest(GetParam(), key, head, tail, whole ^ 1u)) << "cut " << cut;
+  }
+}
+
+TEST_P(MacKindSweep, TwoSpanHandlesEmptyHalves) {
+  const Key64 key = 3;
+  const Digest32 whole = compute_digest(GetParam(), key, kMsg);
+  EXPECT_EQ(compute_digest(GetParam(), key, kMsg, {}), whole);
+  EXPECT_EQ(compute_digest(GetParam(), key, {}, kMsg), whole);
+  EXPECT_EQ(compute_digest(GetParam(), key, std::span<const std::uint8_t>{},
+                           std::span<const std::uint8_t>{}),
+            compute_digest(GetParam(), key, {}));
+}
+
 INSTANTIATE_TEST_SUITE_P(Kinds, MacKindSweep,
                          ::testing::Values(MacKind::HalfSipHash24, MacKind::HalfSipHash13,
                                            MacKind::Crc32Envelope));

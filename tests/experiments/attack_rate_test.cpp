@@ -35,8 +35,8 @@ TEST(AttackRate, ZeroRateMatchesCleanRct) {
   options.rates = {0.0};
   options.writes = 40;
   const auto points = run_attack_rate_experiment(options);
-  // Write completion ~ compose (1.8ms) + digest + channel + parse ≈ 2.2ms.
-  EXPECT_NEAR(points[0].mean_completion_us, 2220.0, 300.0);
+  // Write completion ~ compose (1.35ms) + digest + channel + parse ≈ 1.7ms.
+  EXPECT_NEAR(points[0].mean_completion_us, 1680.0, 300.0);
 }
 
 }  // namespace

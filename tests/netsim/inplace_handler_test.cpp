@@ -1,0 +1,127 @@
+#include "netsim/inplace_handler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace p4auth::netsim {
+namespace {
+
+TEST(InplaceHandler, EmptyIsFalsy) {
+  InplaceHandler h;
+  EXPECT_FALSE(static_cast<bool>(h));
+}
+
+TEST(InplaceHandler, SmallCaptureStaysInline) {
+  int fired = 0;
+  InplaceHandler h([&fired] { ++fired; });
+  EXPECT_TRUE(static_cast<bool>(h));
+  EXPECT_FALSE(h.heap_allocated());
+  h();
+  h();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(InplaceHandler, DeliveryShapedCaptureStaysInline) {
+  // The hot capture: an object pointer, a port-sized id, a moved Bytes.
+  Bytes payload = {1, 2, 3, 4};
+  std::size_t seen = 0;
+  auto* seen_ptr = &seen;
+  std::uint16_t port = 7;
+  InplaceHandler h([seen_ptr, port, payload = std::move(payload)]() mutable {
+    *seen_ptr = payload.size() + port;
+  });
+  EXPECT_FALSE(h.heap_allocated());
+  h();
+  EXPECT_EQ(seen, 11u);
+}
+
+TEST(InplaceHandler, OversizedCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 32> big{};
+  big[31] = 42;
+  std::uint64_t result = 0;
+  InplaceHandler h([big, &result] { result = big[31]; });
+  EXPECT_TRUE(h.heap_allocated());
+  h();
+  EXPECT_EQ(result, 42u);
+}
+
+TEST(InplaceHandler, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(99);
+  int seen = 0;
+  InplaceHandler h([owned = std::move(owned), &seen] { seen = *owned; });
+  InplaceHandler moved(std::move(h));
+  EXPECT_FALSE(static_cast<bool>(h));  // NOLINT(bugprone-use-after-move)
+  moved();
+  EXPECT_EQ(seen, 99);
+}
+
+TEST(InplaceHandler, MoveRelocatesInlineState) {
+  Bytes payload = {5, 6, 7};
+  std::size_t seen = 0;
+  auto* seen_ptr = &seen;
+  InplaceHandler a([seen_ptr, payload = std::move(payload)] { *seen_ptr = payload.size(); });
+  InplaceHandler b(std::move(a));
+  InplaceHandler c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(InplaceHandler, DestructionRunsExactlyOnce) {
+  // A shared_ptr capture observes its own destruction via use_count.
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = token;
+  {
+    InplaceHandler h([token = std::move(token)] { (void)token; });
+    EXPECT_EQ(weak.use_count(), 1);
+    InplaceHandler moved(std::move(h));
+    EXPECT_EQ(weak.use_count(), 1);  // relocation must not duplicate
+  }
+  EXPECT_EQ(weak.use_count(), 0);  // destroyed with the handler, once
+}
+
+TEST(InplaceHandler, HeapFallbackDestroysExactlyOnce) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = token;
+  std::array<std::uint64_t, 32> pad{};
+  {
+    InplaceHandler h([token = std::move(token), pad] { (void)token; (void)pad; });
+    ASSERT_TRUE(h.heap_allocated());
+    InplaceHandler moved(std::move(h));
+    EXPECT_EQ(weak.use_count(), 1);
+    moved();
+  }
+  EXPECT_EQ(weak.use_count(), 0);
+}
+
+TEST(InplaceHandler, ReassignmentDestroysPreviousClosure) {
+  auto first = std::make_shared<int>(1);
+  std::weak_ptr<int> weak = first;
+  InplaceHandler h([first = std::move(first)] { (void)first; });
+  h = InplaceHandler([] {});
+  EXPECT_EQ(weak.use_count(), 0);
+  h();  // the replacement is callable
+}
+
+TEST(InplaceHandler, FitsInlinePredicateMatchesStorage) {
+  struct Small {
+    void operator()() {}
+    char pad[InplaceHandler::kInlineSize];
+  };
+  struct TooBig {
+    void operator()() {}
+    char pad[InplaceHandler::kInlineSize + 1];
+  };
+  EXPECT_TRUE(InplaceHandler::fits_inline<Small>());
+  EXPECT_FALSE(InplaceHandler::fits_inline<TooBig>());
+}
+
+}  // namespace
+}  // namespace p4auth::netsim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace p4auth::netsim {
@@ -131,6 +132,27 @@ TEST(Simulator, ProcessedCounts) {
   sim.run();
   EXPECT_EQ(sim.processed(), 7u);
   EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, AcceptsMoveOnlyHandlers) {
+  // std::function required copyable callables; the event queue must not.
+  Simulator sim;
+  auto payload = std::make_unique<int>(17);
+  int seen = 0;
+  sim.after(SimTime::from_us(1), [payload = std::move(payload), &seen] { seen = *payload; });
+  sim.run();
+  EXPECT_EQ(seen, 17);
+}
+
+TEST(Simulator, MoveOnlyHandlersInterleaveWithTiesInOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    auto tag = std::make_unique<int>(i);
+    sim.at(SimTime::from_us(5), [tag = std::move(tag), &order] { order.push_back(*tag); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
 TEST(Simulator, MaxEventsGuardStopsRunaway) {

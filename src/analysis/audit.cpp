@@ -1,0 +1,202 @@
+#include "analysis/audit.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <unordered_set>
+
+namespace p4auth::analysis {
+namespace {
+
+using dataplane::HashUse;
+
+bool is_data_hash(const HashUse& use) noexcept {
+  return use.algo == HashUse::Algo::HalfSipHash || use.algo == HashUse::Algo::Crc32;
+}
+
+std::uint64_t window_le(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+std::uint64_t byteswap64(std::uint64_t v) noexcept {
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out = (out << 8) | (v & 0xFF);
+    v >>= 8;
+  }
+  return out;
+}
+
+}  // namespace
+
+AuditSession::AuditSession() : rng_(0x9A0D175EC0D1Full), now_(SimTime::from_ms(1)) {}
+
+AuditSession::~AuditSession() = default;
+
+void AuditSession::on_table_lookup(std::string_view table) {
+  observed_.tables.insert(std::string(table));
+}
+
+std::uint64_t AuditSession::program_accesses(std::size_t index) const noexcept {
+  if (index >= registers_.arrays().size()) return 0;
+  const std::uint64_t total = registers_.arrays()[index]->accesses();
+  const std::uint64_t baseline =
+      index < baseline_accesses_.size() ? baseline_accesses_[index] : 0;
+  return total >= baseline ? total - baseline : 0;
+}
+
+void AuditSession::snapshot_baseline() {
+  baseline_accesses_.clear();
+  baseline_accesses_.reserve(registers_.arrays().size());
+  for (const auto& array : registers_.arrays()) {
+    baseline_accesses_.push_back(array->accesses());
+  }
+  baseline_taken_ = true;
+}
+
+dataplane::PipelineOutput AuditSession::inject(Bytes payload, PortId ingress) {
+  if (!baseline_taken_) snapshot_baseline();
+  dataplane::Packet packet;
+  packet.payload = std::move(payload);
+  packet.ingress = ingress;
+  packet.arrival = now_;
+  dataplane::PipelineContext ctx(registers_, rng_, now_, self_, /*telemetry=*/nullptr,
+                                 /*pool=*/nullptr, /*audit=*/this);
+  dataplane::PipelineOutput out = program_->process(packet, ctx);
+
+  ++observed_.packets;
+  const auto& costs = ctx.costs();
+  observed_.max_hash_calls = std::max(observed_.max_hash_calls, costs.hash_calls);
+  observed_.max_hashed_bytes = std::max(observed_.max_hashed_bytes, costs.hashed_bytes);
+  observed_.total_hash_calls += static_cast<std::uint64_t>(costs.hash_calls);
+  for (const auto& emit : out.emits) observed_.output_frames.push_back(emit.payload);
+  for (const auto& msg : out.to_cpu) observed_.output_frames.push_back(msg);
+
+  now_ = now_ + SimTime::from_ms(1);
+  return out;
+}
+
+std::vector<Finding> run_conformance_audit(AuditSession& session) {
+  const auto decl = session.program().resources();
+  const auto& observed = session.observed();
+  const auto& registers = session.registers();
+  std::vector<Finding> findings;
+  const auto add = [&](Severity severity, std::string rule, std::string message) {
+    findings.push_back(Finding{severity, std::move(rule), decl.name, std::move(message)});
+  };
+
+  // --- registers: observed accesses vs declared shapes --------------------
+  std::unordered_set<std::string_view> declared_registers;
+  for (const auto& reg : decl.registers) declared_registers.insert(reg.name);
+
+  std::unordered_set<std::string_view> backed_registers;
+  for (std::size_t i = 0; i < registers.arrays().size(); ++i) {
+    const auto& array = *registers.arrays()[i];
+    backed_registers.insert(array.name());
+    // program_accesses excludes harness setup writes made before the
+    // first inject — pre-loading state is not program usage.
+    const std::uint64_t used = session.program_accesses(i);
+    const bool declared = declared_registers.contains(array.name());
+    if (used > 0 && !declared) {
+      add(Severity::Error, "audit-undeclared-register",
+          "register '" + array.name() + "' was accessed " + std::to_string(used) +
+              " time(s) but is not in the declared footprint (" +
+              std::to_string(array.total_bits()) + " bits of SRAM unbilled)");
+    }
+    if (used == 0 && declared) {
+      add(Severity::Warning, "audit-dead-register",
+          "declared register '" + array.name() + "' was never touched by the audit corpus");
+    }
+  }
+  for (const auto& reg : decl.registers) {
+    if (!backed_registers.contains(reg.name)) {
+      add(Severity::Info, "audit-phantom-register",
+          "declared register '" + reg.name +
+              "' has no backing array (notional P4 state modelled in host structures)");
+    }
+  }
+
+  // --- tables: noted lookups vs declared shapes ---------------------------
+  std::unordered_set<std::string_view> declared_tables;
+  for (const auto& table : decl.tables) declared_tables.insert(table.name);
+  for (const auto& table : observed.tables) {
+    if (!declared_tables.contains(table)) {
+      add(Severity::Error, "audit-undeclared-table",
+          "observed lookup against table '" + table + "' which is not declared");
+    }
+  }
+  for (const auto& table : decl.tables) {
+    if (!observed.tables.contains(table.name)) {
+      add(Severity::Warning, "audit-dead-table",
+          "declared table '" + table.name + "' was never looked up by the audit corpus");
+    }
+  }
+
+  // --- hashing: per-pass cost counters vs declared HashUses ---------------
+  int declared_uses = 0;
+  std::size_t declared_bytes = 0;
+  for (const auto& use : decl.hash_uses) {
+    if (!is_data_hash(use)) continue;
+    ++declared_uses;
+    declared_bytes += use.covered_bytes;
+  }
+  if (observed.max_hash_calls > 0 && declared_uses == 0) {
+    add(Severity::Error, "audit-undeclared-hash",
+        "program hashed data (" + std::to_string(observed.max_hash_calls) +
+            " call(s) in one pass) but declares no data-hash uses");
+  } else if (declared_uses > 0) {
+    if (observed.max_hash_calls > declared_uses) {
+      add(Severity::Error, "audit-hash-drift",
+          "one pipeline pass made " + std::to_string(observed.max_hash_calls) +
+              " hash calls but only " + std::to_string(declared_uses) +
+              " hash uses are declared");
+    }
+    // 2x slack: declared covered bytes size the hash units for the
+    // common case; variable-length payloads may exceed it briefly.
+    if (observed.max_hashed_bytes > 2 * declared_bytes) {
+      add(Severity::Error, "audit-hash-drift",
+          "one pipeline pass digested " + std::to_string(observed.max_hashed_bytes) +
+              " bytes; declared covered bytes total " + std::to_string(declared_bytes) +
+              " (2x slack exceeded)");
+    }
+    if (observed.total_hash_calls == 0) {
+      add(Severity::Warning, "audit-dead-hash",
+          "program declares " + std::to_string(declared_uses) +
+              " data-hash use(s) but the audit corpus observed no hashing");
+    }
+  }
+
+  // --- secret flow: tainted words must not reach output frames ------------
+  std::unordered_set<std::uint64_t> secrets;
+  for (const auto& array : registers.arrays()) {
+    if (!array->secret()) continue;
+    for (std::size_t i = 0; i < array->size(); ++i) {
+      const auto word = array->read(i);
+      if (word.ok() && word.value() != 0) secrets.insert(word.value());
+    }
+  }
+  if (!secrets.empty()) {
+    std::size_t leaking_frames = 0;
+    for (const auto& frame : observed.output_frames) {
+      bool leaked = false;
+      for (std::size_t i = 0; i + 8 <= frame.size() && !leaked; ++i) {
+        const std::uint64_t le = window_le(frame.data() + i);
+        leaked = secrets.contains(le) || secrets.contains(byteswap64(le));
+      }
+      if (leaked) ++leaking_frames;
+    }
+    if (leaking_frames > 0) {
+      add(Severity::Error, "audit-secret-leak",
+          std::to_string(leaking_frames) +
+              " output frame(s) contain a secret register word verbatim (key material must "
+              "only leave the data plane through the digest extern)");
+    }
+  }
+
+  sort_findings(findings);
+  return findings;
+}
+
+}  // namespace p4auth::analysis

@@ -1,0 +1,106 @@
+// Declaration-conformance audit: runs a DataPlaneProgram over a small
+// deterministic packet corpus inside an instrumented harness and diffs
+// the *observed* register/table/digest usage against the *declared*
+// ProgramDeclaration footprint.
+//
+// Observation channels:
+//   * RegisterArray access counters (reads/writes) on the session's
+//     register file — a shadow view of which state the program touched;
+//   * the AuditSink table-lookup hook on PipelineContext;
+//   * the per-packet PacketCosts hash counters;
+//   * every emitted frame and PacketIn, retained for the secret-flow
+//     scan (P4BID-style: words from secret-tagged registers must not
+//     appear in output bytes outside the digest extern).
+//
+// Rules (ids are stable; see docs/ANALYSIS.md):
+//   audit-undeclared-register  program touched a register absent from
+//                              its declaration (SRAM under-billed)
+//   audit-dead-register        declared register never touched by the
+//                              corpus (warning)
+//   audit-phantom-register     declared register has no backing array at
+//                              all — notional P4 state kept in host
+//                              structures (info)
+//   audit-undeclared-table     observed lookup against an undeclared
+//                              table name
+//   audit-dead-table           declared table never looked up (warning)
+//   audit-undeclared-hash      hashing observed but no data-hash use
+//                              declared
+//   audit-hash-drift           observed per-packet hash work exceeds the
+//                              declared covered bytes / unit count
+//   audit-secret-leak          an output frame contains a secret
+//                              register's current word verbatim
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "common/rng.hpp"
+#include "dataplane/program.hpp"
+#include "dataplane/register_file.hpp"
+
+namespace p4auth::analysis {
+
+/// Instrumented single-switch harness the corpus runs in. The registry
+/// entry builds its program into the session (optionally pre-loading
+/// state through `registers()` — harness writes before the first inject
+/// are excluded from the observation baseline) and injects its packets.
+class AuditSession : public dataplane::AuditSink {
+ public:
+  AuditSession();
+  ~AuditSession() override;
+
+  dataplane::RegisterFile& registers() noexcept { return registers_; }
+
+  /// Installs the program under audit. Must be called before inject().
+  void adopt(std::unique_ptr<dataplane::DataPlaneProgram> program) {
+    program_ = std::move(program);
+  }
+  dataplane::DataPlaneProgram& program() noexcept { return *program_; }
+
+  /// Runs one packet through the program with auditing attached and
+  /// records the observations. Simulated time advances 1 ms per packet;
+  /// returns the pipeline output so interactive corpora (e.g. the
+  /// P4Auth key-exchange handshake) can react to responses.
+  dataplane::PipelineOutput inject(Bytes payload, PortId ingress);
+
+  SimTime now() const noexcept { return now_; }
+
+  struct Observed {
+    std::uint64_t packets = 0;
+    std::set<std::string> tables;
+    int max_hash_calls = 0;          ///< worst single-pass hash invocations
+    std::size_t max_hashed_bytes = 0;  ///< worst single-pass digested bytes
+    std::uint64_t total_hash_calls = 0;
+    std::vector<Bytes> output_frames;  ///< every emit + PacketIn payload
+  };
+  const Observed& observed() const noexcept { return observed_; }
+
+  /// Accesses the program made to registers().arrays()[index] during the
+  /// corpus, i.e. since the pre-inject baseline snapshot.
+  std::uint64_t program_accesses(std::size_t index) const noexcept;
+
+  // AuditSink
+  void on_table_lookup(std::string_view table) override;
+
+ private:
+  void snapshot_baseline();
+
+  dataplane::RegisterFile registers_;
+  std::unique_ptr<dataplane::DataPlaneProgram> program_;
+  Xoshiro256 rng_;
+  SimTime now_;
+  NodeId self_{1};
+  Observed observed_;
+  /// Per-array access counts at first inject; setup writes by the
+  /// harness (cache pre-loads, route installs) are not program usage.
+  std::vector<std::uint64_t> baseline_accesses_;
+  bool baseline_taken_ = false;
+};
+
+/// Diffs the session's observations against program().resources().
+std::vector<Finding> run_conformance_audit(AuditSession& session);
+
+}  // namespace p4auth::analysis

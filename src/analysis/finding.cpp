@@ -1,0 +1,115 @@
+#include "analysis/finding.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "telemetry/json.hpp"
+
+namespace p4auth::analysis {
+
+std::string_view severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Info:
+      return "info";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tuple(static_cast<int>(b.severity), std::string_view(a.rule),
+                      std::string_view(a.message)) <
+           std::tuple(static_cast<int>(a.severity), std::string_view(b.rule),
+                      std::string_view(b.message));
+  });
+}
+
+int count_findings(const std::vector<Finding>& findings, Severity severity) noexcept {
+  int n = 0;
+  for (const auto& finding : findings) {
+    if (finding.severity == severity) ++n;
+  }
+  return n;
+}
+
+std::string report_json(const std::vector<ProgramReport>& reports) {
+  telemetry::JsonWriter w;
+  int errors = 0;
+  int warnings = 0;
+  w.begin_object();
+  w.kv("schema", "p4auth.lint.v1");
+  w.key("programs");
+  w.begin_array();
+  for (const auto& report : reports) {
+    w.begin_object();
+    w.kv("name", report.program);
+    w.key("usage");
+    w.begin_object();
+    w.kv("tcam_blocks", static_cast<std::int64_t>(report.usage.tcam_blocks));
+    w.kv("sram_blocks", static_cast<std::int64_t>(report.usage.sram_blocks));
+    w.kv("hash_units", static_cast<std::int64_t>(report.usage.hash_units));
+    w.kv("phv_bits", static_cast<std::int64_t>(report.usage.phv_bits));
+    w.kv("stages", static_cast<std::int64_t>(report.usage.stages));
+    w.kv("tcam_pct", report.usage.tcam_pct);
+    w.kv("sram_pct", report.usage.sram_pct);
+    w.kv("hash_pct", report.usage.hash_pct);
+    w.kv("phv_pct", report.usage.phv_pct);
+    w.end_object();
+    w.key("findings");
+    w.begin_array();
+    for (const auto& finding : report.findings) {
+      w.begin_object();
+      w.kv("severity", severity_name(finding.severity));
+      w.kv("rule", finding.rule);
+      w.kv("message", finding.message);
+      w.end_object();
+    }
+    w.end_array();
+    errors += count_findings(report.findings, Severity::Error);
+    warnings += count_findings(report.findings, Severity::Warning);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("summary");
+  w.begin_object();
+  w.kv("errors", static_cast<std::int64_t>(errors));
+  w.kv("warnings", static_cast<std::int64_t>(warnings));
+  w.end_object();
+  w.end_object();
+  return w.take();
+}
+
+std::string report_text(const std::vector<ProgramReport>& reports) {
+  std::string out;
+  int errors = 0;
+  int warnings = 0;
+  for (const auto& report : reports) {
+    out += report.program + ": ";
+    if (report.findings.empty()) {
+      out += "clean";
+    } else {
+      out += std::to_string(report.findings.size()) + " finding(s)";
+    }
+    out += "\n";
+    for (const auto& finding : report.findings) {
+      out += "  [";
+      out += severity_name(finding.severity);
+      out += "] ";
+      out += finding.rule;
+      out += ": ";
+      out += finding.message;
+      out += "\n";
+    }
+    errors += count_findings(report.findings, Severity::Error);
+    warnings += count_findings(report.findings, Severity::Warning);
+  }
+  out += "summary: " + std::to_string(errors) + " error(s), " + std::to_string(warnings) +
+         " warning(s)\n";
+  return out;
+}
+
+}  // namespace p4auth::analysis

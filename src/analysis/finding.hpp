@@ -1,0 +1,49 @@
+// Machine-readable verifier findings (the lint analogue of the telemetry
+// snapshot): every rule violation is a Finding with a stable rule id, a
+// severity, and a human-readable message. Reports serialize to
+// deterministic JSON (schema p4auth.lint.v1) via the telemetry JsonWriter
+// so CI can gate on them exactly like BENCH_*.json artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dataplane/resources.hpp"
+
+namespace p4auth::analysis {
+
+enum class Severity : std::uint8_t { Info = 0, Warning = 1, Error = 2 };
+
+std::string_view severity_name(Severity severity) noexcept;
+
+/// One rule violation. `rule` is a stable kebab-case id (documented in
+/// docs/ANALYSIS.md); `program` is the ProgramDeclaration name.
+struct Finding {
+  Severity severity = Severity::Error;
+  std::string rule;
+  std::string program;
+  std::string message;
+};
+
+/// Stable report order: errors first, then by rule id, then message.
+void sort_findings(std::vector<Finding>& findings);
+
+int count_findings(const std::vector<Finding>& findings, Severity severity) noexcept;
+
+/// Everything the verifier produced for one program: the computed
+/// Table II-style usage plus all static and conformance findings.
+struct ProgramReport {
+  std::string program;
+  dataplane::ResourceUsage usage;
+  std::vector<Finding> findings;
+};
+
+/// Deterministic JSON report over all audited programs.
+std::string report_json(const std::vector<ProgramReport>& reports);
+
+/// Human-readable report for terminal use.
+std::string report_text(const std::vector<ProgramReport>& reports);
+
+}  // namespace p4auth::analysis

@@ -1,0 +1,39 @@
+// Lint registry: every shipped DataPlaneProgram, paired with a builder
+// that constructs it inside an AuditSession and drives a small
+// deterministic packet corpus through it. `p4auth_lint --all-apps` and
+// the tests iterate this list; new apps register here to join the gate.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/audit.hpp"
+#include "analysis/finding.hpp"
+
+namespace p4auth::analysis {
+
+struct LintEntry {
+  std::string name;
+  /// Builds the program into the session (program(), registers()) and
+  /// injects its corpus. State pre-loads through session.registers()
+  /// must happen before the first inject to stay out of the baseline.
+  std::function<void(AuditSession&)> run;
+};
+
+/// The shipped programs: the 8 in-network apps plus the paper's
+/// "baseline_l3 + P4Auth" agent composition (driven through a full
+/// EAK/ADHKD handshake and authenticated register ops).
+const std::vector<LintEntry>& builtin_programs();
+
+const LintEntry* find_program(std::string_view name);
+
+/// Static checks + conformance audit for one registry entry.
+ProgramReport lint_program(const LintEntry& entry,
+                           const dataplane::ResourceBudget& budget = {});
+
+/// Reports for every builtin program, in registry order.
+std::vector<ProgramReport> lint_all(const dataplane::ResourceBudget& budget = {});
+
+}  // namespace p4auth::analysis

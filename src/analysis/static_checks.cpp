@@ -1,0 +1,106 @@
+#include "analysis/static_checks.hpp"
+
+#include <set>
+#include <string>
+
+namespace p4auth::analysis {
+namespace {
+
+using dataplane::MatchKind;
+using dataplane::ProgramDeclaration;
+using dataplane::ResourceBudget;
+
+int ceil_div(std::size_t a, std::size_t b) noexcept {
+  return static_cast<int>((a + b - 1) / b);
+}
+
+Finding make(Severity severity, std::string rule, const ProgramDeclaration& program,
+             std::string message) {
+  return Finding{severity, std::move(rule), program.name, std::move(message)};
+}
+
+void check_declaration_shape(const ProgramDeclaration& program, std::vector<Finding>& out) {
+  std::set<std::string> table_names;
+  for (const auto& table : program.tables) {
+    if (!table_names.insert(table.name).second) {
+      out.push_back(make(Severity::Error, "decl-duplicate-table", program,
+                         "table '" + table.name + "' declared more than once"));
+    }
+    if (table.capacity == 0) {
+      out.push_back(make(Severity::Error, "decl-zero-capacity-table", program,
+                         "table '" + table.name + "' declared with capacity 0"));
+    }
+  }
+  std::set<std::string> register_names;
+  for (const auto& reg : program.registers) {
+    if (!register_names.insert(reg.name).second) {
+      out.push_back(make(Severity::Error, "decl-duplicate-register", program,
+                         "register '" + reg.name + "' declared more than once (double-charges " +
+                             std::to_string(reg.total_bits) + " bits of SRAM)"));
+    }
+    if (reg.total_bits == 0) {
+      out.push_back(make(Severity::Error, "decl-zero-size-register", program,
+                         "register '" + reg.name + "' declared with 0 bits"));
+    }
+  }
+}
+
+void check_budget(const ProgramDeclaration& program, const ResourceBudget& budget,
+                  std::vector<Finding>& out) {
+  const auto usage = dataplane::compute_usage(program, budget);
+  const auto overcommit = [&](int used, int total, const char* rule, const char* resource) {
+    if (used <= total) return;
+    out.push_back(make(Severity::Error, rule, program,
+                       std::string(resource) + " overcommitted: needs " + std::to_string(used) +
+                           " of " + std::to_string(total) + " available"));
+  };
+  overcommit(usage.tcam_blocks, budget.tcam_blocks, "budget-tcam-overcommit", "TCAM blocks");
+  overcommit(usage.sram_blocks, budget.sram_blocks, "budget-sram-overcommit", "SRAM blocks");
+  overcommit(usage.hash_units, budget.hash_units, "budget-hash-overcommit", "hash units");
+  overcommit(usage.phv_bits, budget.phv_bits, "budget-phv-overflow", "PHV bits");
+}
+
+void check_stage_feasibility(const ProgramDeclaration& program, const ResourceBudget& budget,
+                             std::vector<Finding>& out) {
+  // A TCAM key wider than one stage's block complement cannot be matched:
+  // every key unit of an entry must sit in the same stage.
+  const int tcam_per_stage = budget.tcam_blocks_per_stage();
+  for (const auto& table : program.tables) {
+    if (table.match_kind == MatchKind::Exact) continue;
+    const int key_units =
+        ceil_div(static_cast<std::size_t>(table.key_bits), dataplane::kTcamKeyUnitBits);
+    if (key_units > tcam_per_stage) {
+      out.push_back(make(Severity::Error, "stage-tcam-infeasible", program,
+                         "table '" + table.name + "' needs " + std::to_string(key_units) +
+                             " TCAM key units in one stage; a stage provides " +
+                             std::to_string(tcam_per_stage)));
+    }
+  }
+  // A hash use schedules across use.stages() stages; if the units it
+  // needs exceed what those stages provide it cannot be placed even in
+  // an otherwise empty pipe.
+  const int hash_per_stage = budget.hash_units_per_stage();
+  for (const auto& use : program.hash_uses) {
+    const int available = hash_per_stage * use.stages();
+    if (use.units() > available) {
+      out.push_back(make(Severity::Error, "stage-hash-infeasible", program,
+                         "hash use '" + use.label + "' needs " + std::to_string(use.units()) +
+                             " units across " + std::to_string(use.stages()) +
+                             " stage(s) which provide " + std::to_string(available)));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_static_checks(const ProgramDeclaration& program,
+                                       const ResourceBudget& budget) {
+  std::vector<Finding> findings;
+  check_declaration_shape(program, findings);
+  check_budget(program, budget, findings);
+  check_stage_feasibility(program, budget, findings);
+  sort_findings(findings);
+  return findings;
+}
+
+}  // namespace p4auth::analysis

@@ -1,0 +1,30 @@
+// Static verifier over a ProgramDeclaration: the checks a P4 compiler's
+// resource allocator would reject a program for, run against our
+// behavioural-model declarations so Table II accounting can be trusted.
+//
+// Rules (ids are stable; see docs/ANALYSIS.md):
+//   decl-duplicate-table     two declared tables share a name
+//   decl-duplicate-register  two declared registers share a name
+//   decl-zero-capacity-table a table declared with capacity 0
+//   decl-zero-size-register  a register declared with 0 total bits
+//   budget-tcam-overcommit   TCAM blocks exceed the per-pipe budget
+//   budget-sram-overcommit   SRAM blocks exceed the per-pipe budget
+//   budget-hash-overcommit   hash-distribution units exceed the budget
+//   budget-phv-overflow      header+metadata PHV bits exceed the budget
+//   stage-tcam-infeasible    one table's key needs more TCAM key units
+//                            than a single stage provides
+//   stage-hash-infeasible    one hash use needs more units than its
+//                            stage span can provide
+#pragma once
+
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "dataplane/resources.hpp"
+
+namespace p4auth::analysis {
+
+std::vector<Finding> run_static_checks(const dataplane::ProgramDeclaration& program,
+                                       const dataplane::ResourceBudget& budget = {});
+
+}  // namespace p4auth::analysis

@@ -77,6 +77,7 @@ dataplane::PipelineOutput BlinkProgram::process(dataplane::Packet& packet,
   const std::uint64_t hop = next_hops_->read(slot).value_or(0);
   ctx.costs().register_accesses += 2;
   ++ctx.costs().table_lookups;
+  ctx.note_table("bk_prefix_match");
   if (hop == 0) {
     ++stats_.dropped_no_hop;
     return dataplane::PipelineOutput::drop();

@@ -90,6 +90,10 @@ dataplane::ProgramDeclaration FlowRadarProgram::resources() const {
   for (int h = 0; h < Config::kHashes; ++h) {
     decl.hash_uses.push_back(dataplane::HashUse::crc32("fr_cell_hash"));
   }
+  // Two more CRC units drive the flow filter (first-packet bloom check).
+  for (int h = 0; h < 2; ++h) {
+    decl.hash_uses.push_back(dataplane::HashUse::crc32("fr_filter_hash", 4));
+  }
   decl.header_phv_bits = 8 + 32;
   decl.metadata_phv_bits = 64;
   return decl;

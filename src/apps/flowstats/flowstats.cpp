@@ -39,6 +39,7 @@ dataplane::PipelineOutput FlowStatsProgram::process(dataplane::Packet& packet,
   if (flow >= ipd_sum_->size()) return dataplane::PipelineOutput::drop();
 
   ctx.costs().register_accesses += 2;
+  ctx.note_table("fs_flagged_flows");
   if (blocked_->read(flow).value_or(0) != 0) {
     ++stats_.blocked;
     return dataplane::PipelineOutput::drop();

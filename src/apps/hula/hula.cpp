@@ -162,10 +162,12 @@ dataplane::PipelineOutput HulaProgram::handle_data(const DataPacket& data,
 
   // Flowlet stickiness: reuse the slot's port while the gap is small.
   const std::size_t slot = flow_hash(data.flow_id) % config_.flowlet_slots;
+  ctx.costs().add_hash(sizeof(data.flow_id));
   const std::uint64_t slot_port = flowlet_port_->read(slot).value_or(kNoHop);
   const auto slot_time = SimTime::from_ns(flowlet_time_->read(slot).value_or(0));
   ctx.costs().register_accesses += 2;
   ++ctx.costs().table_lookups;
+  ctx.note_table("hula_tor_fwd");
 
   std::uint64_t chosen = kNoHop;
   if (slot_port != kNoHop && now - slot_time < config_.flowlet_timeout) {

@@ -26,7 +26,19 @@ L3FwdProgram::L3FwdProgram(dataplane::RegisterFile& registers)
 }
 
 Status L3FwdProgram::add_route(std::uint32_t prefix, int prefix_len, PortId egress) {
+  // The port map rewrites the route's logical port to a physical one;
+  // identity by default, like the generated default entries on a target.
+  if (!port_map_.lookup(port_key(egress))) {
+    const auto mapped = port_map_.insert(port_key(egress), dataplane::Action{2, egress.value});
+    if (!mapped.ok()) return mapped;
+  }
   return routes_.insert(prefix, prefix_len, dataplane::Action{1, egress.value});
+}
+
+const Bytes& L3FwdProgram::port_key(PortId port) const {
+  key_scratch_.clear();
+  ByteWriter(key_scratch_).u32(port.value);
+  return key_scratch_;
 }
 
 dataplane::PipelineOutput L3FwdProgram::process(dataplane::Packet& packet,
@@ -35,10 +47,15 @@ dataplane::PipelineOutput L3FwdProgram::process(dataplane::Packet& packet,
   if (!decoded.ok()) return dataplane::PipelineOutput::drop();
 
   ctx.costs().table_lookups += 2;  // lpm + port map
+  ctx.note_table(routes_.shape().name);
   const auto route = routes_.lookup(decoded.value().dst);
   if (!route.has_value()) return dataplane::PipelineOutput::drop();
 
-  const auto egress = PortId{static_cast<std::uint16_t>(route->data)};
+  auto egress = PortId{static_cast<std::uint16_t>(route->data)};
+  ctx.note_table(port_map_.shape().name);
+  if (const auto mapped = port_map_.lookup(port_key(egress))) {
+    egress = PortId{static_cast<std::uint16_t>(mapped->data)};
+  }
   const std::size_t stat_slot = decoded.value().dst % stats_->size();
   (void)stats_->write(stat_slot, stats_->read(stat_slot).value_or(0) + 1);
   ctx.costs().register_accesses += 2;

@@ -39,10 +39,15 @@ class L3FwdProgram : public dataplane::DataPlaneProgram {
   std::uint64_t forwarded() const noexcept { return forwarded_; }
 
  private:
+  /// Serialises the port into key_scratch_ and returns it — reused across
+  /// packets so the forwarding path stays allocation-free in steady state.
+  const Bytes& port_key(PortId port) const;
+
   dataplane::LpmTable routes_;
   dataplane::ExactTable port_map_;
   dataplane::RegisterArray* stats_;
   std::uint64_t forwarded_ = 0;
+  mutable Bytes key_scratch_;
 };
 
 }  // namespace p4auth::apps::l3fwd

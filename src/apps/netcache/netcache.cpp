@@ -89,6 +89,7 @@ dataplane::PipelineOutput NetCacheProgram::process(dataplane::Packet& packet,
   }
 
   // Cache lookup across the slot registers.
+  ctx.note_table("nc_cache_lookup");
   for (std::size_t slot = 0; slot < config_.cache_slots; ++slot) {
     ++ctx.costs().register_accesses;
     if (cache_key_->read(slot).value_or(0) == key && key != 0) {

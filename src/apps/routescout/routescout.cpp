@@ -80,6 +80,7 @@ dataplane::PipelineOutput RouteScoutProgram::process(dataplane::Packet& packet,
     // cumulative split ratios.
     SplitMix64 mix(data.value().flow_id);
     const auto draw = mix.next() % 100;
+    ctx.costs().add_hash(sizeof(data.value().flow_id));
     std::uint64_t cumulative = 0;
     std::size_t chosen = config_.path_ports.size() - 1;
     for (std::size_t i = 0; i < config_.path_ports.size(); ++i) {
@@ -91,6 +92,7 @@ dataplane::PipelineOutput RouteScoutProgram::process(dataplane::Packet& packet,
       }
     }
     ++ctx.costs().table_lookups;
+    ctx.note_table("rs_path_select");
     ++stats_.data_forwarded;
     stats_.path_bytes[chosen] += data.value().size_bytes;
     return dataplane::PipelineOutput::unicast(config_.path_ports[chosen], packet.payload);

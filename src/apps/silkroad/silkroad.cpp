@@ -46,9 +46,11 @@ dataplane::PipelineOutput SilkRoadProgram::process(dataplane::Packet& packet,
   const std::size_t conn_slot = mix.next() % config_.conn_slots;
   const std::size_t dip_index = mix.next() % config_.dips_per_pool;
   const std::size_t pool_base = static_cast<std::size_t>(conn.vip) * config_.dips_per_pool;
+  ctx.costs().add_hash(sizeof(conn.conn_id));
 
   ctx.costs().register_accesses += 2;
   ++ctx.costs().table_lookups;
+  ctx.note_table("slk_conn_table");
   const std::uint64_t pinned = conn_dip_->read(conn_slot).value_or(0);
   std::uint32_t dip = 0;
   if (pinned != 0) {

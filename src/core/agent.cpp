@@ -354,6 +354,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_register_op(const Message& msg,
 
   // reg_id_to_name_mapping lookup (Fig. 15).
   ++ctx.costs().table_lookups;
+  ctx.note_table(reg_map_.shape().name);
   const auto action = reg_map_.lookup(map_key_bytes(req.reg_id, op));
   note_table_lookup(ctx, action.has_value(), req.reg_id);
   if (!action.has_value()) {
@@ -721,12 +722,12 @@ dataplane::ProgramDeclaration P4AuthAgent::resources() const {
 
   decl.add_table(reg_map_.shape());
   const auto slots = static_cast<std::size_t>(config_.num_ports) + 1;
-  decl.registers.push_back(dataplane::RegisterShape{"p4auth_keys_a", slots * 64});
-  decl.registers.push_back(dataplane::RegisterShape{"p4auth_keys_b", slots * 64});
-  decl.registers.push_back(dataplane::RegisterShape{"p4auth_key_installs", slots * 32});
-  decl.registers.push_back(dataplane::RegisterShape{"p4auth_seq", 16384u * 32u});
-  decl.registers.push_back(dataplane::RegisterShape{"p4auth_alert_cnt", 2u * 4096u * 32u});
-  decl.registers.push_back(dataplane::RegisterShape{"p4auth_pending", 2u * 4096u * 32u});
+  decl.add_register_shape(dataplane::RegisterShape{"p4auth_keys_a", slots * 64});
+  decl.add_register_shape(dataplane::RegisterShape{"p4auth_keys_b", slots * 64});
+  decl.add_register_shape(dataplane::RegisterShape{"p4auth_key_installs", slots * 32});
+  decl.add_register_shape(dataplane::RegisterShape{"p4auth_seq", 16384u * 32u});
+  decl.add_register_shape(dataplane::RegisterShape{"p4auth_alert_cnt", 2u * 4096u * 32u});
+  decl.add_register_shape(dataplane::RegisterShape{"p4auth_pending", 2u * 4096u * 32u});
 
   const std::size_t covered = kHeaderSize - 4 + 16;  // header sans digest + payload
   if (config_.mac == crypto::MacKind::Crc32Envelope) {

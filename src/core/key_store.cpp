@@ -32,6 +32,10 @@ DataPlaneKeyStore::DataPlaneKeyStore(dataplane::RegisterFile& registers, int num
   reg_b_ = registers.create("p4auth_keys_b", RegisterId{0xFFFF0002}, slots, 64).value();
   reg_installs_ =
       registers.create("p4auth_key_installs", RegisterId{0xFFFF0003}, slots, 32).value();
+  // Taint tags for the secret-flow audit: words read from these arrays
+  // must never reach emitted frame bytes outside the digest extern.
+  reg_a_->mark_secret();
+  reg_b_->mark_secret();
 }
 
 bool DataPlaneKeyStore::has_key(PortId slot) const {

@@ -2,6 +2,8 @@
 // switch, a DataPlaneProgram is to our behavioural-model Switch.
 #pragma once
 
+#include <string_view>
+
 #include "common/buffer_pool.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -15,17 +17,30 @@ struct Telemetry;
 
 namespace p4auth::dataplane {
 
+/// Receiver for pipeline audit events. Normally null (the hooks compile
+/// to a pointer test); the conformance auditor in src/analysis installs
+/// one to observe which declared constructs a program actually exercises.
+class AuditSink {
+ public:
+  virtual ~AuditSink() = default;
+  /// A program consulted the named match-action table (or its
+  /// register-backed behavioural-model stand-in).
+  virtual void on_table_lookup(std::string_view table) = 0;
+};
+
 /// Per-invocation view of the switch a program runs on: stateful register
 /// access, the target's random() source, current time, and the cost
 /// counters the timing model bills from. Optionally carries the hosting
-/// switch's telemetry bundle (null when telemetry is off) and the
-/// network's packet-buffer pool (null when the program runs standalone).
+/// switch's telemetry bundle (null when telemetry is off), the network's
+/// packet-buffer pool (null when the program runs standalone), and an
+/// audit sink (null outside conformance audits).
 class PipelineContext {
  public:
   PipelineContext(RegisterFile& registers, Xoshiro256& rng, SimTime now, NodeId self,
-                  telemetry::Telemetry* telemetry = nullptr, BufferPool* pool = nullptr)
+                  telemetry::Telemetry* telemetry = nullptr, BufferPool* pool = nullptr,
+                  AuditSink* audit = nullptr)
       : registers_(registers), rng_(rng), now_(now), self_(self), telemetry_(telemetry),
-        pool_(pool) {}
+        pool_(pool), audit_(audit) {}
 
   RegisterFile& registers() noexcept { return registers_; }
   Xoshiro256& rng() noexcept { return rng_; }
@@ -34,6 +49,15 @@ class PipelineContext {
   PacketCosts& costs() noexcept { return costs_; }
   telemetry::Telemetry* telemetry() const noexcept { return telemetry_; }
   BufferPool* pool() const noexcept { return pool_; }
+  AuditSink* audit() const noexcept { return audit_; }
+
+  /// Reports a lookup against the named declared table; free when no
+  /// audit is attached. Programs call this where they bill
+  /// costs().table_lookups so the auditor can match observed lookups to
+  /// the ProgramDeclaration by name.
+  void note_table(std::string_view table) {
+    if (audit_ != nullptr) audit_->on_table_lookup(table);
+  }
 
   /// Pool-backed buffer for an outgoing frame; a plain Bytes when the
   /// context has no pool. The buffer leaves the pool's custody here and
@@ -58,6 +82,7 @@ class PipelineContext {
   NodeId self_;
   telemetry::Telemetry* telemetry_;
   BufferPool* pool_;
+  AuditSink* audit_;
   PacketCosts costs_;
 };
 

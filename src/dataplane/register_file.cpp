@@ -15,6 +15,7 @@ RegisterArray::RegisterArray(std::string name, RegisterId id, std::size_t size, 
 }
 
 Result<std::uint64_t> RegisterArray::read(std::size_t index) const {
+  ++reads_;
   if (index >= cells_.size()) {
     return make_error("register '" + name_ + "': read index out of range");
   }
@@ -22,6 +23,7 @@ Result<std::uint64_t> RegisterArray::read(std::size_t index) const {
 }
 
 Status RegisterArray::write(std::size_t index, std::uint64_t value) {
+  ++writes_;
   if (index >= cells_.size()) {
     return make_error("register '" + name_ + "': write index out of range");
   }
@@ -30,6 +32,7 @@ Status RegisterArray::write(std::size_t index, std::uint64_t value) {
 }
 
 void RegisterArray::fill(std::uint64_t value) {
+  ++writes_;
   for (auto& cell : cells_) cell = value & mask_;
 }
 

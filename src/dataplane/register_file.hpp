@@ -38,12 +38,26 @@ class RegisterArray {
 
   void fill(std::uint64_t value);
 
+  // --- audit instrumentation (src/analysis) -------------------------------
+  // Lifetime access counters let the conformance auditor diff *observed*
+  // register usage against a program's declared footprint without a
+  // shadow copy of the file; the secret tag marks arrays holding key
+  // material (K_auth/K_local/K_port) for the secret-flow check.
+  std::uint64_t reads() const noexcept { return reads_; }
+  std::uint64_t writes() const noexcept { return writes_; }
+  std::uint64_t accesses() const noexcept { return reads_ + writes_; }
+  bool secret() const noexcept { return secret_; }
+  void mark_secret() noexcept { secret_ = true; }
+
  private:
   std::string name_;
   RegisterId id_;
   int width_bits_;
   std::uint64_t mask_;
   std::vector<std::uint64_t> cells_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  bool secret_ = false;
 };
 
 class RegisterFile {

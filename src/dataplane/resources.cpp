@@ -1,5 +1,6 @@
 #include "dataplane/resources.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace p4auth::dataplane {
@@ -8,12 +9,6 @@ namespace {
 constexpr int ceil_div(std::size_t a, std::size_t b) noexcept {
   return static_cast<int>((a + b - 1) / b);
 }
-
-constexpr std::size_t kTcamEntriesPerBlock = 512;
-constexpr int kTcamKeyUnitBits = 44;
-constexpr std::size_t kSramEntriesPerBlock = 1024;
-constexpr int kSramWordBits = 128;
-constexpr std::size_t kSramBlockBits = 131072;  // 128 Kb
 
 }  // namespace
 
@@ -86,6 +81,14 @@ int HashUse::stages() const noexcept {
       return 1;
   }
   return 0;
+}
+
+void ProgramDeclaration::add_register_shape(RegisterShape shape) {
+  const auto known = std::find_if(registers.begin(), registers.end(), [&](const RegisterShape& r) {
+    return r.name == shape.name;
+  });
+  if (known != registers.end()) return;
+  registers.push_back(std::move(shape));
 }
 
 void ProgramDeclaration::add_registers(const RegisterFile& file) {

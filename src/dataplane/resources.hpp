@@ -17,6 +17,14 @@
 
 namespace p4auth::dataplane {
 
+// Charging-rule constants, shared between compute_usage and the static
+// verifier (src/analysis) so both bill from the same model.
+inline constexpr std::size_t kTcamEntriesPerBlock = 512;
+inline constexpr int kTcamKeyUnitBits = 44;
+inline constexpr std::size_t kSramEntriesPerBlock = 1024;
+inline constexpr int kSramWordBits = 128;
+inline constexpr std::size_t kSramBlockBits = 131072;  // 128 Kb
+
 /// Total per-pipe budgets.
 struct ResourceBudget {
   int stages = 12;
@@ -24,6 +32,12 @@ struct ResourceBudget {
   int sram_blocks = 960;   // 80 blocks x 12 stages
   int hash_units = 80;     // hash-distribution unit slots
   int phv_bits = 4096;
+
+  // Per-stage capacity, for single-stage feasibility checks: a construct
+  // that needs more of a resource than one stage provides cannot be
+  // placed no matter how empty the rest of the pipe is.
+  int tcam_blocks_per_stage() const noexcept { return stages > 0 ? tcam_blocks / stages : 0; }
+  int hash_units_per_stage() const noexcept { return stages > 0 ? hash_units / stages : 0; }
 };
 
 /// One use of a hash-capable unit by the program (digest computation,
@@ -66,9 +80,13 @@ struct ProgramDeclaration {
   int parser_overhead_sram_blocks = 1;
 
   void add_table(const TableShape& shape) { tables.push_back(shape); }
+  /// Deduplicates by name: declaring the same array twice (e.g. once by
+  /// the inner program and once by a wrapper) must not double-charge its
+  /// SRAM.
   void add_register(const RegisterArray& reg) {
-    registers.push_back(RegisterShape{reg.name(), reg.total_bits()});
+    add_register_shape(RegisterShape{reg.name(), reg.total_bits()});
   }
+  void add_register_shape(RegisterShape shape);
   void add_registers(const RegisterFile& file);
 };
 

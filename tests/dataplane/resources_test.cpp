@@ -125,6 +125,70 @@ TEST(ResourceModel, PercentagesAgainstCustomBudget) {
   EXPECT_DOUBLE_EQ(compute_usage(program, tiny).hash_pct, 25.0);
 }
 
+// Charging-rule boundaries: each ceiling must step at exact multiples of
+// the block constants, not one entry/bit early or late.
+
+int tcam_blocks_for(int key_bits, std::size_t capacity) {
+  ProgramDeclaration program;
+  program.add_table(TableShape{"t", MatchKind::Lpm, key_bits, 64, capacity});
+  return compute_usage(program).tcam_blocks;
+}
+
+TEST(ChargingRules, TcamKeyUnitBoundaryAt44Bits) {
+  // ceil(key_bits/44): 44 -> 1 unit, 45 -> 2 units.
+  EXPECT_EQ(tcam_blocks_for(kTcamKeyUnitBits, 1), 1);
+  EXPECT_EQ(tcam_blocks_for(kTcamKeyUnitBits + 1, 1), 2);
+  EXPECT_EQ(tcam_blocks_for(2 * kTcamKeyUnitBits, 1), 2);
+  EXPECT_EQ(tcam_blocks_for(2 * kTcamKeyUnitBits + 1, 1), 3);
+}
+
+TEST(ChargingRules, TcamCapacityBoundaryAt512Entries) {
+  // ceil(capacity/512): 512 -> 1 block, 513 -> 2 blocks (x1 key unit).
+  EXPECT_EQ(tcam_blocks_for(32, kTcamEntriesPerBlock), 1);
+  EXPECT_EQ(tcam_blocks_for(32, kTcamEntriesPerBlock + 1), 2);
+  EXPECT_EQ(tcam_blocks_for(32, 2 * kTcamEntriesPerBlock), 2);
+  EXPECT_EQ(tcam_blocks_for(32, 2 * kTcamEntriesPerBlock + 1), 3);
+}
+
+int register_sram_blocks(std::size_t total_bits) {
+  ProgramDeclaration program;
+  program.registers.push_back(RegisterShape{"r", total_bits});
+  // Subtract the constant parser overhead to isolate the register charge.
+  return compute_usage(program).sram_blocks - compute_usage(ProgramDeclaration{}).sram_blocks;
+}
+
+TEST(ChargingRules, RegisterSramBoundaryAt128KbBlocks) {
+  // ceil(total_bits/131072): exactly one block up to the 128 Kb ceiling.
+  EXPECT_EQ(register_sram_blocks(1), 1);
+  EXPECT_EQ(register_sram_blocks(kSramBlockBits), 1);
+  EXPECT_EQ(register_sram_blocks(kSramBlockBits + 1), 2);
+  EXPECT_EQ(register_sram_blocks(3 * kSramBlockBits), 3);
+  EXPECT_EQ(register_sram_blocks(3 * kSramBlockBits + 1), 4);
+}
+
+TEST(ChargingRules, ExactTableCapacityBoundaryAt1024Entries) {
+  const auto blocks_for = [](std::size_t capacity) {
+    ProgramDeclaration program;
+    // 64-bit key + 64-bit action = one 128-bit SRAM word per entry.
+    program.add_table(TableShape{"e", MatchKind::Exact, 64, 64, capacity});
+    return compute_usage(program).sram_blocks;
+  };
+  // ceil(capacity/1024) data blocks + 1 hash-way overhead block.
+  EXPECT_EQ(blocks_for(kSramEntriesPerBlock + 1) - blocks_for(kSramEntriesPerBlock), 1);
+  EXPECT_EQ(blocks_for(2 * kSramEntriesPerBlock), blocks_for(kSramEntriesPerBlock + 1));
+}
+
+TEST(ProgramDeclaration, AddRegisterShapeDeduplicatesByName) {
+  ProgramDeclaration program;
+  program.add_register_shape(RegisterShape{"dup", 1024});
+  program.add_register_shape(RegisterShape{"dup", 4096});  // ignored: same name
+  program.add_register_shape(RegisterShape{"other", 512});
+  ASSERT_EQ(program.registers.size(), 2u);
+  EXPECT_EQ(program.registers[0].name, "dup");
+  EXPECT_EQ(program.registers[0].total_bits, 1024u);
+  EXPECT_EQ(program.registers[1].name, "other");
+}
+
 // Digest-width sweep backing the §XI ablation bench.
 class DigestWidthSweep : public ::testing::TestWithParam<int> {};
 

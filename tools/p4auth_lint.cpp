@@ -1,0 +1,124 @@
+// p4auth_lint — static verifier + declaration-conformance auditor for the
+// shipped data-plane programs.
+//
+// Usage:
+//   p4auth_lint --all-apps            audit every registered program
+//   p4auth_lint --app NAME            audit one program (see --list)
+//   p4auth_lint --list                print the registry and exit
+//
+// Options:
+//   --format=json|text   report format (default text)
+//   --out FILE           write the report to FILE instead of stdout
+//
+// Exit status: 0 when no error-severity finding was produced, 1 when at
+// least one error fired, 2 on usage errors. Warnings and infos never fail
+// the run — CI gates on errors only. Rule ids and the JSON schema
+// (p4auth.lint.v1) are documented in docs/ANALYSIS.md.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "analysis/registry.hpp"
+
+using namespace p4auth;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: p4auth_lint (--all-apps | --app NAME | --list)"
+               " [--format=json|text] [--out FILE]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool all_apps = false;
+  bool list = false;
+  std::string app;
+  std::string format = "text";
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto value_of = [&](const char* flag, std::string& dest) {
+      const std::size_t len = std::strlen(flag);
+      if (token.rfind(std::string(flag) + "=", 0) == 0) {
+        dest = token.substr(len + 1);
+        return true;
+      }
+      if (token == flag) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", flag);
+          usage();
+          std::exit(2);
+        }
+        dest = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (token == "--all-apps") {
+      all_apps = true;
+    } else if (token == "--list") {
+      list = true;
+    } else if (value_of("--app", app) || value_of("--format", format) ||
+               value_of("--out", out_path)) {
+      // parsed
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", token.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (list) {
+    for (const auto& entry : analysis::builtin_programs()) {
+      std::printf("%s\n", entry.name.c_str());
+    }
+    return 0;
+  }
+  if (all_apps == !app.empty()) {  // exactly one selection mode required
+    usage();
+    return 2;
+  }
+  if (format != "json" && format != "text") {
+    std::fprintf(stderr, "unknown format: %s\n", format.c_str());
+    usage();
+    return 2;
+  }
+
+  std::vector<analysis::ProgramReport> reports;
+  if (all_apps) {
+    reports = analysis::lint_all();
+  } else {
+    const auto* entry = analysis::find_program(app);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "unknown program: %s (try --list)\n", app.c_str());
+      return 2;
+    }
+    reports.push_back(analysis::lint_program(*entry));
+  }
+
+  const std::string rendered =
+      format == "json" ? analysis::report_json(reports) : analysis::report_text(reports);
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::FILE* file = std::fopen(out_path.c_str(), "wb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 2;
+    }
+    std::fwrite(rendered.data(), 1, rendered.size(), file);
+    std::fclose(file);
+  }
+
+  int errors = 0;
+  for (const auto& report : reports) {
+    errors += analysis::count_findings(report.findings, analysis::Severity::Error);
+  }
+  return errors > 0 ? 1 : 0;
+}

@@ -35,10 +35,10 @@ Status L3FwdProgram::add_route(std::uint32_t prefix, int prefix_len, PortId egre
   return routes_.insert(prefix, prefix_len, dataplane::Action{1, egress.value});
 }
 
-const Bytes& L3FwdProgram::port_key(PortId port) const {
-  key_scratch_.clear();
-  ByteWriter(key_scratch_).u32(port.value);
-  return key_scratch_;
+std::array<std::uint8_t, 4> L3FwdProgram::port_key(PortId port) noexcept {
+  const std::uint32_t v = port.value;
+  return {static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+          static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
 }
 
 dataplane::PipelineOutput L3FwdProgram::process(dataplane::Packet& packet,

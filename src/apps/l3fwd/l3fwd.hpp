@@ -4,6 +4,8 @@
 // Figs 18/19 and Table II.
 #pragma once
 
+#include <array>
+
 #include "dataplane/program.hpp"
 #include "dataplane/table.hpp"
 
@@ -39,15 +41,15 @@ class L3FwdProgram : public dataplane::DataPlaneProgram {
   std::uint64_t forwarded() const noexcept { return forwarded_; }
 
  private:
-  /// Serialises the port into key_scratch_ and returns it — reused across
-  /// packets so the forwarding path stays allocation-free in steady state.
-  const Bytes& port_key(PortId port) const;
+  /// Serialises the port into a stack scratch key (u32, network order);
+  /// the forwarding path looks it up as a ByteView without touching the
+  /// heap.
+  static std::array<std::uint8_t, 4> port_key(PortId port) noexcept;
 
   dataplane::LpmTable routes_;
   dataplane::ExactTable port_map_;
   dataplane::RegisterArray* stats_;
   std::uint64_t forwarded_ = 0;
-  mutable Bytes key_scratch_;
 };
 
 }  // namespace p4auth::apps::l3fwd

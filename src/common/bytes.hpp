@@ -14,6 +14,11 @@ namespace p4auth {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Borrowed view of a byte buffer. Implicitly constructible from Bytes,
+/// std::array<std::uint8_t, N>, and C arrays, so hot-path callers can
+/// pass stack scratch keys without materialising a heap Bytes.
+using ByteView = std::span<const std::uint8_t>;
+
 /// Appends fixed-width integers to a Bytes buffer in network byte order.
 /// The writer never fails; it grows the underlying buffer as needed.
 class ByteWriter {

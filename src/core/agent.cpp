@@ -1,5 +1,7 @@
 #include "core/agent.hpp"
 
+#include <array>
+
 #include "common/logging.hpp"
 #include "core/auth.hpp"
 #include "core/lldp.hpp"
@@ -17,11 +19,12 @@ std::uint64_t feedback_nonce(const Header& header) noexcept {
          (static_cast<std::uint64_t>(header.key_version.value) << 16) | header.seq_num;
 }
 
-Bytes map_key_bytes(RegisterId id, RegisterMsg op) {
-  Bytes key;
-  ByteWriter w(key);
-  w.u32(id.value).u8(static_cast<std::uint8_t>(op));
-  return key;
+/// reg_map_ key: reg id (u32, network order) | op (u8). Returned by value
+/// as a stack array so per-request lookups never materialise a heap Bytes.
+std::array<std::uint8_t, 5> map_key_bytes(RegisterId id, RegisterMsg op) noexcept {
+  return {static_cast<std::uint8_t>(id.value >> 24), static_cast<std::uint8_t>(id.value >> 16),
+          static_cast<std::uint8_t>(id.value >> 8), static_cast<std::uint8_t>(id.value),
+          static_cast<std::uint8_t>(op)};
 }
 
 constexpr int kActionRead = 1;

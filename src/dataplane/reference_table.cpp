@@ -1,0 +1,110 @@
+#include "dataplane/reference_table.hpp"
+
+#include <algorithm>
+
+namespace p4auth::dataplane {
+
+// The oracles implement the same accept/reject rules as the fast-path
+// engine (key-width, prefix-length, mask/value-range, capacity) so the
+// differential test can compare insert statuses verbatim; only the data
+// structures differ.
+
+ReferenceExactTable::ReferenceExactTable(std::string name, int key_bits, std::size_t capacity)
+    : shape_{std::move(name), MatchKind::Exact, key_bits, 64, capacity} {}
+
+Status ReferenceExactTable::insert(Bytes key, Action action) {
+  if (static_cast<int>(key.size()) * 8 > shape_.key_bits) {
+    return make_error("table '" + shape_.name + "': key is " +
+                      std::to_string(key.size() * 8) + " bits, wider than the declared " +
+                      std::to_string(shape_.key_bits));
+  }
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second = action;  // overwrite is always allowed
+    return {};
+  }
+  if (entries_.size() >= shape_.capacity) {
+    return make_error("table '" + shape_.name + "' full");
+  }
+  entries_.emplace(std::move(key), action);
+  return {};
+}
+
+bool ReferenceExactTable::erase(const Bytes& key) { return entries_.erase(key) > 0; }
+
+std::optional<Action> ReferenceExactTable::lookup(const Bytes& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+ReferenceLpmTable::ReferenceLpmTable(std::string name, std::size_t capacity)
+    : shape_{std::move(name), MatchKind::Lpm, 32, 64, capacity} {}
+
+namespace {
+constexpr std::uint32_t lpm_mask(int len) noexcept {
+  return len == 0 ? 0u : (0xFFFFFFFFu << (32 - len));
+}
+}  // namespace
+
+Status ReferenceLpmTable::insert(std::uint32_t prefix, int prefix_len, Action action) {
+  if (prefix_len < 0 || prefix_len > 32) {
+    return make_error("table '" + shape_.name + "': bad prefix length");
+  }
+  if (size() >= shape_.capacity) {
+    const auto bucket = entries_.find(prefix_len);
+    if (bucket == entries_.end() || !bucket->second.contains(prefix & lpm_mask(prefix_len))) {
+      return make_error("table '" + shape_.name + "' full");
+    }
+  }
+  entries_[prefix_len][prefix & lpm_mask(prefix_len)] = action;
+  return {};
+}
+
+std::optional<Action> ReferenceLpmTable::lookup(std::uint32_t key) const {
+  for (const auto& [len, bucket] : entries_) {
+    const auto it = bucket.find(key & lpm_mask(len));
+    if (it != bucket.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::size_t ReferenceLpmTable::size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [len, bucket] : entries_) n += bucket.size();
+  return n;
+}
+
+ReferenceTernaryTable::ReferenceTernaryTable(std::string name, int key_bits,
+                                             std::size_t capacity)
+    : shape_{std::move(name), MatchKind::Ternary, key_bits, 64, capacity} {}
+
+Status ReferenceTernaryTable::insert(std::uint64_t value, std::uint64_t mask, int priority,
+                                     Action action) {
+  if (shape_.key_bits < 64) {
+    const std::uint64_t legal = (1ull << shape_.key_bits) - 1;
+    if (((value | mask) & ~legal) != 0) {
+      return make_error("table '" + shape_.name + "': value/mask bits set above the declared " +
+                        std::to_string(shape_.key_bits) + "-bit key");
+    }
+  }
+  if (entries_.size() >= shape_.capacity) {
+    return make_error("table '" + shape_.name + "' full");
+  }
+  const Entry entry{value & mask, mask, priority, action};
+  // Insert before the first entry with lower priority, preserving
+  // insertion order among equal priorities.
+  const auto pos = std::find_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) { return e.priority < priority; });
+  entries_.insert(pos, entry);
+  return {};
+}
+
+std::optional<Action> ReferenceTernaryTable::lookup(std::uint64_t key) const {
+  for (const auto& e : entries_) {
+    if ((key & e.mask) == e.value) return e.action;
+  }
+  return std::nullopt;
+}
+
+}  // namespace p4auth::dataplane

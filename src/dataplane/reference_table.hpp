@@ -1,0 +1,84 @@
+// Reference match-action tables: the original straightforward
+// structures (ordered map exact, per-length-scan LPM, linear-scan
+// ternary) retained verbatim as the behavioural oracle for the
+// fast-path engine in table.hpp. The differential test drives both
+// through identical randomized workloads and asserts identical results;
+// bench/micro_tables reports the fast-path speedup against these.
+//
+// Not for production use — every packet-path caller should hold the
+// table.hpp types.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+#include "dataplane/table.hpp"
+
+namespace p4auth::dataplane {
+
+/// Exact-match oracle: ordered map with O(log n) byte-wise compares.
+class ReferenceExactTable {
+ public:
+  ReferenceExactTable(std::string name, int key_bits, std::size_t capacity);
+
+  const TableShape& shape() const noexcept { return shape_; }
+
+  Status insert(Bytes key, Action action);
+  bool erase(const Bytes& key);
+  std::optional<Action> lookup(const Bytes& key) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  TableShape shape_;
+  std::map<Bytes, Action> entries_;
+};
+
+/// LPM oracle: probes every prefix length longest-first, O(buckets)
+/// size().
+class ReferenceLpmTable {
+ public:
+  ReferenceLpmTable(std::string name, std::size_t capacity);
+
+  const TableShape& shape() const noexcept { return shape_; }
+
+  Status insert(std::uint32_t prefix, int prefix_len, Action action);
+  std::optional<Action> lookup(std::uint32_t key) const;
+  std::size_t size() const noexcept;
+
+ private:
+  TableShape shape_;
+  // entries_[len] maps masked prefix -> action; lookup scans lengths
+  // longest-first.
+  std::map<int, std::unordered_map<std::uint32_t, Action>, std::greater<>> entries_;
+};
+
+/// Ternary oracle: linear scan over all entries in priority order.
+class ReferenceTernaryTable {
+ public:
+  ReferenceTernaryTable(std::string name, int key_bits, std::size_t capacity);
+
+  const TableShape& shape() const noexcept { return shape_; }
+
+  Status insert(std::uint64_t value, std::uint64_t mask, int priority, Action action);
+  std::optional<Action> lookup(std::uint64_t key) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t value;
+    std::uint64_t mask;
+    int priority;
+    Action action;
+  };
+  TableShape shape_;
+  std::vector<Entry> entries_;  // kept sorted by descending priority
+};
+
+}  // namespace p4auth::dataplane

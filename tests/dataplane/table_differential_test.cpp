@@ -1,0 +1,138 @@
+// Differential test for the fast-path match-action engine: drives the
+// flat-hash/bitmap/mask-grouped tables (table.hpp) and the retained
+// reference structures (reference_table.hpp) through the same seeded
+// randomized insert/erase/lookup workload — >= 100k ops per match kind —
+// and asserts identical observable behaviour at every step: insert
+// accept/reject, erase hit/miss, lookup results, and size.
+//
+// Key spaces are deliberately small relative to the op counts so the
+// workloads hammer collisions, overwrites, capacity rejects, and (for
+// exact) backward-shift deletion chains.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iterator>
+#include <random>
+
+#include "dataplane/reference_table.hpp"
+#include "dataplane/table.hpp"
+
+namespace p4auth::dataplane {
+namespace {
+
+void expect_same_lookup(const std::optional<Action>& fast, const std::optional<Action>& ref,
+                        std::uint64_t op) {
+  ASSERT_EQ(fast.has_value(), ref.has_value()) << "op " << op;
+  if (fast.has_value()) {
+    EXPECT_EQ(fast->action_id, ref->action_id) << "op " << op;
+    EXPECT_EQ(fast->data, ref->data) << "op " << op;
+  }
+}
+
+TEST(TableDifferential, ExactRandomizedInsertEraseLookup) {
+  constexpr std::uint64_t kOps = 120'000;
+  constexpr std::uint32_t kKeySpace = 2'000;  // ~2x capacity: rejects + churn
+  ExactTable fast("diff_exact", 64, 1024);
+  ReferenceExactTable ref("diff_exact", 64, 1024);
+  std::mt19937 rng(0xE5A17u);
+  std::uniform_int_distribution<std::uint32_t> key_dist(0, kKeySpace - 1);
+  std::uniform_int_distribution<int> op_dist(0, 9);
+
+  const auto make_key = [](std::uint32_t id) {
+    // Variable-width keys (4 or 6 bytes) exercise the length compare.
+    Bytes key{static_cast<std::uint8_t>(id >> 24), static_cast<std::uint8_t>(id >> 16),
+              static_cast<std::uint8_t>(id >> 8), static_cast<std::uint8_t>(id)};
+    if (id % 3 == 0) {
+      key.push_back(0x55);
+      key.push_back(static_cast<std::uint8_t>(id));
+    }
+    return key;
+  };
+
+  for (std::uint64_t op = 0; op < kOps; ++op) {
+    const Bytes key = make_key(key_dist(rng));
+    const int choice = op_dist(rng);
+    if (choice < 4) {  // insert/overwrite
+      const Action action{static_cast<int>(op & 0xFF), op};
+      const Status fast_status = fast.insert(key, action);
+      const Status ref_status = ref.insert(key, action);
+      ASSERT_EQ(fast_status.ok(), ref_status.ok()) << "op " << op;
+    } else if (choice < 6) {  // erase
+      ASSERT_EQ(fast.erase(key), ref.erase(key)) << "op " << op;
+    } else {  // lookup
+      expect_same_lookup(fast.lookup(key), ref.lookup(key), op);
+    }
+    ASSERT_EQ(fast.size(), ref.size()) << "op " << op;
+  }
+  // Final sweep over the whole key space.
+  for (std::uint32_t id = 0; id < kKeySpace; ++id) {
+    const Bytes key = make_key(id);
+    expect_same_lookup(fast.lookup(key), ref.lookup(key), kOps + id);
+  }
+}
+
+TEST(TableDifferential, LpmRandomizedInsertLookup) {
+  constexpr std::uint64_t kOps = 120'000;
+  LpmTable fast("diff_lpm", 512);
+  ReferenceLpmTable ref("diff_lpm", 512);
+  std::mt19937 rng(0x19A1u);
+  std::uniform_int_distribution<std::uint32_t> addr_dist;  // full 32-bit space
+  std::uniform_int_distribution<std::uint32_t> narrow_dist(0, 0xFFF);
+  std::uniform_int_distribution<int> len_dist(-1, 33);  // includes invalid lengths
+  std::uniform_int_distribution<int> op_dist(0, 9);
+
+  for (std::uint64_t op = 0; op < kOps; ++op) {
+    // Narrow prefixes collide often; wide ones spray across the space.
+    const std::uint32_t addr =
+        (op_dist(rng) < 7) ? (narrow_dist(rng) << 20) : addr_dist(rng);
+    if (op_dist(rng) < 3) {
+      const int len = len_dist(rng);
+      const Action action{static_cast<int>(op & 0xFF), op};
+      const Status fast_status = fast.insert(addr, len, action);
+      const Status ref_status = ref.insert(addr, len, action);
+      ASSERT_EQ(fast_status.ok(), ref_status.ok()) << "op " << op;
+    } else {
+      expect_same_lookup(fast.lookup(addr), ref.lookup(addr), op);
+    }
+    ASSERT_EQ(fast.size(), ref.size()) << "op " << op;
+  }
+}
+
+TEST(TableDifferential, TernaryRandomizedInsertLookup) {
+  constexpr std::uint64_t kOps = 120'000;
+  TernaryTable fast("diff_tcam", 48, 512);
+  ReferenceTernaryTable ref("diff_tcam", 48, 512);
+  std::mt19937_64 rng(0x7CA3u);
+  // A fixed pool of masks (some overlapping, one out of range) keeps the
+  // distinct-mask count ACL-sized while still colliding values.
+  const std::uint64_t masks[] = {
+      0xFFFF00000000ull, 0x0000FFFF0000ull, 0x00000000FFFFull, 0xFFFFFFFF0000ull,
+      0xF0F0F0F0F0F0ull, 0xFFFFFFFFFFFFull, 0x0ull, 0xFF00FF00FF00ull,
+      0x1FFFF00000000ull,  // bit 48 set: must be rejected by both
+  };
+  std::uniform_int_distribution<std::size_t> mask_dist(0, std::size(masks) - 1);
+  std::uniform_int_distribution<std::uint64_t> value_dist(0, 0xFFFFFFFFFFFFull);
+  std::uniform_int_distribution<int> priority_dist(0, 7);
+  std::uniform_int_distribution<int> op_dist(0, 9);
+
+  for (std::uint64_t op = 0; op < kOps; ++op) {
+    if (op_dist(rng) < 2) {
+      const std::uint64_t mask = masks[mask_dist(rng)];
+      // Few distinct values per mask so duplicate (value, mask) pairs —
+      // the shadowing path — occur constantly.
+      const std::uint64_t value = value_dist(rng) & mask & 0x333300003333ull;
+      const Action action{static_cast<int>(op & 0xFF), op};
+      const int priority = priority_dist(rng);
+      const Status fast_status = fast.insert(value, mask, priority, action);
+      const Status ref_status = ref.insert(value, mask, priority, action);
+      ASSERT_EQ(fast_status.ok(), ref_status.ok()) << "op " << op;
+    } else {
+      const std::uint64_t key = value_dist(rng) & 0x333312343333ull;
+      expect_same_lookup(fast.lookup(key), ref.lookup(key), op);
+    }
+    ASSERT_EQ(fast.size(), ref.size()) << "op " << op;
+  }
+}
+
+}  // namespace
+}  // namespace p4auth::dataplane

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 namespace p4auth::dataplane {
 namespace {
 
@@ -41,6 +43,59 @@ TEST(ExactTable, CapacityEnforced) {
   EXPECT_TRUE(table.insert(Bytes{2}, Action{5, 5}).ok());
 }
 
+TEST(ExactTable, CapacityEnforcedAfterEraseAndReinsert) {
+  ExactTable table("tiny", 8, 2);
+  ASSERT_TRUE(table.insert(Bytes{1}, Action{1, 1}).ok());
+  ASSERT_TRUE(table.insert(Bytes{2}, Action{2, 2}).ok());
+  ASSERT_TRUE(table.erase(Bytes{1}));
+  EXPECT_TRUE(table.insert(Bytes{3}, Action{3, 3}).ok());  // freed slot reusable
+  EXPECT_FALSE(table.insert(Bytes{4}, Action{4, 4}).ok());  // full again
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.lookup(Bytes{3})->action_id, 3);
+}
+
+TEST(ExactTable, RejectsKeyWiderThanDeclared) {
+  ExactTable table("narrow", 16, 8);
+  const auto status = table.insert(Bytes{1, 2, 3}, Action{});  // 24 > 16 bits
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("wider than the declared"), std::string::npos);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.insert(Bytes{1, 2}, Action{}).ok());  // exactly 16 bits
+  EXPECT_TRUE(table.insert(Bytes{9}, Action{}).ok());     // narrower is fine
+}
+
+TEST(ExactTable, HeterogeneousLookupWithStackScratchKey) {
+  ExactTable table("map", 40, 8);
+  ASSERT_TRUE(table.insert(Bytes{0xDE, 0xAD, 0xBE, 0xEF, 0x01}, Action{7, 70}).ok());
+  const std::array<std::uint8_t, 5> scratch{0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+  const auto hit = table.lookup(scratch);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->data, 70u);
+  EXPECT_TRUE(table.erase(scratch));
+  EXPECT_FALSE(table.lookup(scratch).has_value());
+}
+
+TEST(ExactTable, SurvivesGrowthAcrossManyInserts) {
+  ExactTable table("big", 64, 4096);
+  for (std::uint32_t i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(table
+                    .insert(Bytes{static_cast<std::uint8_t>(i >> 24),
+                                  static_cast<std::uint8_t>(i >> 16),
+                                  static_cast<std::uint8_t>(i >> 8), static_cast<std::uint8_t>(i)},
+                            Action{1, i})
+                    .ok());
+  }
+  EXPECT_EQ(table.size(), 4096u);
+  for (std::uint32_t i = 0; i < 4096; i += 97) {
+    const std::array<std::uint8_t, 4> key{
+        static_cast<std::uint8_t>(i >> 24), static_cast<std::uint8_t>(i >> 16),
+        static_cast<std::uint8_t>(i >> 8), static_cast<std::uint8_t>(i)};
+    const auto hit = table.lookup(key);
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(hit->data, i);
+  }
+}
+
 TEST(LpmTable, LongestPrefixWins) {
   LpmTable table("routes", 64);
   ASSERT_TRUE(table.insert(0x0A000000u, 8, Action{1, 100}).ok());   // 10/8
@@ -71,6 +126,56 @@ TEST(LpmTable, RejectsBadPrefixLen) {
   EXPECT_FALSE(table.insert(0, -1, Action{}).ok());
 }
 
+TEST(LpmTable, LongestPrefixWinsAcrossInsertOrders) {
+  // The winning route must not depend on the order prefixes arrived in.
+  const std::uint32_t key = 0x0A010203u;  // 10.1.2.3
+  for (int order = 0; order < 2; ++order) {
+    LpmTable table("routes", 64);
+    if (order == 0) {
+      ASSERT_TRUE(table.insert(0x0A010200u, 24, Action{3, 0}).ok());
+      ASSERT_TRUE(table.insert(0x0A000000u, 8, Action{1, 0}).ok());
+      ASSERT_TRUE(table.insert(0x0A010000u, 16, Action{2, 0}).ok());
+    } else {
+      ASSERT_TRUE(table.insert(0x0A000000u, 8, Action{1, 0}).ok());
+      ASSERT_TRUE(table.insert(0x0A010000u, 16, Action{2, 0}).ok());
+      ASSERT_TRUE(table.insert(0x0A010200u, 24, Action{3, 0}).ok());
+    }
+    EXPECT_EQ(table.lookup(key)->action_id, 3) << "order " << order;
+    EXPECT_EQ(table.lookup(0x0A018000u)->action_id, 2) << "order " << order;
+    EXPECT_EQ(table.lookup(0x0AFF0000u)->action_id, 1) << "order " << order;
+  }
+}
+
+// Regression for the old LpmTable::insert capacity check, which
+// default-constructed an empty bucket for the rejected prefix length and
+// mutated the table on the failure path.
+TEST(LpmTable, RejectedInsertAtCapacityLeavesTableUntouched) {
+  LpmTable table("routes", 2);
+  ASSERT_TRUE(table.insert(0x0A000000u, 8, Action{1, 0}).ok());
+  ASSERT_TRUE(table.insert(0x0B000000u, 8, Action{2, 0}).ok());
+  // Rejected insert targets a prefix length with no bucket yet.
+  EXPECT_FALSE(table.insert(0x0A010000u, 16, Action{3, 0}).ok());
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.lookup(0x0A010203u)->action_id, 1);  // still the /8
+}
+
+TEST(LpmTable, OverwriteAtCapacityAllowed) {
+  LpmTable table("routes", 1);
+  ASSERT_TRUE(table.insert(0x0A000000u, 8, Action{1, 10}).ok());
+  ASSERT_TRUE(table.insert(0x0A000000u, 8, Action{1, 20}).ok());  // same prefix
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(0x0A123456u)->data, 20u);
+}
+
+TEST(LpmTable, SizeCountsDistinctPrefixesAcrossLengths) {
+  LpmTable table("routes", 64);
+  ASSERT_TRUE(table.insert(0x0A000000u, 8, Action{}).ok());
+  ASSERT_TRUE(table.insert(0x0A010000u, 16, Action{}).ok());
+  ASSERT_TRUE(table.insert(0x0A0100FFu, 16, Action{}).ok());  // same /16 after masking
+  ASSERT_TRUE(table.insert(0u, 0, Action{}).ok());
+  EXPECT_EQ(table.size(), 3u);
+}
+
 TEST(TernaryTable, PriorityOrder) {
   TernaryTable table("acl", 64, 8);
   ASSERT_TRUE(table.insert(0x00, 0x00, /*priority=*/1, Action{1, 0}).ok());  // match-all
@@ -90,6 +195,46 @@ TEST(TernaryTable, CapacityEnforced) {
   TernaryTable table("acl", 64, 1);
   ASSERT_TRUE(table.insert(1, 1, 1, Action{}).ok());
   EXPECT_FALSE(table.insert(2, 2, 1, Action{}).ok());
+}
+
+TEST(TernaryTable, RejectsBitsAboveDeclaredKeyWidth) {
+  TernaryTable table("acl16", 16, 8);
+  const auto bad_mask = table.insert(0x0, 0x1FFFF, 1, Action{});
+  ASSERT_FALSE(bad_mask.ok());
+  EXPECT_NE(bad_mask.error().message.find("above the declared"), std::string::npos);
+  EXPECT_FALSE(table.insert(0x10000, 0x0, 1, Action{}).ok());  // value bit 16
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_TRUE(table.insert(0xFFFF, 0xFFFF, 1, Action{}).ok());  // exactly 16 bits
+}
+
+TEST(TernaryTable, CrossMaskPriorityTieBrokenByInsertionOrder) {
+  TernaryTable table("acl", 64, 8);
+  // Two different masks, equal priority, both matching the probe key:
+  // the first-inserted entry must win, in both insertion orders.
+  TernaryTable other("acl", 64, 8);
+  ASSERT_TRUE(table.insert(0xA0, 0xF0, 5, Action{1, 0}).ok());
+  ASSERT_TRUE(table.insert(0x0B, 0x0F, 5, Action{2, 0}).ok());
+  EXPECT_EQ(table.lookup(0xAB)->action_id, 1);
+  ASSERT_TRUE(other.insert(0x0B, 0x0F, 5, Action{2, 0}).ok());
+  ASSERT_TRUE(other.insert(0xA0, 0xF0, 5, Action{1, 0}).ok());
+  EXPECT_EQ(other.lookup(0xAB)->action_id, 2);
+}
+
+TEST(TernaryTable, HigherPriorityInLaterGroupStillWins) {
+  TernaryTable table("acl", 64, 8);
+  ASSERT_TRUE(table.insert(0xA0, 0xF0, 1, Action{1, 0}).ok());
+  // Same key matches a different mask group with higher priority.
+  ASSERT_TRUE(table.insert(0x0B, 0x0F, 9, Action{2, 0}).ok());
+  EXPECT_EQ(table.lookup(0xAB)->action_id, 2);
+}
+
+TEST(TernaryTable, DuplicateValueMaskKeepsPriorityWinner) {
+  TernaryTable table("acl", 64, 8);
+  ASSERT_TRUE(table.insert(0x1, 0xF, 5, Action{1, 0}).ok());
+  ASSERT_TRUE(table.insert(0x1, 0xF, 9, Action{2, 0}).ok());  // higher replaces
+  ASSERT_TRUE(table.insert(0x1, 0xF, 7, Action{3, 0}).ok());  // lower stays shadowed
+  EXPECT_EQ(table.lookup(0x1)->action_id, 2);
+  EXPECT_EQ(table.size(), 3u);  // shadowed entries still occupy capacity
 }
 
 TEST(TableShape, ReflectsDeclaration) {

@@ -4,6 +4,7 @@
 
 #include "experiments/kmp_experiment.hpp"
 #include "report.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace p4auth;
 using namespace p4auth::experiments;
@@ -18,6 +19,8 @@ int main() {
 
   KmpRttOptions options;
   options.samples = 30;
+  telemetry::Telemetry telemetry;
+  options.telemetry = &telemetry;
   const auto result = run_kmp_rtt_experiment(options);
 
   bench::JsonReport report("fig20_kmp_rtt");
@@ -38,6 +41,15 @@ int main() {
   std::printf("%-28s %12.3f %10d\n", "port key update", result.port_update_ms, 3);
   bench::rule();
   std::printf("averaged over %d runs per operation. Reference: paper Fig 20.\n", result.samples);
+
+  // Tail behaviour from the telemetry histograms (ns -> ms).
+  bench::rule();
+  bench::note("RTT percentiles (from kmp.rtt_ns histograms):");
+  for (const char* op : {"local_init", "local_update", "port_init", "port_update"}) {
+    bench::percentile_line(
+        op, telemetry.metrics.histogram("kmp.rtt_ns", telemetry::Labels{{"op", op}}), 1e-6,
+        "ms");
+  }
 
   // Ablation (DESIGN.md #3): why the paper routes port-key *updates*
   // DP-direct — compare against the redirected init path, which carries

@@ -10,6 +10,7 @@
 
 #include "runner/runner.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace p4auth::bench {
 
@@ -62,6 +63,17 @@ inline void note(const std::string& text) { std::printf("%s\n", text.c_str()); }
 
 inline void rule() {
   std::printf("----------------------------------------------------------------\n");
+}
+
+/// Prints a histogram's tail behaviour — count and p50/p95/p99 — with the
+/// raw values multiplied by `scale` (e.g. 1e-6 for ns -> ms). The log2
+/// buckets make the percentiles estimates, not exact ranks; good enough
+/// to see tail spread next to a mean.
+inline void percentile_line(const char* label, const telemetry::Histogram& h, double scale,
+                            const char* unit) {
+  std::printf("  %-24s n=%llu p50=%.3f%s p95=%.3f%s p99=%.3f%s\n", label,
+              static_cast<unsigned long long>(h.count()), h.percentile(0.50) * scale, unit,
+              h.percentile(0.95) * scale, unit, h.percentile(0.99) * scale, unit);
 }
 
 /// Machine-readable companion to the human-readable tables: collects the

@@ -74,10 +74,27 @@ std::function<void(V)> Controller::track_kmp(NodeId sw, const char* op,
         .counter("kmp.completed",
                  telemetry::Labels{{"op", op}, {"ok", ok ? "true" : "false"}})
         .inc();
-    telemetry_->trace.record(sim_.now(), sw, kCpuPort, telemetry::TraceEventKind::KmpComplete,
-                             static_cast<std::uint64_t>(rtt.ns()), ok ? 1 : 0);
+    // Fires inside the final message's delivery span, so the completion
+    // record shares the operation's trace id.
+    telemetry_->record(sim_.now(), sw, kCpuPort, telemetry::TraceEventKind::KmpComplete,
+                       static_cast<std::uint64_t>(rtt.ns()), ok ? 1 : 0);
     if (done) done(std::move(result));
   };
+}
+
+telemetry::SpanTracker::Scope Controller::span_operation(std::uint64_t domain,
+                                                         std::uint64_t detail) {
+  if (telemetry_ == nullptr) return {};
+  return telemetry_->spans.start_operation(domain, detail);
+}
+
+telemetry::SpanContext Controller::span_ctx() const {
+  return telemetry_ == nullptr ? telemetry::SpanContext{} : telemetry_->spans.current();
+}
+
+telemetry::SpanTracker::Scope Controller::span_resume(const telemetry::SpanContext& ctx) {
+  if (telemetry_ == nullptr) return {};
+  return telemetry_->spans.resume(ctx);
 }
 
 std::optional<Key64> Controller::verify_key_for(SwitchState& st, const Message& msg) const {
@@ -121,6 +138,7 @@ void Controller::read_register(NodeId sw, RegisterId reg, std::uint32_t index,
   }
   st->pending_ops.emplace(seq, PendingOp{true, std::move(done)});
   ++stats_.requests_sent;
+  const auto span = span_operation(telemetry::kTraceDomainRegOp, sw.value);
 
   Message msg;
   msg.header.hdr_type = HdrType::RegisterOp;
@@ -134,7 +152,8 @@ void Controller::read_register(NodeId sw, RegisterId reg, std::uint32_t index,
   const Key64 key = st->keys.local().current().value_or(st->k_seed);
   const SimTime compose =
       config_.compose_read + (config_.p4auth_enabled ? config_.digest_cost : SimTime::zero());
-  sim_.after(compose, [this, st, msg = std::move(msg), key]() mutable {
+  sim_.after(compose, [this, st, msg = std::move(msg), key, ctx = span_ctx()]() mutable {
+    const auto scope = span_resume(ctx);
     send(*st, std::move(msg), key, /*is_kmp=*/false);
   });
 }
@@ -154,6 +173,7 @@ void Controller::write_register(NodeId sw, RegisterId reg, std::uint32_t index,
   }
   st->pending_ops.emplace(seq, PendingOp{false, std::move(done)});
   ++stats_.requests_sent;
+  const auto span = span_operation(telemetry::kTraceDomainRegOp, sw.value);
 
   Message msg;
   msg.header.hdr_type = HdrType::RegisterOp;
@@ -167,7 +187,8 @@ void Controller::write_register(NodeId sw, RegisterId reg, std::uint32_t index,
   const Key64 key = st->keys.local().current().value_or(st->k_seed);
   const SimTime compose =
       config_.compose_write + (config_.p4auth_enabled ? config_.digest_cost : SimTime::zero());
-  sim_.after(compose, [this, st, msg = std::move(msg), key]() mutable {
+  sim_.after(compose, [this, st, msg = std::move(msg), key, ctx = span_ctx()]() mutable {
+    const auto scope = span_resume(ctx);
     send(*st, std::move(msg), key, /*is_kmp=*/false);
   });
 }
@@ -226,6 +247,7 @@ void Controller::init_local_key(NodeId sw, std::function<void(Result<Key64>)> do
     done(make_error("local key exchange already in progress"));
     return;
   }
+  const auto span = span_operation(telemetry::kTraceDomainKmp, sw.value);
   PendingLocal pending;
   pending.phase = LocalPhase::Eak;
   pending.is_update = false;
@@ -288,6 +310,7 @@ void Controller::update_local_key(NodeId sw, std::function<void(Result<Key64>)> 
     done(make_error("local key exchange already in progress"));
     return;
   }
+  const auto span = span_operation(telemetry::kTraceDomainKmp, sw.value);
   PendingLocal pending;
   pending.is_update = true;
   pending.done = track_kmp(sw, "local_update", std::move(done));
@@ -309,6 +332,8 @@ void Controller::init_port_key(NodeId a, PortId port_a, NodeId b, PortId port_b,
     done(make_error("port key init requires local keys on both switches"));
     return;
   }
+  const auto span = span_operation(telemetry::kTraceDomainKmp,
+                                   (static_cast<std::uint64_t>(a.value) << 16) | b.value);
   pending_port_inits_.push_back(
       PendingPortInit{a, port_a, b, port_b, track_kmp(a, "port_init", std::move(done))});
 
@@ -331,6 +356,8 @@ void Controller::update_port_key(NodeId a, PortId port_a, NodeId b,
     done(make_error("unknown switch or p4auth disabled"));
     return;
   }
+  const auto span = span_operation(telemetry::kTraceDomainKmp,
+                                   (static_cast<std::uint64_t>(a.value) << 16) | b.value);
   Message msg;
   msg.header.hdr_type = HdrType::KeyExchange;
   msg.header.msg_type = static_cast<std::uint8_t>(KeyExchMsg::PortKeyUpdate);
@@ -453,6 +480,18 @@ void Controller::on_alert(SwitchState& st, const Message& msg) {
   }
   alerts_.push_back(record);
   if (alert_handler_) alert_handler_(record);
+
+  // Defensive rekey: an authentic integrity alert rolls the reporting
+  // switch's local key. Runs here, inside the alert's delivery span, so
+  // the whole rollover (ADHKD legs, key install, completion) shares the
+  // tampered frame's trace id — the cause chain the audit trail exports.
+  if (config_.rekey_on_alert && record.authentic &&
+      (record.code == AlertMsg::DigestMismatch || record.code == AlertMsg::ReplayDetected ||
+       record.code == AlertMsg::MissingAuth) &&
+      st.keys.local().initialized() && !st.pending_local.has_value()) {
+    ++stats_.alert_rekeys;
+    update_local_key(st.id, [](Result<Key64>) {});
+  }
 }
 
 void Controller::on_lldp_report(NodeId reporter, const Bytes& frame) {

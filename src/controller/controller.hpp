@@ -49,6 +49,11 @@ class Controller {
     /// automatically triggers port-key initialization (§VI-C's
     /// port-activation trigger).
     bool auto_port_keys = false;
+    /// When true, an authentic integrity alert (digest mismatch, replay,
+    /// missing auth) triggers a local-key update on the reporting switch.
+    /// The rekey runs inside the alert's causal trace, so the audit trail
+    /// links tampered frame -> verify failure -> alert -> key install.
+    bool rekey_on_alert = false;
     std::uint64_t seed = 0xC0117011E5ull;
   };
 
@@ -105,6 +110,7 @@ class Controller {
     std::uint64_t kmp_bytes_received = 0;
     std::uint64_t lldp_reports = 0;
     std::uint64_t auto_port_inits = 0;
+    std::uint64_t alert_rekeys = 0;  ///< local-key updates triggered by alerts
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -191,6 +197,13 @@ class Controller {
   /// kmp.completed{op,ok} and a kmp_complete trace event when it fires.
   template <typename V>
   std::function<void(V)> track_kmp(NodeId sw, const char* op, std::function<void(V)> done);
+
+  // Span plumbing (no-ops when telemetry is off). An operation entry
+  // point roots a new trace — unless one is already active, in which
+  // case it nests (an alert-triggered rekey stays in the alert's trace).
+  telemetry::SpanTracker::Scope span_operation(std::uint64_t domain, std::uint64_t detail);
+  telemetry::SpanContext span_ctx() const;
+  telemetry::SpanTracker::Scope span_resume(const telemetry::SpanContext& ctx);
 
   void start_adhkd_local(SwitchState& st, bool is_update);
 

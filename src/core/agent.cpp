@@ -115,7 +115,7 @@ void P4AuthAgent::note_verify(dataplane::PipelineContext& ctx, bool ok, PortId p
   TeleSeries* t = tele(ctx);
   if (t == nullptr) return;
   (ok ? t->verify_ok : t->verify_fail)->inc();
-  t->bound->trace.record(ctx.now(), config_.self, port,
+  t->bound->record(ctx.now(), config_.self, port,
                          ok ? telemetry::TraceEventKind::VerifyOk
                             : telemetry::TraceEventKind::VerifyFail,
                          seq, static_cast<std::uint64_t>(hdr));
@@ -126,7 +126,7 @@ void P4AuthAgent::note_replay(dataplane::PipelineContext& ctx, PortId port, std:
   TeleSeries* t = tele(ctx);
   if (t == nullptr) return;
   t->replay_drops->inc();
-  t->bound->trace.record(ctx.now(), config_.self, port, telemetry::TraceEventKind::ReplayDrop,
+  t->bound->record(ctx.now(), config_.self, port, telemetry::TraceEventKind::ReplayDrop,
                          seq, last);
 }
 
@@ -134,7 +134,7 @@ void P4AuthAgent::note_table_lookup(dataplane::PipelineContext& ctx, bool hit, R
   TeleSeries* t = tele(ctx);
   if (t == nullptr) return;
   (hit ? t->table_hits : t->table_misses)->inc();
-  t->bound->trace.record(ctx.now(), config_.self, kCpuPort,
+  t->bound->record(ctx.now(), config_.self, kCpuPort,
                          hit ? telemetry::TraceEventKind::TableHit
                              : telemetry::TraceEventKind::TableMiss,
                          reg.value);
@@ -144,14 +144,14 @@ void P4AuthAgent::note_unauth_drop(dataplane::PipelineContext& ctx, PortId port)
   TeleSeries* t = tele(ctx);
   if (t == nullptr) return;
   t->unauth_drops->inc();
-  t->bound->trace.record(ctx.now(), config_.self, port, telemetry::TraceEventKind::UnauthDrop);
+  t->bound->record(ctx.now(), config_.self, port, telemetry::TraceEventKind::UnauthDrop);
 }
 
 void P4AuthAgent::note_alert(dataplane::PipelineContext& ctx, bool suppressed, AlertMsg code) {
   TeleSeries* t = tele(ctx);
   if (t == nullptr) return;
   (suppressed ? t->alerts_suppressed : t->alerts_sent)->inc();
-  t->bound->trace.record(ctx.now(), config_.self, kCpuPort,
+  t->bound->record(ctx.now(), config_.self, kCpuPort,
                          suppressed ? telemetry::TraceEventKind::AlertSuppressed
                                     : telemetry::TraceEventKind::AlertSent,
                          static_cast<std::uint64_t>(code));
@@ -165,7 +165,7 @@ void P4AuthAgent::note_key_install(dataplane::PipelineContext& ctx, PortId slot)
       .gauge("keys.generation", telemetry::Labels{{"switch", std::to_string(config_.self.value)},
                                                   {"slot", std::to_string(slot.value)}})
       .set(static_cast<double>(keys_.current_version(slot).value));
-  t->bound->trace.record(ctx.now(), config_.self, slot, telemetry::TraceEventKind::KeyInstall,
+  t->bound->record(ctx.now(), config_.self, slot, telemetry::TraceEventKind::KeyInstall,
                          keys_.current_version(slot).value);
 }
 

@@ -23,6 +23,7 @@ Fabric::Fabric(Options options)
       options_(std::move(options)) {
   net.set_telemetry(options_.telemetry);
   controller.set_telemetry(options_.telemetry);
+  sim.set_telemetry(options_.telemetry);
 }
 
 FabricSwitch& Fabric::add_switch(NodeId id, const ProgramFactory& make_inner) {
@@ -48,6 +49,7 @@ FabricSwitch& Fabric::add_switch(NodeId id, const ProgramFactory& make_inner) {
   entry.channel = std::make_unique<netsim::ControlChannel>(
       sim, *entry.sw, options_.channel,
       netsim::ControlChannel::kDefaultJitterSeed + options_.seed * 6151 + id.value);
+  entry.channel->set_telemetry(options_.telemetry);
   controller.attach_switch(id, *entry.channel, seed_key_for(id),
                            options_.ports_per_switch);
   return entry;

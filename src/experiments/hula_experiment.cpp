@@ -168,6 +168,7 @@ HulaResult run_hula_experiment(Scenario scenario, const HulaOptions& options) {
       (s2_s5->queue_stats(kS2).mean_wait_us() + s3_s5->queue_stats(kS3).mean_wait_us()) / 2.0;
   if (options.telemetry != nullptr) {
     fabric.net.export_pool_stats();
+    fabric.sim.export_stats();
     options.telemetry->stamp(fabric.sim.now());
   }
   return result;

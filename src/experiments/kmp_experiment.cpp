@@ -22,6 +22,7 @@ Fabric::ProgramFactory null_program() {
 KmpRttResult run_kmp_rtt_experiment(const KmpRttOptions& options) {
   Fabric::Options fabric_options;
   fabric_options.seed = options.seed;
+  fabric_options.telemetry = options.telemetry;
   Fabric fabric(fabric_options);
   auto& a = fabric.add_switch(kA, null_program());
   fabric.add_switch(kB, null_program());
@@ -80,6 +81,7 @@ KmpRttResult run_kmp_rtt_experiment(const KmpRttOptions& options) {
   result.port_init_ms = port_init.mean();
   result.port_update_ms = port_update.mean();
   result.samples = static_cast<int>(local_init.count());
+  if (options.telemetry != nullptr) options.telemetry->stamp(fabric.sim.now());
   return result;
 }
 

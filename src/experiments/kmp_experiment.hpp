@@ -8,6 +8,10 @@
 
 #include "common/types.hpp"
 
+namespace p4auth::telemetry {
+struct Telemetry;
+}
+
 namespace p4auth::experiments {
 
 struct KmpRttResult {
@@ -21,6 +25,9 @@ struct KmpRttResult {
 struct KmpRttOptions {
   int samples = 20;
   std::uint64_t seed = 1;
+  /// Optional shared bundle: fills kmp.rtt_ns{op} histograms (p50/p95/p99
+  /// in the snapshot) and the kmp_complete trace stream.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 KmpRttResult run_kmp_rtt_experiment(const KmpRttOptions& options = {});

@@ -121,6 +121,7 @@ RouteScoutResult run_routescout_experiment(Scenario scenario,
                   fabric.controller.stats().response_digest_failures;
   if (options.telemetry != nullptr) {
     fabric.net.export_pool_stats();
+    fabric.sim.export_stats();
     options.telemetry->stamp(fabric.sim.now());
   }
   return result;

@@ -8,7 +8,11 @@ ControlChannel::ControlChannel(Simulator& sim, Switch& sw, ChannelModel model,
   switch_.set_packet_in_sink([this](Bytes message) {
     ++stats_.to_controller;
     const SimTime delay = jittered(model_.to_controller_delay(message.size()));
-    sim_.after(delay, [this, message = std::move(message)]() mutable {
+    telemetry::SpanContext span;
+    if (telemetry_ != nullptr) span = telemetry_->spans.child_for_schedule();
+    sim_.after(delay, [this, span, message = std::move(message)]() mutable {
+      const auto scope = telemetry_ != nullptr ? telemetry_->spans.resume(span)
+                                               : telemetry::SpanTracker::Scope{};
       if (controller_sink_) controller_sink_(switch_.id(), std::move(message));
     });
   });
@@ -24,8 +28,12 @@ SimTime ControlChannel::jittered(SimTime delay) {
 void ControlChannel::to_switch(Bytes message, std::function<void()> delivered) {
   ++stats_.to_switch;
   const SimTime delay = jittered(model_.to_switch_delay(message.size()));
-  sim_.after(delay, [this, message = std::move(message),
+  telemetry::SpanContext span;
+  if (telemetry_ != nullptr) span = telemetry_->spans.child_for_schedule();
+  sim_.after(delay, [this, span, message = std::move(message),
                      delivered = std::move(delivered)]() mutable {
+    const auto scope = telemetry_ != nullptr ? telemetry_->spans.resume(span)
+                                             : telemetry::SpanTracker::Scope{};
     switch_.handle_packet_out(std::move(message));
     if (delivered) delivered();
   });

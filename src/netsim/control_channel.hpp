@@ -71,6 +71,12 @@ class ControlChannel {
     controller_sink_ = std::move(sink);
   }
 
+  /// Attaches the shared telemetry bundle (null = off): messages in
+  /// flight on the channel carry child spans of the sender's span, so a
+  /// trace follows C-DP messages across the scheduling boundary in both
+  /// directions.
+  void set_telemetry(telemetry::Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
+
   const ChannelModel& model() const noexcept { return model_; }
   NodeId switch_id() const noexcept { return switch_.id(); }
 
@@ -89,6 +95,7 @@ class ControlChannel {
   std::function<void(NodeId, Bytes)> controller_sink_;
   Stats stats_;
   Xoshiro256 jitter_rng_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace p4auth::netsim

@@ -49,7 +49,7 @@ void Network::transmit(NodeId from, PortId port, Bytes payload) {
     ++stats_.frames_dropped_no_link;
     if (telemetry_ != nullptr) {
       tele_.drops_no_link->inc();
-      telemetry_->trace.record(sim_.now(), from, port, telemetry::TraceEventKind::NoLinkDrop);
+      telemetry_->record(sim_.now(), from, port, telemetry::TraceEventKind::NoLinkDrop);
     }
     LogStream(LogLevel::Debug, "network")
         << "no link at node " << from.value << " port " << port.value;
@@ -66,8 +66,7 @@ void Network::transmit(NodeId from, PortId port, Bytes payload) {
       ++stats_.frames_dropped_by_tamper;
       if (telemetry_ != nullptr) {
         tele_.tamper_drops->inc();
-        telemetry_->trace.record(sim_.now(), from, port, telemetry::TraceEventKind::TamperDrop,
-                                 before);
+        telemetry_->record(sim_.now(), from, port, telemetry::TraceEventKind::TamperDrop, before);
       }
       pool_.release(std::move(payload));
       return;
@@ -76,8 +75,8 @@ void Network::transmit(NodeId from, PortId port, Bytes payload) {
       ++stats_.frames_tampered;
       if (telemetry_ != nullptr) {
         tele_.tamper_rewrites->inc();
-        telemetry_->trace.record(sim_.now(), from, port,
-                                 telemetry::TraceEventKind::TamperRewrite, payload.size());
+        telemetry_->record(sim_.now(), from, port, telemetry::TraceEventKind::TamperRewrite,
+                           payload.size());
       }
     }
   }
@@ -97,7 +96,14 @@ void Network::transmit(NodeId from, PortId port, Bytes payload) {
     tele_.queue_wait_ns->observe(static_cast<double>(queue_wait.ns()));
     tele_.delivery_ns->observe(static_cast<double>(delay.ns()));
   }
-  sim_.after(delay, [this, peer, payload = std::move(payload)]() mutable {
+  // The in-flight hop is a child span of the emitting pipeline's span:
+  // captured here (schedule time), resumed when the frame lands. Keeps
+  // the closure within InplaceHandler's inline budget (16-byte context).
+  telemetry::SpanContext span;
+  if (telemetry_ != nullptr) span = telemetry_->spans.child_for_schedule();
+  sim_.after(delay, [this, peer, span, payload = std::move(payload)]() mutable {
+    const auto scope = telemetry_ != nullptr ? telemetry_->spans.resume(span)
+                                             : telemetry::SpanTracker::Scope{};
     ++stats_.frames_delivered;
     if (telemetry_ != nullptr) tele_.frames_delivered->inc();
     if (Node* dst = node(peer.node)) {
@@ -109,7 +115,17 @@ void Network::transmit(NodeId from, PortId port, Bytes payload) {
 }
 
 void Network::inject(NodeId to, PortId ingress, Bytes payload, SimTime delay) {
-  sim_.after(delay, [this, to, ingress, payload = std::move(payload)]() mutable {
+  // Every injected packet roots a fresh trace: everything it causes
+  // downstream — hops, verify failures, alerts, rekeys — shares this id.
+  telemetry::SpanContext span;
+  if (telemetry_ != nullptr) {
+    span = telemetry_->spans.root_for_schedule(
+        telemetry::kTraceDomainInject,
+        (static_cast<std::uint64_t>(to.value) << 16) | ingress.value);
+  }
+  sim_.after(delay, [this, to, ingress, span, payload = std::move(payload)]() mutable {
+    const auto scope = telemetry_ != nullptr ? telemetry_->spans.resume(span)
+                                             : telemetry::SpanTracker::Scope{};
     ++stats_.frames_delivered;
     if (Node* dst = node(to)) dst->on_frame(ingress, std::move(payload));
   });

@@ -2,13 +2,34 @@
 
 #include <cassert>
 
+#include "telemetry/telemetry.hpp"
+
 namespace p4auth::netsim {
 
 void Simulator::at(SimTime t, Handler fn) {
   assert(t >= now_ && "cannot schedule into the past");
   if (t < now_) t = now_;  // release builds: fire immediately, never rewind
+  if (sched_lag_ns_ != nullptr) {
+    sched_lag_ns_->observe(static_cast<double>((t - now_).ns()));
+  }
   heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  if (heap_.size() > max_queue_depth_) max_queue_depth_ = heap_.size();
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Simulator::set_telemetry(telemetry::Telemetry* telemetry) noexcept {
+  telemetry_ = telemetry;
+  sched_lag_ns_ =
+      telemetry_ == nullptr ? nullptr : &telemetry_->metrics.histogram("sim.sched_lag_ns");
+}
+
+void Simulator::export_stats() {
+  if (telemetry_ == nullptr) return;
+  auto& m = telemetry_->metrics;
+  m.counter("sim.events_scheduled").inc(next_seq_);
+  m.counter("sim.events_processed").inc(processed_);
+  m.gauge("sim.queue_depth").set(static_cast<double>(heap_.size()));
+  m.gauge("sim.max_queue_depth").set(static_cast<double>(max_queue_depth_));
 }
 
 Simulator::Event Simulator::pop_next() {

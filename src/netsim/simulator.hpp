@@ -18,6 +18,11 @@
 #include "common/types.hpp"
 #include "netsim/inplace_handler.hpp"
 
+namespace p4auth::telemetry {
+struct Telemetry;
+class Histogram;
+}  // namespace p4auth::telemetry
+
 namespace p4auth::netsim {
 
 class Simulator {
@@ -40,6 +45,22 @@ class Simulator {
 
   std::size_t processed() const noexcept { return processed_; }
   bool empty() const noexcept { return heap_.empty(); }
+
+  // --- Self-observability --------------------------------------------------
+
+  /// Current and high-water event-queue depth (scheduled, not yet fired).
+  std::size_t queue_depth() const noexcept { return heap_.size(); }
+  std::size_t max_queue_depth() const noexcept { return max_queue_depth_; }
+
+  /// Attaches the shared telemetry bundle (null = off): every schedule
+  /// observes its lag (fire time minus now) into sim.sched_lag_ns. The
+  /// lag distribution is a function of simulation state only, so it is
+  /// deterministic and safe for byte-identical snapshots.
+  void set_telemetry(telemetry::Telemetry* telemetry) noexcept;
+
+  /// Writes queue/processing totals into the registry (sim.* series).
+  /// Call once per run, before the bundle is stamped/serialised.
+  void export_stats();
 
  private:
   struct Event {
@@ -64,6 +85,9 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
   std::vector<Event> heap_;
+  std::size_t max_queue_depth_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Histogram* sched_lag_ns_ = nullptr;  ///< cached series (stable ref)
 };
 
 }  // namespace p4auth::netsim

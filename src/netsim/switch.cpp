@@ -1,6 +1,7 @@
 #include "netsim/switch.hpp"
 
 #include "common/logging.hpp"
+#include "telemetry/profile.hpp"
 
 namespace p4auth::netsim {
 
@@ -27,9 +28,13 @@ void Switch::on_frame(PortId ingress, Bytes payload) {
   packet.payload = std::move(payload);
   packet.ingress = ingress;
   packet.arrival = network_ != nullptr ? network_->sim().now() : SimTime::zero();
+  // One span per pipeline pass: the ingress record and everything the
+  // program does (verify failures, drops, emits) nest under it.
+  const auto span = telemetry_ != nullptr ? telemetry_->spans.start_child()
+                                          : telemetry::SpanTracker::Scope{};
   if (telemetry_ != nullptr) {
-    telemetry_->trace.record(packet.arrival, id(), ingress, telemetry::TraceEventKind::Ingress,
-                             packet.payload.size());
+    telemetry_->record(packet.arrival, id(), ingress, telemetry::TraceEventKind::Ingress,
+                       packet.payload.size());
   }
   run_pipeline(std::move(packet));
 }
@@ -48,10 +53,13 @@ void Switch::handle_packet_out(Bytes message) {
   packet.payload = std::move(message);
   packet.ingress = kCpuPort;
   packet.arrival = network_ != nullptr ? network_->sim().now() : SimTime::zero();
+  const auto span = telemetry_ != nullptr ? telemetry_->spans.start_child()
+                                          : telemetry::SpanTracker::Scope{};
   run_pipeline(std::move(packet));
 }
 
 void Switch::run_pipeline(dataplane::Packet packet) {
+  P4AUTH_PROFILE_SCOPE("switch.pipeline");
   if (program_ == nullptr || network_ == nullptr) {
     ++stats_.drops;
     return;
@@ -77,28 +85,38 @@ void Switch::run_pipeline(dataplane::Packet packet) {
     tele_.hashed_bytes->inc(costs.hashed_bytes);
     if (output.dropped) {
       tele_.drops->inc();
-      telemetry_->trace.record(sim.now(), id(), packet.ingress,
-                               telemetry::TraceEventKind::PipelineDrop);
+      telemetry_->record(sim.now(), id(), packet.ingress,
+                         telemetry::TraceEventKind::PipelineDrop);
     }
     for (const auto& emit : output.emits) {
-      telemetry_->trace.record(sim.now(), id(), emit.port, telemetry::TraceEventKind::Egress,
-                               emit.payload.size());
+      telemetry_->record(sim.now(), id(), emit.port, telemetry::TraceEventKind::Egress,
+                         emit.payload.size());
     }
     for (const auto& message : output.to_cpu) {
-      telemetry_->trace.record(sim.now(), id(), kCpuPort, telemetry::TraceEventKind::ToCpu,
-                               message.size());
+      telemetry_->record(sim.now(), id(), kCpuPort, telemetry::TraceEventKind::ToCpu,
+                         message.size());
     }
   }
 
-  // Emissions and PacketIns leave after the pipeline walk completes.
+  // Emissions and PacketIns leave after the pipeline walk completes; each
+  // carries a child span of this pipeline pass across the delay.
   for (auto& emit : output.emits) {
     ++stats_.frames_out;
-    sim.after(delay, [this, port = emit.port, payload = std::move(emit.payload)]() mutable {
-      network_->transmit(id(), port, std::move(payload));
-    });
+    telemetry::SpanContext span;
+    if (telemetry_ != nullptr) span = telemetry_->spans.child_for_schedule();
+    sim.after(delay,
+              [this, span, port = emit.port, payload = std::move(emit.payload)]() mutable {
+                const auto scope = telemetry_ != nullptr ? telemetry_->spans.resume(span)
+                                                         : telemetry::SpanTracker::Scope{};
+                network_->transmit(id(), port, std::move(payload));
+              });
   }
   for (auto& message : output.to_cpu) {
-    sim.after(delay, [this, message = std::move(message)]() mutable {
+    telemetry::SpanContext span;
+    if (telemetry_ != nullptr) span = telemetry_->spans.child_for_schedule();
+    sim.after(delay, [this, span, message = std::move(message)]() mutable {
+      const auto scope = telemetry_ != nullptr ? telemetry_->spans.resume(span)
+                                               : telemetry::SpanTracker::Scope{};
       send_packet_in(std::move(message));
     });
   }

@@ -1,0 +1,70 @@
+#include "telemetry/audit.hpp"
+
+#include <algorithm>
+
+#include "telemetry/json.hpp"
+
+namespace p4auth::telemetry {
+
+bool AuditTrail::is_audited(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::VerifyFail:
+    case TraceEventKind::ReplayDrop:
+    case TraceEventKind::UnauthDrop:
+    case TraceEventKind::AlertSent:
+    case TraceEventKind::KeyInstall:
+    case TraceEventKind::KmpComplete:
+    case TraceEventKind::TamperRewrite:
+    case TraceEventKind::TamperDrop:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void AuditTrail::append(SimTime at, NodeId node, PortId port, TraceEventKind kind,
+                        std::uint64_t a, std::uint64_t b, const SpanContext& span) {
+  ++total_;
+  if (records_.size() >= max_records_) return;
+  records_.push_back(AuditRecord{total_, at, node, port, kind, a, b, span});
+}
+
+std::vector<AuditTrail::Chain> AuditTrail::chains() const {
+  std::vector<Chain> out;
+  for (const AuditRecord& rec : records_) {
+    if (rec.span.trace_id == 0) continue;
+    auto it = std::find_if(out.begin(), out.end(), [&](const Chain& c) {
+      return c.trace_id == rec.span.trace_id;
+    });
+    if (it == out.end()) {
+      out.push_back(Chain{rec.span.trace_id, {}});
+      it = out.end() - 1;
+    }
+    it->events.push_back(&rec);
+  }
+  return out;
+}
+
+std::string AuditTrail::to_jsonl() const {
+  std::string out;
+  for (const AuditRecord& rec : records_) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("seq", rec.seq);
+    w.kv("t", rec.at.ns());
+    w.kv("ev", trace_event_name(rec.kind));
+    w.kv("node", static_cast<std::uint64_t>(rec.node.value));
+    w.kv("port", static_cast<std::uint64_t>(rec.port.value));
+    w.kv("a", rec.a);
+    w.kv("b", rec.b);
+    w.kv("trace", rec.span.trace_id);
+    w.kv("span", static_cast<std::uint64_t>(rec.span.span_id));
+    w.kv("parent", static_cast<std::uint64_t>(rec.span.parent_id));
+    w.end_object();
+    out += w.str();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace p4auth::telemetry

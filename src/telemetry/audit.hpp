@@ -1,0 +1,78 @@
+// Security audit trail: an append-only log of the defensive actions the
+// data plane and controller took, each stamped with the causal span that
+// triggered it.
+//
+// Where the packet tracer is a bounded flight recorder for *everything*,
+// the audit trail keeps only security-relevant events (digest failures,
+// replay/unauth drops, alerts, key installs, KMP completions, and the
+// adversary actions that provoked them) with a monotone sequence number,
+// so a run's defensive story can be replayed and mechanically checked:
+// group records by trace id and each group is one cause chain — tampered
+// frame -> verify failure -> alert -> key rollover. SimTime stamps only;
+// same-seed runs serialise byte-identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "telemetry/span.hpp"
+#include "telemetry/trace.hpp"
+
+namespace p4auth::telemetry {
+
+struct AuditRecord {
+  std::uint64_t seq = 0;  ///< monotone per run: total order of defensive actions
+  SimTime at{};
+  NodeId node{};
+  PortId port{};
+  TraceEventKind kind{};
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  SpanContext span{};
+};
+
+class AuditTrail {
+ public:
+  /// Security events are low-rate, so the default cap is generous; once
+  /// reached, new records are counted in dropped() but not retained.
+  explicit AuditTrail(std::size_t max_records = 1 << 20) : max_records_(max_records) {}
+
+  /// Kinds that constitute the audit trail. The tamper kinds are the
+  /// adversary's actions — kept so a chain shows cause, not just effect.
+  static bool is_audited(TraceEventKind kind) noexcept;
+
+  void append(SimTime at, NodeId node, PortId port, TraceEventKind kind, std::uint64_t a,
+              std::uint64_t b, const SpanContext& span);
+
+  const std::vector<AuditRecord>& records() const noexcept { return records_; }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t dropped() const noexcept { return total_ - records_.size(); }
+
+  /// Campaign-merge accounting: per-job trails have unrelated timelines,
+  /// so a merged bundle absorbs only the totals (mirrors PacketTracer).
+  void absorb_totals(const AuditTrail& other) noexcept { total_ += other.total_; }
+
+  /// One cause chain per trace id: the audited records sharing a trace,
+  /// in occurrence order. Chains are ordered by their first record's seq;
+  /// untraced records (trace id 0) are excluded.
+  struct Chain {
+    std::uint64_t trace_id = 0;
+    std::vector<const AuditRecord*> events;
+  };
+  std::vector<Chain> chains() const;
+
+  /// One JSON object per line:
+  ///   {"seq":3,"t":<ns>,"ev":"verify_fail","node":1,"port":2,"a":99,
+  ///    "b":0,"trace":<u64>,"span":5,"parent":4}
+  std::string to_jsonl() const;
+
+ private:
+  std::size_t max_records_;
+  std::vector<AuditRecord> records_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace p4auth::telemetry

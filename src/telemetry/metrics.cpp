@@ -34,6 +34,31 @@ void Histogram::merge(const Histogram& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+double Histogram::percentile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(n) >= target) {
+      // Bucket 0 holds [0, 1); bucket k >= 1 holds [2^(k-1), 2^k).
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bucket_upper(i - 1));
+      const double upper = static_cast<double>(bucket_upper(i));
+      const double within = (target - static_cast<double>(cum)) / static_cast<double>(n);
+      const double v = lower + within * (upper - lower);
+      // Clamp to observed range: interpolation inside the edge buckets
+      // (and the 2^63-clamped top bucket) must not invent values outside
+      // what was actually seen.
+      return std::clamp(v, min(), max());
+    }
+    cum += n;
+  }
+  return max();
+}
+
 int Histogram::bucket_index(double v) noexcept {
   if (!(v >= 1.0)) return 0;  // also catches NaN and negatives
   if (v >= 9.223372036854776e18) return kBuckets - 1;  // >= 2^63
@@ -48,6 +73,9 @@ void Histogram::write_json(JsonWriter& w) const {
   w.kv("sum", sum_);
   w.kv("min", min());
   w.kv("max", max());
+  w.kv("p50", percentile(0.50));
+  w.kv("p95", percentile(0.95));
+  w.kv("p99", percentile(0.99));
   w.key("buckets").begin_array();
   for (int i = 0; i < kBuckets; ++i) {
     const std::uint64_t n = buckets_[static_cast<std::size_t>(i)];

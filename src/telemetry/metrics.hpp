@@ -79,6 +79,13 @@ class Histogram {
   /// rounding of `sum`) to having observed both sample streams here.
   void merge(const Histogram& other) noexcept;
 
+  /// Quantile estimate for q in [0, 1] by linear interpolation inside
+  /// the log2 bucket holding the target rank. Exact at q=0 (min) and
+  /// q=1 (max); interior estimates are clamped to [min, max], which
+  /// keeps bucket 0 (v < 1) and the top bucket (clamped at 2^63)
+  /// honest. Empty histogram yields 0.
+  double percentile(double q) const noexcept;
+
   /// Index of the bucket `v` falls into.
   static int bucket_index(double v) noexcept;
   /// Exclusive upper bound of bucket `index` (1, 2, 4, ... 2^63).

@@ -1,0 +1,81 @@
+#include "telemetry/profile.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace p4auth::telemetry::profile {
+namespace {
+
+struct Global {
+  std::mutex mu;
+  MetricRegistry registry;
+};
+
+Global& global() {
+  static Global g;
+  return g;
+}
+
+bool env_enabled() {
+  const char* v = std::getenv("P4AUTH_PROFILE");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+}  // namespace
+
+bool compiled_in() noexcept {
+#if defined(P4AUTH_PROFILER)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool enabled() noexcept {
+  if (!compiled_in()) return false;
+  static const bool on = env_enabled();
+  return on;
+}
+
+void export_into(MetricRegistry& target) {
+  if (!enabled()) return;
+  Global& g = global();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  target.merge(g.registry);
+}
+
+void reset() {
+  Global& g = global();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  g.registry = MetricRegistry{};
+}
+
+#if defined(P4AUTH_PROFILER)
+
+namespace detail {
+
+Histogram* site(const char* name) {
+  Global& g = global();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  return &g.registry.histogram(std::string("profile.") + name + "_ns");
+}
+
+void observe(Histogram* h, double wall_ns) {
+  Global& g = global();
+  const std::lock_guard<std::mutex> lock(g.mu);
+  h->observe(wall_ns);
+}
+
+std::uint64_t now_wall_ns() noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+}  // namespace detail
+
+#endif  // P4AUTH_PROFILER
+
+}  // namespace p4auth::telemetry::profile

@@ -1,0 +1,79 @@
+// Runtime-gated scoped wall-clock profiler.
+//
+// Compiled to a true no-op unless the build defines P4AUTH_PROFILER
+// (CMake option of the same name): the default build carries zero code
+// at the instrumentation sites, which is how the 0-allocs-per-packet and
+// throughput gates stay untouched. When compiled in, it is still inert
+// until the P4AUTH_PROFILE environment variable is set (checked once),
+// and then records wall-clock nanoseconds per site into a process-global
+// MetricRegistry as `profile.<site>_ns` histograms.
+//
+// Wall-clock values are inherently non-deterministic; profile series are
+// therefore kept out of the run's own registry and only folded in via
+// export_into() when profiling is active. The byte-identical-output
+// contract applies to runs with profiling off.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+
+namespace p4auth::telemetry::profile {
+
+/// True when the build carries the instrumentation (P4AUTH_PROFILER).
+bool compiled_in() noexcept;
+
+/// True when compiled in AND the P4AUTH_PROFILE env var is set.
+bool enabled() noexcept;
+
+/// Folds the global profile.* series into `target` (typically the run's
+/// registry, right before serialisation). No-op when disabled.
+void export_into(MetricRegistry& target);
+
+/// Clears the global profile registry (test isolation).
+void reset();
+
+#if defined(P4AUTH_PROFILER)
+
+namespace detail {
+/// Registers (once) and returns the histogram for `site`; stable pointer.
+Histogram* site(const char* name);
+/// Thread-safe observe (campaign workers share the global registry).
+void observe(Histogram* h, double wall_ns);
+std::uint64_t now_wall_ns() noexcept;
+}  // namespace detail
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* h) noexcept
+      : h_(enabled() ? h : nullptr), start_(h_ != nullptr ? detail::now_wall_ns() : 0) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (h_ != nullptr) {
+      detail::observe(h_, static_cast<double>(detail::now_wall_ns() - start_));
+    }
+  }
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_;
+};
+
+#define P4AUTH_PROFILE_CONCAT2(a, b) a##b
+#define P4AUTH_PROFILE_CONCAT(a, b) P4AUTH_PROFILE_CONCAT2(a, b)
+/// Times the enclosing scope under `profile.<name>_ns`. `name` must be a
+/// string literal; the histogram lookup happens once per call site.
+#define P4AUTH_PROFILE_SCOPE(name)                                                        \
+  static ::p4auth::telemetry::Histogram* const P4AUTH_PROFILE_CONCAT(                     \
+      p4auth_profile_site_, __LINE__) = ::p4auth::telemetry::profile::detail::site(name); \
+  const ::p4auth::telemetry::profile::ScopedTimer P4AUTH_PROFILE_CONCAT(                  \
+      p4auth_profile_timer_, __LINE__)(P4AUTH_PROFILE_CONCAT(p4auth_profile_site_, __LINE__))
+
+#else
+
+#define P4AUTH_PROFILE_SCOPE(name) \
+  do {                             \
+  } while (false)
+
+#endif  // P4AUTH_PROFILER
+
+}  // namespace p4auth::telemetry::profile

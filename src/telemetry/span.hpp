@@ -1,0 +1,129 @@
+// Causal spans: deterministic trace/span identifiers that follow one
+// packet or one KMP operation across link -> switch -> pipeline ->
+// controller hops.
+//
+// The simulator is single-threaded, so "the span being worked on right
+// now" is a well-defined notion: SpanTracker keeps that current context,
+// RAII scopes restore the previous one, and event closures carry a
+// SpanContext across scheduling boundaries (capture at schedule time,
+// resume at fire time). Ids are derived from simulation state only —
+// never wall-clock, never addresses — so same-seed runs produce
+// byte-identical traces.
+//
+// SpanContext is deliberately 16 bytes: the hot-path event closures that
+// carry one must stay within InplaceHandler's 64-byte inline buffer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p4auth::telemetry {
+
+struct TraceRecord;
+
+/// The causal coordinates stamped onto every trace/audit record:
+/// which trace (end-to-end causal chain), which span (hop / processing
+/// segment), and which span caused it. trace_id == 0 means "untraced".
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  std::uint32_t parent_id = 0;
+
+  bool active() const noexcept { return trace_id != 0; }
+  friend bool operator==(const SpanContext&, const SpanContext&) = default;
+};
+static_assert(sizeof(SpanContext) == 16, "SpanContext must stay closure-capture friendly");
+
+/// Trace-id derivation domains: ids from different origins never collide
+/// even when their detail words do.
+inline constexpr std::uint64_t kTraceDomainInject = 1;  ///< host/test packet injection
+inline constexpr std::uint64_t kTraceDomainKmp = 2;     ///< controller-driven KMP operation
+inline constexpr std::uint64_t kTraceDomainRegOp = 3;   ///< authenticated register access
+
+/// Deterministic 64-bit id from (domain, detail, sequence) via a
+/// splitmix64-style mix. Never returns 0 (0 is the "untraced" sentinel).
+std::uint64_t derive_trace_id(std::uint64_t domain, std::uint64_t detail,
+                              std::uint64_t sequence) noexcept;
+
+class SpanTracker {
+ public:
+  /// Restores the previously current context when destroyed. The
+  /// default-constructed scope is a no-op — instrumentation sites use it
+  /// as the "telemetry off" branch.
+  class Scope {
+   public:
+    Scope() noexcept = default;
+    Scope(SpanTracker* tracker, SpanContext previous) noexcept
+        : tracker_(tracker), previous_(previous) {}
+    Scope(Scope&& other) noexcept : tracker_(other.tracker_), previous_(other.previous_) {
+      other.tracker_ = nullptr;
+    }
+    Scope& operator=(Scope&& other) noexcept {
+      if (this != &other) {
+        release();
+        tracker_ = other.tracker_;
+        previous_ = other.previous_;
+        other.tracker_ = nullptr;
+      }
+      return *this;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { release(); }
+
+   private:
+    void release() noexcept {
+      if (tracker_ != nullptr) tracker_->current_ = previous_;
+      tracker_ = nullptr;
+    }
+    SpanTracker* tracker_ = nullptr;
+    SpanContext previous_{};
+  };
+
+  /// The context stamped onto records emitted right now.
+  const SpanContext& current() const noexcept { return current_; }
+
+  /// Starts a root span of a fresh trace and makes it current. The trace
+  /// id is derived from (domain, detail, internal trace counter).
+  Scope start_trace(std::uint64_t domain, std::uint64_t detail);
+
+  /// Starts a child span of the current one and makes it current. With no
+  /// active trace this is a no-op scope (records stay untraced).
+  Scope start_child();
+
+  /// Child-of-current context for an event closure to carry across a
+  /// scheduling boundary; does NOT become current here — the closure
+  /// resumes it at fire time. Inactive context when no trace is active.
+  SpanContext child_for_schedule();
+
+  /// Root-of-new-trace context for a closure to carry (packet injection:
+  /// the delivery event is the trace's first span). Not made current.
+  SpanContext root_for_schedule(std::uint64_t domain, std::uint64_t detail);
+
+  /// Makes a carried context current again (fire side of a closure).
+  Scope resume(const SpanContext& ctx) noexcept;
+
+  /// Root-of-new-trace when nothing is active, child otherwise: the shape
+  /// controller operations want, so an alert-triggered rekey stays inside
+  /// the alert's trace while a cold-start rekey opens its own.
+  Scope start_operation(std::uint64_t domain, std::uint64_t detail);
+
+  std::uint64_t traces_started() const noexcept { return next_trace_; }
+  std::uint64_t spans_started() const noexcept { return next_span_; }
+
+ private:
+  std::uint32_t next_span_id() noexcept { return ++next_span_; }
+
+  SpanContext current_{};
+  std::uint32_t next_span_ = 0;   ///< last span id handed out (0 = none)
+  std::uint64_t next_trace_ = 0;  ///< trace-counter fed into derive_trace_id
+};
+
+/// Chrome trace-event JSON ({"traceEvents":[...]}) loadable in Perfetto
+/// and chrome://tracing: one instant-style slice per record (pid = node,
+/// tid = port, ts in microseconds) plus flow events per trace id so the
+/// UI draws causal arrows across hops.
+std::string trace_event_json(const std::vector<TraceRecord>& records);
+
+}  // namespace p4auth::telemetry

@@ -1,13 +1,30 @@
 #include "telemetry/telemetry.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
 
 namespace p4auth::telemetry {
 namespace {
 
 Status write_file(const std::string& path, const std::string& content) {
+  // Create missing parent directories: a --trace path like out/run1/t.jsonl
+  // must not fail (or, worse, vanish silently) just because out/run1 does
+  // not exist yet.
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return make_error("cannot create directory " + parent.string() + ": " + ec.message());
+    }
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return make_error("cannot open " + path + " for writing");
+  if (f == nullptr) {
+    return make_error("cannot open " + path + " for writing: " + std::strerror(errno));
+  }
   const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
   const int close_rc = std::fclose(f);
   if (written != content.size() || close_rc != 0) {
@@ -21,17 +38,26 @@ Status write_file(const std::string& path, const std::string& content) {
 void Telemetry::merge(const Telemetry& other) {
   metrics.merge(other.metrics);
   trace.absorb_totals(other.trace);
+  audit.absorb_totals(other.audit);
   if (other.stamped > stamped) stamped = other.stamped;
 }
 
 void merge_snapshots(Telemetry& dst, const Telemetry& src) { dst.merge(src); }
 
 std::string Telemetry::metrics_json() const {
+  // Snapshot-time copy so the flight-recorder accounting appears as
+  // ordinary counter families without mutating the live registry.
+  MetricRegistry all = metrics;
+  all.counter("trace.total_recorded").inc(trace.total_recorded());
+  all.counter("trace.overwritten").inc(trace.overwritten());
+  all.counter("audit.total_recorded").inc(audit.total());
+  all.counter("audit.dropped").inc(audit.dropped());
+
   JsonWriter w;
   w.begin_object();
   w.kv("schema", "p4auth.metrics.v1");
   w.kv("sim_time_ns", stamped.ns());
-  metrics.write_json(w);
+  all.write_json(w);
   w.kv("trace_events_recorded", trace.total_recorded());
   w.kv("trace_events_overwritten", trace.overwritten());
   w.end_object();
@@ -42,12 +68,18 @@ std::string Telemetry::metrics_json() const {
 
 std::string Telemetry::trace_jsonl() const { return trace.to_jsonl(); }
 
+std::string Telemetry::audit_jsonl() const { return audit.to_jsonl(); }
+
 Status Telemetry::write_metrics_file(const std::string& path) const {
   return write_file(path, metrics_json());
 }
 
 Status Telemetry::write_trace_file(const std::string& path) const {
   return write_file(path, trace_jsonl());
+}
+
+Status Telemetry::write_audit_file(const std::string& path) const {
+  return write_file(path, audit_jsonl());
 }
 
 }  // namespace p4auth::telemetry

@@ -1,5 +1,6 @@
 // The telemetry bundle every instrumented component shares: one metric
-// registry plus one packet event tracer.
+// registry, one packet event tracer, one causal span tracker, and one
+// security audit trail.
 //
 // Components hold a `Telemetry*` that may be null (telemetry off: the
 // instrumentation reduces to a pointer test). The owner — typically the
@@ -12,7 +13,9 @@
 
 #include "common/result.hpp"
 #include "common/types.hpp"
+#include "telemetry/audit.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 #include "telemetry/trace.hpp"
 
 namespace p4auth::telemetry {
@@ -20,6 +23,8 @@ namespace p4auth::telemetry {
 struct Telemetry {
   MetricRegistry metrics;
   PacketTracer trace;
+  SpanTracker spans;
+  AuditTrail audit;
   /// Sim-time of the snapshot; set by the harness after the run so the
   /// serialised output is stamped in sim-time, never wall-clock.
   SimTime stamped{};
@@ -28,6 +33,17 @@ struct Telemetry {
   explicit Telemetry(std::size_t trace_capacity) : trace(trace_capacity) {}
 
   void stamp(SimTime now) noexcept { stamped = now; }
+
+  /// The instrumented-component entry point: stamps the tracker's current
+  /// span onto the trace record and forwards security-relevant kinds to
+  /// the audit trail. Call sites that bypass this (raw trace.record)
+  /// produce untraced, unaudited records.
+  void record(SimTime at, NodeId node, PortId port, TraceEventKind kind, std::uint64_t a = 0,
+              std::uint64_t b = 0) {
+    const SpanContext& span = spans.current();
+    trace.record(at, node, port, kind, a, b, span);
+    if (AuditTrail::is_audited(kind)) audit.append(at, node, port, kind, a, b, span);
+  }
 
   /// Folds another bundle into this one: metric series merge element-wise
   /// (counters/gauges add, histograms add bucket-wise), the stamp becomes
@@ -40,13 +56,21 @@ struct Telemetry {
   /// Full metrics snapshot:
   ///   {"schema":"p4auth.metrics.v1","sim_time_ns":N,
   ///    "counters":{...},"gauges":{...},"histograms":{...}}
+  /// The snapshot also injects flight-recorder accounting as `trace.*`
+  /// and `audit.*` counters, so ring overflow is visible in the file.
   std::string metrics_json() const;
 
   /// JSONL trace dump (see PacketTracer::to_jsonl).
   std::string trace_jsonl() const;
 
+  /// JSONL audit-trail dump (see AuditTrail::to_jsonl).
+  std::string audit_jsonl() const;
+
+  // The writers create missing parent directories and fail with an
+  // errno-carrying message rather than silently writing nothing.
   Status write_metrics_file(const std::string& path) const;
   Status write_trace_file(const std::string& path) const;
+  Status write_audit_file(const std::string& path) const;
 };
 
 /// Free-function spelling of Telemetry::merge, for reduction loops:

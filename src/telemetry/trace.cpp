@@ -25,14 +25,25 @@ std::string_view trace_event_name(TraceEventKind kind) noexcept {
   return "?";
 }
 
+bool trace_event_kind_from_name(std::string_view name, TraceEventKind& out) noexcept {
+  for (int i = 0; i <= static_cast<int>(TraceEventKind::KmpComplete); ++i) {
+    const auto kind = static_cast<TraceEventKind>(i);
+    if (trace_event_name(kind) == name) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 PacketTracer::PacketTracer(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
   records_.reserve(capacity_ < 4096 ? capacity_ : 4096);
 }
 
 void PacketTracer::record(SimTime at, NodeId node, PortId port, TraceEventKind kind,
-                          std::uint64_t a, std::uint64_t b) {
+                          std::uint64_t a, std::uint64_t b, const SpanContext& span) {
   ++total_;
-  const TraceRecord rec{at, node, port, kind, a, b};
+  const TraceRecord rec{at, node, port, kind, a, b, span};
   if (records_.size() < capacity_) {
     records_.push_back(rec);
     return;
@@ -62,6 +73,9 @@ std::string PacketTracer::to_jsonl() const {
     w.kv("port", static_cast<std::uint64_t>(rec.port.value));
     w.kv("a", rec.a);
     w.kv("b", rec.b);
+    w.kv("trace", rec.span.trace_id);
+    w.kv("span", static_cast<std::uint64_t>(rec.span.span_id));
+    w.kv("parent", static_cast<std::uint64_t>(rec.span.parent_id));
     w.end_object();
     out += w.str();
     out.push_back('\n');

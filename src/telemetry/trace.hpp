@@ -16,6 +16,7 @@
 
 #include "common/types.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/span.hpp"
 
 namespace p4auth::telemetry {
 
@@ -41,6 +42,10 @@ enum class TraceEventKind : std::uint8_t {
 
 std::string_view trace_event_name(TraceEventKind kind) noexcept;
 
+/// Inverse of trace_event_name (for the p4auth_trace CLI). False when
+/// `name` is not a known event kind.
+bool trace_event_kind_from_name(std::string_view name, TraceEventKind& out) noexcept;
+
 struct TraceRecord {
   SimTime at{};
   NodeId node{};
@@ -48,6 +53,9 @@ struct TraceRecord {
   TraceEventKind kind{};
   std::uint64_t a = 0;  ///< event-specific detail (see TraceEventKind)
   std::uint64_t b = 0;  ///< event-specific detail
+  /// Causal coordinates (zero = untraced). Stamped by Telemetry::record
+  /// from the tracker's current span.
+  SpanContext span{};
 };
 
 class PacketTracer {
@@ -55,7 +63,7 @@ class PacketTracer {
   explicit PacketTracer(std::size_t capacity = 1 << 16);
 
   void record(SimTime at, NodeId node, PortId port, TraceEventKind kind, std::uint64_t a = 0,
-              std::uint64_t b = 0);
+              std::uint64_t b = 0, const SpanContext& span = {});
 
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t size() const noexcept { return records_.size(); }
@@ -73,7 +81,8 @@ class PacketTracer {
   std::vector<TraceRecord> snapshot() const;
 
   /// One JSON object per line:
-  ///   {"t":<ns>,"ev":"verify_fail","node":4,"port":2,"a":99,"b":0}
+  ///   {"t":<ns>,"ev":"verify_fail","node":4,"port":2,"a":99,"b":0,
+  ///    "trace":<u64>,"span":7,"parent":6}
   std::string to_jsonl() const;
 
  private:

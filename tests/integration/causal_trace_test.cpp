@@ -1,0 +1,153 @@
+// The tentpole acceptance scenario for the causal tracing layer: a hula
+// fabric with an on-link adversary, rekey-on-alert enabled, and the span
+// tracker on. A tampered probe's verify failure, the alert it raises,
+// and the key rollover the controller orders in response must all be
+// linked into ONE causal trace — and the trace must export to Chrome
+// trace-event JSON.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/hula/hula.hpp"
+#include "attacks/link_mitm.hpp"
+#include "experiments/fabric.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace p4auth {
+namespace {
+
+using experiments::Fabric;
+namespace hula = apps::hula;
+
+constexpr NodeId kS1{1}, kS2{2};
+
+Fabric::ProgramFactory make_hula(NodeId self, std::vector<PortId> probe_ports) {
+  return [self, probe_ports = std::move(probe_ports)](
+             dataplane::RegisterFile& registers) -> std::unique_ptr<dataplane::DataPlaneProgram> {
+    hula::HulaProgram::Config config;
+    config.self = self;
+    config.is_tor = true;
+    config.probe_ports = probe_ports;
+    return std::make_unique<hula::HulaProgram>(config, registers);
+  };
+}
+
+TEST(CausalTrace, TamperedProbeLinksVerifyFailAlertAndKeyInstall) {
+  telemetry::Telemetry telemetry;
+
+  Fabric::Options options;
+  options.p4auth = true;
+  options.seed = 1;
+  options.protected_magics = {hula::kProbeMagic};
+  options.telemetry = &telemetry;
+  // The controller answers an authentic integrity alert with a local-key
+  // update — inside the alert's causal trace.
+  options.controller_config.rekey_on_alert = true;
+  Fabric fabric(options);
+
+  fabric.add_switch(kS1, make_hula(kS1, {}));
+  fabric.add_switch(kS2, make_hula(kS2, {PortId{1}}));
+
+  netsim::LinkConfig link;
+  link.latency = SimTime::from_us(20);
+  netsim::Link* s2_s1 = fabric.connect(kS2, PortId{1}, kS1, PortId{1}, link);
+
+  ASSERT_TRUE(fabric.init_all_keys().ok());
+
+  // Every probe S2 sends toward S1 is rewritten in flight.
+  s2_s1->set_tamper(kS2, attacks::make_probe_util_rewriter(200));
+
+  const auto probe_gen = hula::encode_probe_gen();
+  for (int i = 0; i < 5; ++i) {
+    fabric.net.inject(kS2, PortId{9}, probe_gen,
+                      SimTime::from_us(50 + 200 * static_cast<std::uint64_t>(i)));
+  }
+  fabric.sim.run();
+
+  // The data plane rejected tampered probes and the controller saw the
+  // authentic alert and ordered a rekey.
+  EXPECT_GT(fabric.at(kS1).agent->stats().feedback_rejected, 0u);
+  EXPECT_GE(fabric.controller.stats().alert_rekeys, 1u);
+
+  // One audit chain must tell the whole story: verify failure -> alert
+  // -> key install (the rekey's KMP completion rides the same trace).
+  const auto chains = telemetry.audit.chains();
+  const auto* story = [&]() -> const telemetry::AuditTrail::Chain* {
+    for (const auto& chain : chains) {
+      const auto has = [&](telemetry::TraceEventKind kind) {
+        return std::any_of(chain.events.begin(), chain.events.end(),
+                           [&](const telemetry::AuditRecord* r) { return r->kind == kind; });
+      };
+      if (has(telemetry::TraceEventKind::VerifyFail) &&
+          has(telemetry::TraceEventKind::AlertSent) &&
+          has(telemetry::TraceEventKind::KeyInstall)) {
+        return &chain;
+      }
+    }
+    return nullptr;
+  }();
+  ASSERT_NE(story, nullptr) << "no audit chain links verify_fail -> alert_sent -> key_install";
+
+  // Every link in the chain carries real span coordinates, and causality
+  // is honest: the verify failure precedes the alert precedes the
+  // install, and non-root spans have parents.
+  std::uint64_t t_fail = 0, t_alert = 0, t_install = 0;
+  for (const auto* record : story->events) {
+    EXPECT_EQ(record->span.trace_id, story->trace_id);
+    EXPECT_NE(record->span.span_id, 0u);
+    if (record->kind == telemetry::TraceEventKind::VerifyFail && t_fail == 0) {
+      t_fail = record->at.ns();
+    }
+    if (record->kind == telemetry::TraceEventKind::AlertSent && t_alert == 0) {
+      t_alert = record->at.ns();
+      EXPECT_NE(record->span.parent_id, 0u);
+    }
+    if (record->kind == telemetry::TraceEventKind::KeyInstall && t_install == 0) {
+      t_install = record->at.ns();
+      EXPECT_NE(record->span.parent_id, 0u);
+    }
+  }
+  EXPECT_LE(t_fail, t_alert);
+  EXPECT_LT(t_alert, t_install);
+
+  // The same run exports to Chrome trace-event JSON (Perfetto-loadable).
+  const std::string json = telemetry::trace_event_json(telemetry.trace.snapshot());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"verify_fail\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);  // at least one flow
+}
+
+TEST(CausalTrace, SameSeedRunsProduceIdenticalSpanAndAuditDumps) {
+  const auto run = [] {
+    telemetry::Telemetry telemetry;
+    Fabric::Options options;
+    options.p4auth = true;
+    options.seed = 3;
+    options.protected_magics = {hula::kProbeMagic};
+    options.telemetry = &telemetry;
+    options.controller_config.rekey_on_alert = true;
+    Fabric fabric(options);
+    fabric.add_switch(kS1, make_hula(kS1, {}));
+    fabric.add_switch(kS2, make_hula(kS2, {PortId{1}}));
+    netsim::LinkConfig link;
+    link.latency = SimTime::from_us(20);
+    netsim::Link* s2_s1 = fabric.connect(kS2, PortId{1}, kS1, PortId{1}, link);
+    if (!fabric.init_all_keys().ok()) return std::pair<std::string, std::string>{};
+    s2_s1->set_tamper(kS2, attacks::make_probe_util_rewriter(200));
+    const auto probe_gen = hula::encode_probe_gen();
+    for (int i = 0; i < 3; ++i) {
+      fabric.net.inject(kS2, PortId{9}, probe_gen,
+                        SimTime::from_us(50 + 200 * static_cast<std::uint64_t>(i)));
+    }
+    fabric.sim.run();
+    return std::make_pair(telemetry.trace_jsonl(), telemetry.audit_jsonl());
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_FALSE(a.first.empty());
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+}  // namespace
+}  // namespace p4auth

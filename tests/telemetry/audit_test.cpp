@@ -1,0 +1,107 @@
+#include "telemetry/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/telemetry.hpp"
+
+namespace p4auth::telemetry {
+namespace {
+
+TEST(AuditTrail, OnlySecurityKindsAreAudited) {
+  EXPECT_TRUE(AuditTrail::is_audited(TraceEventKind::VerifyFail));
+  EXPECT_TRUE(AuditTrail::is_audited(TraceEventKind::ReplayDrop));
+  EXPECT_TRUE(AuditTrail::is_audited(TraceEventKind::UnauthDrop));
+  EXPECT_TRUE(AuditTrail::is_audited(TraceEventKind::AlertSent));
+  EXPECT_TRUE(AuditTrail::is_audited(TraceEventKind::KeyInstall));
+  EXPECT_TRUE(AuditTrail::is_audited(TraceEventKind::KmpComplete));
+  EXPECT_TRUE(AuditTrail::is_audited(TraceEventKind::TamperRewrite));
+  EXPECT_FALSE(AuditTrail::is_audited(TraceEventKind::Ingress));
+  EXPECT_FALSE(AuditTrail::is_audited(TraceEventKind::Egress));
+  EXPECT_FALSE(AuditTrail::is_audited(TraceEventKind::TableHit));
+  EXPECT_FALSE(AuditTrail::is_audited(TraceEventKind::VerifyOk));
+}
+
+TEST(AuditTrail, TelemetryRouterForwardsAuditedKinds) {
+  Telemetry t;
+  t.record(SimTime::from_us(1), NodeId{1}, PortId{0}, TraceEventKind::Ingress);
+  t.record(SimTime::from_us(2), NodeId{1}, PortId{0}, TraceEventKind::VerifyFail, 42);
+  EXPECT_EQ(t.trace.total_recorded(), 2u);
+  ASSERT_EQ(t.audit.records().size(), 1u);
+  EXPECT_EQ(t.audit.records()[0].kind, TraceEventKind::VerifyFail);
+  EXPECT_EQ(t.audit.records()[0].a, 42u);
+}
+
+TEST(AuditTrail, RecordsCarrySpanCoordinates) {
+  Telemetry t;
+  {
+    const auto root = t.spans.start_trace(kTraceDomainInject, 1);
+    t.record(SimTime::from_us(1), NodeId{2}, PortId{3}, TraceEventKind::AlertSent, 7);
+  }
+  ASSERT_EQ(t.audit.records().size(), 1u);
+  const AuditRecord& rec = t.audit.records()[0];
+  EXPECT_NE(rec.span.trace_id, 0u);
+  EXPECT_NE(rec.span.span_id, 0u);
+}
+
+TEST(AuditTrail, ChainsGroupByTraceId) {
+  Telemetry t;
+  {
+    const auto root = t.spans.start_trace(kTraceDomainInject, 1);
+    t.record(SimTime::from_us(1), NodeId{1}, PortId{0}, TraceEventKind::VerifyFail);
+    const auto child = t.spans.start_child();
+    t.record(SimTime::from_us(2), NodeId{1}, PortId{0}, TraceEventKind::AlertSent);
+  }
+  {
+    const auto root = t.spans.start_trace(kTraceDomainInject, 2);
+    t.record(SimTime::from_us(3), NodeId{2}, PortId{0}, TraceEventKind::ReplayDrop);
+  }
+  // Untraced records join no chain.
+  t.record(SimTime::from_us(4), NodeId{3}, PortId{0}, TraceEventKind::KeyInstall);
+
+  const auto chains = t.audit.chains();
+  ASSERT_EQ(chains.size(), 2u);
+  EXPECT_EQ(chains[0].events.size(), 2u);
+  EXPECT_EQ(chains[0].events[0]->kind, TraceEventKind::VerifyFail);
+  EXPECT_EQ(chains[0].events[1]->kind, TraceEventKind::AlertSent);
+  EXPECT_EQ(chains[1].events.size(), 1u);
+}
+
+TEST(AuditTrail, RetentionCapsRecordsButKeepsTotal) {
+  AuditTrail audit(/*max_records=*/2);
+  for (int i = 0; i < 5; ++i) {
+    audit.append(SimTime::from_ns(static_cast<std::uint64_t>(i)), NodeId{1}, PortId{0},
+                 TraceEventKind::VerifyFail, static_cast<std::uint64_t>(i), 0, {});
+  }
+  EXPECT_EQ(audit.total(), 5u);
+  EXPECT_EQ(audit.records().size(), 2u);
+  EXPECT_EQ(audit.dropped(), 3u);
+}
+
+TEST(AuditTrail, JsonlShapeAndDeterminism) {
+  Telemetry t;
+  {
+    const auto root = t.spans.start_trace(kTraceDomainKmp, 4);
+    t.record(SimTime::from_ns(77), NodeId{4}, PortId{2}, TraceEventKind::KmpComplete, 123, 1);
+  }
+  const std::string jsonl = t.audit_jsonl();
+  EXPECT_NE(jsonl.find("\"ev\":\"kmp_complete\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"t\":77"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"a\":123"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"span\":"), std::string::npos);
+  EXPECT_EQ(jsonl, t.audit_jsonl());
+  EXPECT_EQ(jsonl.back(), '\n');
+}
+
+TEST(AuditTrail, MergeAbsorbsTotalsOnly) {
+  Telemetry a, b;
+  b.record(SimTime::from_us(1), NodeId{1}, PortId{0}, TraceEventKind::VerifyFail);
+  b.record(SimTime::from_us(2), NodeId{1}, PortId{0}, TraceEventKind::AlertSent);
+  a.merge(b);
+  EXPECT_EQ(a.audit.total(), 2u);
+  // Per-job audit windows have unrelated timelines; records stay put.
+  EXPECT_TRUE(a.audit.records().empty());
+}
+
+}  // namespace
+}  // namespace p4auth::telemetry

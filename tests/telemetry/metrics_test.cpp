@@ -75,6 +75,72 @@ TEST(Histogram, ObserveTracksCountSumMinMax) {
   EXPECT_EQ(h.bucket(7), 1u);  // 100 in [64,128)
 }
 
+TEST(Histogram, PercentileEmptyAndEdgeQuantiles) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  h.observe(3.0);
+  h.observe(9.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);   // q<=0 -> min
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 9.0);   // q>=1 -> max
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(2.0), 9.0);
+}
+
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  Histogram h;
+  // 100 samples all in bucket 7 ([64, 128)): interpolation walks the
+  // bucket linearly, clamped to the observed [min, max].
+  for (int i = 0; i < 100; ++i) h.observe(64.0 + static_cast<double>(i) * 0.63);
+  const double p50 = h.percentile(0.50);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p50, 128.0);
+  const double p95 = h.percentile(0.95);
+  EXPECT_GT(p95, p50);
+  EXPECT_LE(p95, h.max());
+}
+
+TEST(Histogram, PercentileBucketZeroStaysInObservedRange) {
+  Histogram h;
+  // All samples sub-unit: bucket 0 spans [0, 1) but the estimate must
+  // stay inside [min, max] = [0.2, 0.4].
+  for (double v : {0.2, 0.3, 0.4}) h.observe(v);
+  const double p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 0.2);
+  EXPECT_LE(p50, 0.4);
+}
+
+TEST(Histogram, PercentileTopBucketClampsToMax) {
+  Histogram h;
+  // 2^63-scale values clamp into the top bucket; the interpolated value
+  // must not exceed the observed max.
+  h.observe(1e300);
+  h.observe(1e300);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 1e300);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 1e300);
+}
+
+TEST(Histogram, PercentileSpansBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(2.0);    // bucket 2
+  for (int i = 0; i < 10; ++i) h.observe(100.0);  // bucket 7
+  EXPECT_LT(h.percentile(0.50), 4.0);
+  EXPECT_GE(h.percentile(0.95), 64.0);
+}
+
+TEST(Histogram, JsonCarriesPercentiles) {
+  MetricRegistry reg;
+  auto& h = reg.histogram("h.lat");
+  for (int i = 0; i < 16; ++i) h.observe(static_cast<double>(i + 1));
+  JsonWriter w;
+  w.begin_object();
+  reg.write_json(w);
+  w.end_object();
+  const std::string json = w.take();
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
 TEST(MetricRegistry, JsonSnapshotIsSortedAndStable) {
   MetricRegistry reg;
   reg.counter("z.last", {{"switch", "2"}}).inc(2);

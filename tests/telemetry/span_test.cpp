@@ -1,0 +1,169 @@
+#include "telemetry/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/trace.hpp"
+
+namespace p4auth::telemetry {
+namespace {
+
+TEST(SpanContext, DefaultIsInactive) {
+  SpanContext ctx;
+  EXPECT_FALSE(ctx.active());
+  EXPECT_EQ(ctx.trace_id, 0u);
+  EXPECT_EQ(ctx.span_id, 0u);
+  EXPECT_EQ(ctx.parent_id, 0u);
+}
+
+TEST(SpanContext, StaysInClosureBudget) {
+  // The inline-closure hot path captures one of these per scheduled
+  // event; growth here eats directly into the 64-byte budget.
+  static_assert(sizeof(SpanContext) == 16);
+}
+
+TEST(DeriveTraceId, DeterministicAndDomainSeparated) {
+  const std::uint64_t a = derive_trace_id(kTraceDomainInject, 7, 1);
+  EXPECT_EQ(a, derive_trace_id(kTraceDomainInject, 7, 1));
+  EXPECT_NE(a, derive_trace_id(kTraceDomainKmp, 7, 1));
+  EXPECT_NE(a, derive_trace_id(kTraceDomainInject, 8, 1));
+  EXPECT_NE(a, derive_trace_id(kTraceDomainInject, 7, 2));
+  EXPECT_NE(a, 0u);
+}
+
+TEST(SpanTracker, RootScopeActivatesAndRestores) {
+  SpanTracker spans;
+  EXPECT_FALSE(spans.current().active());
+  {
+    const auto scope = spans.start_trace(kTraceDomainInject, 1);
+    EXPECT_TRUE(spans.current().active());
+    EXPECT_EQ(spans.current().parent_id, 0u);
+  }
+  EXPECT_FALSE(spans.current().active());
+  EXPECT_EQ(spans.traces_started(), 1u);
+}
+
+TEST(SpanTracker, ChildInheritsTraceAndLinksParent) {
+  SpanTracker spans;
+  const auto root = spans.start_trace(kTraceDomainInject, 1);
+  const SpanContext root_ctx = spans.current();
+  {
+    const auto child = spans.start_child();
+    EXPECT_EQ(spans.current().trace_id, root_ctx.trace_id);
+    EXPECT_EQ(spans.current().parent_id, root_ctx.span_id);
+    EXPECT_NE(spans.current().span_id, root_ctx.span_id);
+  }
+  EXPECT_EQ(spans.current(), root_ctx);
+}
+
+TEST(SpanTracker, ChildForScheduleCrossesEventBoundary) {
+  // The schedule/fire pattern: derive the child context at schedule
+  // time, capture it by value, resume it when the event fires.
+  SpanTracker spans;
+  SpanContext captured;
+  {
+    const auto root = spans.start_trace(kTraceDomainInject, 1);
+    captured = spans.child_for_schedule();
+    EXPECT_EQ(captured.trace_id, spans.current().trace_id);
+    EXPECT_EQ(captured.parent_id, spans.current().span_id);
+  }
+  EXPECT_FALSE(spans.current().active());
+  {
+    const auto scope = spans.resume(captured);
+    EXPECT_EQ(spans.current(), captured);
+  }
+  EXPECT_FALSE(spans.current().active());
+}
+
+TEST(SpanTracker, RootForScheduleStartsFreshTrace) {
+  SpanTracker spans;
+  const SpanContext a = spans.root_for_schedule(kTraceDomainInject, 5);
+  const SpanContext b = spans.root_for_schedule(kTraceDomainInject, 5);
+  EXPECT_TRUE(a.active());
+  EXPECT_TRUE(b.active());
+  // Same domain/detail, distinct sequence numbers: distinct traces.
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.parent_id, 0u);
+}
+
+TEST(SpanTracker, OperationNestsWhenTraceActive) {
+  // An alert-triggered rekey must stay in the alert's trace; a cold
+  // operation roots its own.
+  SpanTracker spans;
+  {
+    const auto cold = spans.start_operation(kTraceDomainKmp, 4);
+    EXPECT_TRUE(spans.current().active());
+    EXPECT_EQ(spans.current().parent_id, 0u);
+  }
+  const auto root = spans.start_trace(kTraceDomainInject, 1);
+  const SpanContext root_ctx = spans.current();
+  const auto nested = spans.start_operation(kTraceDomainKmp, 4);
+  EXPECT_EQ(spans.current().trace_id, root_ctx.trace_id);
+  EXPECT_EQ(spans.current().parent_id, root_ctx.span_id);
+}
+
+TEST(SpanTracker, ScopeMoveTransfersRestoration) {
+  SpanTracker spans;
+  SpanTracker::Scope outer;
+  {
+    SpanTracker::Scope inner = spans.start_trace(kTraceDomainInject, 1);
+    outer = std::move(inner);
+  }
+  // The moved-from scope must not have restored on destruction.
+  EXPECT_TRUE(spans.current().active());
+}
+
+TEST(TraceEventJson, EmitsEventsAndFlows) {
+  SpanTracker spans;
+  std::vector<TraceRecord> records;
+  const auto add = [&](SimTime at, NodeId node, TraceEventKind kind) {
+    TraceRecord r;
+    r.at = at;
+    r.node = node;
+    r.port = PortId{1};
+    r.kind = kind;
+    r.span = spans.current();
+    records.push_back(r);
+  };
+  {
+    const auto root = spans.start_trace(kTraceDomainInject, 1);
+    add(SimTime::from_us(1), NodeId{1}, TraceEventKind::Ingress);
+    const auto hop = spans.start_child();
+    add(SimTime::from_us(2), NodeId{2}, TraceEventKind::VerifyFail);
+  }
+  const std::string json = trace_event_json(records);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ingress\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"verify_fail\""), std::string::npos);
+  // Two spans of one trace: a flow start and a terminating step.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(TraceEventJson, SingleSpanTraceHasNoFlow) {
+  SpanTracker spans;
+  TraceRecord r;
+  const auto root = spans.start_trace(kTraceDomainInject, 1);
+  r.at = SimTime::from_us(1);
+  r.node = NodeId{1};
+  r.kind = TraceEventKind::Ingress;
+  r.span = spans.current();
+  const std::string json = trace_event_json({r});
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos);
+}
+
+TEST(TraceEventJson, DeterministicAcrossCalls) {
+  SpanTracker spans;
+  const auto root = spans.start_trace(kTraceDomainKmp, 3);
+  TraceRecord r;
+  r.at = SimTime::from_us(9);
+  r.node = NodeId{4};
+  r.kind = TraceEventKind::KmpComplete;
+  r.span = spans.current();
+  const std::vector<TraceRecord> records{r, r};
+  EXPECT_EQ(trace_event_json(records), trace_event_json(records));
+}
+
+}  // namespace
+}  // namespace p4auth::telemetry

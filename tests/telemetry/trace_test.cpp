@@ -41,7 +41,29 @@ TEST(PacketTracer, JsonlFormat) {
   PacketTracer tracer(4);
   tracer.record(SimTime::from_ns(42), NodeId{4}, PortId{2}, TraceEventKind::VerifyFail, 99);
   EXPECT_EQ(tracer.to_jsonl(),
-            "{\"t\":42,\"ev\":\"verify_fail\",\"node\":4,\"port\":2,\"a\":99,\"b\":0}\n");
+            "{\"t\":42,\"ev\":\"verify_fail\",\"node\":4,\"port\":2,\"a\":99,\"b\":0,"
+            "\"trace\":0,\"span\":0,\"parent\":0}\n");
+}
+
+TEST(PacketTracer, JsonlCarriesSpanCoordinates) {
+  PacketTracer tracer(4);
+  SpanContext span;
+  span.trace_id = 0xABCDull;
+  span.span_id = 7;
+  span.parent_id = 6;
+  tracer.record(SimTime::from_ns(1), NodeId{2}, PortId{1}, TraceEventKind::Ingress, 64, 0, span);
+  EXPECT_EQ(tracer.to_jsonl(),
+            "{\"t\":1,\"ev\":\"ingress\",\"node\":2,\"port\":1,\"a\":64,\"b\":0,"
+            "\"trace\":43981,\"span\":7,\"parent\":6}\n");
+}
+
+TEST(PacketTracer, EventNameRoundTrips) {
+  TraceEventKind kind{};
+  ASSERT_TRUE(trace_event_kind_from_name("verify_fail", kind));
+  EXPECT_EQ(kind, TraceEventKind::VerifyFail);
+  ASSERT_TRUE(trace_event_kind_from_name("kmp_complete", kind));
+  EXPECT_EQ(kind, TraceEventKind::KmpComplete);
+  EXPECT_FALSE(trace_event_kind_from_name("no_such_event", kind));
 }
 
 TEST(PacketTracer, EventNamesAreSnakeCase) {
@@ -100,7 +122,33 @@ TEST(Telemetry, WriteFilesRoundTrip) {
   std::fclose(f);
   EXPECT_EQ(std::string(buf, n), t.metrics_json());
 
-  EXPECT_FALSE(t.write_metrics_file("/nonexistent-dir/x.json").ok());
+  // Missing parent directories are created on demand.
+  const std::string nested = dir + "/p4auth_nested/a/b/metrics.json";
+  EXPECT_TRUE(t.write_metrics_file(nested).ok());
+  std::FILE* g = std::fopen(nested.c_str(), "rb");
+  EXPECT_NE(g, nullptr);
+  if (g != nullptr) std::fclose(g);
+
+  // A parent path blocked by a regular file still fails loudly.
+  EXPECT_FALSE(t.write_metrics_file(metrics_path + "/x.json").ok());
+}
+
+TEST(Telemetry, MetricsJsonInjectsTraceAndAuditCounters) {
+  Telemetry t;
+  PacketTracer small(2);
+  for (int i = 0; i < 5; ++i) {
+    small.record(SimTime::from_ns(static_cast<std::uint64_t>(i)), NodeId{1}, PortId{0},
+                 TraceEventKind::Ingress);
+  }
+  t.trace = small;
+  t.record(SimTime::from_ns(9), NodeId{1}, PortId{0}, TraceEventKind::VerifyFail, 4);
+  const std::string json = t.metrics_json();
+  EXPECT_NE(json.find("\"trace.total_recorded\":{\"total\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"trace.overwritten\":{\"total\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"audit.total_recorded\":{\"total\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"audit.dropped\":{\"total\":0"), std::string::npos);
+  // Snapshot-time injection must not mutate the live registry.
+  EXPECT_TRUE(t.metrics.empty());
 }
 
 }  // namespace

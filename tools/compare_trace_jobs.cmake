@@ -1,0 +1,38 @@
+# ctest script: runs the same multi-seed hula campaign with --jobs 1 and
+# --jobs 8, each writing per-seed span/audit JSONL dumps via --trace-dir,
+# and fails unless every per-seed file is byte-identical across the two
+# job counts — the causal-trace analogue of compare_jobs.cmake. Invoked:
+#   cmake -DP4AUTH_SIM=<binary> -DWORK_DIR=<dir> -P compare_trace_jobs.cmake
+set(common_args hula --scenario p4auth --seeds 1..4 --duration-ms 60)
+
+foreach(jobs 1 8)
+  set(dir ${WORK_DIR}/traces_jobs${jobs})
+  file(REMOVE_RECURSE ${dir})
+  execute_process(
+    COMMAND ${P4AUTH_SIM} ${common_args} --jobs ${jobs} --trace-dir ${dir}
+    WORKING_DIRECTORY ${WORK_DIR}
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "p4auth_sim --jobs ${jobs} failed with exit code ${rc}")
+  endif()
+endforeach()
+
+foreach(seed RANGE 1 4)
+  foreach(kind trace audit)
+    set(file_a ${WORK_DIR}/traces_jobs1/${kind}_seed${seed}.jsonl)
+    set(file_b ${WORK_DIR}/traces_jobs8/${kind}_seed${seed}.jsonl)
+    if(NOT EXISTS ${file_a} OR NOT EXISTS ${file_b})
+      message(FATAL_ERROR "missing ${kind} dump for seed ${seed}")
+    endif()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files ${file_a} ${file_b}
+      RESULT_VARIABLE files_differ)
+    if(NOT files_differ EQUAL 0)
+      message(FATAL_ERROR
+        "${kind} dump for seed ${seed} differs between --jobs 1 and --jobs 8")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "trace jobs determinism ok")

@@ -3,8 +3,10 @@
 // Usage:
 //   p4auth_sim hula       [--scenario S] [--seed N | --seeds A..B] [--jobs N]
 //                         [--duration-ms N] [--metrics-out FILE] [--trace FILE]
+//                         [--audit FILE] [--trace-dir DIR]
 //   p4auth_sim routescout [--scenario S] [--seed N | --seeds A..B] [--jobs N]
-//                         [--metrics-out FILE] [--trace FILE]
+//                         [--metrics-out FILE] [--trace FILE] [--audit FILE]
+//                         [--trace-dir DIR]
 //   p4auth_sim regops     [--variant p4runtime|dpregrw|p4auth] [--requests N]
 //   p4auth_sim kmp        [--samples N]
 //   p4auth_sim multihop   [--min-hops N] [--max-hops N]
@@ -22,8 +24,13 @@
 //
 // --metrics-out writes a deterministic JSON snapshot of every counter,
 // gauge and histogram the run recorded (merged across seeds in campaign
-// mode); --trace writes the per-packet event ring as JSONL (single-seed
-// runs only). See docs/OBSERVABILITY.md for the schemas.
+// mode); --trace writes the per-packet event ring as JSONL and --audit
+// the security audit trail (both single-seed only). In campaign mode
+// --trace-dir DIR writes per-seed trace_seed<N>.jsonl and
+// audit_seed<N>.jsonl files instead. When the P4AUTH_PROFILE environment
+// variable is set (and the build compiled with -DP4AUTH_PROFILER=ON),
+// metrics snapshots additionally carry profile.* wall-clock histograms.
+// See docs/OBSERVABILITY.md for the schemas.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +46,7 @@
 #include "experiments/routescout_experiment.hpp"
 #include "experiments/table1_experiment.hpp"
 #include "runner/runner.hpp"
+#include "telemetry/profile.hpp"
 #include "telemetry/telemetry.hpp"
 
 using namespace p4auth;
@@ -112,9 +120,13 @@ std::uint64_t arg_u64(int argc, char** argv, const char* flag, std::uint64_t fal
 }
 
 /// Writes the requested telemetry artifacts; returns 0 or an exit code.
-int write_telemetry(const telemetry::Telemetry& telemetry, const char* metrics_path,
-                    const char* trace_path) {
+/// Folds any profiler histograms (P4AUTH_PROFILE + -DP4AUTH_PROFILER
+/// builds) into the metrics snapshot first — wall-clock series, so they
+/// are opt-in and never part of the deterministic default output.
+int write_telemetry(telemetry::Telemetry& telemetry, const char* metrics_path,
+                    const char* trace_path, const char* audit_path = nullptr) {
   if (metrics_path != nullptr) {
+    telemetry::profile::export_into(telemetry.metrics);
     if (auto s = telemetry.write_metrics_file(metrics_path); !s.ok()) {
       std::fprintf(stderr, "%s\n", s.error().message.c_str());
       return 3;
@@ -126,7 +138,29 @@ int write_telemetry(const telemetry::Telemetry& telemetry, const char* metrics_p
       return 3;
     }
   }
+  if (audit_path != nullptr) {
+    if (auto s = telemetry.write_audit_file(audit_path); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.error().message.c_str());
+      return 3;
+    }
+  }
   return 0;
+}
+
+/// Writes one campaign job's trace + audit dumps into `dir` as
+/// trace_seed<N>.jsonl / audit_seed<N>.jsonl. Failures are reported but
+/// do not abort the campaign (the metrics merge is unaffected).
+void write_job_traces(const telemetry::Telemetry& telemetry, const std::string& dir,
+                      std::uint64_t seed) {
+  const std::string base = dir + "/";
+  if (auto s = telemetry.write_trace_file(base + "trace_seed" + std::to_string(seed) + ".jsonl");
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.error().message.c_str());
+  }
+  if (auto s = telemetry.write_audit_file(base + "audit_seed" + std::to_string(seed) + ".jsonl");
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.error().message.c_str());
+  }
 }
 
 Result<Scenario> parse_scenario(const std::string& name) {
@@ -143,25 +177,34 @@ struct CampaignArgs {
   bool active = false;
   runner::SeedRange seeds;
   int jobs = 1;
+  /// Non-empty: write per-seed trace/audit JSONL files into this dir.
+  std::string trace_dir;
 };
 
-/// Parses --seeds/--jobs and enforces the campaign-mode flag rules:
-/// --seeds excludes --seed and --trace, --jobs requires --seeds. Returns
+/// Parses --seeds/--jobs/--trace-dir and enforces the campaign-mode flag
+/// rules: --seeds excludes --seed, --trace and --audit (use --trace-dir
+/// for per-seed dumps), --jobs and --trace-dir require --seeds. Returns
 /// an error string on misuse.
 Result<CampaignArgs> parse_campaign_args(int argc, char** argv) {
   CampaignArgs campaign;
   const char* seeds = arg_value(argc, argv, "--seeds", nullptr);
   const char* jobs = arg_value(argc, argv, "--jobs", nullptr);
+  const char* trace_dir = arg_value(argc, argv, "--trace-dir", nullptr);
   if (seeds == nullptr) {
     if (jobs != nullptr) return make_error("--jobs requires --seeds A..B");
+    if (trace_dir != nullptr) return make_error("--trace-dir requires --seeds A..B");
     return campaign;
   }
   if (arg_value(argc, argv, "--seed", nullptr) != nullptr) {
     return make_error("--seed and --seeds are mutually exclusive");
   }
   if (arg_value(argc, argv, "--trace", nullptr) != nullptr) {
-    return make_error("--trace requires a single seed (per-job traces are not merged)");
+    return make_error("--trace requires a single seed (use --trace-dir for campaigns)");
   }
+  if (arg_value(argc, argv, "--audit", nullptr) != nullptr) {
+    return make_error("--audit requires a single seed (use --trace-dir for campaigns)");
+  }
+  if (trace_dir != nullptr) campaign.trace_dir = trace_dir;
   const auto range = runner::parse_seed_range(seeds);
   if (!range.ok()) return make_error(range.error().message);
   campaign.active = true;
@@ -181,7 +224,7 @@ void print_campaign_stats(const runner::CampaignResult& result) {
 
 int run_hula(int argc, char** argv) {
   if (!check_flags(argc, argv, {"--scenario", "--seed", "--seeds", "--jobs", "--duration-ms",
-                                "--metrics-out", "--trace"})) {
+                                "--metrics-out", "--trace", "--audit", "--trace-dir"})) {
     return 2;
   }
   const auto scenario = parse_scenario(arg_value(argc, argv, "--scenario", "baseline"));
@@ -199,10 +242,11 @@ int run_hula(int argc, char** argv) {
   options.duration = SimTime::from_ms(arg_u64(argc, argv, "--duration-ms", 1500));
   const char* metrics_path = arg_value(argc, argv, "--metrics-out", nullptr);
   const char* trace_path = arg_value(argc, argv, "--trace", nullptr);
+  const char* audit_path = arg_value(argc, argv, "--audit", nullptr);
 
   if (campaign.value().active) {
     const auto& args = campaign.value();
-    const auto result = runner::run_campaign(
+    auto result = runner::run_campaign(
         args.seeds.count(), args.jobs, [&](std::size_t i) {
           HulaOptions job_options = options;
           job_options.seed = args.seeds.seed(i);
@@ -215,6 +259,9 @@ int run_hula(int argc, char** argv) {
           job.observe("delivered", static_cast<double>(r.delivered));
           job.observe("probes_rejected", static_cast<double>(r.probes_rejected));
           job.observe("alerts", static_cast<double>(r.alerts));
+          if (!args.trace_dir.empty()) {
+            write_job_traces(job.telemetry, args.trace_dir, job_options.seed);
+          }
           return job;
         });
     std::printf("scenario=%s seeds=%s jobs=%d runs=%zu\n", scenario_name(scenario.value()),
@@ -224,7 +271,9 @@ int run_hula(int argc, char** argv) {
   }
 
   telemetry::Telemetry telemetry;
-  if (metrics_path != nullptr || trace_path != nullptr) options.telemetry = &telemetry;
+  if (metrics_path != nullptr || trace_path != nullptr || audit_path != nullptr) {
+    options.telemetry = &telemetry;
+  }
   const auto result = run_hula_experiment(scenario.value(), options);
   std::printf("scenario=%s via-S2=%.1f%% via-S3=%.1f%% via-S4=%.1f%% "
               "probes-rejected=%llu alerts=%llu delivered=%llu\n",
@@ -233,12 +282,12 @@ int run_hula(int argc, char** argv) {
               static_cast<unsigned long long>(result.probes_rejected),
               static_cast<unsigned long long>(result.alerts),
               static_cast<unsigned long long>(result.delivered));
-  return write_telemetry(telemetry, metrics_path, trace_path);
+  return write_telemetry(telemetry, metrics_path, trace_path, audit_path);
 }
 
 int run_routescout(int argc, char** argv) {
-  if (!check_flags(argc, argv,
-                   {"--scenario", "--seed", "--seeds", "--jobs", "--metrics-out", "--trace"})) {
+  if (!check_flags(argc, argv, {"--scenario", "--seed", "--seeds", "--jobs", "--metrics-out",
+                                "--trace", "--audit", "--trace-dir"})) {
     return 2;
   }
   const auto scenario = parse_scenario(arg_value(argc, argv, "--scenario", "baseline"));
@@ -255,10 +304,11 @@ int run_routescout(int argc, char** argv) {
   options.seed = arg_u64(argc, argv, "--seed", options.seed);
   const char* metrics_path = arg_value(argc, argv, "--metrics-out", nullptr);
   const char* trace_path = arg_value(argc, argv, "--trace", nullptr);
+  const char* audit_path = arg_value(argc, argv, "--audit", nullptr);
 
   if (campaign.value().active) {
     const auto& args = campaign.value();
-    const auto result = runner::run_campaign(
+    auto result = runner::run_campaign(
         args.seeds.count(), args.jobs, [&](std::size_t i) {
           RouteScoutOptions job_options = options;
           job_options.seed = args.seeds.seed(i);
@@ -270,6 +320,9 @@ int run_routescout(int argc, char** argv) {
           job.observe("epochs_completed", static_cast<double>(r.epochs_completed));
           job.observe("epochs_aborted", static_cast<double>(r.epochs_aborted));
           job.observe("alerts", static_cast<double>(r.alerts));
+          if (!args.trace_dir.empty()) {
+            write_job_traces(job.telemetry, args.trace_dir, job_options.seed);
+          }
           return job;
         });
     std::printf("scenario=%s seeds=%s jobs=%d runs=%zu\n", scenario_name(scenario.value()),
@@ -279,7 +332,9 @@ int run_routescout(int argc, char** argv) {
   }
 
   telemetry::Telemetry telemetry;
-  if (metrics_path != nullptr || trace_path != nullptr) options.telemetry = &telemetry;
+  if (metrics_path != nullptr || trace_path != nullptr || audit_path != nullptr) {
+    options.telemetry = &telemetry;
+  }
   const auto result = run_routescout_experiment(scenario.value(), options);
   std::printf("scenario=%s path1=%.1f%% path2=%.1f%% split=%llu/%llu "
               "epochs-aborted=%llu alerts=%llu\n",
@@ -289,7 +344,7 @@ int run_routescout(int argc, char** argv) {
               static_cast<unsigned long long>(result.final_split[1]),
               static_cast<unsigned long long>(result.epochs_aborted),
               static_cast<unsigned long long>(result.alerts));
-  return write_telemetry(telemetry, metrics_path, trace_path);
+  return write_telemetry(telemetry, metrics_path, trace_path, audit_path);
 }
 
 int run_regops(int argc, char** argv) {

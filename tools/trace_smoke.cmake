@@ -1,0 +1,71 @@
+# ctest script: end-to-end smoke of the trace tooling. Runs a short
+# tampered hula scenario with span tracing on, then exercises every
+# p4auth_trace command against the dump. Invoked as:
+#   cmake -DP4AUTH_SIM=<sim> -DP4AUTH_TRACE=<trace> -DWORK_DIR=<dir>
+#     -P trace_smoke.cmake
+set(trace_file ${WORK_DIR}/smoke_trace.jsonl)
+set(audit_file ${WORK_DIR}/smoke_audit.jsonl)
+
+execute_process(
+  COMMAND ${P4AUTH_SIM} hula --scenario p4auth --seed 1 --duration-ms 60
+    --trace ${trace_file} --audit ${audit_file}
+  OUTPUT_QUIET
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "p4auth_sim trace export failed with exit code ${rc}")
+endif()
+foreach(file ${trace_file} ${audit_file})
+  if(NOT EXISTS ${file})
+    message(FATAL_ERROR "expected dump missing: ${file}")
+  endif()
+endforeach()
+
+# The tampered scenario must leave verify failures in the audit trail.
+file(STRINGS ${audit_file} audit_fails REGEX "\"ev\":\"verify_fail\"")
+if(audit_fails STREQUAL "")
+  message(FATAL_ERROR "audit trail has no verify_fail records")
+endif()
+
+execute_process(
+  COMMAND ${P4AUTH_TRACE} convert ${trace_file} --out ${WORK_DIR}/smoke_trace_events.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "p4auth_trace convert failed with exit code ${rc}")
+endif()
+file(READ ${WORK_DIR}/smoke_trace_events.json converted)
+if(NOT converted MATCHES "\"traceEvents\"")
+  message(FATAL_ERROR "converted output is not Chrome trace-event JSON")
+endif()
+
+execute_process(
+  COMMAND ${P4AUTH_TRACE} filter ${trace_file} --kind verify_fail
+    --out ${WORK_DIR}/smoke_fails.jsonl
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "p4auth_trace filter failed with exit code ${rc}")
+endif()
+
+execute_process(
+  COMMAND ${P4AUTH_TRACE} summarize ${trace_file}
+  OUTPUT_VARIABLE summary
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "p4auth_trace summarize failed with exit code ${rc}")
+endif()
+if(NOT summary MATCHES "traces=")
+  message(FATAL_ERROR "summarize output missing trace counts:\n${summary}")
+endif()
+
+# diff-against-self must report identical and exit 0.
+execute_process(
+  COMMAND ${P4AUTH_TRACE} diff ${trace_file} ${trace_file}
+  OUTPUT_VARIABLE diff_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "p4auth_trace diff against self exited ${rc}:\n${diff_out}")
+endif()
+if(NOT diff_out MATCHES "identical")
+  message(FATAL_ERROR "diff against self did not report identical:\n${diff_out}")
+endif()
+
+message(STATUS "trace tooling smoke ok")

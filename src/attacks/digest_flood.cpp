@@ -1,0 +1,118 @@
+#include "attacks/digest_flood.hpp"
+
+#include "common/rng.hpp"
+
+namespace p4auth::attacks {
+namespace {
+
+using core::AlertMsg;
+using core::AlertPayload;
+using core::AdhkdPayload;
+using core::HdrType;
+using core::KeyExchMsg;
+using core::Message;
+using core::RegisterOpPayload;
+
+SimTime nth_time(SimTime start, SimTime window, std::size_t i, std::size_t count) {
+  if (count <= 1) return start;
+  const std::uint64_t step = window.ns() / (count - 1);
+  return SimTime::from_ns(start.ns() + step * i);
+}
+
+/// Common scheduling shape: root a fresh trace per frame, stamp the
+/// AttackInject record at fire time, then push the frame across whichever
+/// seam `deliver` names (PacketOut or fabricated PacketIn).
+template <typename Deliver>
+void schedule_injection(netsim::Simulator& sim, netsim::Switch& sw,
+                        telemetry::Telemetry* telemetry, Bytes frame, SimTime at,
+                        std::uint64_t kind, std::uint64_t direction, std::uint64_t detail,
+                        Deliver deliver) {
+  telemetry::SpanContext span;
+  if (telemetry != nullptr) {
+    span = telemetry->spans.root_for_schedule(telemetry::kTraceDomainAttack, detail);
+  }
+  sim.at(at, [&sim, &sw, telemetry, span, kind, direction, deliver,
+              frame = std::move(frame)]() mutable {
+    const auto scope = telemetry != nullptr ? telemetry->spans.resume(span)
+                                            : telemetry::SpanTracker::Scope{};
+    if (telemetry != nullptr) {
+      telemetry->record(sim.now(), sw.id(), kCpuPort, telemetry::TraceEventKind::AttackInject,
+                        kind, direction);
+    }
+    deliver(sw, std::move(frame));
+  });
+}
+
+}  // namespace
+
+Bytes make_kmp_flood_frame(const FloodPlan& plan, NodeId dst, std::uint64_t sequence) {
+  Xoshiro256 rng(plan.seed ^ (sequence * 0xD1B54A32D192ED03ull));
+  Message msg;
+  msg.header.hdr_type = HdrType::KeyExchange;
+  msg.header.msg_type = static_cast<std::uint8_t>(KeyExchMsg::UpdKeyExch);
+  msg.header.seq_num = static_cast<std::uint16_t>(rng.next_u64());
+  msg.header.src = plan.spoofed_src;
+  msg.header.dst = dst;
+  msg.header.digest = rng.next_u32();  // guessed
+  msg.payload = AdhkdPayload{rng.next_u64(), rng.next_u64()};
+  return core::encode(msg);
+}
+
+Bytes make_alert_flood_frame(const FloodPlan& plan, NodeId reporter, std::uint64_t sequence) {
+  Xoshiro256 rng(plan.seed ^ (sequence * 0x2545F4914F6CDD1Dull));
+  Message msg;
+  msg.header.hdr_type = HdrType::Alert;
+  msg.header.msg_type = static_cast<std::uint8_t>(AlertMsg::DigestMismatch);
+  msg.header.seq_num = static_cast<std::uint16_t>(rng.next_u64());
+  msg.header.src = reporter;  // the OS impersonates its own data plane
+  msg.header.dst = plan.spoofed_src;
+  msg.header.digest = rng.next_u32();  // guessed
+  AlertPayload payload;
+  payload.context = rng.next_u32();
+  payload.observed_seq = static_cast<std::uint16_t>(rng.next_u64());
+  payload.expected_seq = static_cast<std::uint16_t>(rng.next_u64());
+  msg.payload = payload;
+  return core::encode(msg);
+}
+
+void schedule_kmp_flood(netsim::Simulator& sim, netsim::Switch& sw,
+                        telemetry::Telemetry* telemetry, const FloodPlan& plan, SimTime start,
+                        SimTime window) {
+  for (std::size_t i = 0; i < plan.count; ++i) {
+    schedule_injection(sim, sw, telemetry, make_kmp_flood_frame(plan, sw.id(), i),
+                       nth_time(start, window, i, plan.count), kInjectKmpFlood,
+                       kTowardDataPlane, i,
+                       [](netsim::Switch& s, Bytes f) { s.handle_packet_out(std::move(f)); });
+  }
+}
+
+void schedule_alert_flood(netsim::Simulator& sim, netsim::Switch& sw,
+                          telemetry::Telemetry* telemetry, const FloodPlan& plan, SimTime start,
+                          SimTime window) {
+  for (std::size_t i = 0; i < plan.count; ++i) {
+    schedule_injection(sim, sw, telemetry, make_alert_flood_frame(plan, sw.id(), i),
+                       nth_time(start, window, i, plan.count), kInjectAlertFlood,
+                       kTowardController, i,
+                       [](netsim::Switch& s, Bytes f) { s.inject_packet_in(std::move(f)); });
+  }
+}
+
+void schedule_register_exhaust(netsim::Simulator& sim, netsim::Switch& sw,
+                               telemetry::Telemetry* telemetry, NodeId spoofed_src,
+                               RegisterId reg, const FloodPlan& plan, SimTime start,
+                               SimTime window) {
+  for (std::size_t i = 0; i < plan.count; ++i) {
+    TablePoisonPlan poison;
+    poison.controller_id = spoofed_src;
+    poison.reg = reg;
+    poison.index = static_cast<std::uint32_t>(i);  // sweep the index space
+    poison.value = 0xEA457EDull ^ i;
+    poison.seed = plan.seed;
+    schedule_injection(sim, sw, telemetry, make_poison_frame(poison, sw.id(), i),
+                       nth_time(start, window, i, plan.count), kInjectRegisterExhaust,
+                       kTowardDataPlane, i,
+                       [](netsim::Switch& s, Bytes f) { s.handle_packet_out(std::move(f)); });
+  }
+}
+
+}  // namespace p4auth::attacks

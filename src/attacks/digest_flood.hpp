@@ -1,0 +1,61 @@
+// Digest-channel and KMP-channel flooding (§VIII DoS pressure): the
+// adversary saturates the authenticated channels with forged frames it
+// cannot sign, betting on alert-pipeline exhaustion rather than on any
+// single frame being accepted.
+//
+// Three flavours:
+//  - KMP flood: forged UpdKeyExch frames into a switch's PacketOut path —
+//    every one fails digest verification in the data plane, each failure
+//    costs a verify + an alert slot (rate limiter pressure).
+//  - Alert flood: forged Alert frames fabricated by a compromised switch
+//    OS straight into the PacketIn path (the data plane never sees them).
+//    The controller must record them as inauthentic and take no defensive
+//    action — the oracle asserts exactly that.
+//  - Register exhaustion: forged writes sweeping indices of one register,
+//    the table-poison primitive driven wide instead of deep.
+//
+// Like table_poison, every injection opens a fresh root trace with an
+// AttackInject audit record so cause chains start at the adversary.
+#pragma once
+
+#include <cstdint>
+
+#include "attacks/table_poison.hpp"
+#include "core/wire.hpp"
+#include "netsim/simulator.hpp"
+#include "netsim/switch.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace p4auth::attacks {
+
+struct FloodPlan {
+  NodeId spoofed_src{};  ///< claimed sender (controller id or the switch itself)
+  std::size_t count = 1;
+  std::uint64_t seed = 0;
+};
+
+/// Forged UpdKeyExch frames toward the data plane across
+/// [start, start + window]. Each fails verification (guessed digest).
+void schedule_kmp_flood(netsim::Simulator& sim, netsim::Switch& sw,
+                        telemetry::Telemetry* telemetry, const FloodPlan& plan, SimTime start,
+                        SimTime window);
+
+/// Forged Alert frames toward the controller (OS-fabricated PacketIns)
+/// across [start, start + window].
+void schedule_alert_flood(netsim::Simulator& sim, netsim::Switch& sw,
+                          telemetry::Telemetry* telemetry, const FloodPlan& plan, SimTime start,
+                          SimTime window);
+
+/// Forged writes sweeping indices 0..count-1 of `reg` across the window.
+void schedule_register_exhaust(netsim::Simulator& sim, netsim::Switch& sw,
+                               telemetry::Telemetry* telemetry, NodeId spoofed_src,
+                               RegisterId reg, const FloodPlan& plan, SimTime start,
+                               SimTime window);
+
+/// One forged UpdKeyExch frame (exposed for repro tooling and tests).
+Bytes make_kmp_flood_frame(const FloodPlan& plan, NodeId dst, std::uint64_t sequence);
+
+/// One forged Alert frame claiming a digest mismatch (for tests).
+Bytes make_alert_flood_frame(const FloodPlan& plan, NodeId reporter, std::uint64_t sequence);
+
+}  // namespace p4auth::attacks

@@ -1,0 +1,63 @@
+#include "attacks/table_poison.hpp"
+
+#include "common/rng.hpp"
+
+namespace p4auth::attacks {
+namespace {
+
+using core::HdrType;
+using core::Message;
+using core::RegisterMsg;
+using core::RegisterOpPayload;
+
+/// Injection times are spread evenly across the window so the attack
+/// interleaves with benign traffic instead of forming one burst.
+SimTime nth_time(SimTime start, SimTime window, std::size_t i, std::size_t count) {
+  if (count <= 1) return start;
+  const std::uint64_t step = window.ns() / (count - 1);
+  return SimTime::from_ns(start.ns() + step * i);
+}
+
+void inject_frame(netsim::Simulator& sim, netsim::Switch& sw, telemetry::Telemetry* telemetry,
+                  Bytes frame, SimTime at, std::uint64_t kind, std::uint64_t detail) {
+  telemetry::SpanContext span;
+  if (telemetry != nullptr) {
+    span = telemetry->spans.root_for_schedule(telemetry::kTraceDomainAttack, detail);
+  }
+  sim.at(at, [&sim, &sw, telemetry, span, kind, frame = std::move(frame)]() mutable {
+    const auto scope = telemetry != nullptr ? telemetry->spans.resume(span)
+                                            : telemetry::SpanTracker::Scope{};
+    if (telemetry != nullptr) {
+      telemetry->record(sim.now(), sw.id(), kCpuPort, telemetry::TraceEventKind::AttackInject,
+                        kind, kTowardDataPlane);
+    }
+    sw.handle_packet_out(std::move(frame));
+  });
+}
+
+}  // namespace
+
+Bytes make_poison_frame(const TablePoisonPlan& plan, NodeId dst, std::uint64_t sequence) {
+  Xoshiro256 rng(plan.seed ^ (sequence * 0x9E3779B97F4A7C15ull));
+  Message msg;
+  msg.header.hdr_type = HdrType::RegisterOp;
+  msg.header.msg_type = static_cast<std::uint8_t>(RegisterMsg::WriteReq);
+  msg.header.seq_num = static_cast<std::uint16_t>(rng.next_u64());
+  msg.header.src = plan.controller_id;
+  msg.header.dst = dst;
+  msg.header.digest = rng.next_u32();  // guessed: the forger holds no key
+  msg.payload = RegisterOpPayload{plan.reg, plan.index, plan.value};
+  return core::encode(msg);
+}
+
+void schedule_table_poison(netsim::Simulator& sim, netsim::Switch& sw,
+                           telemetry::Telemetry* telemetry, const TablePoisonPlan& plan,
+                           SimTime start, SimTime window) {
+  for (std::size_t i = 0; i < plan.count; ++i) {
+    inject_frame(sim, sw, telemetry, make_poison_frame(plan, sw.id(), i),
+                 nth_time(start, window, i, plan.count), kInjectTablePoison,
+                 plan.reg.value);
+  }
+}
+
+}  // namespace p4auth::attacks

@@ -1,0 +1,52 @@
+// Table-entry poisoning via the controller channel (threat model §II-A):
+// the adversary speaks the C-DP wire format into a switch's PacketOut
+// path, forging register write requests that would re-point a forwarding
+// table or overwrite an app's state if applied. The forger holds no
+// P4Auth keys, so every frame carries a guessed digest — under P4Auth the
+// data plane rejects each one and raises an alert; under the baseline the
+// poison lands.
+//
+// Injections are scheduled onto the simulator across a window, each in a
+// fresh root trace stamped with an AttackInject audit event, so the
+// security audit trail shows the adversary action as the chain's root.
+#pragma once
+
+#include <cstdint>
+
+#include "core/wire.hpp"
+#include "netsim/simulator.hpp"
+#include "netsim/switch.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace p4auth::attacks {
+
+// Attack-kind tags carried in the AttackInject audit record's `a` field.
+inline constexpr std::uint64_t kInjectTablePoison = 1;
+inline constexpr std::uint64_t kInjectKmpFlood = 2;
+inline constexpr std::uint64_t kInjectAlertFlood = 3;
+inline constexpr std::uint64_t kInjectRegisterExhaust = 4;
+
+// Direction tags carried in the record's `b` field.
+inline constexpr std::uint64_t kTowardDataPlane = 1;
+inline constexpr std::uint64_t kTowardController = 2;
+
+struct TablePoisonPlan {
+  NodeId controller_id{};  ///< spoofed src so the frame looks controller-sent
+  RegisterId reg{};        ///< exposed app register to poison
+  std::uint32_t index = 0;
+  std::uint64_t value = 0;  ///< the poison value (e.g. a wrong next hop)
+  std::size_t count = 1;    ///< frames spread evenly across the window
+  std::uint64_t seed = 0;   ///< drives guessed digests and sequence numbers
+};
+
+/// Schedules `plan.count` forged write requests into `sw`'s PacketOut
+/// path, evenly spaced across [start, start + window]. `telemetry` may be
+/// null (no audit records, attack still runs).
+void schedule_table_poison(netsim::Simulator& sim, netsim::Switch& sw,
+                           telemetry::Telemetry* telemetry, const TablePoisonPlan& plan,
+                           SimTime start, SimTime window);
+
+/// One forged write-request frame (exposed for repro tooling and tests).
+Bytes make_poison_frame(const TablePoisonPlan& plan, NodeId dst, std::uint64_t sequence);
+
+}  // namespace p4auth::attacks

@@ -472,6 +472,7 @@ void Controller::on_alert(SwitchState& st, const Message& msg) {
   record.payload = std::get<core::AlertPayload>(msg.payload);
   record.at = sim_.now();
   record.authentic = key.has_value() && core::verify_message(config_.mac, *key, msg);
+  if (!record.authentic) ++stats_.inauthentic_alerts;
   if (telemetry_ != nullptr) {
     telemetry_->metrics
         .counter("ctrl.alerts_received",

@@ -111,6 +111,10 @@ class Controller {
     std::uint64_t lldp_reports = 0;
     std::uint64_t auto_port_inits = 0;
     std::uint64_t alert_rekeys = 0;  ///< local-key updates triggered by alerts
+    /// Alerts whose digest did not verify — forged or replayed. These are
+    /// recorded for forensics but never trigger defensive actions; the
+    /// fuzz oracle asserts exactly that under alert-flood attacks.
+    std::uint64_t inauthentic_alerts = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
 

@@ -45,9 +45,24 @@ void Switch::handle_packet_out(Bytes message) {
     Bytes original = message;
     if (interposer_.to_dataplane(message) == TamperVerdict::Drop) {
       ++stats_.os_dropped;
+      if (telemetry_ != nullptr) {
+        telemetry_->record(network_ != nullptr ? network_->sim().now() : SimTime::zero(), id(),
+                           kCpuPort, telemetry::TraceEventKind::TamperDrop, original.size(),
+                           /*b=*/1);  // toward the data plane (AttackInject convention)
+      }
       return;
     }
-    if (message != original) ++stats_.os_tampered;
+    if (message != original) {
+      ++stats_.os_tampered;
+      // The OS seam is an attack surface just like a link: audit the
+      // rewrite so the cause chain shows the adversary action, not only
+      // the downstream verify failure.
+      if (telemetry_ != nullptr) {
+        telemetry_->record(network_ != nullptr ? network_->sim().now() : SimTime::zero(), id(),
+                           kCpuPort, telemetry::TraceEventKind::TamperRewrite, message.size(),
+                           /*b=*/1);
+      }
+    }
   }
   dataplane::Packet packet;
   packet.payload = std::move(message);
@@ -127,9 +142,21 @@ void Switch::send_packet_in(Bytes message) {
     Bytes original = message;
     if (interposer_.to_controller(message) == TamperVerdict::Drop) {
       ++stats_.os_dropped;
+      if (telemetry_ != nullptr) {
+        telemetry_->record(network_ != nullptr ? network_->sim().now() : SimTime::zero(), id(),
+                           kCpuPort, telemetry::TraceEventKind::TamperDrop, original.size(),
+                           /*b=*/2);  // toward the controller
+      }
       return;
     }
-    if (message != original) ++stats_.os_tampered;
+    if (message != original) {
+      ++stats_.os_tampered;
+      if (telemetry_ != nullptr) {
+        telemetry_->record(network_ != nullptr ? network_->sim().now() : SimTime::zero(), id(),
+                           kCpuPort, telemetry::TraceEventKind::TamperRewrite, message.size(),
+                           /*b=*/2);
+      }
+    }
   }
   if (!packet_in_sink_) {
     ++stats_.packet_ins_lost;

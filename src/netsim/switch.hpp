@@ -51,6 +51,13 @@ class Switch : public Node {
 
   void set_os_interposer(OsInterposer interposer) { interposer_ = std::move(interposer); }
 
+  /// OS-originated PacketIn: a compromised switch OS can fabricate
+  /// messages toward the controller without the data plane ever seeing
+  /// them (§II-A). The frame still crosses the to_controller hook, like
+  /// every legitimate PacketIn. Attack harnesses use this to model
+  /// digest-channel flooding.
+  void inject_packet_in(Bytes message) { send_packet_in(std::move(message)); }
+
   /// Attaches the shared telemetry bundle (null = off). Per-switch
   /// counters and the per-stage timing histogram are bound lazily.
   void set_telemetry(telemetry::Telemetry* telemetry);

@@ -1,0 +1,77 @@
+// Scenario engine: turns one ScenarioSpec into one simulated run and
+// collects ScenarioEvidence — the mechanical observations the invariant
+// oracle judges. The engine never decides pass/fail itself; it only
+// records what happened (agent/controller/network counters, register
+// probes, rotation outcomes, the security audit trail, and the analysis
+// lint report for the scenario's app).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "telemetry/audit.hpp"
+
+namespace p4auth::scenario {
+
+struct ScenarioEvidence {
+  ScenarioSpec spec;
+  bool init_ok = false;
+  std::string init_error;
+
+  std::uint64_t benign_expected = 0;
+  std::uint64_t benign_delivered = 0;
+
+  // Aggregated P4AuthAgent stats across every switch.
+  std::uint64_t digest_failures = 0;
+  std::uint64_t replay_rejections = 0;
+  std::uint64_t unauth_feedback_dropped = 0;
+  std::uint64_t feedback_rejected = 0;
+  std::uint64_t alerts_sent = 0;
+  std::uint64_t alerts_suppressed = 0;
+  std::uint64_t nacks_sent = 0;
+  /// writes_served delta after the app install finished — any increase
+  /// during an injection-style attack is an unauthenticated write landing.
+  std::uint64_t writes_after_install = 0;
+
+  // Adversary-seam observations.
+  std::uint64_t os_tampered = 0;
+  std::uint64_t os_dropped = 0;
+  std::uint64_t link_tampered = 0;
+
+  // Controller observations.
+  std::uint64_t ctrl_alerts_total = 0;
+  std::uint64_t ctrl_alerts_authentic = 0;
+  std::uint64_t ctrl_inauthentic_alerts = 0;
+  std::uint64_t ctrl_response_digest_failures = 0;
+  std::uint64_t alert_rekeys = 0;
+
+  // Post-run register / readback probes.
+  bool attack_effect_applied = false;  ///< poison value found in the target register
+  bool readback_done = false;          ///< engine performed a controller read probe
+  bool readback_ok = false;
+  std::uint64_t readback_value = 0;
+  std::uint64_t expected_value = 0;  ///< the honest value the probe should see
+
+  // Key lifecycle.
+  std::uint64_t rotation_rounds = 0;
+  std::uint64_t rotation_failures = 0;
+  bool all_keys_present = false;
+
+  /// Severity::Error findings from analysis::lint_program for the app —
+  /// the declaration-conformance / budget leg of the oracle.
+  std::uint64_t lint_errors = 0;
+
+  // Security audit trail (owned copy; the fabric dies with the run).
+  std::uint64_t audit_total = 0;
+  std::vector<telemetry::AuditRecord> audit;
+
+  std::uint64_t sim_end_ns = 0;
+};
+
+/// Runs the scenario to completion. Deterministic: equal specs produce
+/// equal evidence, byte for byte, on any machine and worker count.
+ScenarioEvidence run_scenario(const ScenarioSpec& spec);
+
+}  // namespace p4auth::scenario

@@ -1,0 +1,61 @@
+#include "scenario/fuzzer.hpp"
+
+#include "scenario/spec.hpp"
+
+namespace p4auth::scenario {
+
+FuzzResult run_fuzz(const FuzzOptions& options) {
+  const std::size_t per_seed = options.scenarios;
+  const std::size_t total = per_seed * options.seeds.count();
+
+  // Pre-sized slots, each written by exactly one worker; the reduction
+  // below walks them in matrix order, which is what makes the output
+  // independent of the worker count.
+  std::vector<std::string> verdicts(total);
+  std::vector<std::string> corpus(total);  // empty = scenario passed
+
+  runner::parallel_for(total, runner::resolve_workers(options.jobs), [&](std::size_t i) {
+    const std::uint64_t campaign_seed = options.seeds.seed(i / per_seed);
+    const auto index = static_cast<std::uint32_t>(i % per_seed);
+    const ScenarioSpec spec = generate_spec(campaign_seed, index);
+    const ScenarioEvidence evidence = run_scenario(spec);
+    const Verdict verdict = judge(evidence);
+    verdicts[i] = verdict_json(evidence, verdict);
+    if (!verdict.pass()) {
+      corpus[i] = corpus_entry_json(campaign_seed, evidence, verdict);
+    }
+  });
+
+  FuzzResult result;
+  result.total = total;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (corpus[i].empty()) continue;
+    ++result.failed;
+    const std::uint64_t campaign_seed = options.seeds.seed(i / per_seed);
+    const auto index = static_cast<std::uint32_t>(i % per_seed);
+    result.failures.push_back({campaign_seed, index,
+                               std::to_string(campaign_seed) + "-" + std::to_string(index) +
+                                   ".json",
+                               corpus[i]});
+  }
+
+  // The verdict strings are already JSON; the report is assembled by
+  // concatenation (JsonWriter has no raw-embed) — every piece is either a
+  // digit string or writer output, so the result stays valid JSON.
+  std::string report;
+  report += "{\"schema\":\"p4auth.fuzz.report.v1\"";
+  report += ",\"seeds\":\"" + options.seeds.to_string() + "\"";
+  report += ",\"scenarios_per_seed\":" + std::to_string(per_seed);
+  report += ",\"total\":" + std::to_string(result.total);
+  report += ",\"failed\":" + std::to_string(result.failed);
+  report += ",\"verdicts\":[";
+  for (std::size_t i = 0; i < total; ++i) {
+    if (i != 0) report += ',';
+    report += verdicts[i];
+  }
+  report += "]}";
+  result.report_json = std::move(report);
+  return result;
+}
+
+}  // namespace p4auth::scenario

@@ -1,0 +1,45 @@
+// Campaign fuzzer: fans a (campaign seed x scenario index) matrix out
+// over the runner's worker pool and reduces the verdicts in job-index
+// order, so the report — and every corpus entry — is byte-identical for
+// any --jobs value (the same contract the PR 2 campaign runner pins).
+//
+// The fuzzer itself never touches the filesystem; it returns the report
+// and corpus entries as strings and the p4auth_fuzz CLI decides where
+// they land. That keeps every byte of output testable in-process.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hpp"
+#include "scenario/oracle.hpp"
+
+namespace p4auth::scenario {
+
+struct FuzzOptions {
+  std::uint32_t scenarios = 50;   ///< matrix indices per campaign seed
+  runner::SeedRange seeds{};      ///< campaign seeds, inclusive
+  int jobs = 1;                   ///< worker threads (0 = hardware)
+};
+
+/// One oracle-violating scenario, ready to be written to the corpus.
+struct FuzzFailure {
+  std::uint64_t campaign_seed = 0;
+  std::uint32_t index = 0;
+  std::string corpus_name;  ///< "<campaign_seed>-<index>.json"
+  std::string corpus_json;  ///< corpus_entry_json for the run
+};
+
+struct FuzzResult {
+  std::size_t total = 0;     ///< scenarios executed
+  std::size_t failed = 0;    ///< scenarios with at least one violation
+  std::vector<FuzzFailure> failures;  ///< in matrix order
+  std::string report_json;   ///< FUZZ_report.json content (fuzz.report.v1)
+};
+
+/// Runs the whole matrix. Deterministic: equal options (ignoring jobs)
+/// produce byte-identical report_json and corpus entries.
+FuzzResult run_fuzz(const FuzzOptions& options);
+
+}  // namespace p4auth::scenario

@@ -1,0 +1,276 @@
+#include "scenario/json_in.hpp"
+
+namespace p4auth::scenario {
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool at_end() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end() && (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+                         text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  Error fail(const std::string& what) const {
+    return make_error("json parse error at offset " + std::to_string(pos) + ": " + what);
+  }
+
+  Result<JsonValue> value() {
+    skip_ws();
+    if (at_end()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't': return keyword("true", [] { JsonValue v; v.kind = JsonValue::Kind::Bool; v.boolean = true; return v; });
+      case 'f': return keyword("false", [] { JsonValue v; v.kind = JsonValue::Kind::Bool; return v; });
+      case 'n': return keyword("null", [] { return JsonValue{}; });
+      default: return number();
+    }
+  }
+
+  template <typename Make>
+  Result<JsonValue> keyword(std::string_view word, Make make) {
+    if (text.substr(pos, word.size()) != word) return fail("bad keyword");
+    pos += word.size();
+    return make();
+  }
+
+  Result<JsonValue> number() {
+    // The fuzz schema only writes non-negative integers.
+    if (at_end() || peek() < '0' || peek() > '9') return fail("expected a number");
+    std::uint64_t n = 0;
+    while (!at_end() && peek() >= '0' && peek() <= '9') {
+      n = n * 10 + static_cast<std::uint64_t>(peek() - '0');
+      ++pos;
+    }
+    if (!at_end() && (peek() == '.' || peek() == 'e' || peek() == 'E' || peek() == '-')) {
+      return fail("only non-negative integers are supported");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = n;
+    return v;
+  }
+
+  Result<std::string> raw_string() {
+    if (at_end() || peek() != '"') return fail("expected a string");
+    ++pos;
+    std::string out;
+    while (!at_end() && peek() != '"') {
+      char c = peek();
+      if (c == '\\') {
+        ++pos;
+        if (at_end()) return fail("dangling escape");
+        switch (peek()) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: return fail("unsupported escape");
+        }
+      }
+      out.push_back(c);
+      ++pos;
+    }
+    if (at_end()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return out;
+  }
+
+  Result<JsonValue> string_value() {
+    auto s = raw_string();
+    if (!s.ok()) return s.error();
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    v.string = std::move(s.value());
+    return v;
+  }
+
+  Result<JsonValue> object() {
+    ++pos;  // '{'
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (!at_end() && peek() == '}') {
+      ++pos;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      auto key = raw_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (at_end() || peek() != ':') return fail("expected ':'");
+      ++pos;
+      auto member = value();
+      if (!member.ok()) return member;
+      v.object.emplace(std::move(key.value()), std::move(member.value()));
+      skip_ws();
+      if (at_end()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos;
+        return v;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  Result<JsonValue> array() {
+    ++pos;  // '['
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (!at_end() && peek() == ']') {
+      ++pos;
+      return v;
+    }
+    while (true) {
+      auto element = value();
+      if (!element.ok()) return element;
+      v.array.push_back(std::move(element.value()));
+      skip_ws();
+      if (at_end()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos;
+        return v;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+Result<std::uint64_t> get_number(const JsonValue& object, std::string_view key,
+                                 std::uint64_t fallback) {
+  const JsonValue* member = object.find(key);
+  if (member == nullptr) return fallback;
+  if (member->kind != JsonValue::Kind::Number) {
+    return make_error("spec field '" + std::string(key) + "' must be a number");
+  }
+  return member->number;
+}
+
+Result<bool> get_bool(const JsonValue& object, std::string_view key, bool fallback) {
+  const JsonValue* member = object.find(key);
+  if (member == nullptr) return fallback;
+  if (member->kind != JsonValue::Kind::Bool) {
+    return make_error("spec field '" + std::string(key) + "' must be a boolean");
+  }
+  return member->boolean;
+}
+
+template <typename E>
+Result<E> get_named(const JsonValue& object, std::string_view key, E fallback,
+                    Result<E> (*from_name)(std::string_view)) {
+  const JsonValue* member = object.find(key);
+  if (member == nullptr) return fallback;
+  if (member->kind != JsonValue::Kind::String) {
+    return make_error("spec field '" + std::string(key) + "' must be a string");
+  }
+  return from_name(member->string);
+}
+
+}  // namespace
+
+Result<JsonValue> parse_json(std::string_view text) {
+  Parser parser{text};
+  auto v = parser.value();
+  if (!v.ok()) return v;
+  parser.skip_ws();
+  if (!parser.at_end()) return parser.fail("trailing content");
+  return v;
+}
+
+Result<ScenarioSpec> spec_from_json(const JsonValue& value) {
+  if (value.kind != JsonValue::Kind::Object) return make_error("spec must be a JSON object");
+  // Corpus entries wrap the spec; accept both shapes.
+  const JsonValue* spec_obj = value.find("spec") != nullptr ? value.find("spec") : &value;
+  if (spec_obj->kind != JsonValue::Kind::Object) return make_error("'spec' must be an object");
+
+  static constexpr std::string_view kKnown[] = {
+      "seed",     "index",        "app",          "topology",      "extra_switches",
+      "p4auth",   "attack",       "attack_count", "rotation",      "inject_at_us",
+      "inject_window_us", "benign_packets", "claim_benign"};
+  for (const auto& [key, _] : spec_obj->object) {
+    bool known = false;
+    for (const auto candidate : kKnown) known = known || candidate == key;
+    if (!known) return make_error("unknown spec field '" + key + "'");
+  }
+
+  ScenarioSpec defaults;
+  ScenarioSpec spec;
+#define P4AUTH_SPEC_NUM(field, key)                          \
+  {                                                          \
+    auto r = get_number(*spec_obj, key, defaults.field);     \
+    if (!r.ok()) return r.error();                          \
+    spec.field = static_cast<decltype(spec.field)>(r.value()); \
+  }
+  P4AUTH_SPEC_NUM(seed, "seed")
+  P4AUTH_SPEC_NUM(index, "index")
+  P4AUTH_SPEC_NUM(extra_switches, "extra_switches")
+  P4AUTH_SPEC_NUM(attack_count, "attack_count")
+  P4AUTH_SPEC_NUM(inject_at_us, "inject_at_us")
+  P4AUTH_SPEC_NUM(inject_window_us, "inject_window_us")
+  P4AUTH_SPEC_NUM(benign_packets, "benign_packets")
+#undef P4AUTH_SPEC_NUM
+
+  {
+    auto r = get_bool(*spec_obj, "p4auth", defaults.p4auth);
+    if (!r.ok()) return r.error();
+    spec.p4auth = r.value();
+  }
+  {
+    auto r = get_bool(*spec_obj, "claim_benign", defaults.claim_benign);
+    if (!r.ok()) return r.error();
+    spec.claim_benign = r.value();
+  }
+  {
+    auto r = get_named(*spec_obj, "app", defaults.app, app_from_name);
+    if (!r.ok()) return r.error();
+    spec.app = r.value();
+  }
+  {
+    auto r = get_named(*spec_obj, "topology", defaults.topology, topology_from_name);
+    if (!r.ok()) return r.error();
+    spec.topology = r.value();
+  }
+  {
+    auto r = get_named(*spec_obj, "attack", defaults.attack, attack_from_name);
+    if (!r.ok()) return r.error();
+    spec.attack = r.value();
+  }
+  {
+    auto r = get_named(*spec_obj, "rotation", defaults.rotation, rotation_from_name);
+    if (!r.ok()) return r.error();
+    spec.rotation = r.value();
+  }
+
+  if (!spec_valid(spec)) {
+    return make_error("invalid scenario combination: " + spec_json(spec));
+  }
+  return spec;
+}
+
+Result<ScenarioSpec> parse_spec(std::string_view text) {
+  auto doc = parse_json(text);
+  if (!doc.ok()) return doc.error();
+  return spec_from_json(doc.value());
+}
+
+}  // namespace p4auth::scenario

@@ -1,0 +1,48 @@
+// Minimal JSON reader for the fuzz tooling's inputs (spec files, corpus
+// entries). The repo's JsonWriter only emits; --repro must read back what
+// the fuzzer wrote. Supports exactly what the p4auth.fuzz.v1 artifacts
+// contain: objects, arrays, strings, booleans, null, and non-negative
+// integers (all numbers the spec schema uses are u64).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "scenario/spec.hpp"
+
+namespace p4auth::scenario {
+
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Object, Array };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  std::uint64_t number = 0;
+  std::string string;
+  // std::map keeps member iteration deterministic for error messages.
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+
+  const JsonValue* find(std::string_view key) const {
+    const auto it = object.find(std::string(key));
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+Result<JsonValue> parse_json(std::string_view text);
+
+/// Decodes a ScenarioSpec from a spec object — either a bare spec (the
+/// output of spec_json) or a corpus entry (which nests it under "spec").
+/// Unknown keys are errors so corpus drift is caught loudly.
+Result<ScenarioSpec> spec_from_json(const JsonValue& value);
+
+/// parse_json + spec_from_json.
+Result<ScenarioSpec> parse_spec(std::string_view text);
+
+}  // namespace p4auth::scenario

@@ -1,0 +1,395 @@
+#include "scenario/oracle.hpp"
+
+#include <map>
+
+#include "attacks/table_poison.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/trace.hpp"
+
+namespace p4auth::scenario {
+namespace {
+
+using telemetry::AuditRecord;
+using telemetry::TraceEventKind;
+
+class Judge {
+ public:
+  explicit Judge(const ScenarioEvidence& ev) : ev_(ev) {
+    // claim_benign is the oracle's self-test lever: judge the run as if
+    // nothing was injected, so real detection evidence turns into
+    // violations the corpus / replay path must catch.
+    attack_ = ev.spec.claim_benign ? AttackKind::None : ev.spec.attack;
+    auth_ = ev.spec.p4auth;
+  }
+
+  Verdict run() {
+    if (!ev_.init_ok) {
+      fail("init-ok", "scenario setup failed: " + ev_.init_error);
+      return std::move(verdict_);  // nothing below is meaningful
+    }
+    no_false_alarm();
+    benign_liveness();
+    no_unauth_write();
+    baseline_attack_effective();
+    no_misreport_accepted();
+    detect_implies_alert();
+    tamper_chain_closure();
+    forged_alert_rejected();
+    budget_conformance();
+    audit_wellformed();
+    rotation_completes();
+    return std::move(verdict_);
+  }
+
+ private:
+  void fail(std::string rule, std::string message) {
+    verdict_.violations.push_back({std::move(rule), std::move(message)});
+  }
+
+  void expect_zero(const char* rule, const char* what, std::uint64_t value) {
+    if (value != 0) {
+      fail(rule, std::string(what) + " = " + std::to_string(value) + ", expected 0");
+    }
+  }
+
+  // A benign run must not raise any defensive signal: no verification
+  // failures, no drops, no alerts, no tampering, no post-install writes.
+  void no_false_alarm() {
+    if (attack_ != AttackKind::None) return;
+    const char* r = "no-false-alarm";
+    expect_zero(r, "digest_failures", ev_.digest_failures);
+    expect_zero(r, "replay_rejections", ev_.replay_rejections);
+    expect_zero(r, "unauth_feedback_dropped", ev_.unauth_feedback_dropped);
+    expect_zero(r, "feedback_rejected", ev_.feedback_rejected);
+    expect_zero(r, "alerts_sent", ev_.alerts_sent);
+    expect_zero(r, "alerts_suppressed", ev_.alerts_suppressed);
+    expect_zero(r, "nacks_sent", ev_.nacks_sent);
+    expect_zero(r, "writes_after_install", ev_.writes_after_install);
+    expect_zero(r, "os_tampered", ev_.os_tampered);
+    expect_zero(r, "os_dropped", ev_.os_dropped);
+    expect_zero(r, "link_tampered", ev_.link_tampered);
+    expect_zero(r, "ctrl_alerts_total", ev_.ctrl_alerts_total);
+    expect_zero(r, "ctrl_inauthentic_alerts", ev_.ctrl_inauthentic_alerts);
+    expect_zero(r, "ctrl_response_digest_failures", ev_.ctrl_response_digest_failures);
+  }
+
+  // Attacks aimed at the control surface must not cost benign traffic:
+  // the engine picks delivery-neutral targets for exactly these kinds.
+  void benign_liveness() {
+    switch (attack_) {
+      case AttackKind::None:
+      case AttackKind::TablePoison:
+      case AttackKind::KmpFlood:
+      case AttackKind::AlertFlood:
+      case AttackKind::RegisterExhaust:
+        break;
+      default:
+        return;  // tamper kinds may legitimately perturb the data path
+    }
+    if (ev_.benign_delivered != ev_.benign_expected) {
+      fail("benign-liveness",
+           "delivered " + std::to_string(ev_.benign_delivered) + " of " +
+               std::to_string(ev_.benign_expected) + " benign packets");
+    }
+  }
+
+  // Under P4Auth, no forged or tampered write may reach a register.
+  void no_unauth_write() {
+    if (!auth_) return;
+    const char* r = "no-unauth-write";
+    if (attack_ == AttackKind::TablePoison || attack_ == AttackKind::RegisterExhaust) {
+      expect_zero(r, "writes_after_install", ev_.writes_after_install);
+    }
+    if (attack_ == AttackKind::TablePoison || attack_ == AttackKind::RegisterExhaust ||
+        attack_ == AttackKind::CpWriteTamper) {
+      if (ev_.attack_effect_applied) {
+        fail(r, "poison value found in the target register despite P4Auth");
+      }
+    }
+  }
+
+  // With auth off the same attacks must land — otherwise the harness is
+  // testing a toothless adversary and the defence rules prove nothing.
+  void baseline_attack_effective() {
+    if (auth_) return;
+    if (attack_ != AttackKind::TablePoison && attack_ != AttackKind::CpWriteTamper) return;
+    if (!ev_.attack_effect_applied) {
+      fail("baseline-attack-effective",
+           "attack left no register effect even though auth is off");
+    }
+  }
+
+  // Inflated read responses: rejected under P4Auth (the probe retries
+  // past the implant and reads the honest value), accepted without it.
+  void no_misreport_accepted() {
+    if (attack_ != AttackKind::ReportInflate || !ev_.readback_done) return;
+    const char* r = "no-misreport-accepted";
+    if (auth_) {
+      if (!ev_.readback_ok) {
+        fail(r, "P4Auth readback probe never recovered an authenticated response");
+      } else if (ev_.readback_value != ev_.expected_value) {
+        fail(r, "P4Auth accepted inflated report: read " +
+                    std::to_string(ev_.readback_value) + ", honest value " +
+                    std::to_string(ev_.expected_value));
+      }
+    } else {
+      // The attack's power statement: the unauthenticated baseline has no
+      // way to notice the inflation.
+      if (ev_.readback_ok && ev_.readback_value == ev_.expected_value) {
+        fail(r, "baseline readback saw the honest value; the implant never fired");
+      }
+    }
+  }
+
+  // Every attack the spec exercised must leave the detection evidence its
+  // defence layer promises: verify failures at the agent, alerts on the
+  // wire, an authenticated alert at the controller.
+  void detect_implies_alert() {
+    if (!auth_) return;
+    const char* r = "detect-implies-alert";
+    const std::uint64_t alerts = ev_.alerts_sent + ev_.alerts_suppressed;
+    switch (attack_) {
+      case AttackKind::TablePoison:
+      case AttackKind::KmpFlood:
+      case AttackKind::RegisterExhaust:
+        if (ev_.digest_failures == 0) {
+          fail(r, "forged control frames raised no digest failures");
+        }
+        if (alerts == 0) fail(r, "forged control frames raised no alerts");
+        if (ev_.ctrl_alerts_authentic == 0) {
+          fail(r, "no authentic alert reached the controller");
+        }
+        break;
+      case AttackKind::ReportInflate:
+        if (ev_.ctrl_response_digest_failures == 0) {
+          fail(r, "inflated read responses raised no controller digest failures");
+        }
+        break;
+      case AttackKind::LinkMitm:
+        if (ev_.link_tampered == 0) break;  // window missed all frames
+        if (ev_.feedback_rejected == 0) {
+          fail(r, "tampered feedback frames were not rejected");
+        }
+        if (ev_.alerts_sent == 0) fail(r, "tampered feedback raised no alerts");
+        break;
+      case AttackKind::CpWriteTamper:
+        if (ev_.os_tampered == 0) break;  // implant never fired
+        if (ev_.digest_failures == 0) {
+          fail(r, "tampered controller writes raised no digest failures");
+        }
+        if (ev_.nacks_sent == 0) fail(r, "tampered controller writes drew no NAcks");
+        if (alerts == 0) fail(r, "tampered controller writes raised no alerts");
+        break;
+      case AttackKind::AlertFlood:
+        if (ev_.ctrl_inauthentic_alerts == 0) {
+          fail(r, "fabricated alerts were not flagged inauthentic");
+        }
+        break;
+      case AttackKind::None:
+        break;
+    }
+  }
+
+  // Audit-trail closure: under P4Auth, every cause chain rooted in a
+  // data-plane-directed injection or an in-flight rewrite must also show
+  // the rejection (verify fail / replay drop / unauth drop) and the alert
+  // that the defence owes it.
+  void tamper_chain_closure() {
+    if (!auth_) return;
+    // Rebuild chains from the owned copy (same grouping AuditTrail uses:
+    // records sharing a trace id, in occurrence order).
+    std::map<std::uint64_t, std::vector<const AuditRecord*>> chains;
+    for (const AuditRecord& record : ev_.audit) {
+      if (record.span.trace_id == 0) continue;
+      chains[record.span.trace_id].push_back(&record);
+    }
+    for (const auto& [trace_id, events] : chains) {
+      bool rooted = false;
+      bool rejected = false;
+      bool alerted = false;
+      for (const AuditRecord* record : events) {
+        switch (record->kind) {
+          case TraceEventKind::AttackInject:
+            rooted = rooted || record->b == attacks::kTowardDataPlane;
+            break;
+          case TraceEventKind::TamperRewrite:
+            // Toward-controller rewrites (b == 2, the ReportInflate seam)
+            // are excluded: their defence is the controller's response
+            // digest check, asserted by no-misreport-accepted.
+            rooted = rooted || record->b != attacks::kTowardController;
+            break;
+          case TraceEventKind::VerifyFail:
+          case TraceEventKind::ReplayDrop:
+          case TraceEventKind::UnauthDrop:
+            rejected = true;
+            break;
+          case TraceEventKind::AlertSent:
+          case TraceEventKind::AlertSuppressed:
+            alerted = true;
+            break;
+          default:
+            break;
+        }
+      }
+      if (!rooted) continue;
+      if (!rejected) {
+        fail("tamper-chain-closure",
+             "chain " + std::to_string(trace_id) + " has a tamper/injection but no rejection");
+      }
+      if (!alerted) {
+        fail("tamper-chain-closure",
+             "chain " + std::to_string(trace_id) + " has a tamper/injection but no alert");
+      }
+    }
+  }
+
+  // Fabricated alerts must never authenticate, and must never trigger the
+  // defensive response (rekeying) reserved for authentic ones.
+  void forged_alert_rejected() {
+    if (!auth_ || attack_ != AttackKind::AlertFlood) return;
+    const char* r = "forged-alert-rejected";
+    expect_zero(r, "ctrl_alerts_authentic", ev_.ctrl_alerts_authentic);
+    expect_zero(r, "alert_rekeys", ev_.alert_rekeys);
+    if (ev_.ctrl_inauthentic_alerts == 0) {
+      fail(r, "no fabricated alert reached the controller at all");
+    }
+  }
+
+  // The app's declared register/table budgets must hold (analysis lint
+  // Severity::Error findings are budget or conformance breaches).
+  void budget_conformance() {
+    expect_zero("budget-conformance", "lint_errors", ev_.lint_errors);
+  }
+
+  // The audit trail itself: monotone sequence numbers, nondecreasing
+  // times, well-formed AttackInject annotations, honest totals.
+  void audit_wellformed() {
+    const char* r = "audit-wellformed";
+    for (std::size_t i = 1; i < ev_.audit.size(); ++i) {
+      if (ev_.audit[i].seq <= ev_.audit[i - 1].seq) {
+        fail(r, "audit seq not strictly increasing at record " + std::to_string(i));
+        break;
+      }
+    }
+    for (std::size_t i = 1; i < ev_.audit.size(); ++i) {
+      if (ev_.audit[i].at.ns() < ev_.audit[i - 1].at.ns()) {
+        fail(r, "audit timestamps regress at record " + std::to_string(i));
+        break;
+      }
+    }
+    for (const AuditRecord& record : ev_.audit) {
+      if (record.kind != TraceEventKind::AttackInject) continue;
+      if (record.a < attacks::kInjectTablePoison || record.a > attacks::kInjectRegisterExhaust ||
+          (record.b != attacks::kTowardDataPlane && record.b != attacks::kTowardController)) {
+        fail(r, "malformed AttackInject annotation at seq " + std::to_string(record.seq));
+      }
+      if (record.span.trace_id == 0) {
+        fail(r, "untraced AttackInject at seq " + std::to_string(record.seq) +
+                    " cannot root a cause chain");
+      }
+    }
+    if (ev_.audit_total < ev_.audit.size()) {
+      fail(r, "audit total " + std::to_string(ev_.audit_total) + " below retained " +
+                  std::to_string(ev_.audit.size()));
+    }
+  }
+
+  // A scheduled rotation round must complete even while under attack, and
+  // must leave every switch holding a local key. One caveat: an authentic
+  // alert triggers an emergency rekey (rekey_on_alert) that may collide
+  // with the scheduled round's exchange for the same switch; the losing
+  // exchange counts as a failure. That collision is legitimate defensive
+  // behaviour, so failures are only a violation when no emergency rekey
+  // ran — key health itself is always asserted via all_keys_present.
+  void rotation_completes() {
+    if (!auth_ || ev_.spec.rotation == RotationPhase::None) return;
+    const char* r = "rotation-completes";
+    if (ev_.rotation_rounds == 0) fail(r, "scheduled rotation round never ran");
+    if (ev_.alert_rekeys == 0) expect_zero(r, "rotation_failures", ev_.rotation_failures);
+    if (!ev_.all_keys_present) fail(r, "a switch lost its local key");
+  }
+
+  const ScenarioEvidence& ev_;
+  AttackKind attack_ = AttackKind::None;
+  bool auth_ = true;
+  Verdict verdict_;
+};
+
+}  // namespace
+
+Verdict judge(const ScenarioEvidence& evidence) { return Judge(evidence).run(); }
+
+namespace {
+
+std::string verdict_json_impl(const std::uint64_t* campaign_seed,
+                              const ScenarioEvidence& evidence, const Verdict& verdict) {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "p4auth.fuzz.v1");
+  if (campaign_seed != nullptr) w.kv("campaign_seed", *campaign_seed);
+  w.key("spec");
+  write_spec(w, evidence.spec);
+  w.kv("pass", verdict.pass());
+
+  w.key("evidence");
+  w.begin_object();
+  w.kv("init_ok", evidence.init_ok);
+  if (!evidence.init_error.empty()) w.kv("init_error", evidence.init_error);
+  w.kv("benign_expected", evidence.benign_expected);
+  w.kv("benign_delivered", evidence.benign_delivered);
+  w.kv("digest_failures", evidence.digest_failures);
+  w.kv("replay_rejections", evidence.replay_rejections);
+  w.kv("unauth_feedback_dropped", evidence.unauth_feedback_dropped);
+  w.kv("feedback_rejected", evidence.feedback_rejected);
+  w.kv("alerts_sent", evidence.alerts_sent);
+  w.kv("alerts_suppressed", evidence.alerts_suppressed);
+  w.kv("nacks_sent", evidence.nacks_sent);
+  w.kv("writes_after_install", evidence.writes_after_install);
+  w.kv("os_tampered", evidence.os_tampered);
+  w.kv("os_dropped", evidence.os_dropped);
+  w.kv("link_tampered", evidence.link_tampered);
+  w.kv("ctrl_alerts_total", evidence.ctrl_alerts_total);
+  w.kv("ctrl_alerts_authentic", evidence.ctrl_alerts_authentic);
+  w.kv("ctrl_inauthentic_alerts", evidence.ctrl_inauthentic_alerts);
+  w.kv("ctrl_response_digest_failures", evidence.ctrl_response_digest_failures);
+  w.kv("alert_rekeys", evidence.alert_rekeys);
+  w.kv("attack_effect_applied", evidence.attack_effect_applied);
+  if (evidence.readback_done) {
+    w.kv("readback_ok", evidence.readback_ok);
+    w.kv("readback_value", evidence.readback_value);
+    w.kv("expected_value", evidence.expected_value);
+  }
+  w.kv("rotation_rounds", evidence.rotation_rounds);
+  w.kv("rotation_failures", evidence.rotation_failures);
+  w.kv("all_keys_present", evidence.all_keys_present);
+  w.kv("lint_errors", evidence.lint_errors);
+  w.kv("audit_total", evidence.audit_total);
+  w.kv("audit_retained", static_cast<std::uint64_t>(evidence.audit.size()));
+  w.kv("sim_end_ns", evidence.sim_end_ns);
+  w.end_object();
+
+  w.key("violations");
+  w.begin_array();
+  for (const Violation& violation : verdict.violations) {
+    w.begin_object();
+    w.kv("rule", violation.rule);
+    w.kv("message", violation.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+std::string verdict_json(const ScenarioEvidence& evidence, const Verdict& verdict) {
+  return verdict_json_impl(nullptr, evidence, verdict);
+}
+
+std::string corpus_entry_json(std::uint64_t campaign_seed, const ScenarioEvidence& evidence,
+                              const Verdict& verdict) {
+  return verdict_json_impl(&campaign_seed, evidence, verdict);
+}
+
+}  // namespace p4auth::scenario

@@ -1,0 +1,62 @@
+// Invariant oracle: a fixed rulebook judged mechanically against the
+// evidence one scenario run produced. No heuristics, no tolerances — each
+// rule is a closed-form predicate over counters, register probes, and the
+// security audit trail, so a violation is always a reproducible claim
+// about the run, never a flaky judgement call.
+//
+// The rulebook (also documented in docs/FUZZING.md):
+//   init-ok                  scenario setup and app install succeeded
+//   no-false-alarm           benign runs raise no defensive signal at all
+//   benign-liveness          delivery-neutral attacks never cost benign
+//                            traffic (and benign runs deliver everything)
+//   no-unauth-write          under P4Auth no forged/tampered write lands
+//   baseline-attack-effective the same attacks DO land with auth off —
+//                            keeps the harness honest about attack power
+//   no-misreport-accepted    inflated read reports are rejected under
+//                            P4Auth and (provably) accepted without it
+//   detect-implies-alert     every exercised attack leaves the detection
+//                            evidence its defence layer promises
+//   tamper-chain-closure     every audited tamper/injection cause chain
+//                            reaches a rejection and an alert
+//   forged-alert-rejected    fabricated alerts never authenticate and
+//                            never trigger defensive key rotation
+//   budget-conformance       the app's pipeline stays within its declared
+//                            register/table budgets (analysis lint)
+//   audit-wellformed         the audit trail itself is internally sound
+//   rotation-completes       scheduled key rotation finishes under attack
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/engine.hpp"
+
+namespace p4auth::scenario {
+
+struct Violation {
+  std::string rule;     ///< stable rule id from the rulebook above
+  std::string message;  ///< what was observed vs. what the rule requires
+};
+
+struct Verdict {
+  std::vector<Violation> violations;
+  bool pass() const noexcept { return violations.empty(); }
+};
+
+/// Judges the evidence against every applicable rule. Deterministic:
+/// equal evidence yields byte-identical verdicts.
+Verdict judge(const ScenarioEvidence& evidence);
+
+/// One scenario's verdict as a p4auth.fuzz.v1 JSON object (single line):
+/// {"schema":"p4auth.fuzz.v1","spec":{...},"pass":...,
+///  "evidence":{...},"violations":[{"rule":...,"message":...},...]}
+std::string verdict_json(const ScenarioEvidence& evidence, const Verdict& verdict);
+
+/// A failure-corpus entry: the verdict JSON with the campaign seed spliced
+/// in after the schema, so (campaign_seed, spec) fully reproduces the run.
+/// `p4auth_fuzz --repro <file>` re-emits exactly this encoding, making
+/// reproduction a byte-compare.
+std::string corpus_entry_json(std::uint64_t campaign_seed, const ScenarioEvidence& evidence,
+                              const Verdict& verdict);
+
+}  // namespace p4auth::scenario

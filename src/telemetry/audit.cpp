@@ -16,6 +16,7 @@ bool AuditTrail::is_audited(TraceEventKind kind) noexcept {
     case TraceEventKind::KmpComplete:
     case TraceEventKind::TamperRewrite:
     case TraceEventKind::TamperDrop:
+    case TraceEventKind::AttackInject:
       return true;
     default:
       return false;

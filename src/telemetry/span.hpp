@@ -40,6 +40,7 @@ static_assert(sizeof(SpanContext) == 16, "SpanContext must stay closure-capture 
 inline constexpr std::uint64_t kTraceDomainInject = 1;  ///< host/test packet injection
 inline constexpr std::uint64_t kTraceDomainKmp = 2;     ///< controller-driven KMP operation
 inline constexpr std::uint64_t kTraceDomainRegOp = 3;   ///< authenticated register access
+inline constexpr std::uint64_t kTraceDomainAttack = 4;  ///< adversarial frame injection
 
 /// Deterministic 64-bit id from (domain, detail, sequence) via a
 /// splitmix64-style mix. Never returns 0 (0 is the "untraced" sentinel).

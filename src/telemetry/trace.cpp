@@ -21,12 +21,13 @@ std::string_view trace_event_name(TraceEventKind kind) noexcept {
     case TraceEventKind::TamperDrop: return "tamper_drop";
     case TraceEventKind::NoLinkDrop: return "no_link_drop";
     case TraceEventKind::KmpComplete: return "kmp_complete";
+    case TraceEventKind::AttackInject: return "attack_inject";
   }
   return "?";
 }
 
 bool trace_event_kind_from_name(std::string_view name, TraceEventKind& out) noexcept {
-  for (int i = 0; i <= static_cast<int>(TraceEventKind::KmpComplete); ++i) {
+  for (int i = 0; i <= static_cast<int>(TraceEventKind::AttackInject); ++i) {
     const auto kind = static_cast<TraceEventKind>(i);
     if (trace_event_name(kind) == name) {
       out = kind;

@@ -38,6 +38,9 @@ enum class TraceEventKind : std::uint8_t {
   TamperDrop,      ///< on-link adversary dropped a frame in flight
   NoLinkDrop,      ///< transmit on a port with no link attached
   KmpComplete,     ///< a KMP operation finished (a = rtt ns, b = 1 if ok)
+  AttackInject,    ///< adversary forged a frame into a channel (a = attack
+                   ///< kind tag, b = 1 toward data plane / 2 toward
+                   ///< controller) — roots the forgery's cause chain
 };
 
 std::string_view trace_event_name(TraceEventKind kind) noexcept;

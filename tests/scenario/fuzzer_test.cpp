@@ -1,0 +1,72 @@
+// Campaign fuzzer: matrix coverage, worker-count invariance (the
+// determinism regression the CI fuzz tier depends on), and the failure
+// corpus contract.
+#include "scenario/fuzzer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4auth::scenario {
+namespace {
+
+FuzzOptions options(std::uint32_t scenarios, std::uint64_t first, std::uint64_t last,
+                    int jobs) {
+  FuzzOptions opt;
+  opt.scenarios = scenarios;
+  opt.seeds = {first, last};
+  opt.jobs = jobs;
+  return opt;
+}
+
+TEST(Fuzzer, GeneratedMatrixHasNoViolations) {
+  const FuzzResult result = run_fuzz(options(25, 1, 2, 2));
+  EXPECT_EQ(result.total, 50u);
+  EXPECT_EQ(result.failed, 0u) << result.report_json;
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_NE(result.report_json.find("\"schema\":\"p4auth.fuzz.report.v1\""),
+            std::string::npos);
+  EXPECT_NE(result.report_json.find("\"seeds\":\"1..2\""), std::string::npos);
+}
+
+TEST(Fuzzer, ReportIsByteIdenticalAcrossWorkerCounts) {
+  const FuzzResult serial = run_fuzz(options(30, 7, 8, 1));
+  const FuzzResult parallel = run_fuzz(options(30, 7, 8, 4));
+  EXPECT_EQ(serial.total, parallel.total);
+  EXPECT_EQ(serial.failed, parallel.failed);
+  EXPECT_EQ(serial.report_json, parallel.report_json);
+  ASSERT_EQ(serial.failures.size(), parallel.failures.size());
+  for (std::size_t i = 0; i < serial.failures.size(); ++i) {
+    EXPECT_EQ(serial.failures[i].corpus_name, parallel.failures[i].corpus_name);
+    EXPECT_EQ(serial.failures[i].corpus_json, parallel.failures[i].corpus_json);
+  }
+}
+
+TEST(Fuzzer, RepeatedRunsAreByteIdentical) {
+  const FuzzOptions opt = options(20, 3, 3, 2);
+  EXPECT_EQ(run_fuzz(opt).report_json, run_fuzz(opt).report_json);
+}
+
+TEST(Fuzzer, CorpusEntriesNameAndReproduceFailures) {
+  // There is no generated failing spec (the matrix is clean by
+  // construction), so synthesize failures by judging real runs under
+  // claim_benign — the same lever the CLI repro smoke uses.
+  const ScenarioSpec generated = generate_spec(5, 0);
+  ScenarioSpec spec = generated;
+  spec.claim_benign = true;
+  spec.attack = AttackKind::TablePoison;
+  spec.attack_count = 4;
+  spec.app = AppKind::Blink;
+  spec.topology = TopologyShape::Single;
+  spec.extra_switches = 0;
+  spec.p4auth = true;
+  ASSERT_TRUE(spec_valid(spec));
+  const ScenarioEvidence ev = run_scenario(spec);
+  const Verdict verdict = judge(ev);
+  ASSERT_FALSE(verdict.pass());
+  const std::string entry = corpus_entry_json(5, ev, verdict);
+  EXPECT_NE(entry.find("\"campaign_seed\":5"), std::string::npos);
+  EXPECT_NE(entry.find("\"pass\":false"), std::string::npos);
+  EXPECT_NE(entry.find("\"claim_benign\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4auth::scenario

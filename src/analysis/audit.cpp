@@ -70,6 +70,7 @@ dataplane::PipelineOutput AuditSession::inject(Bytes payload, PortId ingress) {
   const auto& costs = ctx.costs();
   observed_.max_hash_calls = std::max(observed_.max_hash_calls, costs.hash_calls);
   observed_.max_hashed_bytes = std::max(observed_.max_hashed_bytes, costs.hashed_bytes);
+  observed_.max_hash_lanes = std::max(observed_.max_hash_lanes, costs.max_hash_lanes);
   observed_.total_hash_calls += static_cast<std::uint64_t>(costs.hash_calls);
   for (const auto& emit : out.emits) observed_.output_frames.push_back(emit.payload);
   for (const auto& msg : out.to_cpu) observed_.output_frames.push_back(msg);
@@ -137,10 +138,12 @@ std::vector<Finding> run_conformance_audit(AuditSession& session) {
   // --- hashing: per-pass cost counters vs declared HashUses ---------------
   int declared_uses = 0;
   std::size_t declared_bytes = 0;
+  int declared_lanes = 0;  // widest declared digest (HashUse::lanes)
   for (const auto& use : decl.hash_uses) {
     if (!is_data_hash(use)) continue;
     ++declared_uses;
     declared_bytes += use.covered_bytes;
+    declared_lanes = std::max(declared_lanes, use.lanes);
   }
   if (observed.max_hash_calls > 0 && declared_uses == 0) {
     add(Severity::Error, "audit-undeclared-hash",
@@ -160,6 +163,16 @@ std::vector<Finding> run_conformance_audit(AuditSession& session) {
           "one pipeline pass digested " + std::to_string(observed.max_hashed_bytes) +
               " bytes; declared covered bytes total " + std::to_string(declared_bytes) +
               " (2x slack exceeded)");
+    }
+    // Batched (SIMD-lane) digests must be declared at their full width:
+    // the resource model bills lanes super-linearly (resources.cpp), so
+    // an under-declared width under-bills hash units the same way an
+    // undeclared register under-bills SRAM.
+    if (observed.max_hash_lanes > std::max(declared_lanes, 1)) {
+      add(Severity::Error, "audit-hash-lanes-drift",
+          "one pipeline pass batched " + std::to_string(observed.max_hash_lanes) +
+              " digests in a single extern call but the widest declared HashUse covers " +
+              std::to_string(std::max(declared_lanes, 1)) + " lane(s)");
     }
     if (observed.total_hash_calls == 0) {
       add(Severity::Warning, "audit-dead-hash",

@@ -27,6 +27,9 @@
 //                              declared
 //   audit-hash-drift           observed per-packet hash work exceeds the
 //                              declared covered bytes / unit count
+//   audit-hash-lanes-drift     observed within-pass batched hashing is
+//                              wider than any declared HashUse::lanes
+//                              (SIMD digest width under-declared)
 //   audit-secret-leak          an output frame contains a secret
 //                              register's current word verbatim
 #pragma once
@@ -73,6 +76,7 @@ class AuditSession : public dataplane::AuditSink {
     std::set<std::string> tables;
     int max_hash_calls = 0;          ///< worst single-pass hash invocations
     std::size_t max_hashed_bytes = 0;  ///< worst single-pass digested bytes
+    int max_hash_lanes = 0;          ///< widest within-pass batched digest
     std::uint64_t total_hash_calls = 0;
     std::vector<Bytes> output_frames;  ///< every emit + PacketIn payload
   };

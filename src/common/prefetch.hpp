@@ -1,0 +1,18 @@
+// Read-prefetch hint for the burst pre-pass: pulls a cache line toward
+// the core without touching architectural state, so the planner can warm
+// table slots and register cells one burst ahead of the pipeline walk.
+// A no-op on compilers without the builtin — prefetching is purely a
+// performance hint and must never change observable behaviour.
+#pragma once
+
+namespace p4auth {
+
+inline void prefetch_ro(const void* addr) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/1);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace p4auth

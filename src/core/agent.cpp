@@ -6,6 +6,7 @@
 #include "core/auth.hpp"
 #include "core/lldp.hpp"
 #include "crypto/stream_cipher.hpp"
+#include "telemetry/profile.hpp"
 
 namespace p4auth::core {
 namespace {
@@ -288,6 +289,59 @@ dataplane::PipelineOutput P4AuthAgent::process(dataplane::Packet& packet,
   }
 
   return run_inner(packet, ctx);
+}
+
+void P4AuthAgent::plan_burst(std::span<const dataplane::BurstFrameView> frames) {
+  burst_plan_.clear();
+  std::size_t njobs = 0;
+  std::array<crypto::DigestJob, dataplane::kMaxBurst> jobs;
+  std::array<dataplane::PlannedDigest, dataplane::kMaxBurst> pending;
+  std::size_t ninner = 0;
+  std::array<dataplane::BurstFrameView, dataplane::kMaxBurst> inner_views;
+
+  for (const auto& view : frames) {
+    const std::span<const std::uint8_t> f = view.frame;
+    if (view.ingress == kCpuPort) continue;  // control path, never burst-verified
+    if (f.size() >= kHeaderSize && f[0] == static_cast<std::uint8_t>(HdrType::DpData)) {
+      // Mirrors handle_dp_data: wire layout puts keyVersion at byte 4,
+      // flags at byte 5, the digest at [10, 14); the digest input is
+      // frame[0..10) + frame[14..) by construction (PR 3 seam).
+      const auto key = keys_.get(view.ingress, KeyVersion{f[4]});
+      if (key.has_value()) {
+        jobs[njobs] = crypto::DigestJob{*key, f.first(10), f.subspan(kHeaderSize)};
+        pending[njobs] = dataplane::PlannedDigest{f.data(), f.size(), *key, 0};
+        ++njobs;
+      }
+      if ((f[5] & kFlagEncrypted) == 0 && inner_ != nullptr) {
+        inner_views[ninner++] = dataplane::BurstFrameView{view.ingress, f.subspan(kHeaderSize)};
+      }
+      continue;
+    }
+    if (looks_like_p4auth(f)) continue;  // KMP/control frames carry no inner payload
+    if (!f.empty() && (f[0] == kLldpMagic || f[0] == kLldpGenMagic)) continue;
+    if (inner_ != nullptr) inner_views[ninner++] = view;  // raw traffic goes to the inner program
+  }
+
+  if (njobs > 0) {
+    std::array<Digest32, dataplane::kMaxBurst> digests;
+    {
+      P4AUTH_PROFILE_SCOPE("crypto.lanes");
+      digest_.compute_lanes(std::span<const crypto::DigestJob>(jobs.data(), njobs),
+                            std::span<Digest32>(digests.data(), njobs));
+    }
+    for (std::size_t i = 0; i < njobs; ++i) {
+      pending[i].digest = digests[i];
+      burst_plan_.add(pending[i]);
+    }
+  }
+  if (inner_ != nullptr && ninner > 0) {
+    inner_->plan_burst(std::span<const dataplane::BurstFrameView>(inner_views.data(), ninner));
+  }
+}
+
+void P4AuthAgent::end_burst() {
+  burst_plan_.clear();
+  if (inner_ != nullptr) inner_->end_burst();
 }
 
 dataplane::PipelineOutput P4AuthAgent::handle_control(const Message& msg,
@@ -582,12 +636,27 @@ dataplane::PipelineOutput P4AuthAgent::handle_dp_data(Message& msg,
   const PortId port = packet.ingress;
   dataplane::PipelineOutput out;
 
+  // Claim before the key check so a plan entry is always consumed in
+  // frame order, keeping the plan cursor aligned even when the key
+  // chain changed between planning and processing.
+  const dataplane::PlannedDigest* planned =
+      burst_plan_.claim(packet.payload.data(), packet.payload.size());
   const auto key = keys_.get(port, msg.header.key_version);
-  DigestScratch scratch;
-  const DigestView input = digest_input_into(msg, scratch);
-  const bool verified =
-      key.has_value() &&
-      digest_.verify(*key, input.head, input.tail, msg.header.digest, ctx.costs());
+  bool verified = false;
+  if (key.has_value()) {
+    if (planned != nullptr && planned->key == *key) {
+      // The burst pre-pass already hashed this frame's wire bytes under
+      // the same key. The digest input is head (10 header bytes) + tail
+      // (payload past the digest field) = frame minus the 4 digest
+      // bytes; bill those, exactly like the scalar verify below.
+      verified = digest_.verify_planned(planned->digest, packet.payload.size() - 4,
+                                        msg.header.digest, ctx.costs());
+    } else {
+      DigestScratch scratch;
+      const DigestView input = digest_input_into(msg, scratch);
+      verified = digest_.verify(*key, input.head, input.tail, msg.header.digest, ctx.costs());
+    }
+  }
   note_verify(ctx, verified, port, msg.header.seq_num, HdrType::DpData);
   if (!verified) {
     ++stats_.digest_failures;

@@ -88,6 +88,16 @@ class P4AuthAgent : public dataplane::DataPlaneProgram {
                                     dataplane::PipelineContext& ctx) override;
   dataplane::ProgramDeclaration resources() const override;
 
+  /// Burst pre-pass: precomputes the MAC tags of every staged DpData
+  /// frame whose port key is known, 4–8 per SIMD pass, directly over the
+  /// raw wire bytes (frame[0..10) + frame[14..) — the digest input by
+  /// construction), and forwards inner payload views to the wrapped
+  /// program's planner for table/register prefetch. Side-effect-free:
+  /// key lookups read the host-side chain (no register counters) and
+  /// billing happens only when a planned tag is consumed.
+  void plan_burst(std::span<const dataplane::BurstFrameView> frames) override;
+  void end_burst() override;
+
   // --- introspection (tests / benches) -------------------------------------
 
   struct Stats {
@@ -193,6 +203,7 @@ class P4AuthAgent : public dataplane::DataPlaneProgram {
   std::unordered_map<PortId, AdhkdInitiator> pending_port_exchange_;
 
   RateLimiter alert_limiter_;
+  dataplane::DigestPlan burst_plan_;
   Stats stats_;
   TeleSeries tele_;
 };

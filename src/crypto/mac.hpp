@@ -17,6 +17,7 @@
 #include <span>
 
 #include "common/types.hpp"
+#include "crypto/halfsiphash_lanes.hpp"
 
 namespace p4auth::crypto {
 
@@ -41,5 +42,19 @@ Digest32 compute_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> h
                         std::span<const std::uint8_t> tail) noexcept;
 bool verify_digest(MacKind kind, Key64 key, std::span<const std::uint8_t> head,
                    std::span<const std::uint8_t> tail, Digest32 tag) noexcept;
+
+/// One digest request for the multi-lane overload: the tag of
+/// `head || tail` under `key` (the two-span seam above, batched).
+/// Shares the lane-kernel job layout so batched HalfSipHash digests
+/// reach the SIMD dispatcher without a per-chunk repack.
+using DigestJob = SipLaneJob;
+
+/// Multi-lane variant: out[i] = compute_digest(kind, jobs[i]...) for all
+/// jobs, computed 4–8 at a time with SIMD HalfSipHash lanes
+/// (crypto/halfsiphash_lanes.hpp). Bit-identical to calling the scalar
+/// overload per job; Crc32Envelope has no lane kernel and loops scalar.
+/// Requires out.size() >= jobs.size().
+void compute_digest(MacKind kind, std::span<const DigestJob> jobs,
+                    std::span<Digest32> out) noexcept;
 
 }  // namespace p4auth::crypto

@@ -7,6 +7,7 @@
 #include "common/buffer_pool.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "dataplane/burst.hpp"
 #include "dataplane/packet.hpp"
 #include "dataplane/register_file.hpp"
 #include "dataplane/resources.hpp"
@@ -93,6 +94,18 @@ class DataPlaneProgram {
   /// Processes one packet. Called for data-port arrivals and for PacketOut
   /// messages from the controller (ingress == kCpuPort).
   virtual PipelineOutput process(Packet& packet, PipelineContext& ctx) = 0;
+
+  /// Burst pre-pass: the hosting switch is about to run process() once
+  /// per staged frame, in order. Implementations may warm caches —
+  /// prefetch table slots, precompute MAC tags with the SIMD lanes — but
+  /// must be side-effect-free (no telemetry, RNG, billing, or register
+  /// access counters): per-seed outputs must be byte-identical with the
+  /// pre-pass disabled. Frames views stay valid through the burst.
+  virtual void plan_burst(std::span<const BurstFrameView> frames) { (void)frames; }
+
+  /// The burst completed; drop any plan state. Always paired with
+  /// plan_burst by the hosting switch.
+  virtual void end_burst() {}
 
   /// Declared resource footprint (what the P4 compiler would report).
   virtual ProgramDeclaration resources() const { return {}; }

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/prefetch.hpp"
 #include "common/result.hpp"
 #include "common/types.hpp"
 
@@ -35,6 +36,13 @@ class RegisterArray {
   /// loudly surfaces bugs in tests).
   Result<std::uint64_t> read(std::size_t index) const;
   Status write(std::size_t index, std::uint64_t value);
+
+  /// Warms the cell for an upcoming read/write (burst pre-pass). Unlike
+  /// read(), this does NOT bump the audit access counters — the pre-pass
+  /// must be invisible to the conformance auditor's observed counts.
+  void prefetch(std::size_t index) const noexcept {
+    if (index < cells_.size()) prefetch_ro(cells_.data() + index);
+  }
 
   void fill(std::uint64_t value);
 

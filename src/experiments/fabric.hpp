@@ -43,6 +43,10 @@ class Fabric {
     /// Shared telemetry bundle wired into the network, every switch, and
     /// the controller (null = telemetry off).
     telemetry::Telemetry* telemetry = nullptr;
+    /// Burst pre-pass on every switch (default on). Off forces the
+    /// packet-at-a-time path; results must be byte-identical either way
+    /// (asserted by the burst-equivalence integration test).
+    bool burst_planning = true;
   };
 
   explicit Fabric(Options options);

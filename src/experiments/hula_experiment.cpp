@@ -59,6 +59,7 @@ HulaResult run_hula_experiment(Scenario scenario, const HulaOptions& options) {
   fabric_options.seed = options.seed;
   fabric_options.protected_magics = {hula::kProbeMagic};
   fabric_options.telemetry = options.telemetry;
+  fabric_options.burst_planning = options.burst_planning;
   Fabric fabric(fabric_options);
 
   // S1 ports: 1->S2, 2->S3, 3->S4. S5 ports: 1->S2, 2->S3, 3->S4.

@@ -62,6 +62,9 @@ struct HulaOptions {
   /// Shared telemetry bundle (null = off); stamped with the final
   /// sim-time before the experiment returns.
   telemetry::Telemetry* telemetry = nullptr;
+  /// Burst pre-pass on every switch; off = packet-at-a-time reference
+  /// path (results are byte-identical either way).
+  bool burst_planning = true;
 };
 
 HulaResult run_hula_experiment(Scenario scenario, const HulaOptions& options = {});

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/buffer_pool.hpp"
+#include "dataplane/burst.hpp"
 #include "netsim/link.hpp"
 #include "netsim/node.hpp"
 #include "netsim/simulator.hpp"
@@ -68,6 +69,13 @@ class Network {
   /// Call once per run, before the bundle is stamped/serialized.
   void export_pool_stats();
 
+  /// Flushes any staged delivery burst immediately. The delivery path
+  /// calls this itself whenever the next simulator event does not extend
+  /// the burst, so steady-state callers never need it; it exists for
+  /// harnesses that stop the simulator mid-schedule (bounded run(n))
+  /// and still want every fired delivery processed.
+  void flush_deliveries();
+
   struct Stats {
     std::uint64_t frames_delivered = 0;
     std::uint64_t frames_tampered = 0;
@@ -90,6 +98,27 @@ class Network {
     }
   };
 
+  /// One frame whose delivery event fired but whose processing waits for
+  /// the burst to close. The payload buffer is staged by move and later
+  /// moved on into on_frame, so frame byte addresses are stable from
+  /// planning through consumption (dataplane/burst.hpp relies on this).
+  struct StagedFrame {
+    PortId port{};
+    bool from_link = false;  ///< transmit() delivery (inject() skips net.frames_delivered)
+    telemetry::SpanContext span{};
+    Bytes payload;
+  };
+
+  /// Delivery rendezvous: stages the frame and flushes when the burst
+  /// closes (next event differs in time/key, or kMaxBurst reached).
+  void deliver(Node& dst, PortId port, Bytes payload, telemetry::SpanContext span,
+               bool from_link);
+
+  /// Coalescing key for deliveries to `node`: nonzero, distinct per node.
+  static std::uint64_t delivery_key(NodeId node) noexcept {
+    return static_cast<std::uint64_t>(node.value) + 1;
+  }
+
   Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unordered_map<NodeId, Node*> nodes_by_id_;
@@ -97,11 +126,15 @@ class Network {
   std::unordered_map<PortKey, Link*, PortKeyHash> link_by_port_;
   BufferPool pool_;
   Stats stats_;
+  std::vector<StagedFrame> staged_;     ///< reserved to kMaxBurst; never reallocates
+  Node* staged_node_ = nullptr;         ///< burst target (one node per burst)
+  std::size_t burst_highwater_ = 0;     ///< largest burst flushed this run
   telemetry::Telemetry* telemetry_ = nullptr;
   /// Cached registry series (stable references), bound in set_telemetry.
   struct TeleSeries {
     telemetry::Histogram* queue_wait_ns = nullptr;
     telemetry::Histogram* delivery_ns = nullptr;
+    telemetry::Histogram* burst_size = nullptr;
     telemetry::Counter* frames_delivered = nullptr;
     telemetry::Counter* drops_no_link = nullptr;
     telemetry::Counter* tamper_drops = nullptr;

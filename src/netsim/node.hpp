@@ -1,8 +1,11 @@
 // Base class for anything attached to the simulated network.
 #pragma once
 
+#include <span>
+
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "dataplane/burst.hpp"
 
 namespace p4auth::netsim {
 
@@ -19,6 +22,17 @@ class Node {
 
   /// A frame arrived on `ingress` (already past link latency and tamper).
   virtual void on_frame(PortId ingress, Bytes payload) = 0;
+
+  /// The network coalesced `frames` same-time arrivals for this node and
+  /// is about to call on_frame once per entry, in order. A warm-up hook:
+  /// implementations may prefetch and precompute but must stay
+  /// side-effect-free (see dataplane/burst.hpp). Default: no-op.
+  virtual void on_burst_prepare(std::span<const dataplane::BurstFrameView> frames) {
+    (void)frames;
+  }
+
+  /// The burst's last on_frame returned; drop any plan state.
+  virtual void on_burst_end() {}
 
   void attach(Network* network) noexcept { network_ = network; }
 

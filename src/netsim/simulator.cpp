@@ -6,13 +6,13 @@
 
 namespace p4auth::netsim {
 
-void Simulator::at(SimTime t, Handler fn) {
+void Simulator::at_keyed(SimTime t, std::uint64_t key, Handler fn) {
   assert(t >= now_ && "cannot schedule into the past");
   if (t < now_) t = now_;  // release builds: fire immediately, never rewind
   if (sched_lag_ns_ != nullptr) {
     sched_lag_ns_->observe(static_cast<double>((t - now_).ns()));
   }
-  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  heap_.push_back(Event{t, next_seq_++, key, std::move(fn)});
   if (heap_.size() > max_queue_depth_) max_queue_depth_ = heap_.size();
   std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
@@ -39,6 +39,7 @@ Simulator::Event Simulator::pop_next() {
   Event ev = std::move(heap_.back());
   heap_.pop_back();
   now_ = ev.time;
+  firing_key_ = ev.key;
   ++processed_;
   return ev;
 }
@@ -47,6 +48,7 @@ void Simulator::run(std::size_t max_events) {
   while (!heap_.empty() && processed_ < max_events) {
     Event ev = pop_next();
     ev.fn();
+    firing_key_ = 0;
   }
 }
 
@@ -54,6 +56,7 @@ void Simulator::run_until(SimTime t) {
   while (!heap_.empty() && heap_.front().time <= t) {
     Event ev = pop_next();
     ev.fn();
+    firing_key_ = 0;
   }
   // Advance-only: a run_until into the past (t < now()) must not rewind
   // the clock, or subsequent after() calls would schedule "before" events

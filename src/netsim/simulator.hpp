@@ -32,9 +32,30 @@ class Simulator {
   SimTime now() const noexcept { return now_; }
 
   /// Schedules `fn` at absolute time `t`. Precondition: t >= now().
-  void at(SimTime t, Handler fn);
+  void at(SimTime t, Handler fn) { at_keyed(t, 0, std::move(fn)); }
   /// Schedules `fn` `delay` after now().
   void after(SimTime delay, Handler fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Schedules `fn` at `t` under a coalescing key (0 = none). Consecutive
+  /// events sharing a fire time and a nonzero key form a burst: while one
+  /// of them is running, coalesce_continues() reports whether the next
+  /// event to fire extends the burst. Keys affect nothing else — fire
+  /// order stays strictly (time, seq).
+  void at_keyed(SimTime t, std::uint64_t key, Handler fn);
+  void after_keyed(SimTime delay, std::uint64_t key, Handler fn) {
+    at_keyed(now_ + delay, key, std::move(fn));
+  }
+
+  /// True iff called from an event handler whose event carries a nonzero
+  /// key and the next pending event fires at the same time with the same
+  /// key. The network uses this to decide whether a staged delivery burst
+  /// keeps growing or must flush now — purely a peek; the heap order is
+  /// untouched, so burst grouping is a deterministic function of the
+  /// schedule.
+  bool coalesce_continues() const noexcept {
+    return firing_key_ != 0 && !heap_.empty() && heap_.front().time == now_ &&
+           heap_.front().key == firing_key_;
+  }
 
   /// Runs until the queue drains (or max_events fires as a runaway guard).
   void run(std::size_t max_events = 100'000'000);
@@ -66,6 +87,7 @@ class Simulator {
   struct Event {
     SimTime time;
     std::uint64_t seq;
+    std::uint64_t key;  ///< coalescing key (0 = never coalesces)
     Handler fn;
   };
   /// Heap predicate: std::push_heap builds a max-heap, so "later fires
@@ -83,6 +105,7 @@ class Simulator {
 
   SimTime now_{};
   std::uint64_t next_seq_ = 0;
+  std::uint64_t firing_key_ = 0;  ///< key of the event currently running
   std::size_t processed_ = 0;
   std::vector<Event> heap_;
   std::size_t max_queue_depth_ = 0;

@@ -39,6 +39,15 @@ void Switch::on_frame(PortId ingress, Bytes payload) {
   run_pipeline(std::move(packet));
 }
 
+void Switch::on_burst_prepare(std::span<const dataplane::BurstFrameView> frames) {
+  P4AUTH_PROFILE_SCOPE("switch.burst");
+  if (burst_planning_ && program_ != nullptr) program_->plan_burst(frames);
+}
+
+void Switch::on_burst_end() {
+  if (program_ != nullptr) program_->end_burst();
+}
+
 void Switch::handle_packet_out(Bytes message) {
   ++stats_.packet_outs;
   if (interposer_.to_dataplane) {

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <memory>
 
 #include "analysis/audit.hpp"
 #include "analysis/finding.hpp"
 #include "analysis/registry.hpp"
 #include "analysis/static_checks.hpp"
+#include "crypto/mac.hpp"
+#include "dataplane/digest_extern.hpp"
 #include "dataplane/program.hpp"
 #include "dataplane/resources.hpp"
 
@@ -129,6 +132,7 @@ class FakeProgram : public dataplane::DataPlaneProgram {
   dataplane::RegisterArray* touch_register = nullptr;
   std::string note_table_name;
   int hashes_per_packet = 0;
+  int batch_lanes = 0;  ///< >0: one compute_batch of this width per packet
   Bytes emit_payload;
 
   dataplane::PipelineOutput process(dataplane::Packet& packet,
@@ -138,6 +142,21 @@ class FakeProgram : public dataplane::DataPlaneProgram {
     }
     if (!note_table_name.empty()) ctx.note_table(note_table_name);
     for (int i = 0; i < hashes_per_packet; ++i) ctx.costs().add_hash(8);
+    if (batch_lanes > 0) {
+      // A within-pass multi-lane digest through the real extern — what
+      // the audit-hash-lanes-drift rule diffs against HashUse::lanes.
+      static constexpr std::array<std::uint8_t, 8> kMsg{1, 2, 3, 4, 5, 6, 7, 8};
+      const dataplane::DigestExtern digest(crypto::MacKind::HalfSipHash24);
+      std::array<crypto::DigestJob, 8> jobs{};
+      std::array<Digest32, 8> tags{};
+      for (int i = 0; i < batch_lanes; ++i) {
+        jobs[static_cast<std::size_t>(i)] =
+            crypto::DigestJob{0x55, std::span<const std::uint8_t>(kMsg), {}};
+      }
+      digest.compute_batch(
+          std::span<const crypto::DigestJob>(jobs.data(), static_cast<std::size_t>(batch_lanes)),
+          std::span<Digest32>(tags.data(), static_cast<std::size_t>(batch_lanes)), ctx.costs());
+    }
     if (!emit_payload.empty()) {
       return dataplane::PipelineOutput::unicast(PortId{1}, emit_payload);
     }
@@ -234,6 +253,31 @@ TEST(ConformanceAudit, HashDrift) {
   program.hashes_per_packet = 3;  // 3 calls/pass vs 1 declared use
   session.inject(Bytes{1}, PortId{1});
   EXPECT_TRUE(has_rule(run_conformance_audit(session), "audit-hash-drift", Severity::Error));
+}
+
+TEST(ConformanceAudit, HashLanesDrift) {
+  AuditSession session;
+  ProgramDeclaration decl;
+  // Declares scalar (lane-1) digests but batches 4 per extern call.
+  for (int i = 0; i < 4; ++i) decl.hash_uses.push_back(HashUse::halfsiphash("scalar_use", 8));
+  auto& program = install(session, std::move(decl));
+  program.batch_lanes = 4;
+  session.inject(Bytes{1}, PortId{1});
+  EXPECT_TRUE(
+      has_rule(run_conformance_audit(session), "audit-hash-lanes-drift", Severity::Error));
+}
+
+TEST(ConformanceAudit, DeclaredLaneWidthIsClean) {
+  AuditSession session;
+  ProgramDeclaration decl;
+  for (int i = 0; i < 4; ++i) {
+    decl.hash_uses.push_back(HashUse::halfsiphash("lane_use", 8, /*lanes=*/4));
+  }
+  auto& program = install(session, std::move(decl));
+  program.batch_lanes = 4;
+  session.inject(Bytes{1}, PortId{1});
+  EXPECT_FALSE(
+      has_rule(run_conformance_audit(session), "audit-hash-lanes-drift", Severity::Error));
 }
 
 TEST(ConformanceAudit, DeadHash) {

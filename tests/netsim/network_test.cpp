@@ -183,5 +183,90 @@ TEST(Network, DirectionsQueueIndependently) {
   sim.run();
   EXPECT_EQ(net.stats().frames_queued, 0u);  // full duplex
 }
+
+/// Sink that also records the delivery bursts the network forms around
+/// its frames: one size per on_burst_prepare, balanced by on_burst_end.
+class BurstSinkNode : public SinkNode {
+ public:
+  using SinkNode::SinkNode;
+  void on_burst_prepare(std::span<const dataplane::BurstFrameView> frames) override {
+    burst_sizes.push_back(frames.size());
+  }
+  void on_burst_end() override { ++burst_ends; }
+
+  std::vector<std::size_t> burst_sizes;
+  std::size_t burst_ends = 0;
+};
+
+TEST(NetworkBurst, SameInstantDeliveriesCoalesceIntoOneBurst) {
+  Simulator sim;
+  Network net(sim);
+  auto* sink = net.add<BurstSinkNode>(NodeId{1});
+  for (int i = 0; i < 5; ++i) {
+    net.inject(NodeId{1}, PortId{2}, Bytes{static_cast<std::uint8_t>(i)}, SimTime::from_us(10));
+  }
+  sim.run();
+  ASSERT_EQ(sink->frames.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(sink->frames[i].second[0], i);  // staged order kept
+  EXPECT_EQ(sink->burst_sizes, (std::vector<std::size_t>{5}));
+  EXPECT_EQ(sink->burst_ends, 1u);
+}
+
+TEST(NetworkBurst, DistinctFireTimesDoNotCoalesce) {
+  Simulator sim;
+  Network net(sim);
+  auto* sink = net.add<BurstSinkNode>(NodeId{1});
+  net.inject(NodeId{1}, PortId{2}, Bytes{1}, SimTime::from_us(10));
+  net.inject(NodeId{1}, PortId{2}, Bytes{2}, SimTime::from_us(20));
+  sim.run();
+  EXPECT_EQ(sink->burst_sizes, (std::vector<std::size_t>{1, 1}));
+  EXPECT_EQ(sink->burst_ends, 2u);
+}
+
+TEST(NetworkBurst, DistinctDestinationsDoNotCoalesce) {
+  Simulator sim;
+  Network net(sim);
+  auto* a = net.add<BurstSinkNode>(NodeId{1});
+  auto* b = net.add<BurstSinkNode>(NodeId{2});
+  net.inject(NodeId{1}, PortId{2}, Bytes{1}, SimTime::from_us(10));
+  net.inject(NodeId{2}, PortId{2}, Bytes{2}, SimTime::from_us(10));
+  sim.run();
+  EXPECT_EQ(a->burst_sizes, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(b->burst_sizes, (std::vector<std::size_t>{1}));
+}
+
+TEST(NetworkBurst, BurstsSplitAtKMaxBurst) {
+  Simulator sim;
+  Network net(sim);
+  auto* sink = net.add<BurstSinkNode>(NodeId{1});
+  const std::size_t total = dataplane::kMaxBurst + 5;
+  for (std::size_t i = 0; i < total; ++i) {
+    net.inject(NodeId{1}, PortId{2}, Bytes{static_cast<std::uint8_t>(i)}, SimTime::from_us(10));
+  }
+  sim.run();
+  EXPECT_EQ(sink->frames.size(), total);
+  EXPECT_EQ(sink->burst_sizes, (std::vector<std::size_t>{dataplane::kMaxBurst, 5}));
+}
+
+TEST(NetworkBurst, FlushDeliveriesDrainsABoundedRun) {
+  Simulator sim;
+  Network net(sim);
+  auto* sink = net.add<BurstSinkNode>(NodeId{1});
+  for (int i = 0; i < 4; ++i) {
+    net.inject(NodeId{1}, PortId{2}, Bytes{static_cast<std::uint8_t>(i)}, SimTime::from_us(10));
+  }
+  // Stop the simulator mid-burst: two delivery events fire, the frames
+  // stay staged waiting for the burst to close.
+  sim.run(/*max_events=*/2);
+  EXPECT_TRUE(sink->frames.empty());
+  net.flush_deliveries();
+  EXPECT_EQ(sink->frames.size(), 2u);
+  EXPECT_EQ(sink->burst_sizes, (std::vector<std::size_t>{2}));
+  net.flush_deliveries();  // idempotent on an empty stage
+  EXPECT_EQ(sink->burst_ends, 1u);
+  sim.run();  // remaining two deliveries
+  EXPECT_EQ(sink->frames.size(), 4u);
+}
+
 }  // namespace
 }  // namespace p4auth::netsim

@@ -163,5 +163,51 @@ TEST(Simulator, MaxEventsGuardStopsRunaway) {
   EXPECT_EQ(sim.processed(), 1000u);
 }
 
+TEST(Simulator, CoalesceContinuesAcrossSameTimeSameKeyRun) {
+  Simulator sim;
+  std::vector<bool> continues;
+  const auto record = [&] { continues.push_back(sim.coalesce_continues()); };
+  sim.at_keyed(SimTime::from_ns(10), 42, record);
+  sim.at_keyed(SimTime::from_ns(10), 42, record);
+  sim.at_keyed(SimTime::from_ns(10), 42, record);
+  sim.run();
+  // True while a same-time same-key event is still pending; false on the
+  // last of the run.
+  EXPECT_EQ(continues, (std::vector<bool>{true, true, false}));
+}
+
+TEST(Simulator, CoalesceStopsAtKeyOrTimeBoundary) {
+  Simulator sim;
+  std::vector<bool> continues;
+  const auto record = [&] { continues.push_back(sim.coalesce_continues()); };
+  sim.at_keyed(SimTime::from_ns(10), 42, record);  // next differs in key
+  sim.at_keyed(SimTime::from_ns(10), 43, record);  // next differs in time
+  sim.at_keyed(SimTime::from_ns(20), 43, record);  // queue empty after this
+  sim.run();
+  EXPECT_EQ(continues, (std::vector<bool>{false, false, false}));
+}
+
+TEST(Simulator, KeyZeroNeverCoalesces) {
+  Simulator sim;
+  std::vector<bool> continues;
+  const auto record = [&] { continues.push_back(sim.coalesce_continues()); };
+  sim.at(SimTime::from_ns(10), record);
+  sim.at(SimTime::from_ns(10), record);
+  sim.run();
+  EXPECT_EQ(continues, (std::vector<bool>{false, false}));
+}
+
+TEST(Simulator, KeysDoNotChangeFireOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at_keyed(SimTime::from_ns(10), 7, [&] { order.push_back(1); });
+  sim.at(SimTime::from_ns(10), [&] { order.push_back(2); });
+  sim.at_keyed(SimTime::from_ns(10), 7, [&] { order.push_back(3); });
+  sim.at_keyed(SimTime::from_ns(5), 9, [&] { order.push_back(0); });
+  sim.run();
+  // Strictly (time, insertion seq), keys ignored for ordering.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
 }  // namespace
 }  // namespace p4auth::netsim

@@ -37,6 +37,12 @@ AuditSession::~AuditSession() = default;
 
 void AuditSession::on_table_lookup(std::string_view table) {
   observed_.tables.insert(std::string(table));
+  current_events_.push_back(
+      {TraceEvent::Kind::Table, std::string(table), true});
+}
+
+void AuditSession::on_digest_verify(std::string_view label, bool ok) {
+  current_events_.push_back({TraceEvent::Kind::Verify, std::string(label), ok});
 }
 
 std::uint64_t AuditSession::program_accesses(std::size_t index) const noexcept {
@@ -64,7 +70,16 @@ dataplane::PipelineOutput AuditSession::inject(Bytes payload, PortId ingress) {
   packet.arrival = now_;
   dataplane::PipelineContext ctx(registers_, rng_, now_, self_, /*telemetry=*/nullptr,
                                  /*pool=*/nullptr, /*audit=*/this);
+  current_events_.clear();
   dataplane::PipelineOutput out = program_->process(packet, ctx);
+
+  ExecutionTrace trace;
+  trace.events = std::move(current_events_);
+  current_events_.clear();
+  trace.emits = out.emits.size();
+  trace.punts = out.to_cpu.size();
+  trace.dropped = out.dropped;
+  observed_.traces.push_back(std::move(trace));
 
   ++observed_.packets;
   const auto& costs = ctx.costs();

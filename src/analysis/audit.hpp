@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "analysis/finding.hpp"
+#include "analysis/model.hpp"
 #include "common/rng.hpp"
 #include "dataplane/program.hpp"
 #include "dataplane/register_file.hpp"
@@ -79,6 +80,9 @@ class AuditSession : public dataplane::AuditSink {
     int max_hash_lanes = 0;          ///< widest within-pass batched digest
     std::uint64_t total_hash_calls = 0;
     std::vector<Bytes> output_frames;  ///< every emit + PacketIn payload
+    /// Per-inject observable trace (ordered table/verify events plus an
+    /// output summary) — the raw material of the path-conformance audit.
+    std::vector<ExecutionTrace> traces;
   };
   const Observed& observed() const noexcept { return observed_; }
 
@@ -88,6 +92,7 @@ class AuditSession : public dataplane::AuditSink {
 
   // AuditSink
   void on_table_lookup(std::string_view table) override;
+  void on_digest_verify(std::string_view label, bool ok) override;
 
  private:
   void snapshot_baseline();
@@ -98,6 +103,8 @@ class AuditSession : public dataplane::AuditSink {
   SimTime now_;
   NodeId self_{1};
   Observed observed_;
+  /// Events of the inject() currently running through process().
+  std::vector<TraceEvent> current_events_;
   /// Per-array access counts at first inject; setup writes by the
   /// harness (cache pre-loads, route installs) are not program usage.
   std::vector<std::uint64_t> baseline_accesses_;

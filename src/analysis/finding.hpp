@@ -1,8 +1,9 @@
 // Machine-readable verifier findings (the lint analogue of the telemetry
 // snapshot): every rule violation is a Finding with a stable rule id, a
 // severity, and a human-readable message. Reports serialize to
-// deterministic JSON (schema p4auth.lint.v1) via the telemetry JsonWriter
-// so CI can gate on them exactly like BENCH_*.json artifacts.
+// deterministic JSON (schema p4auth.lint.v2) via the telemetry JsonWriter
+// so CI can gate on them exactly like BENCH_*.json artifacts, and to
+// SARIF 2.1.0 for code-scanning upload.
 #pragma once
 
 #include <cstdint>
@@ -32,12 +33,27 @@ void sort_findings(std::vector<Finding>& findings);
 
 int count_findings(const std::vector<Finding>& findings, Severity severity) noexcept;
 
+/// Symbolic model-checker outcome for one program. `ran` stays false
+/// when `--model` was not requested; the JSON block serializes as null
+/// then. Counters only — no timing, so the report stays byte-stable.
+struct ModelSummary {
+  bool ran = false;
+  bool truncated = false;         ///< an exploration cap fired
+  std::size_t nodes = 0;          ///< PipelineModel size
+  std::size_t paths = 0;          ///< feasible root-to-terminal paths
+  std::size_t projections = 0;    ///< distinct observable projections
+  std::size_t visited_nodes = 0;  ///< explorer node expansions
+  std::size_t traces = 0;         ///< corpus executions captured
+  std::size_t matched = 0;        ///< traces mapped to exactly one projection
+};
+
 /// Everything the verifier produced for one program: the computed
-/// Table II-style usage plus all static and conformance findings.
+/// Table II-style usage plus all static, conformance, and model findings.
 struct ProgramReport {
   std::string program;
   dataplane::ResourceUsage usage;
   std::vector<Finding> findings;
+  ModelSummary model;
 };
 
 /// Deterministic JSON report over all audited programs.
@@ -45,5 +61,10 @@ std::string report_json(const std::vector<ProgramReport>& reports);
 
 /// Human-readable report for terminal use.
 std::string report_text(const std::vector<ProgramReport>& reports);
+
+/// SARIF 2.1.0 log over all audited programs, one run with every finding
+/// as a result. Locations point at the program's source file so GitHub
+/// code scanning can anchor annotations.
+std::string report_sarif(const std::vector<ProgramReport>& reports);
 
 }  // namespace p4auth::analysis

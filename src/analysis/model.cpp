@@ -1,0 +1,173 @@
+#include "analysis/model.hpp"
+
+#include <map>
+#include <set>
+
+namespace p4auth::analysis {
+namespace {
+
+using dataplane::ModelBranch;
+using dataplane::ModelNode;
+using dataplane::ModelNodeKind;
+using dataplane::PipelineModel;
+
+struct Walker {
+  const PipelineModel& model;
+  const ExplorationLimits& limits;
+  Exploration out;
+  /// Nodes reached by at least one feasible path (dead-branch scope).
+  std::set<std::size_t> reached;
+  /// Edges traversed feasibly at least once.
+  std::set<std::pair<std::size_t, std::size_t>> traversed;
+
+  /// Applies a conjunction to the assignment; false on contradiction.
+  static bool assume(std::map<std::string, bool>& assignment,
+                     const std::vector<dataplane::ModelCond>& conds) {
+    for (const auto& cond : conds) {
+      const auto [it, inserted] = assignment.emplace(cond.atom, cond.value);
+      if (!inserted && it->second != cond.value) return false;
+    }
+    return true;
+  }
+
+  void walk(std::size_t index, SymbolicPath path,
+            std::map<std::string, bool> assignment,
+            std::map<std::size_t, std::size_t> visits) {
+    if (out.truncated) return;
+    if (path.nodes.size() >= limits.max_depth ||
+        ++visits[index] > limits.max_node_revisits) {
+      out.truncated = true;
+      return;
+    }
+    ++out.visited_nodes;
+    reached.insert(index);
+    const ModelNode& node = model.nodes[index];
+    path.nodes.push_back(index);
+    path.stage_cost += node.stage_cost;
+    path.hash_cost += node.hash_cost;
+    path.register_cost += node.register_cost;
+    switch (node.kind) {
+      case ModelNodeKind::Table:
+        path.events.push_back({TraceEvent::Kind::Table, node.object, true});
+        break;
+      case ModelNodeKind::Emit:
+        (node.multi ? path.multi_emits : path.fixed_emits) += 1;
+        break;
+      case ModelNodeKind::Punt:
+        (node.multi ? path.multi_punts : path.fixed_punts) += 1;
+        break;
+      case ModelNodeKind::Drop:
+        path.dropped = true;
+        break;
+      default:
+        break;
+    }
+
+    if (node.next.empty()) {
+      if (out.paths.size() >= limits.max_paths) {
+        out.truncated = true;
+        return;
+      }
+      out.paths.push_back(std::move(path));
+      return;
+    }
+
+    for (std::size_t b = 0; b < node.next.size(); ++b) {
+      const ModelBranch& branch = node.next[b];
+      auto next_assignment = assignment;
+      if (!assume(next_assignment, branch.when)) continue;
+      SymbolicPath next_path = path;
+      if (node.kind == ModelNodeKind::DigestVerify) {
+        // The "ok" edge is the successful verification; any other edge
+        // out of a verify node is a failure outcome. Both fix the
+        // verify.<label> atom so correlated later guards stay coherent.
+        const bool ok = branch.label == "ok";
+        if (!assume(next_assignment, {{"verify." + node.object, ok}})) continue;
+        next_path.events.push_back({TraceEvent::Kind::Verify, node.object, ok});
+      }
+      traversed.insert({index, b});
+      walk(branch.target, std::move(next_path), std::move(next_assignment),
+           visits);
+      if (out.truncated) return;
+    }
+  }
+};
+
+}  // namespace
+
+bool path_matches(const SymbolicPath& path, const ExecutionTrace& trace) {
+  if (trace.dropped != path.dropped) return false;
+  if (trace.events != path.events) return false;
+  if (path.multi_emits > 0) {
+    if (trace.emits < path.fixed_emits + path.multi_emits) return false;
+  } else if (trace.emits != path.fixed_emits) {
+    return false;
+  }
+  if (path.multi_punts > 0) {
+    if (trace.punts < path.fixed_punts + path.multi_punts) return false;
+  } else if (trace.punts != path.fixed_punts) {
+    return false;
+  }
+  return true;
+}
+
+std::string projection_key(const SymbolicPath& path) {
+  std::string key = render_events(path.events);
+  key += "|emits=";
+  key += std::to_string(path.fixed_emits);
+  if (path.multi_emits > 0) {
+    key += "+";
+    key += std::to_string(path.multi_emits);
+    key += "..N";
+  }
+  key += "|punts=";
+  key += std::to_string(path.fixed_punts);
+  if (path.multi_punts > 0) {
+    key += "+";
+    key += std::to_string(path.multi_punts);
+    key += "..N";
+  }
+  key += path.dropped ? "|dropped" : "|forwarded";
+  return key;
+}
+
+std::string render_events(const std::vector<TraceEvent>& events) {
+  if (events.empty()) return "(none)";
+  std::string out;
+  for (const auto& event : events) {
+    if (!out.empty()) out += ", ";
+    if (event.kind == TraceEvent::Kind::Table) {
+      out += "table:";
+      out += event.name;
+    } else {
+      out += "verify:";
+      out += event.name;
+      out += event.ok ? ":ok" : ":fail";
+    }
+  }
+  return out;
+}
+
+Exploration explore(const dataplane::PipelineModel& model,
+                    const ExplorationLimits& limits) {
+  Walker walker{model, limits, {}, {}, {}};
+  if (!model.nodes.empty()) {
+    walker.walk(0, SymbolicPath{}, {}, {});
+  }
+  // A reached node's branch that was never feasibly traversed is dead.
+  // Suppressed on truncation: the unexplored remainder could have
+  // traversed it.
+  if (!walker.out.truncated) {
+    for (const std::size_t index : walker.reached) {
+      const ModelNode& node = model.nodes[index];
+      for (std::size_t b = 0; b < node.next.size(); ++b) {
+        if (!walker.traversed.contains({index, b})) {
+          walker.out.dead_branches.emplace_back(index, b);
+        }
+      }
+    }
+  }
+  return std::move(walker.out);
+}
+
+}  // namespace p4auth::analysis

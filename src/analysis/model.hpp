@@ -1,0 +1,95 @@
+// Symbolic path explorer over the PipelineModel IR (see
+// dataplane/pipeline_model.hpp). Enumerates every feasible root-to-
+// terminal path under an assignment of the model's boolean atoms: a
+// branch whose conditions contradict atoms already fixed earlier on the
+// path is infeasible and pruned; consistent conditions extend the
+// assignment. Traversing a DigestVerify node additionally fixes
+// `verify.<label>` to true on its "ok" edge and false otherwise, so
+// correlated later tests (retry guards, alert suppression) participate
+// in feasibility.
+//
+// Each explored path carries its *observable projection* — the ordered
+// table-lookup and verify-outcome events plus an output summary (emit /
+// punt counts, dropped flag). The same projection is what AuditSession
+// captures per corpus execution (ExecutionTrace), which is how the path
+// conformance audit replays real executions onto model paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataplane/pipeline_model.hpp"
+
+namespace p4auth::analysis {
+
+/// One observable pipeline event: a table apply, or a digest-verify
+/// outcome. Shared between model projections and runtime traces.
+struct TraceEvent {
+  enum class Kind : std::uint8_t { Table, Verify };
+  Kind kind = Kind::Table;
+  std::string name;
+  bool ok = true;  ///< verify outcome; always true for tables
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// What one corpus execution looked like from the audit hooks.
+struct ExecutionTrace {
+  std::vector<TraceEvent> events;
+  std::size_t emits = 0;
+  std::size_t punts = 0;
+  bool dropped = false;
+
+  friend bool operator==(const ExecutionTrace&, const ExecutionTrace&) = default;
+};
+
+/// One feasible root-to-terminal path through the model.
+struct SymbolicPath {
+  std::vector<std::size_t> nodes;  ///< node indices in traversal order
+  std::vector<TraceEvent> events;  ///< observable projection of the path
+  int stage_cost = 0;
+  int hash_cost = 0;
+  int register_cost = 0;
+  std::size_t fixed_emits = 0;  ///< Emit nodes with multi == false
+  std::size_t multi_emits = 0;  ///< Emit nodes with multi == true (1..N each)
+  std::size_t fixed_punts = 0;
+  std::size_t multi_punts = 0;
+  bool dropped = false;
+};
+
+/// True when `trace` is an instance of `path`'s observable projection:
+/// identical ordered events and dropped flag, and output counts equal —
+/// or at-least when the path carries `multi` (replicated) outputs.
+bool path_matches(const SymbolicPath& path, const ExecutionTrace& trace);
+
+/// Stable textual key of a path's observable projection; two paths with
+/// equal keys are indistinguishable to the conformance audit.
+std::string projection_key(const SymbolicPath& path);
+
+/// Human-readable event list ("table:ipv4_lpm, verify:cdp_verify:ok").
+std::string render_events(const std::vector<TraceEvent>& events);
+
+/// Cycle/explosion guards. Models are DAG-shaped in practice; the caps
+/// exist so a buggy model degrades into a model-exploration-limit
+/// finding instead of a hung lint run.
+struct ExplorationLimits {
+  std::size_t max_paths = 4096;
+  std::size_t max_depth = 256;        ///< nodes per path
+  std::size_t max_node_revisits = 4;  ///< per-path visits of one node
+};
+
+struct Exploration {
+  std::vector<SymbolicPath> paths;
+  /// (node, branch-index) edges whose conditions contradicted the path
+  /// assignment on every arrival although the node itself was reached.
+  std::vector<std::pair<std::size_t, std::size_t>> dead_branches;
+  bool truncated = false;         ///< a limit fired; the path set is partial
+  std::size_t visited_nodes = 0;  ///< total node expansions (work metric)
+};
+
+Exploration explore(const dataplane::PipelineModel& model,
+                    const ExplorationLimits& limits = {});
+
+}  // namespace p4auth::analysis

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "analysis/checker.hpp"
 #include "analysis/static_checks.hpp"
 #include "apps/blink/blink.hpp"
 #include "apps/flowradar/flowradar.hpp"
@@ -239,28 +240,58 @@ const LintEntry* find_program(std::string_view name) {
   return nullptr;
 }
 
-ProgramReport lint_program(const LintEntry& entry, const dataplane::ResourceBudget& budget) {
+ProgramReport lint_program(const LintEntry& entry, const LintOptions& options) {
   AuditSession session;
   entry.run(session);
   const auto decl = session.program().resources();
   ProgramReport report;
   report.program = decl.name;
-  report.usage = dataplane::compute_usage(decl, budget);
-  report.findings = run_static_checks(decl, budget);
+  report.usage = dataplane::compute_usage(decl, options.budget);
+  report.findings = run_static_checks(decl, options.budget);
   auto conformance = run_conformance_audit(session);
   report.findings.insert(report.findings.end(), std::make_move_iterator(conformance.begin()),
                          std::make_move_iterator(conformance.end()));
+  if (options.model) {
+    const auto model = session.program().pipeline_model();
+    ModelCheck check = check_model(model, decl, {options.budget, options.limits});
+    report.model.ran = true;
+    report.model.truncated = check.exploration.truncated;
+    report.model.nodes = model.nodes.size();
+    report.model.paths = check.exploration.paths.size();
+    report.model.projections = check.projections;
+    report.model.visited_nodes = check.exploration.visited_nodes;
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(check.findings.begin()),
+                           std::make_move_iterator(check.findings.end()));
+    // Path conformance: every corpus execution must map onto exactly one
+    // model projection. Skipped on truncation (partial path set).
+    const auto& traces = session.observed().traces;
+    report.model.traces = traces.size();
+    ConformanceResult paths = check_path_conformance(check.exploration, traces, decl.name);
+    report.model.matched = paths.matched;
+    report.findings.insert(report.findings.end(),
+                           std::make_move_iterator(paths.findings.begin()),
+                           std::make_move_iterator(paths.findings.end()));
+  }
   sort_findings(report.findings);
   return report;
 }
 
-std::vector<ProgramReport> lint_all(const dataplane::ResourceBudget& budget) {
+ProgramReport lint_program(const LintEntry& entry, const dataplane::ResourceBudget& budget) {
+  return lint_program(entry, LintOptions{budget});
+}
+
+std::vector<ProgramReport> lint_all(const LintOptions& options) {
   std::vector<ProgramReport> reports;
   reports.reserve(builtin_programs().size());
   for (const auto& entry : builtin_programs()) {
-    reports.push_back(lint_program(entry, budget));
+    reports.push_back(lint_program(entry, options));
   }
   return reports;
+}
+
+std::vector<ProgramReport> lint_all(const dataplane::ResourceBudget& budget) {
+  return lint_all(LintOptions{budget});
 }
 
 }  // namespace p4auth::analysis

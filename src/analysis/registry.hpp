@@ -29,11 +29,22 @@ const std::vector<LintEntry>& builtin_programs();
 
 const LintEntry* find_program(std::string_view name);
 
+struct LintOptions {
+  dataplane::ResourceBudget budget{};
+  /// Run the symbolic model checker: explore the program's
+  /// PipelineModel, evaluate the model-* rules, and map every corpus
+  /// execution onto a model path (path conformance).
+  bool model = false;
+  ExplorationLimits limits{};
+};
+
 /// Static checks + conformance audit for one registry entry.
+ProgramReport lint_program(const LintEntry& entry, const LintOptions& options);
 ProgramReport lint_program(const LintEntry& entry,
                            const dataplane::ResourceBudget& budget = {});
 
 /// Reports for every builtin program, in registry order.
+std::vector<ProgramReport> lint_all(const LintOptions& options);
 std::vector<ProgramReport> lint_all(const dataplane::ResourceBudget& budget = {});
 
 }  // namespace p4auth::analysis

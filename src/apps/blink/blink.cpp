@@ -102,6 +102,35 @@ dataplane::ProgramDeclaration BlinkProgram::resources() const {
   return decl;
 }
 
+dataplane::PipelineModel BlinkProgram::pipeline_model() const {
+  using M = dataplane::PipelineModel;
+  M m;
+  m.name = "blink";
+  const auto entry = m.add(M::parse("tcp"));
+  m.then(entry, M::drop(), "malformed", {{"hdr.tcp.valid", false}});
+  const auto valid = m.then(entry, M::parse("retx_check"), "tcp",
+                            {{"hdr.tcp.valid", true}});
+  // Failure inference: sliding retransmission window per prefix.
+  const auto window = m.then(valid, M::reg_read("bk_retx_window"), "retx",
+                             {{"hdr.retx", true}});
+  const auto reset = m.add(M::reg_write("bk_retx_window"));
+  m.branch(window, reset, "window_expired", {{"retx.window_expired", true}});
+  const auto count = m.add(M::reg_write("bk_retx_cnt", 2));
+  m.branch(window, count, "window_live", {{"retx.window_expired", false}});
+  m.branch(reset, count);
+  const auto lookup = m.add(M::reg_read("bk_active_idx"));
+  m.branch(count, lookup, "below_threshold", {{"retx.threshold", false}});
+  const auto failover = m.then(count, M::reg_write("bk_active_idx", 4), "failover",
+                               {{"retx.threshold", true}});
+  m.branch(failover, lookup);
+  m.branch(valid, lookup, "data", {{"hdr.retx", false}});
+  const auto hops = m.then(lookup, M::reg_read("bk_nexthops"));
+  const auto table = m.then(hops, M::table("bk_prefix_match"));
+  m.then(table, M::drop(), "no_hop", {{"tbl.bk_prefix_match.hit", false}});
+  m.then(table, M::emit("data"), "hit", {{"tbl.bk_prefix_match.hit", true}});
+  return m;
+}
+
 void BlinkManager::install_next_hops(std::uint16_t prefix, const std::vector<PortId>& hops,
                                      std::function<void(Status)> done) {
   struct State {

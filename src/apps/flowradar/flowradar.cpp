@@ -99,6 +99,27 @@ dataplane::ProgramDeclaration FlowRadarProgram::resources() const {
   return decl;
 }
 
+dataplane::PipelineModel FlowRadarProgram::pipeline_model() const {
+  using M = dataplane::PipelineModel;
+  M m;
+  m.name = "flowradar";
+  const auto entry = m.add(M::parse("flow"));
+  m.then(entry, M::drop(), "malformed", {{"hdr.flow.valid", false}});
+  // Bloom-filter membership check + set (first-packet detection).
+  const auto filter_rd = m.then(entry, M::reg_read("fr_flow_filter", 2), "flow",
+                                {{"hdr.flow.valid", true}});
+  const auto filter_wr = m.then(filter_rd, M::reg_write("fr_flow_filter", 2));
+  // IBLT cell updates: flow set folded in once, packet count always.
+  const auto pkt = m.add(M::reg_write("fr_pkt_cnt", 2));
+  m.branch(filter_wr, pkt, "seen", {{"flow.is_new", false}});
+  const auto fxor = m.then(filter_wr, M::reg_write("fr_flow_xor", 2), "new",
+                           {{"flow.is_new", true}});
+  const auto fcnt = m.then(fxor, M::reg_write("fr_flow_cnt", 2));
+  m.branch(fcnt, pkt);
+  m.then(pkt, M::emit("data"));
+  return m;
+}
+
 DecodeResult decode_flowset(std::vector<std::uint64_t> flow_xor,
                             std::vector<std::uint64_t> flow_cnt,
                             std::vector<std::uint64_t> pkt_cnt) {

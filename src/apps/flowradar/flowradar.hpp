@@ -44,6 +44,7 @@ class FlowRadarProgram : public dataplane::DataPlaneProgram {
   dataplane::PipelineOutput process(dataplane::Packet& packet,
                                     dataplane::PipelineContext& ctx) override;
   dataplane::ProgramDeclaration resources() const override;
+  dataplane::PipelineModel pipeline_model() const override;
 
   template <typename Agent>
   Status expose_to(Agent& agent) {

@@ -74,6 +74,28 @@ dataplane::ProgramDeclaration FlowStatsProgram::resources() const {
   return decl;
 }
 
+dataplane::PipelineModel FlowStatsProgram::pipeline_model() const {
+  using M = dataplane::PipelineModel;
+  M m;
+  m.name = "flowstats";
+  const auto entry = m.add(M::parse("flow"));
+  m.then(entry, M::drop(), "malformed", {{"hdr.flow.valid", false}});
+  const auto flagged = m.then(entry, M::table("fs_flagged_flows"), "flow",
+                              {{"hdr.flow.valid", true}});
+  const auto blocked = m.then(flagged, M::reg_read("fs_blocked"));
+  m.then(blocked, M::drop(), "blocked", {{"flow.blocked", true}});
+  const auto last = m.then(blocked, M::reg_read("fs_last_ts"), "clear",
+                           {{"flow.blocked", false}});
+  const auto stamp = m.add(M::reg_write("fs_last_ts"));
+  m.branch(last, stamp, "first_packet", {{"flow.has_ipd", false}});
+  const auto sum = m.then(last, M::reg_write("fs_ipd_sum", 2), "accrue",
+                          {{"flow.has_ipd", true}});
+  const auto cnt = m.then(sum, M::reg_write("fs_ipd_cnt", 2));
+  m.branch(cnt, stamp);
+  m.then(stamp, M::emit("data"));
+  return m;
+}
+
 void FlowStatsManager::inspect_flow(std::uint16_t flow,
                                     std::function<void(Result<Verdict>)> done) {
   struct State {

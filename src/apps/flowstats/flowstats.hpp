@@ -42,6 +42,7 @@ class FlowStatsProgram : public dataplane::DataPlaneProgram {
   dataplane::PipelineOutput process(dataplane::Packet& packet,
                                     dataplane::PipelineContext& ctx) override;
   dataplane::ProgramDeclaration resources() const override;
+  dataplane::PipelineModel pipeline_model() const override;
 
   template <typename Agent>
   Status expose_to(Agent& agent) {

@@ -240,4 +240,64 @@ dataplane::ProgramDeclaration HulaProgram::resources() const {
   return decl;
 }
 
+dataplane::PipelineModel HulaProgram::pipeline_model() const {
+  using M = dataplane::PipelineModel;
+  M m;
+  m.name = "hula";
+  const auto entry = m.add(M::parse("hula"));
+  m.then(entry, M::drop(), "malformed", {{"hdr.hula.valid", false}});
+
+  // Probe generation trigger (CPU): replicate a fresh probe on every
+  // probe port; non-ToR switches ignore the trigger.
+  const auto gen = m.then(entry, M::parse("probe_gen"),
+                          "probe_gen", {{"hdr.hula.valid", true}, {"hdr.probe_gen", true}});
+  m.then(gen, M::drop(), "not_tor", {{"cfg.is_tor", false}});
+  m.then(gen, M::emit("probe", /*protected_port=*/false, /*multi=*/true), "tor",
+         {{"cfg.is_tor", true}});
+
+  // Probe propagation: update the best-hop state, stamp the trace, and
+  // replicate on every probe port except the ingress.
+  const auto probe = m.then(entry, M::parse("probe"),
+                            "probe", {{"hdr.hula.valid", true}, {"hdr.probe", true}});
+  m.then(probe, M::drop(), "loop", {{"probe.seen_self", true}});
+  const auto util = m.then(probe, M::reg_read("hula_util_bytes"), "fresh",
+                           {{"probe.seen_self", false}});
+  const auto util2 = m.then(util, M::reg_read("hula_util_time"));
+  m.then(util2, M::drop(), "tor_oob", {{"probe.tor_in_range", false}});
+  const auto best = m.then(util2, M::reg_read("hula_best_hop"), "in_range",
+                           {{"probe.tor_in_range", true}});
+  const auto best2 = m.then(best, M::reg_read("hula_best_util"));
+  const auto best3 = m.then(best2, M::reg_read("hula_last_update"));
+  const auto fwd_probe =
+      m.add(M::emit("probe", /*protected_port=*/false, /*multi=*/true));
+  m.branch(best3, fwd_probe, "keep", {{"probe.adopt", false}});
+  const auto adopt = m.then(best3, M::reg_write("hula_best_hop"), "adopt",
+                            {{"probe.adopt", true}});
+  const auto adopt2 = m.then(adopt, M::reg_write("hula_best_util"));
+  const auto adopt3 = m.then(adopt2, M::reg_write("hula_last_update"));
+  m.branch(adopt3, fwd_probe);
+
+  // Data forwarding: flowlet stickiness, then the best-hop table.
+  const auto data = m.then(entry, M::parse("data"),
+                           "data", {{"hdr.hula.valid", true}, {"hdr.data", true}});
+  m.then(data, M::consume(), "self_sink", {{"data.self_sink", true}});
+  const auto fp = m.then(data, M::reg_read("hula_flowlet_port"), "transit",
+                         {{"data.self_sink", false}});
+  const auto ft = m.then(fp, M::reg_read("hula_flowlet_time"));
+  const auto tor_fwd = m.then(ft, M::table("hula_tor_fwd"));
+  const auto choose_best = m.then(tor_fwd, M::reg_read("hula_best_hop"), "flowlet_stale",
+                                  {{"flowlet.live", false}});
+  const auto choose_best2 = m.then(choose_best, M::reg_read("hula_last_update"));
+  const auto no_hop = m.add(M::drop());
+  m.branch(choose_best2, no_hop, "no_hop", {{"hop.known", false}});
+  const auto pin = m.add(M::reg_write("hula_flowlet_port"));
+  m.branch(tor_fwd, pin, "flowlet_hit", {{"flowlet.live", true}});
+  m.branch(choose_best2, pin, "best_hop", {{"hop.known", true}});
+  const auto pin2 = m.then(pin, M::reg_write("hula_flowlet_time"));
+  const auto bump = m.then(pin2, M::reg_write("hula_util_bytes"));
+  const auto bump2 = m.then(bump, M::reg_write("hula_util_time"));
+  m.then(bump2, M::emit("data"));
+  return m;
+}
+
 }  // namespace p4auth::apps::hula

@@ -40,6 +40,7 @@ class HulaProgram : public dataplane::DataPlaneProgram {
   dataplane::PipelineOutput process(dataplane::Packet& packet,
                                     dataplane::PipelineContext& ctx) override;
   dataplane::ProgramDeclaration resources() const override;
+  dataplane::PipelineModel pipeline_model() const override;
 
   /// Burst pre-pass: warms the flowlet slot and best-hop cells of staged
   /// data packets. Pure prefetch — uses RegisterArray::prefetch, which

@@ -85,4 +85,20 @@ dataplane::ProgramDeclaration L3FwdProgram::resources() const {
   return decl;
 }
 
+dataplane::PipelineModel L3FwdProgram::pipeline_model() const {
+  using M = dataplane::PipelineModel;
+  M m;
+  m.name = "baseline_l3";
+  const auto entry = m.add(M::parse("ipv4"));
+  m.then(entry, M::drop(), "malformed", {{"hdr.ipv4.valid", false}});
+  const auto lpm = m.then(entry, M::table("ipv4_lpm"), "ipv4",
+                          {{"hdr.ipv4.valid", true}});
+  m.then(lpm, M::drop(), "miss", {{"tbl.ipv4_lpm.hit", false}});
+  const auto pmap = m.then(lpm, M::table("port_fwd"), "hit",
+                           {{"tbl.ipv4_lpm.hit", true}});
+  const auto stats = m.then(pmap, M::reg_write("l3_stats", 2));
+  m.then(stats, M::emit("data"));
+  return m;
+}
+
 }  // namespace p4auth::apps::l3fwd

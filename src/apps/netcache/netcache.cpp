@@ -118,6 +118,27 @@ dataplane::ProgramDeclaration NetCacheProgram::resources() const {
   return decl;
 }
 
+dataplane::PipelineModel NetCacheProgram::pipeline_model() const {
+  using M = dataplane::PipelineModel;
+  M m;
+  m.name = "netcache";
+  const auto entry = m.add(M::parse("kv"));
+  m.then(entry, M::drop(), "malformed", {{"hdr.kv.valid", false}});
+  // Server replies pass straight back toward the client.
+  m.then(entry, M::emit("client"), "response",
+         {{"hdr.kv.valid", true}, {"hdr.response", true}});
+  // Queries: popularity sketch update, then the cache lookup.
+  const auto cms = m.then(entry, M::reg_write("nc_cms", 2 * Config::kCmsRows), "query",
+                          {{"hdr.kv.valid", true}, {"hdr.response", false}});
+  const auto lookup = m.then(cms, M::table("nc_cache_lookup"));
+  const auto keys = m.then(lookup, M::reg_read("nc_cache_key"));
+  m.then(m.then(keys, M::reg_read("nc_cache_val"), "hit",
+                {{"tbl.nc_cache_lookup.hit", true}}),
+         M::emit("client"));
+  m.then(keys, M::emit("server"), "miss", {{"tbl.nc_cache_lookup.hit", false}});
+  return m;
+}
+
 void NetCacheManager::estimate_key(std::uint32_t key,
                                    std::function<void(Result<std::uint64_t>)> done) {
   struct State {

@@ -114,6 +114,25 @@ dataplane::ProgramDeclaration RouteScoutProgram::resources() const {
   return decl;
 }
 
+dataplane::PipelineModel RouteScoutProgram::pipeline_model() const {
+  using M = dataplane::PipelineModel;
+  M m;
+  m.name = "routescout";
+  const auto entry = m.add(M::parse("rs"));
+  m.then(entry, M::drop(), "malformed", {{"hdr.rs.valid", false}});
+  // Latency samples feed the per-path aggregates and stop here.
+  const auto sum = m.then(entry, M::reg_write("rs_lat_sum", 2), "sample",
+                          {{"hdr.rs.valid", true}, {"hdr.sample", true}});
+  const auto cnt = m.then(sum, M::reg_write("rs_lat_cnt", 2));
+  m.then(cnt, M::consume());
+  // Data packets follow the weighted split toward a path port.
+  const auto split = m.then(entry, M::reg_read("rs_split"), "data",
+                            {{"hdr.rs.valid", true}, {"hdr.sample", false}});
+  const auto select = m.then(split, M::table("rs_path_select"));
+  m.then(select, M::emit("data"));
+  return m;
+}
+
 void RouteScoutManager::run_epoch(std::function<void(Status)> done) {
   auto epoch = std::make_shared<EpochState>();
   epoch->sums.assign(static_cast<std::size_t>(num_paths_), 0);

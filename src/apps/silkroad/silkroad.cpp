@@ -91,6 +91,30 @@ dataplane::ProgramDeclaration SilkRoadProgram::resources() const {
   return decl;
 }
 
+dataplane::PipelineModel SilkRoadProgram::pipeline_model() const {
+  using M = dataplane::PipelineModel;
+  M m;
+  m.name = "silkroad";
+  const auto entry = m.add(M::parse("conn"));
+  m.then(entry, M::drop(), "malformed", {{"hdr.conn.valid", false}});
+  const auto table = m.then(entry, M::table("slk_conn_table"), "conn",
+                            {{"hdr.conn.valid", true}});
+  const auto pinned = m.then(table, M::reg_read("slk_conn_dip"));
+  const auto out = m.add(M::emit("data"));
+  m.branch(pinned, out, "pinned", {{"conn.pinned", true}});
+  const auto transit = m.then(pinned, M::reg_read("slk_transit"), "fresh",
+                              {{"conn.pinned", false}});
+  const auto old_pool = m.then(transit, M::reg_read("slk_dips_old"), "in_transit",
+                               {{"vip.in_transit", true}});
+  const auto new_pool = m.then(transit, M::reg_read("slk_dips_new"), "stable",
+                               {{"vip.in_transit", false}});
+  const auto pin = m.add(M::reg_write("slk_conn_dip", 3));
+  m.branch(old_pool, pin);
+  m.branch(new_pool, pin);
+  m.branch(pin, out);
+  return m;
+}
+
 void SilkRoadManager::write_bit(std::uint16_t vip, std::uint64_t value,
                                 std::function<void(Status)> done) {
   controller_.write_register(sw_, kTransitReg, vip, value,

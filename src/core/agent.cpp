@@ -393,6 +393,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_register_op(const Message& msg,
     const DigestView input = digest_input_into(msg, scratch);
     const bool ok = key.has_value() &&
                     digest_.verify(*key, input.head, input.tail, msg.header.digest, ctx.costs());
+    ctx.note_verify("cdp_verify", ok);
     note_verify(ctx, ok, kCpuPort, msg.header.seq_num, HdrType::RegisterOp);
     if (!ok) {
       ++stats_.digest_failures;
@@ -482,6 +483,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_key_exchange_cpu(const Message& ms
   const bool verified =
       verify_key.has_value() &&
       digest_.verify(*verify_key, input.head, input.tail, msg.header.digest, ctx.costs());
+  ctx.note_verify("kmp_verify", verified);
   note_verify(ctx, verified, kCpuPort, msg.header.seq_num, HdrType::KeyExchange);
   if (!verified) {
     ++stats_.digest_failures;
@@ -657,6 +659,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_dp_data(Message& msg,
       verified = digest_.verify(*key, input.head, input.tail, msg.header.digest, ctx.costs());
     }
   }
+  ctx.note_verify("dp_verify", verified);
   note_verify(ctx, verified, port, msg.header.seq_num, HdrType::DpData);
   if (!verified) {
     ++stats_.digest_failures;
@@ -706,6 +709,7 @@ dataplane::PipelineOutput P4AuthAgent::handle_key_exchange_port(const Message& m
   const bool verified =
       key.has_value() &&
       digest_.verify(*key, input.head, input.tail, msg.header.digest, ctx.costs());
+  ctx.note_verify("kmp_port_verify", verified);
   note_verify(ctx, verified, ingress, msg.header.seq_num, HdrType::KeyExchange);
   if (!verified) {
     ++stats_.digest_failures;
@@ -817,6 +821,197 @@ dataplane::ProgramDeclaration P4AuthAgent::resources() const {
   decl.header_phv_bits += static_cast<int>(kHeaderSize) * 8;  // p4auth_h
   decl.metadata_phv_bits += 384;  // DH/KDF/digest scratch + seq bookkeeping
   return decl;
+}
+
+dataplane::PipelineModel P4AuthAgent::pipeline_model() const {
+  // The behavioural contract of the agent with authentication enabled
+  // (the only mode the lint registry exercises): every frame class the
+  // dispatcher recognises, every verify outcome, and the wrapped
+  // program's own model spliced in where inner traffic resumes.
+  using M = dataplane::PipelineModel;
+  M m;
+  m.name = "p4auth_agent";
+  const auto entry = m.add(M::parse("p4auth_agent"));
+  const auto dropped = m.add(M::drop());
+  const auto consumed = m.add(M::consume());
+
+  // Alert chain (push_alert): the rate limiter either suppresses the
+  // alert or a key-tagged PacketIn leaves; the triggering frame is
+  // dropped either way.
+  const auto alert_rd = m.add(M::reg_read("p4auth_alert_cnt"));
+  m.branch(alert_rd, dropped, "suppressed", {{"alert.allowed", false}});
+  const auto alert_wr = m.then(alert_rd, M::reg_write("p4auth_alert_cnt"), "allowed",
+                               {{"alert.allowed", true}});
+  const auto alert_tag =
+      m.then(m.then(alert_wr, M::secret_read("p4auth_keys_a")), M::digest("digest_compute"));
+  m.branch(m.then(alert_tag, M::punt()), dropped);
+
+  // Ack chain: a tagged response rides to the controller (terminal).
+  const auto ack_key = m.add(M::secret_read("p4auth_keys_a"));
+  m.then(m.then(ack_key, M::digest("digest_compute")), M::punt());
+
+  // Nack chain: tagged NAck to the controller, then an alert, then drop.
+  const auto nack_key = m.add(M::secret_read("p4auth_keys_a"));
+  const auto nack_punt =
+      m.then(m.then(nack_key, M::digest("digest_compute")), M::punt());
+  m.branch(nack_punt, alert_rd);
+
+  // Key install: the double-banked store takes the new key and the
+  // generation flips; the install counter records it. Fresh chain per
+  // call site because continuations differ (ack / consume / emit).
+  const auto add_install = [&m]() {
+    const auto bank_a = m.add(M::key_write("p4auth_keys_a"));
+    const auto bank_b = m.then(bank_a, M::key_write("p4auth_keys_b"));
+    return std::pair{bank_a, m.then(bank_b, M::reg_write("p4auth_key_installs"))};
+  };
+
+  // --- CPU port: CDP register ops -------------------------------------------
+  m.branch(entry, alert_rd, "cpu_malformed",
+           {{"ingress.cpu", true}, {"cpu.decode_ok", false}});
+  m.branch(entry, dropped, "cpu_other",
+           {{"ingress.cpu", true}, {"cpu.decode_ok", true}, {"cpu.regop", false},
+            {"cpu.kmp", false}});
+  const auto cdp_key =
+      m.then(entry, M::secret_read("p4auth_keys_a"), "cpu_regop",
+             {{"ingress.cpu", true}, {"cpu.decode_ok", true}, {"cpu.regop", true}});
+  const auto cdp_verify = m.then(cdp_key, M::verify("cdp_verify"));
+  m.branch(cdp_verify, nack_key, "fail");
+  const auto cdp_seq = m.then(cdp_verify, M::reg_read("p4auth_seq"), "ok");
+  m.branch(cdp_seq, alert_rd, "replay", {{"cdp.seq_fresh", false}});
+  const auto cdp_fresh =
+      m.then(cdp_seq, M::reg_write("p4auth_seq"), "fresh", {{"cdp.seq_fresh", true}});
+  const auto reg_map = m.then(cdp_fresh, M::table(reg_map_.shape().name));
+  const std::string hit = "tbl." + reg_map_.shape().name + ".hit";
+  m.branch(reg_map, nack_key, "miss", {{hit, false}});
+  m.branch(reg_map, nack_key, "op_fail", {{hit, true}, {"reg.op_ok", false}});
+  for (const auto& name : exposed_names_) {
+    m.branch(m.then(reg_map, M::reg_read(name), "read:" + name,
+                    {{hit, true}, {"reg.op_ok", true}, {"op.write", false},
+                     {"op.target." + name, true}}),
+             ack_key);
+    m.branch(m.then(reg_map, M::reg_write(name), "write:" + name,
+                    {{hit, true}, {"reg.op_ok", true}, {"op.write", true},
+                     {"op.target." + name, true}}),
+             ack_key);
+  }
+  if (exposed_names_.empty()) {
+    m.branch(reg_map, nack_key, "no_exposed", {{hit, true}, {"reg.op_ok", true}});
+  }
+
+  // --- CPU port: key-management protocol ------------------------------------
+  const auto kmp_key =
+      m.then(entry, M::secret_read("p4auth_keys_a"), "cpu_kmp",
+             {{"ingress.cpu", true}, {"cpu.decode_ok", true}, {"cpu.regop", false},
+              {"cpu.kmp", true}});
+  const auto kmp_verify = m.then(kmp_key, M::verify("kmp_verify"));
+  m.branch(kmp_verify, alert_rd, "fail");
+  // Responses map back to a request sequence number; plain ones are
+  // absorbed, a port-scope finish installs the negotiated key.
+  m.branch(kmp_verify, consumed, "ok",
+           {{"kmp.response", true}, {"kmp.port_finish", false}});
+  const auto kmp_fin = m.then(kmp_verify, M::reg_read("p4auth_pending"), "ok",
+                              {{"kmp.response", true}, {"kmp.port_finish", true}});
+  const auto kmp_fin_kdf = m.then(kmp_fin, M::digest("kdf_extract"));
+  const auto [fin_in, fin_out] = add_install();
+  m.branch(kmp_fin_kdf, fin_in);
+  m.branch(fin_out, consumed);
+  // Requests go through the replay window first.
+  const auto kmp_seq =
+      m.then(kmp_verify, M::reg_read("p4auth_seq"), "ok", {{"kmp.response", false}});
+  m.branch(kmp_seq, alert_rd, "replay", {{"kmp.seq_fresh", false}});
+  const auto kmp_fresh =
+      m.then(kmp_seq, M::reg_write("p4auth_seq"), "fresh", {{"kmp.seq_fresh", true}});
+  const auto eak = m.then(kmp_fresh, M::digest("kdf_extract"), "eak",
+                          {{"kmp.kind_eak", true}});
+  m.branch(eak, ack_key);
+  const auto init_kdf = m.then(kmp_fresh, M::digest("kdf_extract"), "init_local",
+                               {{"kmp.kind_init", true}, {"kmp.port_scope", false}});
+  const auto [init_in, init_out] = add_install();
+  m.branch(init_kdf, init_in);
+  m.branch(init_out, ack_key);
+  m.branch(kmp_fresh, alert_rd, "init_port_unknown_peer",
+           {{"kmp.kind_init", true}, {"kmp.port_scope", true}, {"kmp.peer_known", false}});
+  const auto initp_kdf =
+      m.then(kmp_fresh, M::digest("kdf_extract"), "init_port",
+             {{"kmp.kind_init", true}, {"kmp.port_scope", true}, {"kmp.peer_known", true}});
+  const auto [initp_in, initp_out] = add_install();
+  m.branch(initp_kdf, initp_in);
+  m.branch(initp_out, ack_key);
+  const auto upd_kdf = m.then(kmp_fresh, M::digest("kdf_extract"), "upd",
+                              {{"kmp.kind_upd", true}});
+  const auto [upd_in, upd_out] = add_install();
+  m.branch(upd_kdf, upd_in);
+  m.branch(upd_out, ack_key);
+  const auto pki = m.then(kmp_fresh, M::reg_write("p4auth_pending"), "port_key_init",
+                          {{"kmp.kind_port_init", true}});
+  m.branch(pki, ack_key);
+  m.branch(kmp_fresh, alert_rd, "port_key_upd_no_key",
+           {{"kmp.kind_port_upd", true}, {"kmp.port_key_known", false}});
+  const auto pku = m.then(kmp_fresh, M::reg_write("p4auth_pending"), "port_key_upd",
+                          {{"kmp.kind_port_upd", true}, {"kmp.port_key_known", true}});
+  const auto pku_tag =
+      m.then(m.then(pku, M::secret_read("p4auth_keys_a")), M::digest("digest_compute"));
+  m.then(pku_tag, M::emit("kmp_port", /*protected_port=*/true));
+
+  // --- wrapped program -------------------------------------------------------
+  std::size_t inner_entry = dropped;  // nothing wrapped: inner traffic dies
+  if (inner_ != nullptr) {
+    const M inner_model = inner_->pipeline_model();
+    if (!inner_model.empty()) inner_entry = m.splice(inner_model);
+  }
+
+  // --- data ports: authenticated feedback (DpData) ---------------------------
+  const auto dp_key = m.then(entry, M::secret_read("p4auth_keys_a"), "dp_data",
+                             {{"ingress.cpu", false}, {"pkt.dp_data", true}});
+  const auto dp_verify = m.then(dp_key, M::verify("dp_verify"));
+  m.branch(dp_verify, alert_rd, "fail");
+  const auto dp_seq = m.then(dp_verify, M::reg_read("p4auth_seq"), "ok");
+  m.branch(dp_seq, alert_rd, "replay", {{"dp.seq_fresh", false}});
+  const auto dp_fresh =
+      m.then(dp_seq, M::reg_write("p4auth_seq"), "fresh", {{"dp.seq_fresh", true}});
+  const auto dp_dec = m.then(dp_fresh, M::digest("kdf_extract"), "encrypted",
+                             {{"dp.encrypted", true}});
+  m.branch(dp_dec, inner_entry);
+  m.branch(dp_fresh, inner_entry, "plain", {{"dp.encrypted", false}});
+
+  // --- data ports: port-scope key exchange -----------------------------------
+  m.branch(entry, dropped, "kmp_port_other",
+           {{"ingress.cpu", false}, {"pkt.kmp_port", true}, {"kmp_port.upd", false}});
+  const auto kp_key =
+      m.then(entry, M::secret_read("p4auth_keys_a"), "kmp_port",
+             {{"ingress.cpu", false}, {"pkt.kmp_port", true}, {"kmp_port.upd", true}});
+  const auto kp_verify = m.then(kp_key, M::verify("kmp_port_verify"));
+  m.branch(kp_verify, alert_rd, "fail");
+  const auto kp_pending = m.then(kp_verify, M::reg_read("p4auth_pending"), "ok",
+                                 {{"kmp_port.response", true}});
+  m.branch(kp_pending, dropped, "no_pending", {{"kmp_port.pending", false}});
+  const auto kp_kdf = m.then(kp_pending, M::digest("kdf_extract"), "pending",
+                             {{"kmp_port.pending", true}});
+  const auto [kp_in, kp_out] = add_install();
+  m.branch(kp_kdf, kp_in);
+  m.branch(kp_out, consumed);
+  const auto kp_seq = m.then(kp_verify, M::reg_read("p4auth_seq"), "ok",
+                             {{"kmp_port.response", false}});
+  m.branch(kp_seq, alert_rd, "replay", {{"kp.seq_fresh", false}});
+  const auto kp_fresh =
+      m.then(kp_seq, M::reg_write("p4auth_seq"), "fresh", {{"kp.seq_fresh", true}});
+  const auto kp_tag = m.then(m.then(kp_fresh, M::digest("kdf_extract")),
+                             M::digest("digest_compute"));
+  const auto [kpr_in, kpr_out] = add_install();
+  m.branch(kp_tag, kpr_in);
+  m.then(kpr_out, M::emit("kmp_port", /*protected_port=*/true));
+
+  // --- data ports: discovery, enforcement, raw inner traffic -----------------
+  m.then(entry, M::emit("lldp", /*protected_port=*/false, /*multi=*/true), "lldp_gen",
+         {{"ingress.cpu", false}, {"pkt.lldp_gen", true}});
+  m.then(entry, M::punt(), "lldp_heard",
+         {{"ingress.cpu", false}, {"pkt.lldp", true}});
+  m.branch(entry, alert_rd, "unauth_protected",
+           {{"ingress.cpu", false}, {"pkt.unauth_protected", true}});
+  m.branch(entry, alert_rd, "ctl_on_data_port",
+           {{"ingress.cpu", false}, {"pkt.ctl_on_port", true}});
+  m.branch(entry, inner_entry, "raw", {{"ingress.cpu", false}, {"pkt.raw", true}});
+  return m;
 }
 
 }  // namespace p4auth::core

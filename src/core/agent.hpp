@@ -87,6 +87,7 @@ class P4AuthAgent : public dataplane::DataPlaneProgram {
   dataplane::PipelineOutput process(dataplane::Packet& packet,
                                     dataplane::PipelineContext& ctx) override;
   dataplane::ProgramDeclaration resources() const override;
+  dataplane::PipelineModel pipeline_model() const override;
 
   /// Burst pre-pass: precomputes the MAC tags of every staged DpData
   /// frame whose port key is known, 4–8 per SIMD pass, directly over the

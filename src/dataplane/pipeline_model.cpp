@@ -1,0 +1,155 @@
+#include "dataplane/pipeline_model.hpp"
+
+#include <utility>
+
+namespace p4auth::dataplane {
+
+std::string_view model_node_kind_name(ModelNodeKind kind) noexcept {
+  switch (kind) {
+    case ModelNodeKind::Parse:
+      return "parse";
+    case ModelNodeKind::Table:
+      return "table";
+    case ModelNodeKind::RegisterRead:
+      return "register_read";
+    case ModelNodeKind::RegisterWrite:
+      return "register_write";
+    case ModelNodeKind::DigestVerify:
+      return "digest_verify";
+    case ModelNodeKind::DigestCompute:
+      return "digest_compute";
+    case ModelNodeKind::Emit:
+      return "emit";
+    case ModelNodeKind::Punt:
+      return "punt";
+    case ModelNodeKind::Drop:
+      return "drop";
+    case ModelNodeKind::Consume:
+      return "consume";
+  }
+  return "unknown";
+}
+
+std::size_t PipelineModel::add(ModelNode node) {
+  nodes.push_back(std::move(node));
+  return nodes.size() - 1;
+}
+
+std::size_t PipelineModel::then(std::size_t from, ModelNode node,
+                                std::string label,
+                                std::vector<ModelCond> when) {
+  const std::size_t idx = add(std::move(node));
+  branch(from, idx, std::move(label), std::move(when));
+  return idx;
+}
+
+void PipelineModel::branch(std::size_t from, std::size_t to, std::string label,
+                           std::vector<ModelCond> when) {
+  nodes[from].next.push_back(
+      ModelBranch{to, std::move(label), std::move(when)});
+}
+
+std::size_t PipelineModel::splice(const PipelineModel& inner) {
+  const std::size_t offset = nodes.size();
+  for (const ModelNode& node : inner.nodes) {
+    ModelNode copy = node;
+    for (ModelBranch& branch : copy.next) {
+      branch.target += offset;
+    }
+    nodes.push_back(std::move(copy));
+  }
+  return offset;
+}
+
+ModelNode PipelineModel::parse(std::string object) {
+  ModelNode node;
+  node.kind = ModelNodeKind::Parse;
+  node.object = std::move(object);
+  return node;
+}
+
+ModelNode PipelineModel::table(std::string name) {
+  ModelNode node;
+  node.kind = ModelNodeKind::Table;
+  node.object = std::move(name);
+  node.stage_cost = 1;
+  return node;
+}
+
+ModelNode PipelineModel::reg_read(std::string name, int accesses) {
+  ModelNode node;
+  node.kind = ModelNodeKind::RegisterRead;
+  node.object = std::move(name);
+  node.register_cost = accesses;
+  return node;
+}
+
+ModelNode PipelineModel::secret_read(std::string name, int accesses) {
+  ModelNode node = reg_read(std::move(name), accesses);
+  node.secret = true;
+  return node;
+}
+
+ModelNode PipelineModel::reg_write(std::string name, int accesses) {
+  ModelNode node;
+  node.kind = ModelNodeKind::RegisterWrite;
+  node.object = std::move(name);
+  node.register_cost = accesses;
+  return node;
+}
+
+ModelNode PipelineModel::key_write(std::string name, int accesses) {
+  ModelNode node = reg_write(std::move(name), accesses);
+  node.key_register = true;
+  return node;
+}
+
+ModelNode PipelineModel::verify(std::string label) {
+  ModelNode node;
+  node.kind = ModelNodeKind::DigestVerify;
+  node.object = std::move(label);
+  node.stage_cost = 1;
+  node.hash_cost = 1;
+  return node;
+}
+
+ModelNode PipelineModel::digest(std::string label) {
+  ModelNode node;
+  node.kind = ModelNodeKind::DigestCompute;
+  node.object = std::move(label);
+  node.stage_cost = 1;
+  node.hash_cost = 1;
+  return node;
+}
+
+ModelNode PipelineModel::emit(std::string port_class, bool protected_port,
+                              bool multi) {
+  ModelNode node;
+  node.kind = ModelNodeKind::Emit;
+  node.object = std::move(port_class);
+  node.protected_port = protected_port;
+  node.multi = multi;
+  return node;
+}
+
+ModelNode PipelineModel::punt(bool multi) {
+  ModelNode node;
+  node.kind = ModelNodeKind::Punt;
+  node.object = "cpu";
+  node.multi = multi;
+  return node;
+}
+
+ModelNode PipelineModel::drop() {
+  ModelNode node;
+  node.kind = ModelNodeKind::Drop;
+  return node;
+}
+
+ModelNode PipelineModel::consume() {
+  ModelNode node;
+  node.kind = ModelNodeKind::Consume;
+  return node;
+}
+
+}  // namespace p4auth::dataplane

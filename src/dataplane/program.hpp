@@ -9,6 +9,7 @@
 #include "common/types.hpp"
 #include "dataplane/burst.hpp"
 #include "dataplane/packet.hpp"
+#include "dataplane/pipeline_model.hpp"
 #include "dataplane/register_file.hpp"
 #include "dataplane/resources.hpp"
 
@@ -27,6 +28,13 @@ class AuditSink {
   /// A program consulted the named match-action table (or its
   /// register-backed behavioural-model stand-in).
   virtual void on_table_lookup(std::string_view table) = 0;
+  /// A program ran a digest-verify extern with the given outcome. The
+  /// label names the verify site and must match the corresponding
+  /// DigestVerify node object in the program's PipelineModel.
+  virtual void on_digest_verify(std::string_view label, bool ok) {
+    (void)label;
+    (void)ok;
+  }
 };
 
 /// Per-invocation view of the switch a program runs on: stateful register
@@ -58,6 +66,14 @@ class PipelineContext {
   /// the ProgramDeclaration by name.
   void note_table(std::string_view table) {
     if (audit_ != nullptr) audit_->on_table_lookup(table);
+  }
+
+  /// Reports the outcome of a digest-verify site; free when no audit is
+  /// attached. The label ties the runtime event to the matching
+  /// DigestVerify node in the program's PipelineModel so the path
+  /// conformance audit can replay executions onto model paths.
+  void note_verify(std::string_view label, bool ok) {
+    if (audit_ != nullptr) audit_->on_digest_verify(label, ok);
   }
 
   /// Pool-backed buffer for an outgoing frame; a plain Bytes when the
@@ -109,6 +125,12 @@ class DataPlaneProgram {
 
   /// Declared resource footprint (what the P4 compiler would report).
   virtual ProgramDeclaration resources() const { return {}; }
+
+  /// Guarded control-flow model for the symbolic checker (empty by
+  /// default: the program opts out of model checking). Programs that
+  /// declare one keep it in lock-step with process(); the path
+  /// conformance audit flags drift mechanically.
+  virtual PipelineModel pipeline_model() const { return {}; }
 };
 
 }  // namespace p4auth::dataplane

@@ -19,7 +19,9 @@ Global& global() {
 }
 
 bool env_enabled() {
-  const char* v = std::getenv("P4AUTH_PROFILE");
+  // Read exactly once, before any worker threads exist, so the data race
+  // getenv is flagged for cannot occur here.
+  const char* v = std::getenv("P4AUTH_PROFILE");  // NOLINT(concurrency-mt-unsafe)
   return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
 }
 

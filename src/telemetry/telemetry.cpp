@@ -2,7 +2,6 @@
 
 #include <cerrno>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <system_error>
 
@@ -23,7 +22,8 @@ Status write_file(const std::string& path, const std::string& content) {
   }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
-    return make_error("cannot open " + path + " for writing: " + std::strerror(errno));
+    const std::error_code ec(errno, std::generic_category());
+    return make_error("cannot open " + path + " for writing: " + ec.message());
   }
   const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
   const int close_rc = std::fclose(f);

@@ -370,7 +370,7 @@ TEST(Registry, JsonReportIsDeterministic) {
   const auto first = report_json(lint_all());
   const auto second = report_json(lint_all());
   EXPECT_EQ(first, second);
-  EXPECT_NE(first.find("\"schema\":\"p4auth.lint.v1\""), std::string::npos);
+  EXPECT_NE(first.find("\"schema\":\"p4auth.lint.v2\""), std::string::npos);
   EXPECT_NE(first.find("\"summary\""), std::string::npos);
 }
 

@@ -7,13 +7,18 @@
 //   p4auth_lint --list                print the registry and exit
 //
 // Options:
-//   --format=json|text   report format (default text)
-//   --out FILE           write the report to FILE instead of stdout
+//   --format=json|text|sarif  report format (default text)
+//   --out FILE            write the report to FILE instead of stdout
+//   --model               run the symbolic pipeline model checker: path
+//                         exploration, model-* rules, path conformance
+//   --werror              exit 1 when warnings fired, not only errors
+//   --stats               print per-program exploration statistics
+//                         (path counts, wall time) to stderr
 //
-// Exit status: 0 when no error-severity finding was produced, 1 when at
-// least one error fired, 2 on usage errors. Warnings and infos never fail
-// the run — CI gates on errors only. Rule ids and the JSON schema
-// (p4auth.lint.v1) are documented in docs/ANALYSIS.md.
+// Exit status: 0 when no error-severity finding was produced (and, under
+// --werror, no warning either), 1 otherwise, 2 on usage errors. Rule ids
+// and the JSON schema (p4auth.lint.v2) are documented in docs/ANALYSIS.md.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -29,7 +34,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: p4auth_lint (--all-apps | --app NAME | --list)"
-               " [--format=json|text] [--out FILE]\n");
+               " [--format=json|text|sarif] [--out FILE] [--model] [--werror] [--stats]\n");
 }
 
 }  // namespace
@@ -37,6 +42,9 @@ void usage() {
 int main(int argc, char** argv) {
   bool all_apps = false;
   bool list = false;
+  bool model = false;
+  bool werror = false;
+  bool stats = false;
   std::string app;
   std::string format = "text";
   std::string out_path;
@@ -64,6 +72,12 @@ int main(int argc, char** argv) {
       all_apps = true;
     } else if (token == "--list") {
       list = true;
+    } else if (token == "--model") {
+      model = true;
+    } else if (token == "--werror") {
+      werror = true;
+    } else if (token == "--stats") {
+      stats = true;
     } else if (value_of("--app", app) || value_of("--format", format) ||
                value_of("--out", out_path)) {
       // parsed
@@ -84,26 +98,57 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  if (format != "json" && format != "text") {
+  if (format != "json" && format != "text" && format != "sarif") {
     std::fprintf(stderr, "unknown format: %s\n", format.c_str());
     usage();
     return 2;
   }
 
-  std::vector<analysis::ProgramReport> reports;
+  analysis::LintOptions options;
+  options.model = model;
+
+  std::vector<const analysis::LintEntry*> selected;
   if (all_apps) {
-    reports = analysis::lint_all();
+    for (const auto& entry : analysis::builtin_programs()) selected.push_back(&entry);
   } else {
     const auto* entry = analysis::find_program(app);
     if (entry == nullptr) {
       std::fprintf(stderr, "unknown program: %s (try --list)\n", app.c_str());
       return 2;
     }
-    reports.push_back(analysis::lint_program(*entry));
+    selected.push_back(entry);
   }
 
-  const std::string rendered =
-      format == "json" ? analysis::report_json(reports) : analysis::report_text(reports);
+  std::vector<analysis::ProgramReport> reports;
+  reports.reserve(selected.size());
+  for (const auto* entry : selected) {
+    const auto start = std::chrono::steady_clock::now();
+    reports.push_back(analysis::lint_program(*entry, options));
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    if (stats) {
+      // Timing lives only in this stderr channel; the JSON/SARIF reports
+      // stay byte-deterministic.
+      const auto& r = reports.back();
+      std::fprintf(
+          stderr,
+          "stats %s: nodes=%zu paths=%zu projections=%zu visited=%zu traces=%zu "
+          "matched=%zu truncated=%d micros=%lld\n",
+          r.program.c_str(), r.model.nodes, r.model.paths, r.model.projections,
+          r.model.visited_nodes, r.model.traces, r.model.matched,
+          r.model.truncated ? 1 : 0,
+          static_cast<long long>(
+              std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count()));
+    }
+  }
+
+  std::string rendered;
+  if (format == "json") {
+    rendered = analysis::report_json(reports);
+  } else if (format == "sarif") {
+    rendered = analysis::report_sarif(reports);
+  } else {
+    rendered = analysis::report_text(reports);
+  }
   if (out_path.empty()) {
     std::fputs(rendered.c_str(), stdout);
   } else {
@@ -117,8 +162,10 @@ int main(int argc, char** argv) {
   }
 
   int errors = 0;
+  int warnings = 0;
   for (const auto& report : reports) {
     errors += analysis::count_findings(report.findings, analysis::Severity::Error);
+    warnings += analysis::count_findings(report.findings, analysis::Severity::Warning);
   }
-  return errors > 0 ? 1 : 0;
+  return errors > 0 || (werror && warnings > 0) ? 1 : 0;
 }

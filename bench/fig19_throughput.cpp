@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
         campaign.seeds.count(), campaign.jobs, [&, i](std::size_t s) {
           RegOpsOptions options;
           options.seed = campaign.seeds.seed(s);
+          options.shards = campaign.shards;
+          options.shard_workers = campaign.shard_workers;
           const auto r = run_regops_experiment(variants[i], options);
           runner::JobResult job;
           job.observe("read_rps", r.read_throughput_rps);

@@ -9,7 +9,11 @@
 using namespace p4auth;
 using namespace p4auth::experiments;
 
-int main() {
+int main(int argc, char** argv) {
+  // Accepts --shards N (and --shard-workers N) to run each chain on the
+  // conservative-lookahead engine; output is byte-identical for any N.
+  const auto campaign = bench::parse_campaign_args(argc, argv, {1, 1});
+
   bench::title("Fig 21 — HULA probe traversal time vs hop count (BMv2 target)");
   bench::note("Paper shape: P4Auth overhead grows with hops (probes accumulate a");
   bench::note("per-hop trace, so the digested bytes grow): +0.95% at 2 hops ->");
@@ -17,7 +21,11 @@ int main() {
   bench::rule();
 
   std::printf("%-6s %14s %14s %12s\n", "hops", "base (us)", "p4auth (us)", "overhead %");
-  const auto points = run_multihop_experiment();
+  MultihopOptions options;
+  options.seed = campaign.seeds.first;
+  options.shards = campaign.shards;
+  options.shard_workers = campaign.shard_workers;
+  const auto points = run_multihop_experiment(options);
   for (const auto& point : points) {
     std::printf("%-6d %14.1f %14.1f %12.2f\n", point.hops, point.base_us, point.p4auth_us,
                 point.overhead_pct);

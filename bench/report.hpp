@@ -17,17 +17,24 @@ namespace p4auth::bench {
 /// Campaign parameters shared by the multi-seed harnesses.
 struct CampaignArgs {
   runner::SeedRange seeds;
-  int jobs = 0;  ///< 0 = hardware concurrency
+  int jobs = 0;        ///< 0 = hardware concurrency
+  int shards = 0;      ///< 0 = legacy single simulator per job
+  int shard_workers = 0;  ///< resolved so shards x jobs fits the machine
 };
 
-/// Parses "--seeds A..B" and "--jobs N" (both "--flag value" and
-/// "--flag=value") and rejects anything else on the command line with
-/// exit code 2, so a typoed flag never silently runs the defaults.
+/// Parses "--seeds A..B", "--jobs N", "--shards N" and
+/// "--shard-workers N" (both "--flag value" and "--flag=value") and
+/// rejects anything else on the command line with exit code 2, so a
+/// typoed flag never silently runs the defaults. Results are
+/// byte-identical for any --shards/--shard-workers value; the flags only
+/// trade wall-clock time.
 inline CampaignArgs parse_campaign_args(int argc, char** argv,
                                         runner::SeedRange default_seeds, int default_jobs = 0) {
   CampaignArgs args{default_seeds, default_jobs};
   const auto fail = [&](const std::string& message) {
-    std::fprintf(stderr, "%s\nusage: %s [--seeds A..B] [--jobs N]\n", message.c_str(), argv[0]);
+    std::fprintf(stderr,
+                 "%s\nusage: %s [--seeds A..B] [--jobs N] [--shards N] [--shard-workers N]\n",
+                 message.c_str(), argv[0]);
     std::exit(2);
   };
   const auto flag_value = [&](int& i, const char* flag) -> const char* {
@@ -45,11 +52,20 @@ inline CampaignArgs parse_campaign_args(int argc, char** argv,
       args.seeds = range.value();
     } else if (const char* v2 = flag_value(i, "--jobs"); v2 != nullptr) {
       args.jobs = static_cast<int>(std::strtoul(v2, nullptr, 10));
+    } else if (const char* v3 = flag_value(i, "--shards"); v3 != nullptr) {
+      args.shards = static_cast<int>(std::strtoul(v3, nullptr, 10));
+    } else if (const char* v4 = flag_value(i, "--shard-workers"); v4 != nullptr) {
+      args.shard_workers = static_cast<int>(std::strtoul(v4, nullptr, 10));
     } else {
       fail(std::string("unknown flag: ") + argv[i]);
     }
   }
   args.jobs = runner::resolve_workers(args.jobs);
+  if (args.shards > 0) {
+    // Nested budget: every concurrently-running job spins up its own
+    // sharded engine, so divide the machine across jobs up front.
+    args.shard_workers = runner::resolve_shard_workers(args.shard_workers, args.shards, args.jobs);
+  }
   return args;
 }
 

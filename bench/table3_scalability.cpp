@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
   // structural, so one seed per row suffices.
   std::vector<KmpScalingResult> measured(kCases);
   runner::parallel_for(kCases, campaign.jobs, [&](std::size_t i) {
-    measured[i] = run_kmp_scaling_experiment(cases[i][0], cases[i][1]);
+    measured[i] = run_kmp_scaling_experiment(cases[i][0], cases[i][1], /*seed=*/1,
+                                             campaign.shards, campaign.shard_workers);
   });
   for (std::size_t i = 0; i < kCases; ++i) {
     const auto closed = kmp_closed_form(static_cast<std::uint64_t>(cases[i][0]),
@@ -81,7 +82,8 @@ int main(int argc, char** argv) {
     const auto result = runner::run_campaign(
         campaign.seeds.count(), campaign.jobs, [&](std::size_t s) {
           const auto makespan =
-              run_kmp_makespan_experiment(c.first, c.second, campaign.seeds.seed(s));
+              run_kmp_makespan_experiment(c.first, c.second, campaign.seeds.seed(s),
+                                          campaign.shards, campaign.shard_workers);
           runner::JobResult job;
           job.observe("sequential_ms", makespan.sequential_ms);
           job.observe("parallel_ms", makespan.parallel_ms);

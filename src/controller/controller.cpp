@@ -193,7 +193,7 @@ void Controller::write_register(NodeId sw, RegisterId reg, std::uint32_t index,
   });
 }
 
-void Controller::on_register_response(SwitchState& st, const Message& msg) {
+void Controller::on_register_response(SwitchState& st, const Message& msg, bool digest_ok) {
   const auto op = static_cast<RegisterMsg>(msg.header.msg_type);
   if (op != RegisterMsg::Ack && op != RegisterMsg::NAck) return;
 
@@ -207,12 +207,7 @@ void Controller::on_register_response(SwitchState& st, const Message& msg) {
 
   const auto& payload = std::get<RegisterOpPayload>(msg.payload);
   SimTime delay = config_.parse_response;
-  bool digest_ok = true;
-  if (config_.p4auth_enabled) {
-    delay += config_.digest_cost;
-    const auto key = verify_key_for(st, msg);
-    digest_ok = key.has_value() && core::verify_message(config_.mac, *key, msg);
-  }
+  if (config_.p4auth_enabled) delay += config_.digest_cost;
 
   sim_.after(delay, [this, pending = std::move(pending), digest_ok, op, payload]() {
     if (!digest_ok) {
@@ -371,12 +366,11 @@ void Controller::update_port_key(NodeId a, PortId port_a, NodeId b,
        [done = track_kmp(a, "port_update", std::move(done))]() { done(Status{}); });
 }
 
-void Controller::on_key_exchange(SwitchState& st, const Message& msg) {
+void Controller::on_key_exchange(SwitchState& st, const Message& msg, bool digest_ok) {
   ++stats_.kmp_messages_received;
   stats_.kmp_bytes_received += core::encoded_size(msg.payload);
 
-  const auto key = verify_key_for(st, msg);
-  if (!key.has_value() || !core::verify_message(config_.mac, *key, msg)) {
+  if (!digest_ok) {
     ++stats_.response_digest_failures;
     LogStream(LogLevel::Warn, "controller")
         << "key-exchange digest failure from switch " << st.id.value;
@@ -464,14 +458,13 @@ void Controller::on_key_exchange(SwitchState& st, const Message& msg) {
   }
 }
 
-void Controller::on_alert(SwitchState& st, const Message& msg) {
-  const auto key = verify_key_for(st, msg);
+void Controller::on_alert(SwitchState& st, const Message& msg, bool digest_ok) {
   AlertRecord record;
   record.sw = st.id;
   record.code = static_cast<AlertMsg>(msg.header.msg_type);
   record.payload = std::get<core::AlertPayload>(msg.payload);
   record.at = sim_.now();
-  record.authentic = key.has_value() && core::verify_message(config_.mac, *key, msg);
+  record.authentic = digest_ok;
   if (!record.authentic) ++stats_.inauthentic_alerts;
   if (telemetry_ != nullptr) {
     telemetry_->metrics
@@ -534,26 +527,105 @@ void Controller::on_lldp_report(NodeId reporter, const Bytes& frame) {
 void Controller::on_packet_in(NodeId sw, Bytes frame) {
   SwitchState* st = state_of(sw);
   if (st == nullptr) return;
+  StagedPacketIn staged;
+  staged.st = st;
   if (!frame.empty() && frame[0] == core::kLldpReportMagic) {
-    on_lldp_report(sw, frame);
-    return;
+    staged.is_lldp = true;
+    staged.frame = std::move(frame);
+  } else {
+    auto decoded = core::decode(frame);
+    if (!decoded.ok()) return;
+    staged.msg = std::move(decoded.value());
+    if (staged.msg.header.hdr_type == HdrType::DpData) return;
+    // Key-rotation boundary: a staged KeyExchange from this switch may
+    // install new keys when it dispatches, and this message's digest
+    // must be checked under them — close the current batch first.
+    for (const StagedPacketIn& s : staged_packet_ins_) {
+      if (!s.is_lldp && s.st == st && s.msg.header.hdr_type == HdrType::KeyExchange) {
+        flush_packet_ins();
+        break;
+      }
+    }
   }
-  auto decoded = core::decode(frame);
-  if (!decoded.ok()) return;
-  const Message& msg = decoded.value();
+  staged.span = span_ctx();
+  staged_packet_ins_.push_back(std::move(staged));
+  // More PacketIns are pending at this exact instant (they all share
+  // ControlChannel::kCtrlKey) — hold the batch open for them.
+  if (!sim_.coalesce_continues()) flush_packet_ins();
+}
 
-  switch (msg.header.hdr_type) {
-    case HdrType::RegisterOp:
-      on_register_response(*st, msg);
-      return;
-    case HdrType::KeyExchange:
-      on_key_exchange(*st, msg);
-      return;
-    case HdrType::Alert:
-      on_alert(*st, msg);
-      return;
-    case HdrType::DpData:
-      return;
+void Controller::flush_packet_ins() {
+  if (staged_packet_ins_.empty()) return;
+  // Phase 1: pick each message's verification key under the pre-dispatch
+  // key state (the staging boundary rule guarantees no earlier in-batch
+  // message can rotate this switch's keys), then compute the digests —
+  // through the multi-lane kernel when at least two are pending.
+  std::vector<std::size_t> lanes;
+  for (std::size_t i = 0; i < staged_packet_ins_.size(); ++i) {
+    StagedPacketIn& s = staged_packet_ins_[i];
+    if (s.is_lldp) continue;
+    if (s.msg.header.hdr_type == HdrType::RegisterOp && !config_.p4auth_enabled) {
+      s.digest_ok = true;  // DP-Reg-RW baseline: no digests on this path
+      continue;
+    }
+    s.key = verify_key_for(*s.st, s.msg);
+    if (!s.key.has_value()) {
+      s.digest_ok = false;
+      continue;
+    }
+    lanes.push_back(i);
+  }
+  if (lanes.size() >= 2) {
+    // Scratches live in this frame for the whole compute call: the jobs
+    // borrow their head spans.
+    std::vector<core::DigestScratch> scratch(lanes.size());
+    std::vector<crypto::DigestJob> jobs(lanes.size());
+    std::vector<Digest32> tags(lanes.size());
+    for (std::size_t j = 0; j < lanes.size(); ++j) {
+      StagedPacketIn& s = staged_packet_ins_[lanes[j]];
+      const core::DigestView input = core::digest_input_into(s.msg, scratch[j]);
+      jobs[j] = crypto::DigestJob{*s.key, input.head, input.tail};
+    }
+    crypto::compute_digest(config_.mac, jobs, tags);
+    for (std::size_t j = 0; j < lanes.size(); ++j) {
+      StagedPacketIn& s = staged_packet_ins_[lanes[j]];
+      s.digest_ok = tags[j] == s.msg.header.digest;
+    }
+    ++stats_.batched_verifies;
+    stats_.batch_verified_messages += lanes.size();
+    if (telemetry_ != nullptr) {
+      telemetry_->metrics.counter("ctrl.batched_verifies").inc();
+      telemetry_->metrics.counter("ctrl.batch_verified_messages").inc(lanes.size());
+    }
+  } else {
+    for (const std::size_t i : lanes) {
+      StagedPacketIn& s = staged_packet_ins_[i];
+      s.digest_ok = core::verify_message(config_.mac, *s.key, s.msg);
+    }
+  }
+  // Phase 2: dispatch in arrival order, each message inside its own
+  // delivery span (captured at staging time).
+  std::vector<StagedPacketIn> batch = std::move(staged_packet_ins_);
+  staged_packet_ins_.clear();
+  for (StagedPacketIn& s : batch) {
+    const auto scope = span_resume(s.span);
+    if (s.is_lldp) {
+      on_lldp_report(s.st->id, s.frame);
+      continue;
+    }
+    switch (s.msg.header.hdr_type) {
+      case HdrType::RegisterOp:
+        on_register_response(*s.st, s.msg, s.digest_ok);
+        break;
+      case HdrType::KeyExchange:
+        on_key_exchange(*s.st, s.msg, s.digest_ok);
+        break;
+      case HdrType::Alert:
+        on_alert(*s.st, s.msg, s.digest_ok);
+        break;
+      case HdrType::DpData:
+        break;
+    }
   }
 }
 

@@ -115,6 +115,11 @@ class Controller {
     /// recorded for forensics but never trigger defensive actions; the
     /// fuzz oracle asserts exactly that under alert-flood attacks.
     std::uint64_t inauthentic_alerts = 0;
+    /// Multi-lane digest batches (same-delivery-instant PacketIn groups
+    /// with >= 2 verifications, pushed through the SIMD lane kernel).
+    std::uint64_t batched_verifies = 0;
+    /// Messages whose digest was checked via a multi-lane batch.
+    std::uint64_t batch_verified_messages = 0;
   };
   const Stats& stats() const noexcept { return stats_; }
 
@@ -183,12 +188,29 @@ class Controller {
         : id(node), channel(ch), k_seed(seed), keys(num_ports), ledger(max_outstanding) {}
   };
 
+  /// One PacketIn parked between delivery and dispatch. Same-instant
+  /// deliveries (they share ControlChannel::kCtrlKey, so the simulator's
+  /// coalescing probe sees the group) are staged here and verified as one
+  /// multi-lane digest batch before dispatching in arrival order.
+  struct StagedPacketIn {
+    SwitchState* st = nullptr;
+    core::Message msg;
+    bool is_lldp = false;
+    Bytes frame;  ///< LLDP reports only (handler consumes the raw frame)
+    telemetry::SpanContext span;
+    std::optional<Key64> key;  ///< verification key, chosen at flush
+    bool digest_ok = true;
+  };
+
   SwitchState* state_of(NodeId sw);
   void on_packet_in(NodeId sw, Bytes frame);
+  /// Verifies every staged PacketIn (multi-lane when >= 2 digests are
+  /// pending) and dispatches them in arrival order.
+  void flush_packet_ins();
   void on_lldp_report(NodeId reporter, const Bytes& frame);
-  void on_register_response(SwitchState& st, const core::Message& msg);
-  void on_key_exchange(SwitchState& st, const core::Message& msg);
-  void on_alert(SwitchState& st, const core::Message& msg);
+  void on_register_response(SwitchState& st, const core::Message& msg, bool digest_ok);
+  void on_key_exchange(SwitchState& st, const core::Message& msg, bool digest_ok);
+  void on_alert(SwitchState& st, const core::Message& msg, bool digest_ok);
 
   /// Tags (if enabled) and transmits; counts KMP traffic when asked.
   void send(SwitchState& st, core::Message msg, Key64 key, bool is_kmp,
@@ -213,6 +235,7 @@ class Controller {
 
   netsim::Simulator& sim_;
   Config config_;
+  std::vector<StagedPacketIn> staged_packet_ins_;
   std::unordered_map<NodeId, std::unique_ptr<SwitchState>> switches_;
   std::vector<PendingPortInit> pending_port_inits_;
   std::vector<Adjacency> adjacencies_;

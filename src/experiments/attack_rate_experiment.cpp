@@ -49,7 +49,7 @@ AttackRatePoint run_point(double rate, const AttackRateOptions& options) {
       std::optional<Result<std::uint64_t>> result;
       fabric.controller.write_register(kSw, apps::l3fwd::kStatsReg, index, value,
                                        [&](auto r) { result = std::move(r); });
-      fabric.sim.run();
+      fabric.run_all();
       confirmed = result.has_value() && result->ok();
     }
     if (confirmed) {

@@ -1,6 +1,10 @@
 #include "experiments/fabric.hpp"
 
+#include <algorithm>
+#include <map>
+
 #include "core/lldp.hpp"
+#include "runner/runner.hpp"
 
 namespace p4auth::experiments {
 
@@ -71,7 +75,167 @@ FabricSwitch& Fabric::at(NodeId id) {
   throw std::out_of_range("no such fabric switch");
 }
 
+void Fabric::finalize_shards() {
+  if (shards_finalized_) return;
+  shards_finalized_ = true;
+  if (options_.shards <= 0 || switches_.empty()) return;  // legacy engine
+
+  const int n = static_cast<int>(switches_.size());
+  int count = std::min(options_.shards, n);
+
+  // --- Partition: contiguous BFS chunks, or the explicit test override.
+  // std::map keys the BFS starts and neighbor walks by ascending node id,
+  // so the default partition is a pure function of the topology.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> adjacency;
+  for (auto& entry : switches_) adjacency[entry.sw->id().value];
+  for (const LinkRecord& l : links_) {
+    adjacency[l.a.value].push_back(l.b.value);
+    adjacency[l.b.value].push_back(l.a.value);
+  }
+  std::vector<std::pair<NodeId, int>> assignment;
+  if (!options_.shard_assignment.empty()) {
+    for (auto& entry : switches_) {
+      int shard = 0;
+      for (const auto& [id, s] : options_.shard_assignment) {
+        if (id == entry.sw->id().value) shard = std::clamp(s, 0, count - 1);
+      }
+      assignment.emplace_back(entry.sw->id(), shard);
+    }
+  } else {
+    std::vector<std::uint32_t> order;
+    std::map<std::uint32_t, bool> visited;
+    for (auto& [start, unused] : adjacency) {
+      (void)unused;
+      if (visited[start]) continue;
+      std::vector<std::uint32_t> queue{start};
+      visited[start] = true;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const std::uint32_t id = queue[head];
+        order.push_back(id);
+        std::vector<std::uint32_t> neighbors = adjacency[id];
+        std::sort(neighbors.begin(), neighbors.end());
+        for (const std::uint32_t next : neighbors) {
+          if (!visited[next]) {
+            visited[next] = true;
+            queue.push_back(next);
+          }
+        }
+      }
+    }
+    // Balanced contiguous chunks: the first (n % count) shards take one
+    // extra node, so BFS-adjacent switches share a shard.
+    const int base = n / count;
+    const int rem = n % count;
+    std::size_t cursor = 0;
+    for (int k = 0; k < count; ++k) {
+      const int size = base + (k < rem ? 1 : 0);
+      for (int i = 0; i < size; ++i) {
+        assignment.emplace_back(NodeId{order[cursor++]}, k);
+      }
+    }
+  }
+  const auto home_of = [&assignment](NodeId id) {
+    for (const auto& [node, shard] : assignment) {
+      if (node == id) return shard;
+    }
+    return 0;
+  };
+
+  // --- Lookahead: the minimum cross-shard delivery delay. Link hops add
+  // queueing + serialization on top of latency, and channel legs add
+  // per-byte cost on top of the (jitter-floored) base, so the minima
+  // below are true lower bounds for every cut edge.
+  SimTime lookahead{};
+  bool first = true;
+  const auto fold = [&lookahead, &first](SimTime floor) {
+    if (first || floor < lookahead) lookahead = floor;
+    first = false;
+  };
+  for (const LinkRecord& l : links_) {
+    if (home_of(l.a) == home_of(l.b)) continue;
+    if (const netsim::Link* link = net.link_at(l.a, l.port_a)) {
+      fold(link->config().latency);
+    }
+  }
+  for (auto& entry : switches_) {
+    if (home_of(entry.sw->id()) == 0) continue;  // controller shares shard 0
+    const netsim::ChannelModel& model = entry.channel->model();
+    fold(model.min_delay(model.to_switch_base));
+    fold(model.min_delay(model.to_controller_base));
+  }
+  if (count > 1 && lookahead.ns() == 0) {
+    // No conservative window exists: either a cut edge has zero delay, or
+    // the partition produced no cut edges at all (every switch landed on
+    // shard 0) and the fold never ran. Fall back to one shard (still the
+    // rank-ordered engine, so outputs stay in the sharded equivalence
+    // class; the engine full-drains a lone shard without windows).
+    count = 1;
+    for (auto& [node, shard] : assignment) shard = 0;
+  }
+
+  // --- Engine, worker pool, per-shard telemetry.
+  const int workers = runner::resolve_shard_workers(options_.shard_workers, count, /*jobs=*/1);
+  engine_ = std::make_unique<netsim::ShardedSimulator>(sim, count, workers);
+  engine_->set_lookahead(lookahead);
+
+  std::vector<telemetry::Telemetry*> bundles(static_cast<std::size_t>(count), nullptr);
+  if (options_.telemetry != nullptr) {
+    bundles[0] = options_.telemetry;
+    options_.telemetry->set_order_cursor(sim.firing_order_ptr());
+    for (int k = 1; k < count; ++k) {
+      // Same trace capacity as the user bundle: the merge keeps the last
+      // capacity() records, which only reproduces the single-timeline
+      // ring if no shard truncated earlier than the merged ring would.
+      shard_bundles_.push_back(
+          std::make_unique<telemetry::Telemetry>(options_.telemetry->trace.capacity()));
+      telemetry::Telemetry* bundle = shard_bundles_.back().get();
+      bundle->set_order_cursor(engine_->shard(k).firing_order_ptr());
+      engine_->shard(k).set_telemetry(bundle);
+      bundles[static_cast<std::size_t>(k)] = bundle;
+    }
+  }
+
+  // --- Rewire every component onto its home shard.
+  net.configure_shards(engine_.get(), engine_->shard_sims(), bundles, assignment);
+  for (auto& entry : switches_) {
+    const int home = home_of(entry.sw->id());
+    entry.sw->set_telemetry(bundles[static_cast<std::size_t>(home)]);
+    entry.channel->configure_shards(engine_.get(), home, &engine_->shard(home),
+                                    bundles[static_cast<std::size_t>(home)]);
+  }
+}
+
+void Fabric::run_all() {
+  finalize_shards();
+  if (engine_ == nullptr) {
+    sim.run();
+    return;
+  }
+  engine_->run();
+}
+
+void Fabric::collect_telemetry() {
+  if (options_.telemetry == nullptr) return;
+  net.export_pool_stats();
+  if (engine_ == nullptr) {
+    sim.export_stats();
+    options_.telemetry->stamp(sim.now());
+    return;
+  }
+  for (netsim::Simulator* shard_sim : engine_->shard_sims()) shard_sim->export_stats();
+  std::vector<const telemetry::Telemetry*> others;
+  others.reserve(shard_bundles_.size());
+  for (const auto& bundle : shard_bundles_) others.push_back(bundle.get());
+  telemetry::merge_shard_telemetry(*options_.telemetry, others);
+  options_.telemetry->stamp(sim.now());
+}
+
 void Fabric::discover_topology() {
+  // Partition before the first send: every channel and network entry
+  // point must already route through the engine, or the first exchange
+  // runs on the legacy path against switches that finalize_shards() is
+  // about to re-home (stale shard clocks, lost spans).
+  finalize_shards();
   const Bytes trigger = core::encode_lldp_gen();
   for (auto& entry : switches_) {
     // Injected on a high host-facing port; the agent answers by
@@ -79,16 +243,17 @@ void Fabric::discover_topology() {
     net.inject(entry.sw->id(), PortId{static_cast<std::uint16_t>(options_.ports_per_switch + 1)},
                trigger);
   }
-  sim.run();
+  run_all();
 }
 
 Status Fabric::init_all_keys() {
   if (!options_.p4auth) return {};
+  finalize_shards();  // same pre-send invariant as discover_topology()
   for (auto& entry : switches_) {
     std::optional<Result<Key64>> result;
     controller.init_local_key(entry.sw->id(),
                               [&](Result<Key64> r) { result = std::move(r); });
-    sim.run();
+    run_all();
     if (!result.has_value() || !result->ok()) {
       return make_error("local key init failed for switch " +
                         std::to_string(entry.sw->id().value));
@@ -98,7 +263,7 @@ Status Fabric::init_all_keys() {
     std::optional<Status> result;
     controller.init_port_key(link.a, link.port_a, link.b, link.port_b,
                              [&](Status s) { result = std::move(s); });
-    sim.run();
+    run_all();
     if (!result.has_value() || !result->ok()) {
       return make_error("port key init failed");
     }

@@ -4,15 +4,18 @@
 // regenerated from the same machinery.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "controller/controller.hpp"
 #include "core/agent.hpp"
 #include "netsim/control_channel.hpp"
 #include "netsim/network.hpp"
+#include "netsim/sharded.hpp"
 
 namespace p4auth::experiments {
 
@@ -47,6 +50,22 @@ class Fabric {
     /// packet-at-a-time path; results must be byte-identical either way
     /// (asserted by the burst-equivalence integration test).
     bool burst_planning = true;
+    /// Parallel sharded execution (docs/DESIGN.md, "Sharded simulation").
+    /// 0 = the legacy single-simulator run, byte-exact historical
+    /// behavior. N >= 1 partitions the switches into N shards (clamped
+    /// to the switch count; the controller is pinned with shard 0) and
+    /// drives them with a conservative-lookahead engine whose metrics,
+    /// traces, and audit trails are byte-identical for ANY shard count —
+    /// only shards=0 vs shards>=1 may differ, never 1 vs 2 vs 4.
+    int shards = 0;
+    /// Worker threads for sharded runs (the calling thread counts): 0 =
+    /// one per shard bounded by the hardware, else the explicit budget.
+    int shard_workers = 0;
+    /// Test hook: explicit (switch id, shard) placement overriding the
+    /// contiguous BFS partition; unlisted switches land on shard 0. The
+    /// determinism contract says any placement yields identical bytes —
+    /// the shard-permutation regression test exercises exactly that.
+    std::vector<std::pair<std::uint32_t, int>> shard_assignment{};
   };
 
   explicit Fabric(Options options);
@@ -73,6 +92,28 @@ class Fabric {
 
   FabricSwitch& at(NodeId id);
 
+  /// Runs the fabric to quiescence under the configured engine. Legacy
+  /// (shards == 0) drives `sim` directly; sharded mode lazily partitions
+  /// the topology on first use, then advances every shard in lookahead
+  /// windows. All scheduling (inject, controller ops) must happen while
+  /// the fabric is quiescent — between run_all() calls, never inside a
+  /// handler that expects to stop the engine mid-window.
+  void run_all();
+
+  /// Exports pool/sim stats into the telemetry bundle(s) and stamps the
+  /// user bundle; sharded runs first merge the internal per-shard
+  /// bundles into the user bundle, rebuilding the single timeline a
+  /// one-shard run would produce. Call once, after the last run_all().
+  /// No-op when the fabric has no telemetry bundle.
+  void collect_telemetry();
+
+  /// Shards the next run_all() will use (1 before finalization in
+  /// legacy mode; the clamped count once sharded mode is finalized).
+  int shard_count() const noexcept {
+    return engine_ == nullptr ? 1 : engine_->shards();
+  }
+  netsim::ShardedSimulator* engine() noexcept { return engine_.get(); }
+
   bool p4auth_enabled() const noexcept { return options_.p4auth; }
   const Options& options() const noexcept { return options_; }
 
@@ -88,9 +129,18 @@ class Fabric {
     PortId port_b{};
   };
 
+  /// One-shot: partitions the topology, builds the engine and the
+  /// internal per-shard telemetry bundles, and rewires network, switch
+  /// and channel state onto their home shards.
+  void finalize_shards();
+
   Options options_;
   std::deque<FabricSwitch> switches_;
   std::vector<LinkRecord> links_;
+  bool shards_finalized_ = false;
+  std::unique_ptr<netsim::ShardedSimulator> engine_;
+  /// Internal bundles for shards 1.. (shard 0 uses options().telemetry).
+  std::vector<std::unique_ptr<telemetry::Telemetry>> shard_bundles_;
 };
 
 /// Pre-shared boot secret per switch (stands in for the per-switch secret

@@ -60,6 +60,9 @@ HulaResult run_hula_experiment(Scenario scenario, const HulaOptions& options) {
   fabric_options.protected_magics = {hula::kProbeMagic};
   fabric_options.telemetry = options.telemetry;
   fabric_options.burst_planning = options.burst_planning;
+  fabric_options.shards = options.shards;
+  fabric_options.shard_workers = options.shard_workers;
+  fabric_options.shard_assignment = options.shard_assignment;
   Fabric fabric(fabric_options);
 
   // S1 ports: 1->S2, 2->S3, 3->S4. S5 ports: 1->S2, 2->S3, 3->S4.
@@ -141,7 +144,7 @@ HulaResult run_hula_experiment(Scenario scenario, const HulaOptions& options) {
     }
   }
 
-  fabric.sim.run();
+  fabric.run_all();
 
   HulaResult result;
   auto* s1_hula = static_cast<hula::HulaProgram*>(s1.agent->inner());
@@ -167,11 +170,7 @@ HulaResult run_hula_experiment(Scenario scenario, const HulaOptions& options) {
   result.s4_path_queue_us = s4_s5->queue_stats(kS4).mean_wait_us();
   result.other_paths_queue_us =
       (s2_s5->queue_stats(kS2).mean_wait_us() + s3_s5->queue_stats(kS3).mean_wait_us()) / 2.0;
-  if (options.telemetry != nullptr) {
-    fabric.net.export_pool_stats();
-    fabric.sim.export_stats();
-    options.telemetry->stamp(fabric.sim.now());
-  }
+  fabric.collect_telemetry();
   return result;
 }
 

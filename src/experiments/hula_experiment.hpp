@@ -13,6 +13,8 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -65,6 +67,16 @@ struct HulaOptions {
   /// Burst pre-pass on every switch; off = packet-at-a-time reference
   /// path (results are byte-identical either way).
   bool burst_planning = true;
+  /// Parallel sharded run: 0 = legacy single simulator; N >= 1 = the
+  /// conservative-lookahead engine with N shards. Outputs are
+  /// byte-identical for any N (see Fabric::Options::shards).
+  int shards = 0;
+  /// Worker threads for the sharded engine (0 = one per shard).
+  int shard_workers = 0;
+  /// Explicit (node id, shard) placement override for the sharded run
+  /// (empty = the Fabric's BFS partition). Outputs are byte-identical
+  /// for any placement — pinned by the shard-equivalence tests.
+  std::vector<std::pair<std::uint32_t, int>> shard_assignment{};
 };
 
 HulaResult run_hula_experiment(Scenario scenario, const HulaOptions& options = {});

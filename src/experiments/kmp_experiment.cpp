@@ -1,5 +1,6 @@
 #include "experiments/kmp_experiment.hpp"
 
+#include <atomic>
 #include <memory>
 
 #include "common/stats.hpp"
@@ -38,20 +39,20 @@ KmpRttResult run_kmp_rtt_experiment(const KmpRttOptions& options) {
       const SimTime begin = fabric.sim.now();
       bool done = false;
       fabric.controller.init_local_key(kA, [&](Result<Key64> r) { done = r.ok(); });
-      fabric.sim.run();
+      fabric.run_all();
       if (done) local_init.add((fabric.sim.now() - begin).ms());
     }
     // Switch B needs keys once for the port exchanges.
     if (i == 0) {
       fabric.controller.init_local_key(kB, [](Result<Key64>) {});
-      fabric.sim.run();
+      fabric.run_all();
     }
     // (b) Local key update: ADHKD only, 2 messages.
     {
       const SimTime begin = fabric.sim.now();
       bool done = false;
       fabric.controller.update_local_key(kA, [&](Result<Key64> r) { done = r.ok(); });
-      fabric.sim.run();
+      fabric.run_all();
       if (done) local_update.add((fabric.sim.now() - begin).ms());
     }
     // (c) Port key initialization: 5 messages redirected via controller.
@@ -59,7 +60,7 @@ KmpRttResult run_kmp_rtt_experiment(const KmpRttOptions& options) {
       const SimTime begin = fabric.sim.now();
       bool done = false;
       fabric.controller.init_port_key(kA, kPortA, kB, kPortB, [&](Status s) { done = s.ok(); });
-      fabric.sim.run();
+      fabric.run_all();
       if (done) port_init.add((fabric.sim.now() - begin).ms());
     }
     // (d) Port key update: portKeyUpdate + 2 direct DP-DP legs; complete
@@ -68,7 +69,7 @@ KmpRttResult run_kmp_rtt_experiment(const KmpRttOptions& options) {
       const SimTime begin = fabric.sim.now();
       const auto installs_before = a.agent->stats().key_installs;
       fabric.controller.update_port_key(kA, kPortA, kB, [](Status) {});
-      fabric.sim.run();
+      fabric.run_all();
       if (a.agent->stats().key_installs > installs_before) {
         port_update.add((a.agent->stats().last_key_install - begin).ms());
       }
@@ -99,11 +100,14 @@ struct ScalingTopology {
   std::vector<LinkRef> links;
 };
 
-ScalingTopology build_scaling_topology(int switches, int links, std::uint64_t seed) {
+ScalingTopology build_scaling_topology(int switches, int links, std::uint64_t seed,
+                                       int shards = 0, int shard_workers = 0) {
   ScalingTopology topology;
   Fabric::Options options;
   options.seed = seed;
   options.ports_per_switch = 2 * links / std::max(1, switches) + 4;
+  options.shards = shards;
+  options.shard_workers = shard_workers;
   topology.fabric = std::make_unique<Fabric>(options);
   for (int i = 1; i <= switches; ++i) {
     topology.fabric->add_switch(NodeId{static_cast<std::uint16_t>(i)},
@@ -127,14 +131,15 @@ ScalingTopology build_scaling_topology(int switches, int links, std::uint64_t se
 
 }  // namespace
 
-KmpMakespan run_kmp_makespan_experiment(int switches, int links, std::uint64_t seed) {
+KmpMakespan run_kmp_makespan_experiment(int switches, int links, std::uint64_t seed,
+                                        int shards, int shard_workers) {
   KmpMakespan result;
   result.switches = switches;
   result.links = links;
 
   // Sequential: one exchange at a time (what Fabric::init_all_keys does).
   {
-    auto topology = build_scaling_topology(switches, links, seed);
+    auto topology = build_scaling_topology(switches, links, seed, shards, shard_workers);
     const SimTime begin = topology.fabric->sim.now();
     if (!topology.fabric->init_all_keys().ok()) return result;
     result.sequential_ms = (topology.fabric->sim.now() - begin).ms();
@@ -143,7 +148,7 @@ KmpMakespan run_kmp_makespan_experiment(int switches, int links, std::uint64_t s
   // Parallel: all local inits issued together, then all port inits
   // together (exchanges are per-switch/per-port independent).
   {
-    auto topology = build_scaling_topology(switches, links, seed);
+    auto topology = build_scaling_topology(switches, links, seed, shards, shard_workers);
     auto& fabric = *topology.fabric;
     const SimTime begin = fabric.sim.now();
     int done = 0;
@@ -151,14 +156,14 @@ KmpMakespan run_kmp_makespan_experiment(int switches, int links, std::uint64_t s
       fabric.controller.init_local_key(NodeId{static_cast<std::uint16_t>(i)},
                                        [&done](Result<Key64> r) { done += r.ok() ? 1 : 0; });
     }
-    fabric.sim.run();
+    fabric.run_all();
     if (done != switches) return result;
     int port_done = 0;
     for (const auto& link : topology.links) {
       fabric.controller.init_port_key(link.a, link.port_a, link.b, link.port_b,
                                       [&port_done](Status s) { port_done += s.ok() ? 1 : 0; });
     }
-    fabric.sim.run();
+    fabric.run_all();
     if (port_done != links) return result;
     result.parallel_ms = (fabric.sim.now() - begin).ms();
   }
@@ -168,10 +173,13 @@ KmpMakespan run_kmp_makespan_experiment(int switches, int links, std::uint64_t s
   return result;
 }
 
-KmpScalingResult run_kmp_scaling_experiment(int switches, int links, std::uint64_t seed) {
+KmpScalingResult run_kmp_scaling_experiment(int switches, int links, std::uint64_t seed,
+                                            int shards, int shard_workers) {
   Fabric::Options fabric_options;
   fabric_options.seed = seed;
   fabric_options.ports_per_switch = 2 * links / std::max(1, switches) + 4;
+  fabric_options.shards = shards;
+  fabric_options.shard_workers = shard_workers;
   Fabric fabric(fabric_options);
 
   for (int i = 1; i <= switches; ++i) {
@@ -179,13 +187,15 @@ KmpScalingResult run_kmp_scaling_experiment(int switches, int links, std::uint64
   }
 
   // Count DP-DP KeyExchange frames crossing any link (port-key updates run
-  // below the controller; Table III counts them too).
-  auto dp_messages = std::make_shared<std::uint64_t>(0);
-  auto dp_bytes = std::make_shared<std::uint64_t>(0);
+  // below the controller; Table III counts them too). Atomics: under a
+  // sharded run the tamper hooks of links homed on different shards fire
+  // concurrently, and totals are order-independent.
+  auto dp_messages = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto dp_bytes = std::make_shared<std::atomic<std::uint64_t>>(0);
   const auto counter = [dp_messages, dp_bytes](Bytes& frame) {
     if (!frame.empty() && frame[0] == 2) {  // HdrType::KeyExchange
-      ++*dp_messages;
-      *dp_bytes += frame.size();
+      dp_messages->fetch_add(1, std::memory_order_relaxed);
+      dp_bytes->fetch_add(frame.size(), std::memory_order_relaxed);
     }
     return netsim::TamperVerdict::Pass;
   };
@@ -216,29 +226,30 @@ KmpScalingResult run_kmp_scaling_experiment(int switches, int links, std::uint64
   // --- initialization phase: every local key, then every port key.
   if (!fabric.init_all_keys().ok()) return result;
   const auto& stats = fabric.controller.stats();
-  result.init_messages = stats.kmp_messages_sent + stats.kmp_messages_received + *dp_messages;
-  result.init_bytes = stats.kmp_bytes_sent + stats.kmp_bytes_received + *dp_bytes;
+  result.init_messages =
+      stats.kmp_messages_sent + stats.kmp_messages_received + dp_messages->load();
+  result.init_bytes = stats.kmp_bytes_sent + stats.kmp_bytes_received + dp_bytes->load();
 
   // --- update phase: every local key, then every port key.
   const auto sent_before = stats.kmp_messages_sent + stats.kmp_messages_received;
   const auto bytes_before = stats.kmp_bytes_sent + stats.kmp_bytes_received;
-  const auto dp_before = *dp_messages;
-  const auto dp_bytes_before = *dp_bytes;
+  const auto dp_before = dp_messages->load();
+  const auto dp_bytes_before = dp_bytes->load();
 
   for (int i = 1; i <= switches; ++i) {
     fabric.controller.update_local_key(NodeId{static_cast<std::uint16_t>(i)},
                                        [](Result<Key64>) {});
-    fabric.sim.run();
+    fabric.run_all();
   }
   for (const auto& link : link_refs) {
     fabric.controller.update_port_key(link.a, link.port_a, link.b, [](Status) {});
-    fabric.sim.run();
+    fabric.run_all();
   }
 
   result.update_messages =
-      stats.kmp_messages_sent + stats.kmp_messages_received + *dp_messages -
+      stats.kmp_messages_sent + stats.kmp_messages_received + dp_messages->load() -
       sent_before - dp_before;
-  result.update_bytes = stats.kmp_bytes_sent + stats.kmp_bytes_received + *dp_bytes -
+  result.update_bytes = stats.kmp_bytes_sent + stats.kmp_bytes_received + dp_bytes->load() -
                         bytes_before - dp_bytes_before;
   return result;
 }

@@ -44,7 +44,11 @@ struct KmpScalingResult {
   std::uint64_t update_bytes = 0;
 };
 
-KmpScalingResult run_kmp_scaling_experiment(int switches, int links, std::uint64_t seed = 1);
+/// `shards`/`shard_workers` follow Fabric::Options: 0 = legacy single
+/// simulator, N >= 1 = the conservative-lookahead engine (byte-identical
+/// counts for any N).
+KmpScalingResult run_kmp_scaling_experiment(int switches, int links, std::uint64_t seed = 1,
+                                            int shards = 0, int shard_workers = 0);
 
 /// Closed forms from §XI / Table III.
 struct KmpClosedForm {
@@ -65,6 +69,7 @@ struct KmpMakespan {
   double speedup = 0;
 };
 
-KmpMakespan run_kmp_makespan_experiment(int switches, int links, std::uint64_t seed = 1);
+KmpMakespan run_kmp_makespan_experiment(int switches, int links, std::uint64_t seed = 1,
+                                        int shards = 0, int shard_workers = 0);
 
 }  // namespace p4auth::experiments

@@ -23,12 +23,14 @@ Fabric::ProgramFactory make_chain_hula(NodeId self, bool is_tor,
 }
 
 /// Average probe traversal time over a chain with `hops` links.
-double measure_chain(bool p4auth, int hops, int probes, std::uint64_t seed) {
+double measure_chain(bool p4auth, int hops, int probes, const MultihopOptions& run_options) {
   Fabric::Options options;
   options.p4auth = p4auth;
   options.timing = dataplane::TimingModel::bmv2();
-  options.seed = seed;
+  options.seed = run_options.seed;
   options.protected_magics = {hula::kProbeMagic};
+  options.shards = run_options.shards;
+  options.shard_workers = run_options.shard_workers;
   Fabric fabric(options);
 
   const int n_switches = hops + 1;
@@ -53,7 +55,7 @@ double measure_chain(bool p4auth, int hops, int probes, std::uint64_t seed) {
   for (int i = 0; i < probes; ++i) {
     const SimTime begin = fabric.sim.now();
     fabric.net.inject(NodeId{1}, kHostPort, hula::encode_probe_gen());
-    fabric.sim.run();
+    fabric.run_all();
     if (sink->stats().last_probe_time > begin) {
       traversal.add((sink->stats().last_probe_time - begin).us());
     }
@@ -68,8 +70,8 @@ std::vector<MultihopPoint> run_multihop_experiment(const MultihopOptions& option
   for (int hops = options.min_hops; hops <= options.max_hops; ++hops) {
     MultihopPoint point;
     point.hops = hops;
-    point.base_us = measure_chain(false, hops, options.probes_per_point, options.seed);
-    point.p4auth_us = measure_chain(true, hops, options.probes_per_point, options.seed);
+    point.base_us = measure_chain(false, hops, options.probes_per_point, options);
+    point.p4auth_us = measure_chain(true, hops, options.probes_per_point, options);
     point.overhead_pct =
         point.base_us > 0 ? 100.0 * (point.p4auth_us - point.base_us) / point.base_us : 0;
     points.push_back(point);

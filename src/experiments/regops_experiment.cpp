@@ -13,8 +13,8 @@ constexpr NodeId kSw{1};
 /// Issues `count` sequential operations through `issue`, which must call
 /// its continuation when the op completes; returns per-op RCTs.
 template <typename IssueFn>
-SampleSet run_sequential(netsim::Simulator& sim, int count, std::uint64_t* failures,
-                         IssueFn issue) {
+SampleSet run_sequential(Fabric& fabric, int count, std::uint64_t* failures, IssueFn issue) {
+  netsim::Simulator& sim = fabric.sim;
   SampleSet rcts;
   int remaining = count;
   std::function<void()> next = [&]() {
@@ -27,7 +27,7 @@ SampleSet run_sequential(netsim::Simulator& sim, int count, std::uint64_t* failu
     });
   };
   next();
-  sim.run();
+  fabric.run_all();
   return rcts;
 }
 
@@ -47,6 +47,8 @@ RegOpsResult run_regops_experiment(RegOpsVariant variant, const RegOpsOptions& o
   fabric_options.p4auth = variant == RegOpsVariant::P4Auth;
   fabric_options.seed = options.seed;
   fabric_options.channel.jitter_fraction = 0.08;  // gives Fig 18 a real p99
+  fabric_options.shards = options.shards;
+  fabric_options.shard_workers = options.shard_workers;
   Fabric fabric(fabric_options);
 
   apps::l3fwd::L3FwdProgram* l3 = nullptr;
@@ -66,12 +68,12 @@ RegOpsResult run_regops_experiment(RegOpsVariant variant, const RegOpsOptions& o
         fabric.sim, *sw.sw, {},
         controller::P4RuntimeClient::kDefaultJitterSeed + options.seed * 6151);
     const auto reads = run_sequential(
-        fabric.sim, options.requests_per_kind, &result.failures, [&](auto done) {
+        fabric, options.requests_per_kind, &result.failures, [&](auto done) {
           client.read("l3_stats", rng.next_below(1024),
                       [done](Result<std::uint64_t> r) { done(r.ok()); });
         });
     const auto writes = run_sequential(
-        fabric.sim, options.requests_per_kind, &result.failures, [&](auto done) {
+        fabric, options.requests_per_kind, &result.failures, [&](auto done) {
           client.write("l3_stats", rng.next_below(1024), rng.next_u64(),
                        [done](Status s) { done(s.ok()); });
         });
@@ -81,13 +83,13 @@ RegOpsResult run_regops_experiment(RegOpsVariant variant, const RegOpsOptions& o
     result.write_rct_us_p99 = writes.percentile(99);
   } else {
     const auto reads = run_sequential(
-        fabric.sim, options.requests_per_kind, &result.failures, [&](auto done) {
+        fabric, options.requests_per_kind, &result.failures, [&](auto done) {
           fabric.controller.read_register(
               kSw, apps::l3fwd::kStatsReg, static_cast<std::uint32_t>(rng.next_below(1024)),
               [done](Result<std::uint64_t> r) { done(r.ok()); });
         });
     const auto writes = run_sequential(
-        fabric.sim, options.requests_per_kind, &result.failures, [&](auto done) {
+        fabric, options.requests_per_kind, &result.failures, [&](auto done) {
           fabric.controller.write_register(
               kSw, apps::l3fwd::kStatsReg, static_cast<std::uint32_t>(rng.next_below(1024)),
               rng.next_u64(), [done](Result<std::uint64_t> r) { done(r.ok()); });

@@ -102,7 +102,7 @@ RouteScoutResult run_routescout_experiment(Scenario scenario,
     bytes_at_attack[1] = program->stats().path_bytes[1];
   });
 
-  fabric.sim.run();
+  fabric.run_all();
 
   RouteScoutResult result;
   const std::uint64_t delta0 = program->stats().path_bytes[0] - bytes_at_attack[0];
@@ -119,11 +119,7 @@ RouteScoutResult run_routescout_experiment(Scenario scenario,
   result.true_latency_us = {options.path1_latency_us, options.path2_latency_us};
   result.alerts = fabric.controller.alerts().size() +
                   fabric.controller.stats().response_digest_failures;
-  if (options.telemetry != nullptr) {
-    fabric.net.export_pool_stats();
-    fabric.sim.export_stats();
-    options.telemetry->stamp(fabric.sim.now());
-  }
+  fabric.collect_telemetry();
   return result;
 }
 

@@ -50,7 +50,7 @@ Status retry_sync(Fabric& fabric, int attempts, Op op) {
   for (int i = 0; i < attempts; ++i) {
     std::optional<Status> result;
     op([&](Status s) { result = std::move(s); });
-    fabric.sim.run();
+    fabric.run_all();
     if (result.has_value() && result->ok()) return Status{};
     if (result.has_value()) last = std::move(*result);
   }
@@ -123,7 +123,7 @@ double blink_run(Mode mode, std::uint64_t seed, bool* saw_detection) {
                       bk::encode_packet({1, static_cast<std::uint64_t>(i), false}),
                       SimTime::from_us(static_cast<std::uint64_t>(5 * i)));
   }
-  fabric.sim.run();
+  fabric.run_all();
 
   if (saw_detection != nullptr) *saw_detection = detected(fabric);
   const auto it = program->stats().egress_packets.find(PortId{1});
@@ -185,7 +185,7 @@ double silkroad_run(Mode mode, std::uint64_t seed, bool* saw_detection) {
                       slk::encode_conn({1, 1000ull + static_cast<std::uint64_t>(i)}),
                       SimTime::from_us(static_cast<std::uint64_t>(10 * i)));
   }
-  fabric.sim.run();
+  fabric.run_all();
 
   (void)retry_sync(fabric, 3, [&](auto done) { manager.finish_migration(1, done); });
 
@@ -197,7 +197,7 @@ double silkroad_run(Mode mode, std::uint64_t seed, bool* saw_detection) {
                       slk::encode_conn({1, 500'000ull + static_cast<std::uint64_t>(i * 7919)}),
                       SimTime::from_us(static_cast<std::uint64_t>(10 * i)));
   }
-  fabric.sim.run();
+  fabric.run_all();
 
   if (saw_detection != nullptr) *saw_detection = detected(fabric);
   const double misdirected = static_cast<double>(program->stats().to_old_pool - old_before);
@@ -252,14 +252,14 @@ double flowstats_run(Mode mode, std::uint64_t seed, bool* saw_detection) {
     fabric.net.inject(kSw, kHostPort, fs::encode_packet({7, 64}),
                       SimTime::from_us(static_cast<std::uint64_t>(1000 * i)));
   }
-  fabric.sim.run();
+  fabric.run_all();
 
   fs::FlowStatsManager manager(fabric.controller, kSw);
   bool blocked = false;
   for (int attempt = 0; attempt < 3 && !blocked; ++attempt) {
     std::optional<Result<fs::FlowStatsManager::Verdict>> verdict;
     manager.inspect_flow(7, [&](auto v) { verdict = std::move(v); });
-    fabric.sim.run();
+    fabric.run_all();
     if (verdict.has_value() && verdict->ok()) {
       blocked = verdict->value().blocked;
       break;  // inspection succeeded: accept its verdict
@@ -320,7 +320,7 @@ double netcache_run(Mode mode, std::uint64_t seed, bool* saw_detection) {
     fabric.net.inject(kSw, kHostPort, nc::encode_query({key}),
                       SimTime::from_us(static_cast<std::uint64_t>(20 * i)));
   }
-  fabric.sim.run();
+  fabric.run_all();
 
   if (saw_detection != nullptr) *saw_detection = detected(fabric);
   const double hits = static_cast<double>(program->stats().hits - hits_before);
@@ -383,7 +383,7 @@ double flowradar_run(Mode mode, std::uint64_t seed, bool* saw_detection) {
       ++truth[f * 101];
     }
   }
-  fabric.sim.run();
+  fabric.run_all();
 
   fr::FlowRadarManager manager(fabric.controller, kSw, 96);
   fr::DecodeResult decoded;
@@ -391,7 +391,7 @@ double flowradar_run(Mode mode, std::uint64_t seed, bool* saw_detection) {
   for (int attempt = 0; attempt < 3 && !have_decode; ++attempt) {
     std::optional<Result<fr::DecodeResult>> result;
     manager.export_and_decode([&](auto r) { result = std::move(r); });
-    fabric.sim.run();
+    fabric.run_all();
     if (result.has_value() && result->ok()) {
       decoded = result->value();
       have_decode = true;

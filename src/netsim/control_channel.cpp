@@ -1,42 +1,112 @@
 #include "netsim/control_channel.hpp"
 
+#include "netsim/sharded.hpp"
+
 namespace p4auth::netsim {
+
+namespace {
+/// Stream-splitting constant for the per-direction jitter RNGs.
+constexpr std::uint64_t kToControllerStream = 0x9E3779B97F4A7C15ull;
+}  // namespace
 
 ControlChannel::ControlChannel(Simulator& sim, Switch& sw, ChannelModel model,
                                std::uint64_t jitter_seed)
-    : sim_(sim), switch_(sw), model_(model), jitter_rng_(jitter_seed) {
+    : sim_(sim),
+      switch_(sw),
+      model_(model),
+      jitter_seed_(jitter_seed),
+      jitter_rng_(jitter_seed),
+      to_controller_rng_(jitter_seed ^ kToControllerStream) {
   switch_.set_packet_in_sink([this](Bytes message) {
     ++stats_.to_controller;
-    const SimTime delay = jittered(model_.to_controller_delay(message.size()));
+    Xoshiro256& rng = engine_ != nullptr ? to_controller_rng_ : jitter_rng_;
+    const SimTime delay = jittered(model_.to_controller_delay(message.size()), rng);
+    telemetry::Telemetry* side = engine_ != nullptr ? switch_telemetry_ : telemetry_;
     telemetry::SpanContext span;
-    if (telemetry_ != nullptr) span = telemetry_->spans.child_for_schedule();
-    sim_.after(delay, [this, span, message = std::move(message)]() mutable {
+    if (side != nullptr) span = side->spans.child_for_schedule();
+    auto fire = [this, span, message = std::move(message)]() mutable {
+      if (engine_ != nullptr) sim_.set_context(Simulator::kControllerRank);
       const auto scope = telemetry_ != nullptr ? telemetry_->spans.resume(span)
                                                : telemetry::SpanTracker::Scope{};
       if (controller_sink_) controller_sink_(switch_.id(), std::move(message));
-    });
+    };
+    if (engine_ == nullptr) {
+      // Keyed so same-time PacketIn deliveries form a coalescing group
+      // the controller can batch-verify across.
+      sim_.after_keyed(delay, kCtrlKey, std::move(fire));
+      return;
+    }
+    // Sharded: the sink runs on the switch's shard; the delivery is a
+    // cross-shard send to the controller (shard 0) with the order
+    // allocated here, under the switch's rank.
+    Simulator& src = *switch_sim_;
+    const SimTime t = src.now() + delay;
+    src.observe_lag(delay);
+    engine_->schedule(0, t, kCtrlKey, src.allocate_order(), std::move(fire));
   });
 }
 
-SimTime ControlChannel::jittered(SimTime delay) {
+void ControlChannel::configure_shards(ShardedSimulator* engine, int switch_shard,
+                                      Simulator* switch_sim,
+                                      telemetry::Telemetry* switch_telemetry) noexcept {
+  engine_ = engine;
+  switch_shard_ = switch_shard;
+  switch_sim_ = switch_sim;
+  switch_telemetry_ = switch_telemetry;
+  // Re-split the jitter streams so a sharded run's draws per direction
+  // are reproducible regardless of how many messages the other direction
+  // carried first.
+  jitter_rng_ = Xoshiro256(jitter_seed_);
+  to_controller_rng_ = Xoshiro256(jitter_seed_ ^ kToControllerStream);
+}
+
+SimTime ControlChannel::jittered(SimTime delay, Xoshiro256& rng) {
   if (model_.jitter_fraction <= 0) return delay;
-  const double scale =
-      1.0 + model_.jitter_fraction * (jitter_rng_.next_double() - 0.5);
+  const double scale = 1.0 + model_.jitter_fraction * (rng.next_double() - 0.5);
   return SimTime::from_ns(static_cast<std::uint64_t>(static_cast<double>(delay.ns()) * scale));
 }
 
 void ControlChannel::to_switch(Bytes message, std::function<void()> delivered) {
   ++stats_.to_switch;
-  const SimTime delay = jittered(model_.to_switch_delay(message.size()));
+  const SimTime delay = jittered(model_.to_switch_delay(message.size()), jitter_rng_);
   telemetry::SpanContext span;
   if (telemetry_ != nullptr) span = telemetry_->spans.child_for_schedule();
-  sim_.after(delay, [this, span, message = std::move(message),
-                     delivered = std::move(delivered)]() mutable {
-    const auto scope = telemetry_ != nullptr ? telemetry_->spans.resume(span)
+  if (engine_ == nullptr) {
+    sim_.after(delay, [this, span, message = std::move(message),
+                       delivered = std::move(delivered)]() mutable {
+      const auto scope = telemetry_ != nullptr ? telemetry_->spans.resume(span)
+                                               : telemetry::SpanTracker::Scope{};
+      switch_.handle_packet_out(std::move(message));
+      if (delivered) delivered();
+    });
+    return;
+  }
+  // Sharded: ingestion runs on the switch's shard; the `delivered`
+  // callback is controller-side state (KMP bookkeeping), so it becomes a
+  // separate same-time event on shard 0. Orders are allocated here in
+  // call order, so on a single shard the two still fire back to back,
+  // ingestion first — the legacy sequence.
+  const SimTime t = sim_.now() + delay;
+  sim_.observe_lag(delay);
+  const std::uint64_t ingest_order = sim_.allocate_order();
+  engine_->schedule(switch_shard_, t, 0, ingest_order,
+                    [this, span, message = std::move(message)]() mutable {
+                      switch_sim_->set_context(Simulator::rank_of(switch_.id()));
+                      const auto scope = switch_telemetry_ != nullptr
+                                             ? switch_telemetry_->spans.resume(span)
                                              : telemetry::SpanTracker::Scope{};
-    switch_.handle_packet_out(std::move(message));
-    if (delivered) delivered();
-  });
+                      switch_.handle_packet_out(std::move(message));
+                    });
+  if (delivered) {
+    engine_->schedule(0, t, 0, sim_.allocate_order(),
+                      [this, span, delivered = std::move(delivered)]() mutable {
+                        sim_.set_context(Simulator::kControllerRank);
+                        const auto scope = telemetry_ != nullptr
+                                               ? telemetry_->spans.resume(span)
+                                               : telemetry::SpanTracker::Scope{};
+                        delivered();
+                      });
+  }
 }
 
 }  // namespace p4auth::netsim

@@ -8,13 +8,22 @@
 //  * PacketOut/PacketIn (PTF-style) — raw CPU-port frames: cheaper fixed
 //    cost; DP-Reg-RW and P4Auth both ride this.
 // Latency constants are calibration points, documented in EXPERIMENTS.md.
+//
+// Sharded mode (configure_shards): the controller lives on shard 0 and
+// the switch may live elsewhere, so the two legs become cross-shard
+// sends routed through the engine — the channel base latencies are part
+// of the lookahead, which is exactly P4sim's observation that transport
+// delay IS the conservative synchronization slack.
 #pragma once
 
 #include <functional>
 
+#include "netsim/shard_context.hpp"
 #include "netsim/switch.hpp"
 
 namespace p4auth::netsim {
+
+class ShardedSimulator;
 
 struct ChannelModel {
   SimTime to_switch_base{};
@@ -43,6 +52,17 @@ struct ChannelModel {
     return to_controller_base + per_byte_cost(bytes);
   }
 
+  /// Lower bound on any jittered delay with base `base`: the jitter draw
+  /// scales by at least (1 - jitter/2). The fabric folds this into the
+  /// cross-shard lookahead.
+  SimTime min_delay(SimTime base) const noexcept {
+    if (jitter_fraction <= 0) return base;
+    const double floor_scale = 1.0 - jitter_fraction / 2.0;
+    if (floor_scale <= 0) return SimTime{};
+    return SimTime::from_ns(
+        static_cast<std::uint64_t>(static_cast<double>(base.ns()) * floor_scale));
+  }
+
  private:
   SimTime per_byte_cost(std::size_t bytes) const noexcept {
     return SimTime::from_ns(static_cast<std::uint64_t>(per_byte_ns * static_cast<double>(bytes)));
@@ -61,6 +81,13 @@ class ControlChannel {
 
   static constexpr std::uint64_t kDefaultJitterSeed = 0x71773E12u;
 
+  /// Coalescing key shared by every PacketIn delivery event: while one
+  /// controller-sink event runs, Simulator::coalesce_continues() reports
+  /// whether more same-time PacketIns are pending — the seam the
+  /// controller's batched digest verification rides on. Distinct from
+  /// every per-node delivery key (those are node id + 1).
+  static constexpr std::uint64_t kCtrlKey = 1ull << 20;
+
   /// Controller -> switch (PacketOut). Crosses the OS boundary on arrival.
   /// `delivered`, if given, fires right after the switch ingests the
   /// message (used to timestamp KMP completion).
@@ -77,6 +104,14 @@ class ControlChannel {
   /// directions.
   void set_telemetry(telemetry::Telemetry* telemetry) noexcept { telemetry_ = telemetry; }
 
+  /// Switches the channel into sharded mode: the switch lives on
+  /// `switch_shard` driven by `switch_sim`/`switch_telemetry`, the
+  /// controller stays on shard 0 (the constructor simulator). The jitter
+  /// stream splits per direction — each direction's draws then happen in
+  /// that endpoint's own event order, which is partition-invariant.
+  void configure_shards(ShardedSimulator* engine, int switch_shard, Simulator* switch_sim,
+                        telemetry::Telemetry* switch_telemetry) noexcept;
+
   const ChannelModel& model() const noexcept { return model_; }
   NodeId switch_id() const noexcept { return switch_.id(); }
 
@@ -87,15 +122,23 @@ class ControlChannel {
   const Stats& stats() const noexcept { return stats_; }
 
  private:
-  SimTime jittered(SimTime delay);
+  SimTime jittered(SimTime delay, Xoshiro256& rng);
 
   Simulator& sim_;
   Switch& switch_;
   ChannelModel model_;
   std::function<void(NodeId, Bytes)> controller_sink_;
   Stats stats_;
-  Xoshiro256 jitter_rng_;
+  std::uint64_t jitter_seed_;
+  Xoshiro256 jitter_rng_;               ///< legacy: both directions; sharded: to_switch
+  Xoshiro256 to_controller_rng_;        ///< sharded mode only
   telemetry::Telemetry* telemetry_ = nullptr;
+
+  // Sharded-mode wiring (engine_ null = legacy).
+  ShardedSimulator* engine_ = nullptr;
+  int switch_shard_ = 0;
+  Simulator* switch_sim_ = nullptr;
+  telemetry::Telemetry* switch_telemetry_ = nullptr;
 };
 
 }  // namespace p4auth::netsim

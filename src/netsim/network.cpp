@@ -1,8 +1,11 @@
 #include "netsim/network.hpp"
 
+#include <algorithm>
 #include <array>
+#include <string>
 
 #include "common/logging.hpp"
+#include "netsim/sharded.hpp"
 
 namespace p4auth::netsim {
 
@@ -20,67 +23,174 @@ Link* Network::link_at(NodeId node, PortId port) noexcept {
   return it == link_by_port_.end() ? nullptr : it->second;
 }
 
+void Network::bind_tele(ShardState& st) noexcept {
+  st.tele = TeleSeries{};
+  if (st.telemetry == nullptr) return;
+  auto& m = st.telemetry->metrics;
+  st.tele.queue_wait_ns = &m.histogram("net.queue_wait_ns");
+  st.tele.delivery_ns = &m.histogram("net.delivery_ns");
+  st.tele.burst_size = &m.histogram("pipeline.burst_size");
+  st.tele.frames_delivered = &m.counter("net.frames_delivered");
+  st.tele.drops_no_link = &m.counter("net.drops_no_link");
+  st.tele.tamper_drops = &m.counter("net.tamper_drops");
+  st.tele.tamper_rewrites = &m.counter("net.tamper_rewrites");
+}
+
 void Network::set_telemetry(telemetry::Telemetry* telemetry) noexcept {
-  telemetry_ = telemetry;
-  tele_ = TeleSeries{};
-  if (telemetry_ == nullptr) return;
-  auto& m = telemetry_->metrics;
-  tele_.queue_wait_ns = &m.histogram("net.queue_wait_ns");
-  tele_.delivery_ns = &m.histogram("net.delivery_ns");
-  tele_.burst_size = &m.histogram("pipeline.burst_size");
-  tele_.frames_delivered = &m.counter("net.frames_delivered");
-  tele_.drops_no_link = &m.counter("net.drops_no_link");
-  tele_.tamper_drops = &m.counter("net.tamper_drops");
-  tele_.tamper_rewrites = &m.counter("net.tamper_rewrites");
+  shards_[0].telemetry = telemetry;
+  bind_tele(shards_[0]);
+}
+
+void Network::configure_shards(ShardedSimulator* engine,
+                               const std::vector<Simulator*>& shard_sims,
+                               const std::vector<telemetry::Telemetry*>& shard_bundles,
+                               const std::vector<std::pair<NodeId, int>>& assignment) {
+  engine_ = engine;
+  shards_.resize(shard_sims.size());
+  shard_pools_.clear();
+  for (std::size_t k = 0; k < shard_sims.size(); ++k) {
+    ShardState& st = shards_[k];
+    st.sim = shard_sims[k];
+    if (k == 0) {
+      st.pool = &pool_;
+    } else {
+      shard_pools_.push_back(std::make_unique<BufferPool>(pool_.config()));
+      st.pool = shard_pools_.back().get();
+    }
+    st.telemetry = k < shard_bundles.size() ? shard_bundles[k] : nullptr;
+    bind_tele(st);
+  }
+  node_shard_.assign(nodes_.size(), 0);
+  for (const auto& [id, shard] : assignment) {
+    if (Node* n = node(id)) node_shard_[n->burst_index()] = shard;
+  }
+}
+
+int Network::shard_of(NodeId id) const noexcept {
+  const auto it = nodes_by_id_.find(id);
+  if (it == nodes_by_id_.end()) return 0;
+  const std::uint32_t index = it->second->burst_index();
+  return index < node_shard_.size() ? node_shard_[index] : 0;
+}
+
+Network::Stats Network::merged_stats() const noexcept {
+  Stats out;
+  for (const ShardState& st : shards_) {
+    out.frames_delivered += st.stats.frames_delivered;
+    out.frames_tampered += st.stats.frames_tampered;
+    out.frames_dropped_by_tamper += st.stats.frames_dropped_by_tamper;
+    out.frames_dropped_no_link += st.stats.frames_dropped_no_link;
+    out.frames_queued += st.stats.frames_queued;
+    out.total_queue_delay += st.stats.total_queue_delay;
+  }
+  return out;
 }
 
 void Network::export_pool_stats() {
-  if (telemetry_ == nullptr) return;
-  const BufferPool::Stats& s = pool_.stats();
-  auto& m = telemetry_->metrics;
-  m.counter("pool.acquires").inc(s.acquires);
-  m.counter("pool.reuses").inc(s.reuses);
-  m.counter("pool.misses").inc(s.misses);
-  m.counter("pool.releases").inc(s.releases);
-  m.counter("pool.dropped").inc(s.dropped);
-  m.gauge("pool.high_water").set(static_cast<double>(s.high_water));
-  m.counter("pool.burst_highwater").inc(burst_highwater_);
+  if (engine_ == nullptr) {
+    ShardState& st = shards_[0];
+    if (st.telemetry == nullptr) return;
+    const BufferPool::Stats& s = st.pool->stats();
+    auto& m = st.telemetry->metrics;
+    m.counter("pool.acquires").inc(s.acquires);
+    m.counter("pool.reuses").inc(s.reuses);
+    m.counter("pool.misses").inc(s.misses);
+    m.counter("pool.releases").inc(s.releases);
+    m.counter("pool.dropped").inc(s.dropped);
+    // High-water marks merge by max: summing per-job (or per-shard) peaks
+    // would report a free-list length no single run ever had.
+    auto& hw = m.gauge("pool.high_water");
+    hw.set_merge_max();
+    hw.set(static_cast<double>(s.high_water));
+    auto& bh = m.gauge("pool.burst_highwater");
+    bh.set_merge_max();
+    bh.set(static_cast<double>(st.burst_highwater));
+    return;
+  }
+  // Sharded: each shard exports into its own bundle. Only the
+  // partition-invariant series go unlabelled — the acquire sum (every
+  // acquire happens on exactly one shard) and the burst high-water max
+  // (burst grouping is a pure function of the schedule). Everything
+  // else depends on where buffers migrate: even the release sum varies,
+  // because a release parks (counted) or is refused (dropped) based on
+  // how full the receiving shard's free list is. Those are exported
+  // only as explicit per-shard diagnostics.
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    ShardState& st = shards_[k];
+    if (st.telemetry == nullptr) continue;
+    const BufferPool::Stats& s = st.pool->stats();
+    auto& m = st.telemetry->metrics;
+    m.counter("pool.acquires").inc(s.acquires);
+    auto& bh = m.gauge("pool.burst_highwater");
+    bh.set_merge_max();
+    bh.set(static_cast<double>(st.burst_highwater));
+    if (shard_diagnostics_) {
+      const telemetry::Labels labels{{"shard", std::to_string(k)}};
+      m.counter("pool.shard.acquires", labels).inc(s.acquires);
+      m.counter("pool.shard.reuses", labels).inc(s.reuses);
+      m.counter("pool.shard.misses", labels).inc(s.misses);
+      m.counter("pool.shard.releases", labels).inc(s.releases);
+      m.counter("pool.shard.dropped", labels).inc(s.dropped);
+      auto& shw = m.gauge("pool.shard.high_water", labels);
+      shw.set_merge_max();
+      shw.set(static_cast<double>(s.high_water));
+    }
+  }
+}
+
+void Network::schedule_delivery(ShardState& src, NodeId dst, SimTime delay, std::uint64_t key,
+                                Simulator::Handler fn) {
+  if (engine_ == nullptr) {
+    src.sim->after_keyed(delay, key, std::move(fn));
+    return;
+  }
+  Simulator& sim = *src.sim;
+  const SimTime t = sim.now() + delay;
+  sim.observe_lag(delay);
+  // The order comes from the sending simulator under the sending rank:
+  // each rank's counter lives on exactly one shard, so the (rank,
+  // counter) sequence — and with it the destination's fire order — is
+  // independent of the partition.
+  engine_->schedule(shard_of(dst), t, key, sim.allocate_order(), std::move(fn));
 }
 
 void Network::transmit(NodeId from, PortId port, Bytes payload) {
+  ShardState& st = cur();
+  Simulator& sim = *st.sim;
   Link* link = link_at(from, port);
   if (link == nullptr) {
-    ++stats_.frames_dropped_no_link;
-    if (telemetry_ != nullptr) {
-      tele_.drops_no_link->inc();
-      telemetry_->record(sim_.now(), from, port, telemetry::TraceEventKind::NoLinkDrop);
+    ++st.stats.frames_dropped_no_link;
+    if (st.telemetry != nullptr) {
+      st.tele.drops_no_link->inc();
+      st.telemetry->record(sim.now(), from, port, telemetry::TraceEventKind::NoLinkDrop);
     }
     LogStream(LogLevel::Debug, "network")
         << "no link at node " << from.value << " port " << port.value;
-    pool_.release(std::move(payload));
+    st.pool->release(std::move(payload));
     return;
   }
 
-  link->record_tx(from, payload.size(), sim_.now());
+  link->record_tx(from, payload.size(), sim.now());
 
   if (TamperHook* hook = link->tamper_for(from)) {
     const std::size_t before = payload.size();
     Bytes original = payload;
     if ((*hook)(payload) == TamperVerdict::Drop) {
-      ++stats_.frames_dropped_by_tamper;
-      if (telemetry_ != nullptr) {
-        tele_.tamper_drops->inc();
-        telemetry_->record(sim_.now(), from, port, telemetry::TraceEventKind::TamperDrop, before);
+      ++st.stats.frames_dropped_by_tamper;
+      if (st.telemetry != nullptr) {
+        st.tele.tamper_drops->inc();
+        st.telemetry->record(sim.now(), from, port, telemetry::TraceEventKind::TamperDrop,
+                             before);
       }
-      pool_.release(std::move(payload));
+      st.pool->release(std::move(payload));
       return;
     }
     if (payload != original || payload.size() != before) {
-      ++stats_.frames_tampered;
-      if (telemetry_ != nullptr) {
-        tele_.tamper_rewrites->inc();
-        telemetry_->record(sim_.now(), from, port, telemetry::TraceEventKind::TamperRewrite,
-                           payload.size());
+      ++st.stats.frames_tampered;
+      if (st.telemetry != nullptr) {
+        st.tele.tamper_rewrites->inc();
+        st.telemetry->record(sim.now(), from, port, telemetry::TraceEventKind::TamperRewrite,
+                             payload.size());
       }
     }
   }
@@ -89,71 +199,87 @@ void Network::transmit(NodeId from, PortId port, Bytes payload) {
   // FIFO egress queue: wait for the transmitter, then serialize, then
   // propagate. Queueing delay is the congestion signal the HULA attack
   // inflates.
-  const SimTime queue_wait = link->reserve_transmitter(from, payload.size(), sim_.now());
+  const SimTime queue_wait = link->reserve_transmitter(from, payload.size(), sim.now());
   if (queue_wait.ns() > 0) {
-    ++stats_.frames_queued;
-    stats_.total_queue_delay += queue_wait;
+    ++st.stats.frames_queued;
+    st.stats.total_queue_delay += queue_wait;
   }
   const SimTime delay =
       queue_wait + link->serialization_delay(payload.size()) + link->config().latency;
-  if (telemetry_ != nullptr) {
-    tele_.queue_wait_ns->observe(static_cast<double>(queue_wait.ns()));
-    tele_.delivery_ns->observe(static_cast<double>(delay.ns()));
+  if (st.telemetry != nullptr) {
+    st.tele.queue_wait_ns->observe(static_cast<double>(queue_wait.ns()));
+    st.tele.delivery_ns->observe(static_cast<double>(delay.ns()));
   }
   // The in-flight hop is a child span of the emitting pipeline's span:
   // captured here (schedule time), resumed when the frame lands. Keeps
   // the closure within InplaceHandler's inline budget (16-byte context).
   telemetry::SpanContext span;
-  if (telemetry_ != nullptr) span = telemetry_->spans.child_for_schedule();
+  if (st.telemetry != nullptr) span = st.telemetry->spans.child_for_schedule();
   // Keyed on the destination node: consecutive same-time deliveries to
   // one node coalesce into a burst at the delivery rendezvous below.
-  sim_.after_keyed(delay, delivery_key(peer.node),
-                   [this, peer, span, payload = std::move(payload)]() mutable {
-                     ++stats_.frames_delivered;
-                     if (telemetry_ != nullptr) tele_.frames_delivered->inc();
-                     if (Node* dst = node(peer.node)) {
-                       deliver(*dst, peer.port, std::move(payload), span, /*from_link=*/true);
-                     } else {
-                       pool_.release(std::move(payload));
-                     }
-                   });
+  schedule_delivery(st, peer.node, delay, delivery_key(peer.node),
+                    [this, peer, span, payload = std::move(payload)]() mutable {
+                      ShardState& d = cur();
+                      d.sim->set_context(Simulator::rank_of(peer.node));
+                      ++d.stats.frames_delivered;
+                      if (d.telemetry != nullptr) d.tele.frames_delivered->inc();
+                      if (Node* dst = node(peer.node)) {
+                        deliver(*dst, peer.port, std::move(payload), span, /*from_link=*/true);
+                      } else {
+                        d.pool->release(std::move(payload));
+                      }
+                    });
 }
 
 void Network::inject(NodeId to, PortId ingress, Bytes payload, SimTime delay) {
+  ShardState& st = cur();
   // Every injected packet roots a fresh trace: everything it causes
   // downstream — hops, verify failures, alerts, rekeys — shares this id.
   telemetry::SpanContext span;
-  if (telemetry_ != nullptr) {
-    span = telemetry_->spans.root_for_schedule(
+  if (st.telemetry != nullptr) {
+    span = st.telemetry->spans.root_for_schedule(
         telemetry::kTraceDomainInject,
         (static_cast<std::uint64_t>(to.value) << 16) | ingress.value);
   }
-  sim_.after_keyed(delay, delivery_key(to),
-                   [this, to, ingress, span, payload = std::move(payload)]() mutable {
-                     ++stats_.frames_delivered;
-                     if (Node* dst = node(to)) {
-                       deliver(*dst, ingress, std::move(payload), span, /*from_link=*/false);
-                     }
-                   });
+  schedule_delivery(st, to, delay, delivery_key(to),
+                    [this, to, ingress, span, payload = std::move(payload)]() mutable {
+                      ShardState& d = cur();
+                      d.sim->set_context(Simulator::rank_of(to));
+                      ++d.stats.frames_delivered;
+                      if (Node* dst = node(to)) {
+                        deliver(*dst, ingress, std::move(payload), span, /*from_link=*/false);
+                      }
+                    });
 }
 
 void Network::deliver(Node& dst, PortId port, Bytes payload, telemetry::SpanContext span,
                       bool from_link) {
-  if (staged_.capacity() == 0) staged_.reserve(dataplane::kMaxBurst);
-  // A burst only ever targets one node: delivery events coalesce on the
-  // destination's key, and the staging drains before any other key fires.
-  staged_node_ = &dst;
-  staged_.push_back(StagedFrame{port, from_link, span, std::move(payload)});
-  if (staged_.size() < dataplane::kMaxBurst && sim_.coalesce_continues()) return;
-  flush_deliveries();
+  ShardState& st = cur();
+  const std::uint32_t index = dst.burst_index();
+  if (index >= st.slots.size()) {
+    st.slots.resize(std::max(nodes_.size(), static_cast<std::size_t>(index) + 1));
+  }
+  BurstSlot& slot = st.slots[index];
+  if (slot.frames.capacity() == 0) slot.frames.reserve(dataplane::kMaxBurst);
+  if (slot.frames.empty()) {
+    slot.node = &dst;
+    st.open.push_back(index);
+  }
+  slot.frames.push_back(StagedFrame{port, from_link, span, std::move(payload)});
+  // The slot stays open while this node's (time, key) group keeps firing
+  // (the firing key IS this node's delivery key); it closes at the
+  // group's last event or at the burst-size cap.
+  if (slot.frames.size() < dataplane::kMaxBurst && st.sim->coalesce_continues()) return;
+  flush_slot(st, index);
 }
 
-void Network::flush_deliveries() {
-  if (staged_.empty()) return;
-  Node& dst = *staged_node_;
-  const std::size_t burst = staged_.size();
-  if (burst > burst_highwater_) burst_highwater_ = burst;
-  if (tele_.burst_size != nullptr) tele_.burst_size->observe(static_cast<double>(burst));
+void Network::flush_slot(ShardState& st, std::uint32_t index) {
+  BurstSlot& slot = st.slots[index];
+  if (slot.frames.empty()) return;
+  Node& dst = *slot.node;
+  const std::size_t burst = slot.frames.size();
+  if (burst > st.burst_highwater) st.burst_highwater = burst;
+  if (st.tele.burst_size != nullptr) st.tele.burst_size->observe(static_cast<double>(burst));
 
   // Side-effect-free pre-pass over the whole burst (prefetch, SIMD digest
   // planning), then the unchanged per-frame path in staged order — so
@@ -161,18 +287,25 @@ void Network::flush_deliveries() {
   // exactly the packet-at-a-time order.
   std::array<dataplane::BurstFrameView, dataplane::kMaxBurst> views;
   for (std::size_t i = 0; i < burst; ++i) {
-    views[i] = dataplane::BurstFrameView{staged_[i].port,
-                                         {staged_[i].payload.data(), staged_[i].payload.size()}};
+    views[i] = dataplane::BurstFrameView{
+        slot.frames[i].port, {slot.frames[i].payload.data(), slot.frames[i].payload.size()}};
   }
   dst.on_burst_prepare(std::span<const dataplane::BurstFrameView>(views.data(), burst));
   for (std::size_t i = 0; i < burst; ++i) {
-    const auto scope = telemetry_ != nullptr ? telemetry_->spans.resume(staged_[i].span)
-                                             : telemetry::SpanTracker::Scope{};
-    dst.on_frame(staged_[i].port, std::move(staged_[i].payload));
+    const auto scope = st.telemetry != nullptr ? st.telemetry->spans.resume(slot.frames[i].span)
+                                               : telemetry::SpanTracker::Scope{};
+    dst.on_frame(slot.frames[i].port, std::move(slot.frames[i].payload));
   }
   dst.on_burst_end();
-  staged_.clear();  // capacity (and the no-realloc guarantee) is retained
-  staged_node_ = nullptr;
+  slot.frames.clear();  // capacity (and the no-realloc guarantee) is retained
+  slot.node = nullptr;
+  const auto it = std::find(st.open.begin(), st.open.end(), index);
+  if (it != st.open.end()) st.open.erase(it);
+}
+
+void Network::flush_deliveries() {
+  ShardState& st = cur();
+  while (!st.open.empty()) flush_slot(st, st.open.front());
 }
 
 }  // namespace p4auth::netsim

@@ -1,23 +1,38 @@
 // The network: owns nodes and links, routes frames between them with
 // latency/serialization delays, and applies on-link tamper hooks.
+//
+// State that the hot path mutates per frame — buffer pool, delivery
+// stats, burst staging, cached telemetry series — lives in per-shard
+// ShardState so a sharded run (see netsim/sharded.hpp) never shares a
+// mutable cache line between worker threads. Legacy single-simulator
+// runs use exactly one ShardState (index 0), which preserves the
+// historical behavior byte-for-byte.
 #pragma once
 
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/buffer_pool.hpp"
 #include "dataplane/burst.hpp"
 #include "netsim/link.hpp"
 #include "netsim/node.hpp"
+#include "netsim/shard_context.hpp"
 #include "netsim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace p4auth::netsim {
 
+class ShardedSimulator;
+
 class Network {
  public:
-  explicit Network(Simulator& sim) noexcept : sim_(sim) {}
+  explicit Network(Simulator& sim) noexcept : sim_(sim) {
+    shards_.push_back(ShardState{});
+    shards_[0].sim = &sim_;
+    shards_[0].pool = &pool_;
+  }
 
   /// Constructs a node in place; the network owns it.
   template <typename T, typename... Args>
@@ -25,6 +40,7 @@ class Network {
     auto node = std::make_unique<T>(std::forward<Args>(args)...);
     T* raw = node.get();
     raw->attach(this);
+    raw->set_burst_index(static_cast<std::uint32_t>(nodes_.size()));
     nodes_by_id_.emplace(raw->id(), raw);
     nodes_.push_back(std::move(node));
     return raw;
@@ -49,24 +65,53 @@ class Network {
   /// `delay`, bypassing links (models a directly-attached host).
   void inject(NodeId to, PortId ingress, Bytes payload, SimTime delay = {});
 
-  Simulator& sim() noexcept { return sim_; }
+  /// The simulator driving the shard this thread is executing (shard 0 /
+  /// the legacy simulator outside any shard window). Node code reads the
+  /// clock and schedules through this, so the same switch implementation
+  /// runs unmodified under both engines.
+  Simulator& sim() noexcept { return *cur().sim; }
 
-  /// The network's packet-buffer pool. Payload buffers are recycled
+  /// The current shard's packet-buffer pool. Payload buffers are recycled
   /// through the link -> switch -> pipeline -> emit cycle: switches
   /// acquire emit buffers here and hand spent ingress payloads back, so
-  /// steady-state forwarding runs without heap churn. Owned per network
-  /// (= per simulation run), which keeps pool stats independent of how
-  /// campaign workers are scheduled.
-  BufferPool& pool() noexcept { return pool_; }
+  /// steady-state forwarding runs without heap churn. One pool per shard
+  /// keeps the recycle cycle thread-local; cross-shard frames migrate
+  /// pools (released where consumed), which leaves the acquire/release
+  /// *sums* invariant under partitioning.
+  BufferPool& pool() noexcept { return *cur().pool; }
 
   /// Attaches the shared telemetry bundle (null = off): link queue-wait
   /// and delivery-latency histograms, drop/tamper counters and events.
   /// Hot-path series are cached here so transmit() does pointer tests
-  /// instead of registry map lookups per frame.
+  /// instead of registry map lookups per frame. Binds shard 0; sharded
+  /// runs bind the other shards via configure_shards.
   void set_telemetry(telemetry::Telemetry* telemetry) noexcept;
 
+  /// Switches the network into sharded mode: `engine` routes cross-shard
+  /// deliveries, `shard_sims[k]`/`shard_bundles[k]` drive shard k, and
+  /// `assignment` maps every node onto its home shard. shard_sims[0]
+  /// must be the constructor simulator and shard_bundles[0] the bundle
+  /// passed to set_telemetry.
+  void configure_shards(ShardedSimulator* engine, const std::vector<Simulator*>& shard_sims,
+                        const std::vector<telemetry::Telemetry*>& shard_bundles,
+                        const std::vector<std::pair<NodeId, int>>& assignment);
+
+  /// Home shard of a node (0 outside sharded mode).
+  int shard_of(NodeId node) const noexcept;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Opt-in {shard=k}-labelled pool/burst series in the sharded export.
+  /// Off by default: the per-shard split depends on the partition, so the
+  /// labelled series would break byte-equivalence across --shards.
+  void set_shard_diagnostics(bool on) noexcept { shard_diagnostics_ = on; }
+
   /// Writes the pool's counters into the telemetry registry (pool.*).
-  /// Call once per run, before the bundle is stamped/serialized.
+  /// Call once per run, before the bundle is stamped/serialized. Legacy
+  /// mode exports the full per-pool series; sharded mode exports only the
+  /// partition-invariant series (acquire/release sums, burst high-water
+  /// max) into each shard's bundle, plus the full per-shard series under
+  /// a {shard=k} label when shard diagnostics are enabled.
   void export_pool_stats();
 
   /// Flushes any staged delivery burst immediately. The delivery path
@@ -84,7 +129,11 @@ class Network {
     std::uint64_t frames_queued = 0;        ///< frames that waited for a busy link
     SimTime total_queue_delay{};            ///< accumulated egress queueing delay
   };
-  const Stats& stats() const noexcept { return stats_; }
+  /// Shard 0's stats — the complete picture for legacy runs. Sharded
+  /// runs split counting across shards; use merged_stats() there.
+  const Stats& stats() const noexcept { return shards_[0].stats; }
+  /// Sum of all shards' stats (== stats() in legacy mode).
+  Stats merged_stats() const noexcept;
 
  private:
   struct PortKey {
@@ -109,10 +158,60 @@ class Network {
     Bytes payload;
   };
 
+  /// Cached registry series (stable references), bound per shard.
+  struct TeleSeries {
+    telemetry::Histogram* queue_wait_ns = nullptr;
+    telemetry::Histogram* delivery_ns = nullptr;
+    telemetry::Histogram* burst_size = nullptr;
+    telemetry::Counter* frames_delivered = nullptr;
+    telemetry::Counter* drops_no_link = nullptr;
+    telemetry::Counter* tamper_drops = nullptr;
+    telemetry::Counter* tamper_rewrites = nullptr;
+  };
+
+  /// Per-node burst staging: delivery events for one node coalesce here
+  /// until the node's (time, key) group is exhausted. In legacy mode at
+  /// most one slot is ever open (same-key events fire back to back), so
+  /// this is exactly the historical single-buffer staging.
+  struct BurstSlot {
+    Node* node = nullptr;
+    std::vector<StagedFrame> frames;  ///< reserved to kMaxBurst; never reallocates
+  };
+
+  /// Everything the per-frame hot path mutates, one copy per shard.
+  struct ShardState {
+    Simulator* sim = nullptr;
+    BufferPool* pool = nullptr;
+    telemetry::Telemetry* telemetry = nullptr;
+    TeleSeries tele;
+    Stats stats;
+    std::size_t burst_highwater = 0;  ///< largest burst flushed this run
+    std::vector<BurstSlot> slots;     ///< indexed by Node::burst_index
+    std::vector<std::uint32_t> open;  ///< slots with staged frames, open order
+  };
+
+  ShardState& cur() noexcept {
+    const int s = current_shard();
+    return shards_[s < 0 || static_cast<std::size_t>(s) >= shards_.size()
+                       ? 0
+                       : static_cast<std::size_t>(s)];
+  }
+
+  void bind_tele(ShardState& st) noexcept;
+
   /// Delivery rendezvous: stages the frame and flushes when the burst
   /// closes (next event differs in time/key, or kMaxBurst reached).
   void deliver(Node& dst, PortId port, Bytes payload, telemetry::SpanContext span,
                bool from_link);
+  void flush_slot(ShardState& st, std::uint32_t index);
+
+  /// Schedules a delivery closure `delay` from now, keyed on `key`.
+  /// Legacy: plain after_keyed on the shard-0 simulator. Sharded: order
+  /// is allocated from the *sending* shard's simulator under the sending
+  /// rank (each rank's counter lives on one shard, so the sequence is
+  /// partition-invariant), then routed to `dst`'s home shard.
+  void schedule_delivery(ShardState& src, NodeId dst, SimTime delay, std::uint64_t key,
+                         Simulator::Handler fn);
 
   /// Coalescing key for deliveries to `node`: nonzero, distinct per node.
   static std::uint64_t delivery_key(NodeId node) noexcept {
@@ -125,21 +224,12 @@ class Network {
   std::vector<std::unique_ptr<Link>> links_;
   std::unordered_map<PortKey, Link*, PortKeyHash> link_by_port_;
   BufferPool pool_;
-  Stats stats_;
-  std::vector<StagedFrame> staged_;     ///< reserved to kMaxBurst; never reallocates
-  Node* staged_node_ = nullptr;         ///< burst target (one node per burst)
-  std::size_t burst_highwater_ = 0;     ///< largest burst flushed this run
-  telemetry::Telemetry* telemetry_ = nullptr;
-  /// Cached registry series (stable references), bound in set_telemetry.
-  struct TeleSeries {
-    telemetry::Histogram* queue_wait_ns = nullptr;
-    telemetry::Histogram* delivery_ns = nullptr;
-    telemetry::Histogram* burst_size = nullptr;
-    telemetry::Counter* frames_delivered = nullptr;
-    telemetry::Counter* drops_no_link = nullptr;
-    telemetry::Counter* tamper_drops = nullptr;
-    telemetry::Counter* tamper_rewrites = nullptr;
-  } tele_;
+
+  std::vector<ShardState> shards_;  ///< size 1 (legacy) or shard count
+  std::vector<std::unique_ptr<BufferPool>> shard_pools_;  ///< pools for shards 1..
+  std::vector<int> node_shard_;     ///< home shard by burst index
+  ShardedSimulator* engine_ = nullptr;
+  bool shard_diagnostics_ = false;
 };
 
 }  // namespace p4auth::netsim

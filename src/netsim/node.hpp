@@ -20,6 +20,11 @@ class Node {
 
   NodeId id() const noexcept { return id_; }
 
+  /// Dense per-network index assigned at add() time; the network uses it
+  /// to address this node's burst-staging slot without a map lookup.
+  std::uint32_t burst_index() const noexcept { return burst_index_; }
+  void set_burst_index(std::uint32_t index) noexcept { burst_index_ = index; }
+
   /// A frame arrived on `ingress` (already past link latency and tamper).
   virtual void on_frame(PortId ingress, Bytes payload) = 0;
 
@@ -41,6 +46,7 @@ class Node {
 
  private:
   NodeId id_;
+  std::uint32_t burst_index_ = 0;
 };
 
 }  // namespace p4auth::netsim

@@ -60,6 +60,84 @@ int resolve_workers(int requested) noexcept {
   return hw >= 1 ? static_cast<int>(hw) : 1;
 }
 
+int resolve_shard_workers(int requested, int shards, int jobs) noexcept {
+  if (shards < 1) shards = 1;
+  if (requested >= 1) return requested < shards ? requested : shards;
+  const int hw = resolve_workers(0);
+  const int per_job = hw / (jobs >= 1 ? jobs : 1);
+  const int budget = per_job >= 1 ? per_job : 1;
+  return budget < shards ? budget : shards;
+}
+
+WorkerPool::WorkerPool(int threads) {
+  if (threads < 0) threads = 0;
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) threads_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::note_error() noexcept {
+  const std::lock_guard<std::mutex> lock(error_mu_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+void WorkerPool::run_slice() {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return;
+    try {
+      (*task_)(i);
+    } catch (...) {
+      note_error();
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lock.unlock();
+    run_slice();
+    lock.lock();
+    if (--pending_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::dispatch(std::size_t count, const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    pending_workers_ = threads_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_slice();  // the caller is a worker too
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return pending_workers_ == 0; });
+  task_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
 void parallel_for(std::size_t count, int workers, const std::function<void(std::size_t)>& body) {
   workers = resolve_workers(workers);
   if (count <= 1 || workers == 1) {

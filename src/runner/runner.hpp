@@ -14,12 +14,18 @@
 // tests/runner/campaign_determinism_test.cpp).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <vector>
 
 #include "common/result.hpp"
 #include "common/stats.hpp"
@@ -68,6 +74,56 @@ struct CampaignResult {
 /// Resolves a requested worker count: values >= 1 pass through, 0 means
 /// hardware concurrency (at least 1).
 int resolve_workers(int requested) noexcept;
+
+/// Resolves the worker budget for one sharded simulator nested inside a
+/// campaign: explicit requests (>= 1) pass through (clamped to the shard
+/// count); 0 divides the hardware among the concurrently-running jobs so
+/// shards x jobs never oversubscribes the machine.
+int resolve_shard_workers(int requested, int shards, int jobs) noexcept;
+
+/// Fixed pool of persistent worker threads for repeated fork-join
+/// dispatches. Unlike parallel_for — which spawns and joins threads per
+/// call — the pool starts its threads once and re-dispatches them, so a
+/// caller issuing thousands of small parallel steps (the sharded
+/// simulator runs one dispatch per lookahead window) pays wakeup cost,
+/// not thread-creation cost.
+///
+/// dispatch(count, task) runs task(i) for every i in [0, count); the
+/// calling thread participates, so total parallelism is threads + 1.
+/// Indices are claimed from an atomic counter — tasks must not care
+/// which thread runs them. The first exception any task throws is
+/// rethrown on the caller after every worker has gone idle.
+class WorkerPool {
+ public:
+  /// Spawns `threads` background workers (0 = every dispatch runs
+  /// entirely on the caller).
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int threads() const noexcept { return static_cast<int>(threads_.size()); }
+
+  void dispatch(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop();
+  void run_slice();
+  void note_error() noexcept;
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;       ///< bumped per dispatch (guarded by mu_)
+  std::size_t pending_workers_ = 0;    ///< workers still in the current dispatch
+  bool stop_ = false;
+  const std::function<void(std::size_t)>* task_ = nullptr;  ///< valid during a dispatch
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+};
 
 /// Invokes `body(i)` for every i in [0, count) across `workers` threads
 /// (inline on the caller when workers <= 1 or count <= 1) and blocks

@@ -24,10 +24,20 @@ bool AuditTrail::is_audited(TraceEventKind kind) noexcept {
 }
 
 void AuditTrail::append(SimTime at, NodeId node, PortId port, TraceEventKind kind,
-                        std::uint64_t a, std::uint64_t b, const SpanContext& span) {
+                        std::uint64_t a, std::uint64_t b, const SpanContext& span,
+                        std::uint64_t ord) {
   ++total_;
   if (records_.size() >= max_records_) return;
-  records_.push_back(AuditRecord{total_, at, node, port, kind, a, b, span});
+  records_.push_back(AuditRecord{total_, at, node, port, kind, a, b, span, ord, total_});
+}
+
+void AuditTrail::restore(const std::vector<AuditRecord>& records, std::uint64_t total) {
+  records_.clear();
+  total_ = total;
+  const std::size_t keep = records.size() < max_records_ ? records.size() : max_records_;
+  records_.assign(records.begin(), records.begin() + static_cast<std::ptrdiff_t>(keep));
+  std::uint64_t seq = 0;
+  for (AuditRecord& rec : records_) rec.seq = ++seq;
 }
 
 std::vector<AuditTrail::Chain> AuditTrail::chains() const {

@@ -32,6 +32,9 @@ struct AuditRecord {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   SpanContext span{};
+  /// Merge-ordering keys (never serialised) — see TraceRecord::ord/emit.
+  std::uint64_t ord = 0;
+  std::uint64_t emit = 0;
 };
 
 class AuditTrail {
@@ -45,7 +48,13 @@ class AuditTrail {
   static bool is_audited(TraceEventKind kind) noexcept;
 
   void append(SimTime at, NodeId node, PortId port, TraceEventKind kind, std::uint64_t a,
-              std::uint64_t b, const SpanContext& span);
+              std::uint64_t b, const SpanContext& span, std::uint64_t ord = 0);
+
+  /// Replaces the trail with a pre-merged, already-ordered record stream
+  /// (sharded runs). Keeps the first max_records and reassigns the
+  /// 1-based seq column so the merged trail reads exactly like a
+  /// single-timeline run; sets the event total to `total`.
+  void restore(const std::vector<AuditRecord>& records, std::uint64_t total);
 
   const std::vector<AuditRecord>& records() const noexcept { return records_; }
   std::uint64_t total() const noexcept { return total_; }

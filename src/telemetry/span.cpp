@@ -20,33 +20,61 @@ std::uint64_t derive_trace_id(std::uint64_t domain, std::uint64_t detail,
   return z == 0 ? 1 : z;  // 0 is the "untraced" sentinel
 }
 
+std::uint64_t SpanTracker::next_trace_id(std::uint64_t domain, std::uint64_t detail) {
+  if (order_cursor_ == nullptr) return derive_trace_id(domain, detail, ++next_trace_);
+  return derive_trace_id(domain, detail, ++trace_counters_[{domain, detail}]);
+}
+
+std::uint32_t SpanTracker::next_span_id(std::uint64_t trace, std::uint32_t parent) noexcept {
+  if (order_cursor_ == nullptr) return ++next_span_;
+  const std::uint64_t mixed = derive_trace_id(trace ^ *order_cursor_, parent, ++child_seq_);
+  const auto id = static_cast<std::uint32_t>(mixed);
+  return id == 0 ? 1u : id;
+}
+
 SpanTracker::Scope SpanTracker::start_trace(std::uint64_t domain, std::uint64_t detail) {
-  Scope scope(this, current_);
-  const std::uint64_t trace = derive_trace_id(domain, detail, ++next_trace_);
-  current_ = SpanContext{trace, next_span_id(), 0};
+  Scope scope(this, current_, child_seq_);
+  const std::uint64_t trace = next_trace_id(domain, detail);
+  const std::uint32_t span = next_span_id(trace, 0);
+  if (order_cursor_ != nullptr) child_seq_ = 0;
+  current_ = SpanContext{trace, span, 0};
   return scope;
 }
 
 SpanTracker::Scope SpanTracker::start_child() {
   if (!current_.active()) return Scope{};
-  Scope scope(this, current_);
-  current_ = SpanContext{current_.trace_id, next_span_id(), current_.span_id};
+  Scope scope(this, current_, child_seq_);
+  const std::uint32_t span = next_span_id(current_.trace_id, current_.span_id);
+  if (order_cursor_ != nullptr) child_seq_ = 0;
+  current_ = SpanContext{current_.trace_id, span, current_.span_id};
   return scope;
 }
 
 SpanContext SpanTracker::child_for_schedule() {
   if (!current_.active()) return SpanContext{};
-  return SpanContext{current_.trace_id, next_span_id(), current_.span_id};
+  return SpanContext{current_.trace_id, next_span_id(current_.trace_id, current_.span_id),
+                     current_.span_id};
 }
 
 SpanContext SpanTracker::root_for_schedule(std::uint64_t domain, std::uint64_t detail) {
-  return SpanContext{derive_trace_id(domain, detail, ++next_trace_), next_span_id(), 0};
+  const std::uint64_t trace = next_trace_id(domain, detail);
+  return SpanContext{trace, next_span_id(trace, 0), 0};
 }
 
 SpanTracker::Scope SpanTracker::resume(const SpanContext& ctx) noexcept {
-  Scope scope(this, current_);
+  Scope scope(this, current_, child_seq_);
   current_ = ctx;
+  if (order_cursor_ != nullptr) child_seq_ = 0;
   return scope;
+}
+
+std::uint64_t SpanTracker::traces_started() const noexcept {
+  std::uint64_t n = next_trace_;
+  for (const auto& [origin, count] : trace_counters_) {
+    (void)origin;
+    n += count;
+  }
+  return n;
 }
 
 SpanTracker::Scope SpanTracker::start_operation(std::uint64_t domain, std::uint64_t detail) {

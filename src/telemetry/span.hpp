@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace p4auth::telemetry {
@@ -55,9 +57,12 @@ class SpanTracker {
   class Scope {
    public:
     Scope() noexcept = default;
-    Scope(SpanTracker* tracker, SpanContext previous) noexcept
-        : tracker_(tracker), previous_(previous) {}
-    Scope(Scope&& other) noexcept : tracker_(other.tracker_), previous_(other.previous_) {
+    Scope(SpanTracker* tracker, SpanContext previous, std::uint64_t previous_child_seq = 0) noexcept
+        : tracker_(tracker), previous_(previous), previous_child_seq_(previous_child_seq) {}
+    Scope(Scope&& other) noexcept
+        : tracker_(other.tracker_),
+          previous_(other.previous_),
+          previous_child_seq_(other.previous_child_seq_) {
       other.tracker_ = nullptr;
     }
     Scope& operator=(Scope&& other) noexcept {
@@ -65,6 +70,7 @@ class SpanTracker {
         release();
         tracker_ = other.tracker_;
         previous_ = other.previous_;
+        previous_child_seq_ = other.previous_child_seq_;
         other.tracker_ = nullptr;
       }
       return *this;
@@ -75,11 +81,15 @@ class SpanTracker {
 
    private:
     void release() noexcept {
-      if (tracker_ != nullptr) tracker_->current_ = previous_;
+      if (tracker_ != nullptr) {
+        tracker_->current_ = previous_;
+        tracker_->child_seq_ = previous_child_seq_;
+      }
       tracker_ = nullptr;
     }
     SpanTracker* tracker_ = nullptr;
     SpanContext previous_{};
+    std::uint64_t previous_child_seq_ = 0;
   };
 
   /// The context stamped onto records emitted right now.
@@ -110,15 +120,33 @@ class SpanTracker {
   /// the alert's trace while a cold-start rekey opens its own.
   Scope start_operation(std::uint64_t domain, std::uint64_t detail);
 
-  std::uint64_t traces_started() const noexcept { return next_trace_; }
+  std::uint64_t traces_started() const noexcept;
   std::uint64_t spans_started() const noexcept { return next_span_; }
 
+  /// Sharded mode: span and trace ids become pure functions of simulation
+  /// state instead of tracker-global counters. Trace ids run one counter
+  /// per (domain, detail) origin — every origin deterministically lives on
+  /// one tracker, so its sequence is partition-invariant — and span ids
+  /// mix the firing event's order (read through `cursor`, which stays
+  /// owned by the shard's simulator: Simulator::firing_order_ptr()) with
+  /// the parent span and a per-activation child counter. Result: the ids
+  /// a packet's hops receive do not depend on which other events happened
+  /// to share this tracker, which keeps traces byte-identical across
+  /// shard counts. Null cursor (default) = the historical global counters.
+  void set_order_cursor(const std::uint64_t* cursor) noexcept { order_cursor_ = cursor; }
+
  private:
-  std::uint32_t next_span_id() noexcept { return ++next_span_; }
+  std::uint64_t next_trace_id(std::uint64_t domain, std::uint64_t detail);
+  std::uint32_t next_span_id(std::uint64_t trace, std::uint32_t parent) noexcept;
 
   SpanContext current_{};
   std::uint32_t next_span_ = 0;   ///< last span id handed out (0 = none)
   std::uint64_t next_trace_ = 0;  ///< trace-counter fed into derive_trace_id
+
+  // Sharded-mode state (order_cursor_ null = legacy global counters).
+  const std::uint64_t* order_cursor_ = nullptr;
+  std::uint64_t child_seq_ = 0;  ///< spans handed out under the current activation
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> trace_counters_;
 };
 
 /// Chrome trace-event JSON ({"traceEvents":[...]}) loadable in Perfetto

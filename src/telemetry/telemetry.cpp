@@ -1,5 +1,6 @@
 #include "telemetry/telemetry.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <filesystem>
@@ -43,6 +44,36 @@ void Telemetry::merge(const Telemetry& other) {
 }
 
 void merge_snapshots(Telemetry& dst, const Telemetry& src) { dst.merge(src); }
+
+void merge_shard_telemetry(Telemetry& dst, const std::vector<const Telemetry*>& others) {
+  std::vector<TraceRecord> trace_records = dst.trace.snapshot();
+  std::uint64_t trace_total = dst.trace.total_recorded();
+  std::vector<AuditRecord> audit_records = dst.audit.records();
+  std::uint64_t audit_total = dst.audit.total();
+  for (const Telemetry* shard : others) {
+    if (shard == nullptr) continue;
+    dst.metrics.merge(shard->metrics);
+    const std::vector<TraceRecord> snap = shard->trace.snapshot();
+    trace_records.insert(trace_records.end(), snap.begin(), snap.end());
+    trace_total += shard->trace.total_recorded();
+    const std::vector<AuditRecord>& audited = shard->audit.records();
+    audit_records.insert(audit_records.end(), audited.begin(), audited.end());
+    audit_total += shard->audit.total();
+    if (shard->stamped > dst.stamped) dst.stamped = shard->stamped;
+  }
+  // (at, ord, emit) is a total order over the union: equal (at, ord)
+  // means "same firing event", which lives on one shard, where emit
+  // strictly increases.
+  const auto by_timeline = [](const auto& a, const auto& b) {
+    if (a.at.ns() != b.at.ns()) return a.at.ns() < b.at.ns();
+    if (a.ord != b.ord) return a.ord < b.ord;
+    return a.emit < b.emit;
+  };
+  std::stable_sort(trace_records.begin(), trace_records.end(), by_timeline);
+  std::stable_sort(audit_records.begin(), audit_records.end(), by_timeline);
+  dst.trace.restore(trace_records, trace_total);
+  dst.audit.restore(audit_records, audit_total);
+}
 
 std::string Telemetry::metrics_json() const {
   // Snapshot-time copy so the flight-recorder accounting appears as

@@ -9,7 +9,9 @@
 // sim-time, and serialises it.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.hpp"
 #include "common/types.hpp"
@@ -28,6 +30,11 @@ struct Telemetry {
   /// Sim-time of the snapshot; set by the harness after the run so the
   /// serialised output is stamped in sim-time, never wall-clock.
   SimTime stamped{};
+  /// Sharded mode: the firing-order cursor of the owning shard's
+  /// simulator (Simulator::firing_order_ptr()); record() stamps *cursor
+  /// onto every trace/audit record as its merge-ordering key. Null
+  /// (default) = legacy single-timeline behavior.
+  const std::uint64_t* order_cursor = nullptr;
 
   Telemetry() = default;
   explicit Telemetry(std::size_t trace_capacity) : trace(trace_capacity) {}
@@ -41,8 +48,16 @@ struct Telemetry {
   void record(SimTime at, NodeId node, PortId port, TraceEventKind kind, std::uint64_t a = 0,
               std::uint64_t b = 0) {
     const SpanContext& span = spans.current();
-    trace.record(at, node, port, kind, a, b, span);
-    if (AuditTrail::is_audited(kind)) audit.append(at, node, port, kind, a, b, span);
+    const std::uint64_t ord = order_cursor == nullptr ? 0 : *order_cursor;
+    trace.record(at, node, port, kind, a, b, span, ord);
+    if (AuditTrail::is_audited(kind)) audit.append(at, node, port, kind, a, b, span, ord);
+  }
+
+  /// Engages sharded-mode stamping: trace/audit records carry the firing
+  /// event's order and the span tracker derives partition-invariant ids.
+  void set_order_cursor(const std::uint64_t* cursor) noexcept {
+    order_cursor = cursor;
+    spans.set_order_cursor(cursor);
   }
 
   /// Folds another bundle into this one: metric series merge element-wise
@@ -78,5 +93,20 @@ struct Telemetry {
 /// job-index order produces byte-identical metrics JSON regardless of
 /// how many workers executed the jobs (see docs/OBSERVABILITY.md).
 void merge_snapshots(Telemetry& dst, const Telemetry& src);
+
+/// Sharded-run merge: folds the other shards' bundles into `dst` (shard
+/// 0's bundle) rebuilding the *single timeline* a one-shard run would
+/// have produced. Metrics merge element-wise; trace and audit records
+/// from all shards are interleaved by (sim-time, firing-event order,
+/// per-tracer emission index) and re-rung through the dst capacities.
+///
+/// Why this is byte-identical for any shard count: every record's
+/// (at, ord) names the firing event that emitted it, events fire on
+/// exactly one shard and record only into that shard's bundle, so equal
+/// (at, ord) keys always come from one tracer and the emission index
+/// orders them exactly as a single-threaded run would have. Ring
+/// truncation commutes with the merge because the globally-last C
+/// records are contained in the union of each shard's last C records.
+void merge_shard_telemetry(Telemetry& dst, const std::vector<const Telemetry*>& others);
 
 }  // namespace p4auth::telemetry

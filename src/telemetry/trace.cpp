@@ -42,15 +42,25 @@ PacketTracer::PacketTracer(std::size_t capacity) : capacity_(capacity ? capacity
 }
 
 void PacketTracer::record(SimTime at, NodeId node, PortId port, TraceEventKind kind,
-                          std::uint64_t a, std::uint64_t b, const SpanContext& span) {
+                          std::uint64_t a, std::uint64_t b, const SpanContext& span,
+                          std::uint64_t ord) {
   ++total_;
-  const TraceRecord rec{at, node, port, kind, a, b, span};
+  const TraceRecord rec{at, node, port, kind, a, b, span, ord, total_};
   if (records_.size() < capacity_) {
     records_.push_back(rec);
     return;
   }
   records_[head_] = rec;
   head_ = (head_ + 1) % capacity_;
+}
+
+void PacketTracer::restore(const std::vector<TraceRecord>& records, std::uint64_t total) {
+  records_.clear();
+  head_ = 0;
+  total_ = total;
+  const std::size_t keep = records.size() < capacity_ ? records.size() : capacity_;
+  const std::size_t first = records.size() - keep;
+  records_.assign(records.begin() + static_cast<std::ptrdiff_t>(first), records.end());
 }
 
 std::vector<TraceRecord> PacketTracer::snapshot() const {

@@ -59,6 +59,13 @@ struct TraceRecord {
   /// Causal coordinates (zero = untraced). Stamped by Telemetry::record
   /// from the tracker's current span.
   SpanContext span{};
+  /// Merge-ordering keys (never serialised): the simulator order of the
+  /// event that emitted the record (0 = quiescent) and the emitting
+  /// tracer's running record count. Sharded runs sort the union of
+  /// per-shard rings by (at, ord, emit) to rebuild the single-timeline
+  /// ring — see telemetry::merge_shard_snapshots.
+  std::uint64_t ord = 0;
+  std::uint64_t emit = 0;
 };
 
 class PacketTracer {
@@ -66,7 +73,7 @@ class PacketTracer {
   explicit PacketTracer(std::size_t capacity = 1 << 16);
 
   void record(SimTime at, NodeId node, PortId port, TraceEventKind kind, std::uint64_t a = 0,
-              std::uint64_t b = 0, const SpanContext& span = {});
+              std::uint64_t b = 0, const SpanContext& span = {}, std::uint64_t ord = 0);
 
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t size() const noexcept { return records_.size(); }
@@ -82,6 +89,13 @@ class PacketTracer {
 
   /// Oldest-first snapshot of the retained window.
   std::vector<TraceRecord> snapshot() const;
+
+  /// Replaces the ring with a pre-merged, already-ordered record stream
+  /// (sharded runs: the union of per-shard rings sorted by (at, ord,
+  /// emit)). Keeps the last `capacity()` records — the same retention the
+  /// ring would have applied had the records been emitted here — and sets
+  /// the event total to `total`.
+  void restore(const std::vector<TraceRecord>& records, std::uint64_t total);
 
   /// One JSON object per line:
   ///   {"t":<ns>,"ev":"verify_fail","node":4,"port":2,"a":99,"b":0,

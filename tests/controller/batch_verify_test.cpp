@@ -1,0 +1,100 @@
+// Batched digest verification at the PacketIn seam: when several
+// control-plane messages land at the controller in the same delivery
+// instant (the channel's kCtrlKey coalescing group), their digests are
+// checked through the multi-lane kernel in one batch. The batch is a
+// pure verification optimization — per-message authenticity verdicts and
+// handler order must match the scalar path exactly.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "attacks/control_plane_mitm.hpp"
+#include "stack_helpers.hpp"
+
+namespace p4auth::controller::testing {
+namespace {
+
+Controller::Config p4auth_config() {
+  Controller::Config config;
+  config.p4auth_enabled = true;
+  return config;
+}
+
+class BatchVerifyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stack_.emplace(p4auth_config());
+    s1_ = &stack_->add_switch(NodeId{1});
+    s2_ = &stack_->add_switch(NodeId{2});
+    ASSERT_TRUE(stack_->init_local_key_sync(NodeId{1}).ok());
+    ASSERT_TRUE(stack_->init_local_key_sync(NodeId{2}).ok());
+  }
+
+  /// Issues one register read to each switch in the same quiescent
+  /// instant. The channel model is jitter-free and both responses are
+  /// the same size, so they land at the controller in one delivery
+  /// instant — a two-lane batch.
+  void issue_simultaneous_reads(std::optional<bool>& ok1, std::optional<bool>& ok2) {
+    stack_->controller.read_register(NodeId{1}, kUserReg, 0,
+                                     [&](Result<std::uint64_t> r) { ok1 = r.ok(); });
+    stack_->controller.read_register(NodeId{2}, kUserReg, 0,
+                                     [&](Result<std::uint64_t> r) { ok2 = r.ok(); });
+    stack_->sim.run();
+  }
+
+  std::optional<Stack> stack_;
+  StackSwitch* s1_ = nullptr;
+  StackSwitch* s2_ = nullptr;
+};
+
+TEST_F(BatchVerifyTest, SimultaneousResponsesVerifyAsOneBatch) {
+  std::optional<bool> ok1, ok2;
+  issue_simultaneous_reads(ok1, ok2);
+  ASSERT_TRUE(ok1.has_value());
+  ASSERT_TRUE(ok2.has_value());
+  EXPECT_TRUE(*ok1);
+  EXPECT_TRUE(*ok2);
+  EXPECT_EQ(stack_->controller.stats().batched_verifies, 1u);
+  EXPECT_EQ(stack_->controller.stats().batch_verified_messages, 2u);
+}
+
+TEST_F(BatchVerifyTest, LoneResponseStaysOnTheScalarPath) {
+  std::optional<bool> ok;
+  stack_->controller.read_register(NodeId{1}, kUserReg, 0,
+                                   [&](Result<std::uint64_t> r) { ok = r.ok(); });
+  stack_->sim.run();
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_TRUE(*ok);
+  EXPECT_EQ(stack_->controller.stats().batched_verifies, 0u);
+  EXPECT_EQ(stack_->controller.stats().batch_verified_messages, 0u);
+}
+
+TEST_F(BatchVerifyTest, TamperedLaneFailsWithoutPoisoningTheBatch) {
+  // A compromised switch OS rewrites S2's read responses; the stale
+  // digest must fail its lane while S1's lane still verifies.
+  s2_->sw->set_os_interposer(attacks::make_report_inflater(
+      std::nullopt, [](std::uint32_t, std::uint64_t value) { return value + 999; }));
+
+  std::optional<bool> ok1, ok2;
+  issue_simultaneous_reads(ok1, ok2);
+  ASSERT_TRUE(ok1.has_value());
+  ASSERT_TRUE(ok2.has_value());
+  EXPECT_TRUE(*ok1);
+  EXPECT_FALSE(*ok2);
+  EXPECT_EQ(stack_->controller.stats().batched_verifies, 1u);
+  EXPECT_EQ(stack_->controller.stats().batch_verified_messages, 2u);
+}
+
+TEST_F(BatchVerifyTest, RepeatedRoundsKeepBatching) {
+  for (int round = 0; round < 3; ++round) {
+    std::optional<bool> ok1, ok2;
+    issue_simultaneous_reads(ok1, ok2);
+    ASSERT_TRUE(ok1.value_or(false)) << "round " << round;
+    ASSERT_TRUE(ok2.value_or(false)) << "round " << round;
+  }
+  EXPECT_EQ(stack_->controller.stats().batched_verifies, 3u);
+  EXPECT_EQ(stack_->controller.stats().batch_verified_messages, 6u);
+}
+
+}  // namespace
+}  // namespace p4auth::controller::testing

@@ -1,0 +1,110 @@
+// Shard-equivalence acceptance: the conservative-lookahead sharded
+// engine is a pure scheduling optimization — a fixed-seed run must
+// produce byte-identical telemetry (metrics JSON, trace JSONL, audit
+// JSONL) and identical results for ANY shard count and ANY placement of
+// switches onto shards. This is the determinism contract from
+// netsim/sharded.hpp, end to end through:
+//
+//  * the hula fabric under the on-link adversary (fig 17 workload:
+//    verify failures, alerts, flowlet churn, controller traffic), and
+//  * the multi-hop probe chain (the fig 21 workload, whose pipeline
+//    shape is what the engine actually parallelises).
+//
+// Every event's (time, order) pair is allocated by its sending rank, so
+// the fire sequence is a pure function of the schedule, not of the
+// partition — these tests pin that property at 1, 2 and 4 shards and
+// across a shard-assignment permutation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "experiments/hula_experiment.hpp"
+#include "experiments/multihop_experiment.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace p4auth::experiments {
+namespace {
+
+struct Captured {
+  std::string metrics;
+  std::string trace;
+  std::string audit;
+  HulaResult result;
+};
+
+Captured run_hula(int shards, std::vector<std::pair<std::uint32_t, int>> assignment = {}) {
+  telemetry::Telemetry telemetry;
+  HulaOptions options;
+  options.seed = 7;
+  options.duration = SimTime::from_ms(200);
+  options.telemetry = &telemetry;
+  options.shards = shards;
+  options.shard_assignment = std::move(assignment);
+  Captured out;
+  out.result = run_hula_experiment(Scenario::P4AuthAttack, options);
+  out.metrics = telemetry.metrics_json();
+  out.trace = telemetry.trace_jsonl();
+  out.audit = telemetry.audit_jsonl();
+  return out;
+}
+
+void expect_identical(const Captured& a, const Captured& b, const std::string& label) {
+  EXPECT_EQ(a.metrics, b.metrics) << label << ": metrics JSON diverged";
+  EXPECT_EQ(a.trace, b.trace) << label << ": trace JSONL diverged";
+  EXPECT_EQ(a.audit, b.audit) << label << ": audit JSONL diverged";
+  EXPECT_EQ(a.result.total_bytes, b.result.total_bytes) << label;
+  EXPECT_EQ(a.result.delivered, b.result.delivered) << label;
+  EXPECT_EQ(a.result.probes_rejected, b.result.probes_rejected) << label;
+  EXPECT_EQ(a.result.alerts, b.result.alerts) << label;
+  EXPECT_EQ(a.result.path_share_pct, b.result.path_share_pct) << label;
+}
+
+TEST(ShardEquivalence, HulaTelemetryIsByteIdenticalAcrossShardCounts) {
+  const Captured one = run_hula(1);
+  ASSERT_FALSE(one.trace.empty()) << "workload produced no trace records";
+  ASSERT_GT(one.result.delivered, 0u) << "workload never delivered data";
+  expect_identical(one, run_hula(2), "1 vs 2 shards");
+  expect_identical(one, run_hula(4), "1 vs 4 shards");
+}
+
+// Satellite: the partition itself is a free variable. Two deliberately
+// different placements of the five hula switches onto two shards —
+// including one that splits the probe path across the cut — must agree
+// byte-for-byte, because event orders are allocated per sending rank,
+// never per shard.
+TEST(ShardEquivalence, ShardAssignmentPermutationIsByteIdentical) {
+  const Captured bfs = run_hula(2);
+  const Captured split_a = run_hula(2, {{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 1}});
+  const Captured split_b = run_hula(2, {{1, 1}, {2, 1}, {3, 0}, {4, 0}, {5, 0}});
+  expect_identical(bfs, split_a, "bfs vs explicit split A");
+  expect_identical(bfs, split_b, "split A vs mirrored split B");
+}
+
+// The fig 21 chain: probes pipeline through 5 switches, each hop paying
+// digest work — the engine's target shape. Traversal means must agree
+// to the last bit across shard counts.
+TEST(ShardEquivalence, MultihopChainResultsAreIdenticalAcrossShardCounts) {
+  const auto measure = [](int shards) {
+    MultihopOptions options;
+    options.min_hops = 4;
+    options.max_hops = 4;
+    options.probes_per_point = 5;
+    options.shards = shards;
+    return run_multihop_experiment(options);
+  };
+  const auto one = measure(1);
+  ASSERT_EQ(one.size(), 1u);
+  ASSERT_GT(one[0].base_us, 0.0);
+  for (const int shards : {2, 4}) {
+    const auto many = measure(shards);
+    ASSERT_EQ(many.size(), 1u);
+    EXPECT_EQ(one[0].base_us, many[0].base_us) << shards << " shards";
+    EXPECT_EQ(one[0].p4auth_us, many[0].p4auth_us) << shards << " shards";
+    EXPECT_EQ(one[0].overhead_pct, many[0].overhead_pct) << shards << " shards";
+  }
+}
+
+}  // namespace
+}  // namespace p4auth::experiments

@@ -1,0 +1,71 @@
+// WorkerPool (the sharded simulator's fork-join dispatcher) and the
+// shards x jobs worker-budget resolver.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runner/runner.hpp"
+
+namespace p4auth::runner {
+namespace {
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.threads(), 3);
+  constexpr std::size_t kCount = 100;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.dispatch(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(WorkerPool, ZeroThreadsRunsInlineOnCaller) {
+  WorkerPool pool(0);
+  const auto caller = std::this_thread::get_id();
+  bool same_thread = true;
+  pool.dispatch(8, [&](std::size_t) { same_thread &= std::this_thread::get_id() == caller; });
+  EXPECT_TRUE(same_thread);
+}
+
+TEST(WorkerPool, RepeatedDispatchesReuseThePool) {
+  WorkerPool pool(2);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.dispatch(4, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 800u);
+}
+
+TEST(WorkerPool, FirstExceptionIsRethrownOnCaller) {
+  WorkerPool pool(2);
+  EXPECT_THROW(pool.dispatch(8,
+                             [](std::size_t i) {
+                               if (i == 3) throw std::runtime_error("boom");
+                             }),
+               std::runtime_error);
+  // The pool must still be usable after an exceptional dispatch.
+  std::atomic<int> ok{0};
+  pool.dispatch(4, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(ResolveShardWorkers, ExplicitRequestPassesThroughClamped) {
+  EXPECT_EQ(resolve_shard_workers(3, 4, 1), 3);
+  EXPECT_EQ(resolve_shard_workers(8, 4, 1), 4);  // clamped to the shard count
+  EXPECT_EQ(resolve_shard_workers(1, 4, 16), 1);
+}
+
+TEST(ResolveShardWorkers, AutoDividesHardwareAcrossJobs) {
+  const int workers = resolve_shard_workers(0, 4, 1);
+  EXPECT_GE(workers, 1);
+  EXPECT_LE(workers, 4);
+  // More concurrent jobs never get a larger per-job budget.
+  EXPECT_LE(resolve_shard_workers(0, 4, 8), workers);
+  EXPECT_GE(resolve_shard_workers(0, 4, 1000), 1);
+}
+
+}  // namespace
+}  // namespace p4auth::runner

@@ -3,13 +3,15 @@
 // Usage:
 //   p4auth_sim hula       [--scenario S] [--seed N | --seeds A..B] [--jobs N]
 //                         [--duration-ms N] [--metrics-out FILE] [--trace FILE]
-//                         [--audit FILE] [--trace-dir DIR]
+//                         [--audit FILE] [--trace-dir DIR] [--shards N]
+//                         [--shard-workers N]
 //   p4auth_sim routescout [--scenario S] [--seed N | --seeds A..B] [--jobs N]
 //                         [--metrics-out FILE] [--trace FILE] [--audit FILE]
 //                         [--trace-dir DIR]
 //   p4auth_sim regops     [--variant p4runtime|dpregrw|p4auth] [--requests N]
 //   p4auth_sim kmp        [--samples N]
-//   p4auth_sim multihop   [--min-hops N] [--max-hops N]
+//   p4auth_sim multihop   [--min-hops N] [--max-hops N] [--shards N]
+//                         [--shard-workers N]
 //   p4auth_sim scaling    [--switches M] [--links N]
 //   p4auth_sim table1     [--seed N]
 //   p4auth_sim resources
@@ -17,6 +19,11 @@
 // Flags accept both "--flag value" and "--flag=value"; unknown flags are
 // rejected with a usage message and exit code 2. Scenarios:
 // baseline | attack | p4auth | p4auth-clean.
+//
+// --shards N runs each simulation on the conservative-lookahead sharded
+// engine (N worker shards; --shard-workers caps the thread budget).
+// Every output — stdout, metrics, trace, audit — is byte-identical for
+// any --shards value; the flag only changes wall-clock time.
 //
 // --seeds A..B runs a campaign: one isolated simulation per seed, fanned
 // out over --jobs worker threads (default 1), results merged in seed
@@ -224,7 +231,8 @@ void print_campaign_stats(const runner::CampaignResult& result) {
 
 int run_hula(int argc, char** argv) {
   if (!check_flags(argc, argv, {"--scenario", "--seed", "--seeds", "--jobs", "--duration-ms",
-                                "--metrics-out", "--trace", "--audit", "--trace-dir"})) {
+                                "--metrics-out", "--trace", "--audit", "--trace-dir",
+                                "--shards", "--shard-workers"})) {
     return 2;
   }
   const auto scenario = parse_scenario(arg_value(argc, argv, "--scenario", "baseline"));
@@ -240,6 +248,8 @@ int run_hula(int argc, char** argv) {
   HulaOptions options;
   options.seed = arg_u64(argc, argv, "--seed", options.seed);
   options.duration = SimTime::from_ms(arg_u64(argc, argv, "--duration-ms", 1500));
+  options.shards = static_cast<int>(arg_u64(argc, argv, "--shards", 0));
+  options.shard_workers = static_cast<int>(arg_u64(argc, argv, "--shard-workers", 0));
   const char* metrics_path = arg_value(argc, argv, "--metrics-out", nullptr);
   const char* trace_path = arg_value(argc, argv, "--trace", nullptr);
   const char* audit_path = arg_value(argc, argv, "--audit", nullptr);
@@ -378,10 +388,14 @@ int run_kmp(int argc, char** argv) {
 }
 
 int run_multihop(int argc, char** argv) {
-  if (!check_flags(argc, argv, {"--min-hops", "--max-hops"})) return 2;
+  if (!check_flags(argc, argv, {"--min-hops", "--max-hops", "--shards", "--shard-workers"})) {
+    return 2;
+  }
   MultihopOptions options;
   options.min_hops = static_cast<int>(arg_u64(argc, argv, "--min-hops", 2));
   options.max_hops = static_cast<int>(arg_u64(argc, argv, "--max-hops", 10));
+  options.shards = static_cast<int>(arg_u64(argc, argv, "--shards", 0));
+  options.shard_workers = static_cast<int>(arg_u64(argc, argv, "--shard-workers", 0));
   for (const auto& point : run_multihop_experiment(options)) {
     std::printf("hops=%d base=%.1fus p4auth=%.1fus overhead=%.2f%%\n", point.hops,
                 point.base_us, point.p4auth_us, point.overhead_pct);
